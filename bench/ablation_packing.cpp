@@ -1,0 +1,102 @@
+// Ablation: Minimum Slack vs First-Fit Decreasing packing quality.
+//
+// The paper's claim (Section VII): "Typically, Minimum Slack provides a
+// better solution in terms of power consumption", especially with extra
+// constraints (memory). This ablation packs random VM sets onto a
+// heterogeneous server pool with both heuristics and compares servers
+// used, residual slack, and run time.
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+
+#include "consolidate/ffd.hpp"
+#include "consolidate/pac.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+using namespace vdc;
+using namespace vdc::consolidate;
+
+DataCenterSnapshot random_instance(std::size_t servers, std::size_t vms, util::Rng& rng,
+                                   bool tight_memory) {
+  DataCenterSnapshot snap;
+  for (std::size_t i = 0; i < servers; ++i) {
+    ServerSnapshot s;
+    s.id = static_cast<ServerId>(i);
+    s.max_capacity_ghz = rng.uniform(3.0, 12.0);
+    s.memory_mb = tight_memory ? rng.uniform(3000.0, 8000.0) : 1e9;
+    s.max_power_w = 150.0 + s.max_capacity_ghz * rng.uniform(10.0, 25.0);
+    s.idle_power_w = 0.55 * s.max_power_w;
+    s.sleep_power_w = 6.0;
+    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.active = true;
+    snap.servers.push_back(s);
+  }
+  for (std::size_t i = 0; i < vms; ++i) {
+    VmSnapshot vm;
+    vm.id = static_cast<VmId>(i);
+    vm.cpu_demand_ghz = rng.uniform(0.2, 2.0);
+    vm.memory_mb = rng.uniform(400.0, 2000.0);
+    snap.vms.push_back(vm);
+  }
+  return snap;
+}
+
+struct Outcome {
+  double servers_used = 0.0;
+  double unplaced = 0.0;
+  double occupied_slack_ghz = 0.0;
+  double micros = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+  std::printf("# Ablation: Minimum Slack (PAC) vs First-Fit Decreasing packing\n");
+  std::printf("# 30 random instances each; 40 servers; memory constraint toggled\n\n");
+
+  for (const bool tight_memory : {false, true}) {
+    for (const std::size_t vms : {60ul, 120ul}) {
+      util::RunningStats pac_used;
+      util::RunningStats ffd_used;
+      util::RunningStats pac_us;
+      util::RunningStats ffd_us;
+      util::RunningStats pac_unplaced;
+      util::RunningStats ffd_unplaced;
+      for (int trial = 0; trial < 30; ++trial) {
+        util::Rng rng(static_cast<std::uint64_t>(trial * 7919 + vms));
+        const DataCenterSnapshot snap = random_instance(40, vms, rng, tight_memory);
+        const ConstraintSet constraints = ConstraintSet::standard(1.0);
+        std::vector<VmId> all(snap.vms.size());
+        std::iota(all.begin(), all.end(), 0);
+
+        WorkingPlacement pac_wp(snap);
+        auto t0 = Clock::now();
+        const PacResult pac = power_aware_consolidation(pac_wp, all, constraints);
+        auto t1 = Clock::now();
+        pac_used.add(static_cast<double>(pac_wp.occupied_server_count()));
+        pac_unplaced.add(static_cast<double>(pac.unplaced.size()));
+        pac_us.add(std::chrono::duration<double, std::micro>(t1 - t0).count());
+
+        WorkingPlacement ffd_wp(snap);
+        const std::vector<ServerId> order = servers_by_power_efficiency(snap);
+        t0 = Clock::now();
+        const FfdResult ffd = first_fit_decreasing(ffd_wp, order, all, constraints);
+        t1 = Clock::now();
+        ffd_used.add(static_cast<double>(ffd_wp.occupied_server_count()));
+        ffd_unplaced.add(static_cast<double>(ffd.unplaced.size()));
+        ffd_us.add(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+      std::printf("memory=%-5s vms=%-4zu | servers used: MinSlack %5.2f  FFD %5.2f | "
+                  "unplaced: %4.2f vs %4.2f | time: %7.0fus vs %5.0fus\n",
+                  tight_memory ? "tight" : "ample", vms, pac_used.mean(), ffd_used.mean(),
+                  pac_unplaced.mean(), ffd_unplaced.mean(), pac_us.mean(), ffd_us.mean());
+    }
+  }
+  std::printf("\n# paper: Minimum Slack packs better (fewer/fuller servers), at higher cost;\n");
+  std::printf("# IPAC amortizes that cost by consolidating only small migration lists.\n");
+  return 0;
+}

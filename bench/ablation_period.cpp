@@ -1,0 +1,56 @@
+// Ablation: optimizer invocation period and on-demand overload relief.
+//
+// Section III argues the optimizer "should not be invoked too frequently"
+// (migration overhead) while infrequent invocation risks overloads between
+// runs — which the paper proposes to mitigate with on-demand relief (the
+// Co-Con integration). This ablation sweeps the invocation period and
+// toggles the OverloadGuard to quantify both effects on a 500-VM center.
+#include <cstdio>
+
+#include "core/trace_sim.hpp"
+#include "trace/synthetic.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace vdc;
+
+  std::printf("# Ablation: consolidation period x on-demand overload guard (500 VMs)\n");
+  trace::SyntheticTraceOptions topt;
+  topt.servers = 500;
+  const trace::UtilizationTrace trace = trace::generate_synthetic_trace(topt);
+  const core::TraceDrivenSimulator simulator(trace);
+
+  struct Cell {
+    double period_h;
+    bool guard;
+    core::TraceSimResult result;
+  };
+  std::vector<Cell> cells;
+  for (const double period_h : {1.0, 2.0, 4.0, 8.0, 24.0}) {
+    cells.push_back({period_h, false, {}});
+    cells.push_back({period_h, true, {}});
+  }
+  util::parallel_for(cells.size(), [&](std::size_t i) {
+    core::TraceSimConfig config;
+    config.num_vms = 500;
+    config.algorithm = core::ConsolidationAlgorithm::kIpac;
+    config.consolidation_period_s = cells[i].period_h * 3600.0;
+    config.on_demand_overload_guard = cells[i].guard;
+    cells[i].result = simulator.run(config);
+  });
+
+  std::printf("\n%-12s %-7s %16s %12s %12s %12s %10s\n", "period (h)", "guard",
+              "energy/VM (Wh)", "opt. migr.", "guard migr.", "wakes", "overload");
+  for (const Cell& cell : cells) {
+    std::printf("%-12.0f %-7s %16.1f %12zu %12zu %12zu %9.2f%%\n", cell.period_h,
+                cell.guard ? "on" : "off", cell.result.energy_wh_per_vm,
+                cell.result.migrations, cell.result.guard_migrations,
+                cell.result.server_wakes, 100.0 * cell.result.overload_fraction);
+  }
+
+  std::printf("\n# expected: shorter periods track the load better (lower overload)\n");
+  std::printf("# at the cost of more migrations; the on-demand guard recovers most of\n");
+  std::printf("# the SLA protection of frequent invocation at a fraction of the churn,\n");
+  std::printf("# which is exactly why the paper separates the two time scales.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 6 reproduction: energy consumption per VM over 7 days under
+// different data-center sizes (30 .. 5,415 VMs), IPAC vs pMapper.
+//
+// Paper's observations:
+//   * IPAC consumes less energy per VM than pMapper at every size
+//     (40.7% average saving in the paper's setup);
+//   * per-VM energy grows with the number of VMs for both schemes, because
+//     the limited supply of power-efficient servers is used up first.
+//
+// The paper sweeps 54 sizes; this harness uses a representative subset so
+// the run finishes in about a minute (pass --full for a denser sweep).
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "core/trace_sim.hpp"
+#include "trace/synthetic.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdc;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  std::printf("# Figure 6: energy per VM in 7 days vs number of VMs (IPAC vs pMapper)\n");
+  std::printf("# generating synthetic 5,415-server utilization trace ...\n");
+  const trace::UtilizationTrace trace = trace::generate_synthetic_trace();
+  std::printf("# trace: %zu series x %zu samples, mean utilization %.1f%%\n\n",
+              trace.server_count(), trace.sample_count(), 100.0 * trace.global_mean());
+
+  std::vector<std::size_t> sizes = {30, 100, 330, 630, 1030, 1530, 2030,
+                                    2530, 3030, 3530, 4030, 4530, 5030, 5415};
+  if (full) {
+    sizes.clear();
+    for (std::size_t n = 30; n < 5415; n += 100) sizes.push_back(n);
+    sizes.push_back(5415);
+  }
+
+  const core::TraceDrivenSimulator simulator(trace);
+  struct Row {
+    core::TraceSimResult ipac;
+    core::TraceSimResult pmapper;
+  };
+  std::vector<Row> rows(sizes.size());
+  // Jobs are independent and deterministic; parallelize over (size, algo).
+  util::parallel_for(sizes.size() * 2, [&](std::size_t job) {
+    const std::size_t i = job / 2;
+    const bool ipac = job % 2 == 0;
+    core::TraceSimConfig config;
+    config.num_vms = sizes[i];
+    config.algorithm =
+        ipac ? core::ConsolidationAlgorithm::kIpac : core::ConsolidationAlgorithm::kPMapper;
+    // The paper couples IPAC with the DVFS-capable controller; pMapper's
+    // performance management relies on DVFS-less placement.
+    config.dvfs = ipac;
+    (ipac ? rows[i].ipac : rows[i].pmapper) = simulator.run(config);
+  });
+
+  std::printf("%-8s %16s %20s %10s %14s %14s\n", "#VMs", "IPAC (Wh/VM)",
+              "pMapper (Wh/VM)", "saving", "IPAC migr.", "pMapper migr.");
+  double saving_sum = 0.0;
+  bool ipac_always_wins = true;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double a = rows[i].ipac.energy_wh_per_vm;
+    const double b = rows[i].pmapper.energy_wh_per_vm;
+    const double saving = 1.0 - a / b;
+    saving_sum += saving;
+    ipac_always_wins = ipac_always_wins && a < b;
+    std::printf("%-8zu %16.1f %20.1f %9.1f%% %14zu %14zu\n", sizes[i], a, b,
+                100.0 * saving, rows[i].ipac.migrations, rows[i].pmapper.migrations);
+  }
+  const double avg_saving = saving_sum / static_cast<double>(sizes.size());
+  const bool grows = rows.back().ipac.energy_wh_per_vm >
+                     1.2 * rows.front().ipac.energy_wh_per_vm;
+
+  std::printf("\n# paper: IPAC below pMapper at every size (40.7%% average saving there)\n");
+  std::printf("# measured: IPAC wins everywhere -> %s; average saving = %.1f%%\n",
+              ipac_always_wins ? "REPRODUCED" : "MISMATCH", 100.0 * avg_saving);
+  std::printf("# paper: per-VM energy grows with #VMs (efficient servers deplete)\n");
+  std::printf("# measured: %.0f Wh/VM at %zu VMs vs %.0f Wh/VM at %zu VMs -> %s\n",
+              rows.front().ipac.energy_wh_per_vm, sizes.front(),
+              rows.back().ipac.energy_wh_per_vm, sizes.back(),
+              grows ? "REPRODUCED" : "MISMATCH");
+  return ipac_always_wins && grows ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Quickstart: identify a response-time model for a two-tier application,
+// attach an MPC response-time controller, and watch the 90-percentile
+// response time converge to the 1000 ms set point.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "app/monitor.hpp"
+#include "app/multi_tier_app.hpp"
+#include "control/stability.hpp"
+#include "core/response_time_controller.hpp"
+#include "core/sysid_experiment.hpp"
+#include "sim/simulation.hpp"
+
+int main() {
+  using namespace vdc;
+
+  // 1. A two-tier (web + db) application under a closed workload of 40
+  //    concurrent clients — the paper's RUBBoS setup.
+  const app::AppConfig app_config = app::default_two_tier_app("demo", /*seed=*/1,
+                                                              /*concurrency=*/40);
+
+  // 2. System identification: excite the staging copy, fit an ARX model.
+  core::SysIdExperimentConfig sysid;
+  const core::SysIdExperimentResult identified = core::identify_app_model(app_config, sysid);
+  std::printf("identified ARX model: na=%zu nb=%zu nu=%zu  R^2=%.3f\n",
+              identified.model.na, identified.model.nb, identified.model.nu,
+              identified.r_squared);
+
+  // 3. Controller tuning; verify nominal closed-loop stability first.
+  control::MpcConfig mpc;
+  mpc.prediction_horizon = 12;
+  mpc.control_horizon = 3;
+  mpc.r_weight = {1.0};
+  mpc.period_s = 4.0;
+  mpc.tref_s = 16.0;
+  mpc.setpoint = 1.0;  // 1000 ms
+  mpc.c_min = {0.15};
+  mpc.c_max = {1.5};
+  mpc.delta_max = 0.3;
+  mpc.disturbance_gain = 0.5;
+  const control::StabilityReport stability =
+      control::analyze_closed_loop(identified.model, mpc);
+  std::printf("closed loop: output decay rate=%.3f  stable=%s  steady-state=%.0f ms\n",
+              stability.output_decay_rate, stability.stable ? "yes" : "no",
+              stability.steady_state_output * 1000.0);
+
+  // 4. Run the live application under control.
+  sim::Simulation sim;
+  app::MultiTierApp live(sim, app_config);
+  app::ResponseTimeMonitor monitor(0.9);
+  live.set_response_callback([&](double, double rt) { monitor.record(rt); });
+  const std::vector<double> initial(live.tier_count(), 0.6);
+  live.set_allocations(initial);
+  live.start();
+
+  core::ResponseTimeController controller(identified.model, mpc, initial);
+  std::printf("\n%8s %14s %12s %12s\n", "time(s)", "p90 (ms)", "web (GHz)", "db (GHz)");
+  for (int k = 1; k <= 60; ++k) {
+    sim.run_until(4.0 * k);
+    const auto stats = monitor.harvest();
+    const std::vector<double> demands = controller.control(stats);
+    live.set_allocations(demands);
+    if (k % 5 == 0) {
+      std::printf("%8.0f %14.0f %12.3f %12.3f\n", sim.now(),
+                  controller.last_measurement() * 1000.0, demands[0], demands[1]);
+    }
+  }
+  std::printf("\nfinal p90 = %.0f ms (set point 1000 ms)\n",
+              controller.last_measurement() * 1000.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Response-time monitor: the sensor of the paper's control loop. Collects
+// per-request response times and reports the controlled SLA value once per
+// control period. The paper controls the 90-percentile response time "as an
+// example SLA metric, but our management solution can be extended to
+// control other SLAs such as average or maximum response times" — hence
+// the metric selector.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vdc::app {
+
+/// Which SLA statistic the controller tracks.
+enum class SlaMetric {
+  kQuantile,  ///< a percentile of the period's response times (default p90)
+  kMean,      ///< average response time
+  kMax,       ///< maximum response time
+};
+
+[[nodiscard]] std::string to_string(SlaMetric metric);
+
+struct PeriodStats {
+  double mean = 0.0;
+  double quantile = 0.0;  ///< the configured percentile (default 90th)
+  double min = 0.0;
+  double max = 0.0;
+  /// The value of the configured SLA metric — what the controller tracks.
+  double controlled = 0.0;
+  std::size_t count = 0;
+};
+
+class ResponseTimeMonitor {
+ public:
+  /// `q` is the reported quantile (0.9 = the paper's 90-percentile SLA);
+  /// `metric` selects which statistic lands in PeriodStats::controlled.
+  explicit ResponseTimeMonitor(double q = 0.9, SlaMetric metric = SlaMetric::kQuantile);
+
+  /// Records one completed request's response time (seconds).
+  void record(double response_time_s);
+
+  /// Returns statistics over the samples recorded since the last harvest
+  /// and clears the buffer. Empty period -> nullopt (the controller then
+  /// holds its previous measurement).
+  [[nodiscard]] std::optional<PeriodStats> harvest();
+
+  /// Statistics over everything recorded since construction (all periods).
+  [[nodiscard]] PeriodStats lifetime() const;
+
+  [[nodiscard]] std::size_t pending_samples() const noexcept { return period_samples_.size(); }
+  [[nodiscard]] SlaMetric metric() const noexcept { return metric_; }
+  [[nodiscard]] double quantile_level() const noexcept { return q_; }
+
+ private:
+  double q_;
+  SlaMetric metric_;
+  std::vector<double> period_samples_;
+  std::vector<double> lifetime_samples_;
+};
+
+}  // namespace vdc::app

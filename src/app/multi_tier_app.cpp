@@ -1,0 +1,189 @@
+#include "app/multi_tier_app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::app {
+
+AppConfig default_two_tier_app(std::string name, std::uint64_t seed, std::size_t concurrency) {
+  AppConfig config;
+  config.name = std::move(name);
+  config.seed = seed;
+  config.concurrency = concurrency;
+  config.think_time_s = 1.0;
+  // Web tier: PHP script execution; DB tier: MySQL query processing. The
+  // demands are sized so that a ~1000 ms 90-percentile response time at
+  // concurrency 40 needs roughly 0.3-0.6 GHz per tier — comfortably inside
+  // one core of the simulated servers, as on the paper's testbed.
+  config.tiers = {
+      TierConfig{.name = "web",
+                 .mean_demand_gcycles = 0.008,
+                 .pareto_alpha = 2.2,
+                 .initial_allocation_ghz = 1.0},
+      TierConfig{.name = "db",
+                 .mean_demand_gcycles = 0.012,
+                 .pareto_alpha = 2.2,
+                 .initial_allocation_ghz = 1.0},
+  };
+  return config;
+}
+
+namespace {
+
+/// Mean of a bounded Pareto on [lo, hi] with shape alpha (alpha != 1).
+double bounded_pareto_mean(double alpha, double lo, double hi) {
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return la / (1.0 - la / ha) * alpha / (alpha - 1.0) *
+         (1.0 / std::pow(lo, alpha - 1.0) - 1.0 / std::pow(hi, alpha - 1.0));
+}
+
+}  // namespace
+
+MultiTierApp::MultiTierApp(sim::Simulation& sim, AppConfig config)
+    : sim_(sim), config_(std::move(config)), rng_(config_.seed) {
+  if (config_.tiers.empty()) throw std::invalid_argument("MultiTierApp: no tiers configured");
+  tiers_.reserve(config_.tiers.size());
+  tier_jobs_.resize(config_.tiers.size());
+  for (std::size_t j = 0; j < config_.tiers.size(); ++j) {
+    tiers_.push_back(std::make_unique<sim::PsQueue>(
+        sim_, config_.tiers[j].initial_allocation_ghz,
+        [this, j](sim::JobId job) { on_tier_complete(j, job); }));
+  }
+  target_clients_ = config_.concurrency;
+  open_mode_ = config_.open_arrival_rate_rps > 0.0;
+}
+
+void MultiTierApp::start() {
+  if (started_) throw std::logic_error("MultiTierApp: already started");
+  started_ = true;
+  if (open_workload()) {
+    schedule_next_arrival();
+  } else {
+    while (active_clients_ < target_clients_) spawn_client();
+  }
+}
+
+void MultiTierApp::set_allocation(std::size_t tier, double ghz) {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  tiers_[tier]->set_capacity(ghz);
+}
+
+void MultiTierApp::set_allocations(std::span<const double> ghz) {
+  if (ghz.size() != tiers_.size()) throw std::invalid_argument("MultiTierApp: allocation size");
+  for (std::size_t j = 0; j < ghz.size(); ++j) tiers_[j]->set_capacity(ghz[j]);
+}
+
+std::vector<double> MultiTierApp::allocations() const {
+  std::vector<double> out;
+  out.reserve(tiers_.size());
+  for (const auto& tier : tiers_) out.push_back(tier->capacity());
+  return out;
+}
+
+void MultiTierApp::set_concurrency(std::size_t n) {
+  if (open_workload()) return;  // population is meaningless under open arrivals
+  target_clients_ = n;
+  if (!started_) return;
+  while (active_clients_ < target_clients_) spawn_client();
+  // Shrinkage is lazy: clients retire at their next decision point.
+}
+
+void MultiTierApp::set_arrival_rate(double requests_per_second) {
+  if (!open_workload()) {
+    throw std::logic_error("MultiTierApp: set_arrival_rate requires open-workload mode");
+  }
+  if (requests_per_second < 0.0) {
+    throw std::invalid_argument("MultiTierApp: negative arrival rate");
+  }
+  config_.open_arrival_rate_rps = requests_per_second;
+  // The pending inter-arrival event keeps its old schedule; subsequent
+  // arrivals use the new rate. (Exact enough for rate steps.)
+}
+
+void MultiTierApp::schedule_next_arrival() {
+  const double rate = config_.open_arrival_rate_rps;
+  if (rate <= 0.0) {
+    // Poll again shortly in case the rate is raised later.
+    sim_.schedule_after(1.0, [this] { schedule_next_arrival(); });
+    return;
+  }
+  sim_.schedule_after(rng_.exponential(1.0 / rate), [this] {
+    issue_request();
+    schedule_next_arrival();
+  });
+}
+
+double MultiTierApp::tier_work_done(std::size_t tier) const {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  return tiers_[tier]->work_done();
+}
+
+void MultiTierApp::spawn_client() {
+  ++active_clients_;
+  client_think();
+}
+
+void MultiTierApp::client_think() {
+  if (active_clients_ > target_clients_) {
+    --active_clients_;  // retire this client
+    return;
+  }
+  const double think = rng_.exponential(config_.think_time_s);
+  sim_.schedule_after(think, [this] { issue_request(); });
+}
+
+void MultiTierApp::issue_request() {
+  if (!open_workload() && active_clients_ > target_clients_) {
+    --active_clients_;  // retire instead of issuing
+    return;
+  }
+  Request req;
+  req.id = next_request_id_++;
+  req.start_time = sim_.now();
+  req.current_tier = 0;
+  req.demands.reserve(config_.tiers.size());
+  for (const TierConfig& tier : config_.tiers) {
+    // Bounded Pareto spanning [mean/4, mean*12]: heavy-tailed but with
+    // finite variance; rescale so the realized mean matches the config.
+    const double lo = tier.mean_demand_gcycles / 4.0;
+    const double hi = tier.mean_demand_gcycles * 12.0;
+    const double raw = rng_.bounded_pareto(tier.pareto_alpha, lo, hi);
+    const double mean = bounded_pareto_mean(tier.pareto_alpha, lo, hi);
+    req.demands.push_back(raw * tier.mean_demand_gcycles / mean);
+  }
+  const double first_demand = req.demands[0];
+  const std::uint64_t req_id = req.id;
+  requests_.emplace(req_id, std::move(req));
+  const sim::JobId job = tiers_[0]->add_job(first_demand);
+  tier_jobs_[0].emplace(job, req_id);
+}
+
+void MultiTierApp::on_tier_complete(std::size_t tier, sim::JobId job) {
+  const auto it = tier_jobs_[tier].find(job);
+  if (it == tier_jobs_[tier].end()) return;  // job was abandoned
+  const std::uint64_t req_id = it->second;
+  tier_jobs_[tier].erase(it);
+
+  auto req_it = requests_.find(req_id);
+  if (req_it == requests_.end()) return;
+  Request& req = req_it->second;
+  ++req.current_tier;
+  if (req.current_tier < tiers_.size()) {
+    const sim::JobId next_job = tiers_[req.current_tier]->add_job(req.demands[req.current_tier]);
+    tier_jobs_[req.current_tier].emplace(next_job, req_id);
+    return;
+  }
+  Request done = std::move(req);
+  requests_.erase(req_it);
+  finish_request(std::move(done));
+}
+
+void MultiTierApp::finish_request(Request req) {
+  ++completed_;
+  const double now = sim_.now();
+  if (on_response_) on_response_(now, now - req.start_time);
+  if (!open_workload()) client_think();
+}
+
+}  // namespace vdc::app

@@ -1,0 +1,123 @@
+// A simulated multi-tier web application — the RUBBoS-testbed equivalent.
+//
+// Each tier runs in one VM and is modelled as a processor-sharing queue
+// whose capacity equals the VM's CPU allocation (GHz). A closed population
+// of clients (the `ab` workload generator's concurrency level) issues
+// requests that traverse the tiers in order; per-tier service demands are
+// heavy-tailed. Response time emerges from queueing, so it reacts to CPU
+// allocation exactly the way the paper's controller expects: nonlinear,
+// noisy, saturating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ps_queue.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::app {
+
+/// Service-demand distribution of one tier (bounded Pareto, the classic
+/// web-request model). Units: Gcycles per request.
+struct TierConfig {
+  std::string name = "tier";
+  double mean_demand_gcycles = 0.010;  ///< ~10 ms at 1 GHz
+  double pareto_alpha = 2.2;           ///< tail index; > 2 keeps variance finite
+  double initial_allocation_ghz = 1.0;
+};
+
+struct AppConfig {
+  std::string name = "app";
+  std::vector<TierConfig> tiers;
+  std::size_t concurrency = 40;   ///< closed-loop client population
+  double think_time_s = 1.0;      ///< exponential think time mean
+  /// > 0 switches to an OPEN workload: requests arrive as a Poisson
+  /// process at this rate (requests/second) regardless of completions —
+  /// the load-balanced-front-end scenario. `concurrency` is ignored.
+  double open_arrival_rate_rps = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Returns the paper's testbed default: a two-tier (web + db) application.
+[[nodiscard]] AppConfig default_two_tier_app(std::string name, std::uint64_t seed,
+                                             std::size_t concurrency = 40);
+
+class MultiTierApp {
+ public:
+  /// (completion_time_s, response_time_s) for every finished request.
+  using ResponseCallback = std::function<void(double, double)>;
+
+  MultiTierApp(sim::Simulation& sim, AppConfig config);
+
+  MultiTierApp(const MultiTierApp&) = delete;
+  MultiTierApp& operator=(const MultiTierApp&) = delete;
+
+  /// Starts the client population (call once before running the simulation).
+  void start();
+
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] std::size_t tier_count() const noexcept { return tiers_.size(); }
+
+  /// CPU allocation of tier `j` in GHz. This is the controller's actuator.
+  void set_allocation(std::size_t tier, double ghz);
+  void set_allocations(std::span<const double> ghz);
+  [[nodiscard]] std::vector<double> allocations() const;
+
+  /// Changes the client population (the `ab` concurrency level). Growth
+  /// spawns clients immediately; shrinkage retires clients as they finish.
+  /// No-op in open-workload mode.
+  void set_concurrency(std::size_t n);
+  [[nodiscard]] std::size_t concurrency() const noexcept { return target_clients_; }
+
+  /// Changes the Poisson arrival rate (open-workload mode only; throws in
+  /// closed mode). 0 pauses new arrivals (resumable).
+  void set_arrival_rate(double requests_per_second);
+  /// Mode is fixed at construction: open iff open_arrival_rate_rps > 0.
+  [[nodiscard]] bool open_workload() const noexcept { return open_mode_; }
+
+  void set_response_callback(ResponseCallback cb) { on_response_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t completed_requests() const noexcept { return completed_; }
+  /// Requests currently inside some tier (not thinking).
+  [[nodiscard]] std::size_t requests_in_flight() const noexcept { return requests_.size(); }
+  /// Work completed by tier `j` so far (Gcycles).
+  [[nodiscard]] double tier_work_done(std::size_t tier) const;
+
+ private:
+  struct Request {
+    std::uint64_t id;
+    double start_time;
+    std::size_t current_tier;
+    std::vector<double> demands;  // per-tier Gcycles, drawn at issue time
+  };
+
+  void spawn_client();
+  void client_think();
+  void issue_request();
+  void schedule_next_arrival();
+  void on_tier_complete(std::size_t tier, sim::JobId job);
+  void finish_request(Request req);
+
+  sim::Simulation& sim_;
+  AppConfig config_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<sim::PsQueue>> tiers_;
+  /// job id within tier -> request id, one map per tier.
+  std::vector<std::unordered_map<sim::JobId, std::uint64_t>> tier_jobs_;
+  std::unordered_map<std::uint64_t, Request> requests_;
+  std::uint64_t next_request_id_ = 1;
+  std::size_t active_clients_ = 0;
+  std::size_t target_clients_ = 0;
+  std::uint64_t completed_ = 0;
+  bool started_ = false;
+  bool open_mode_ = false;
+  ResponseCallback on_response_;
+};
+
+}  // namespace vdc::app

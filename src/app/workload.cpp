@@ -1,0 +1,45 @@
+#include "app/workload.hpp"
+
+#include <stdexcept>
+
+namespace vdc::app {
+
+void apply_schedule(sim::Simulation& sim, MultiTierApp& target,
+                    std::vector<ConcurrencyStep> steps) {
+  for (const ConcurrencyStep& step : steps) {
+    if (step.time_s < sim.now()) {
+      throw std::invalid_argument("apply_schedule: step in the past");
+    }
+    sim.schedule(step.time_s,
+                 [&target, n = step.concurrency] { target.set_concurrency(n); });
+  }
+}
+
+std::vector<ConcurrencyStep> surge_schedule(std::size_t baseline, double surge_start_s,
+                                            double surge_end_s, double surge_factor) {
+  if (!(surge_end_s > surge_start_s)) {
+    throw std::invalid_argument("surge_schedule: end must follow start");
+  }
+  const auto surged =
+      static_cast<std::size_t>(static_cast<double>(baseline) * surge_factor + 0.5);
+  return {
+      ConcurrencyStep{surge_start_s, surged},
+      ConcurrencyStep{surge_end_s, baseline},
+  };
+}
+
+std::vector<ConcurrencyStep> random_walk_schedule(util::Rng& rng, std::size_t lo,
+                                                  std::size_t hi, double interval_s,
+                                                  double duration_s) {
+  if (lo > hi) throw std::invalid_argument("random_walk_schedule: lo > hi");
+  if (!(interval_s > 0.0)) throw std::invalid_argument("random_walk_schedule: interval");
+  std::vector<ConcurrencyStep> steps;
+  for (double t = interval_s; t < duration_s; t += interval_s) {
+    steps.push_back(ConcurrencyStep{
+        t, static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                                    static_cast<std::int64_t>(hi)))});
+  }
+  return steps;
+}
+
+}  // namespace vdc::app

@@ -1,0 +1,32 @@
+#include "consolidate/cost_policy.hpp"
+
+#include <stdexcept>
+
+namespace vdc::consolidate {
+
+BandwidthBudgetPolicy::BandwidthBudgetPolicy(double max_bytes_per_invocation)
+    : max_bytes_(max_bytes_per_invocation) {
+  if (!(max_bytes_per_invocation > 0.0)) {
+    throw std::invalid_argument("BandwidthBudgetPolicy: budget must be positive");
+  }
+}
+
+bool BandwidthBudgetPolicy::allow(const DataCenterSnapshot&,
+                                  const MigrationProposal& proposal) const {
+  return proposal.bytes_already_approved + proposal.bytes <= max_bytes_;
+}
+
+MinBenefitPolicy::MinBenefitPolicy(double min_benefit_w, double w_per_gb)
+    : min_benefit_w_(min_benefit_w), w_per_gb_(w_per_gb) {
+  if (min_benefit_w < 0.0 || w_per_gb < 0.0) {
+    throw std::invalid_argument("MinBenefitPolicy: negative threshold");
+  }
+}
+
+bool MinBenefitPolicy::allow(const DataCenterSnapshot& snapshot,
+                             const MigrationProposal& proposal) const {
+  const double gb = snapshot.vm(proposal.vm).memory_mb / 1024.0;
+  return proposal.estimated_benefit_w >= min_benefit_w_ + w_per_gb_ * gb;
+}
+
+}  // namespace vdc::consolidate

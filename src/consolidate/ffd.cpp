@@ -1,0 +1,48 @@
+#include "consolidate/ffd.hpp"
+
+#include <algorithm>
+
+namespace vdc::consolidate {
+
+FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const ServerId> servers,
+                               std::span<const VmId> vms, const ConstraintSet& constraints) {
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  std::vector<VmId> order(vms.begin(), vms.end());
+  std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
+    const double da = snapshot.vm(a).cpu_demand_ghz;
+    const double db = snapshot.vm(b).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  FfdResult result;
+  for (const VmId vm : order) {
+    bool placed = false;
+    for (const ServerId server : servers) {
+      const VmId extra[] = {vm};
+      if (placement.admits_with(server, extra, constraints)) {
+        placement.place(vm, server);
+        result.placed.push_back(vm);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) result.unplaced.push_back(vm);
+  }
+  return result;
+}
+
+std::vector<ServerId> servers_by_power_efficiency(const DataCenterSnapshot& snapshot) {
+  std::vector<ServerId> order;
+  order.reserve(snapshot.servers.size());
+  for (const ServerSnapshot& server : snapshot.servers) order.push_back(server.id);
+  std::sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+    const double ea = snapshot.server(a).power_efficiency;
+    const double eb = snapshot.server(b).power_efficiency;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace vdc::consolidate

@@ -1,0 +1,197 @@
+#include "consolidate/ipac.hpp"
+
+#include <algorithm>
+
+#include "consolidate/ffd.hpp"
+#include "consolidate/pac.hpp"
+#include "util/log.hpp"
+
+namespace vdc::consolidate {
+
+namespace {
+
+/// Estimated total power of the placement: occupied servers run at max
+/// frequency with linear-in-utilization power; empty servers sleep. Used to
+/// judge whether a consolidation round that does not change the server
+/// count still pays (e.g. moving VMs from an inefficient machine onto an
+/// efficient one that is already awake).
+double estimated_power_w(const WorkingPlacement& placement) {
+  const DataCenterSnapshot& snap = placement.snapshot();
+  double total = 0.0;
+  for (const ServerSnapshot& server : snap.servers) {
+    if (!placement.occupied(server.id)) {
+      total += server.sleep_power_w;
+      continue;
+    }
+    const double utilization =
+        std::min(1.0, placement.cpu_demand(server.id) /
+                          std::max(1e-9, server.max_capacity_ghz));
+    total += server.idle_power_w + (server.max_power_w - server.idle_power_w) * utilization;
+  }
+  return total;
+}
+
+/// Smallest-CPU-demand VM on the server (the cheapest to evict).
+VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
+  const auto hosted = placement.hosted(server);
+  VmId best = hosted.front();
+  double best_demand = placement.snapshot().vm(best).cpu_demand_ghz;
+  for (const VmId vm : hosted) {
+    const double d = placement.snapshot().vm(vm).cpu_demand_ghz;
+    if (d < best_demand || (d == best_demand && vm < best)) {
+      best = vm;
+      best_demand = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
+                const MigrationCostPolicy& policy, const IpacOptions& options) {
+  WorkingPlacement wp(snapshot);
+  IpacReport report;
+  report.occupied_before = wp.occupied_server_count();
+  double bytes_approved = 0.0;
+  datacenter::MigrationModel migration_model;  // for byte estimates in proposals
+
+  // Target ordering for PAC: active servers by descending power efficiency
+  // first, then sleeping ones ("enough inactive servers which will be waken
+  // up and used if necessary") — waking a machine is a last resort, since
+  // an extra awake server costs idle power immediately.
+  const std::vector<ServerId> efficiency_order = servers_by_power_efficiency(snapshot);
+  std::vector<ServerId> active_first;
+  active_first.reserve(efficiency_order.size());
+  for (const ServerId s : efficiency_order) {
+    if (snapshot.server(s).active || !snapshot.server(s).hosted.empty()) {
+      active_first.push_back(s);
+    }
+  }
+  for (const ServerId s : efficiency_order) {
+    if (!snapshot.server(s).active && snapshot.server(s).hosted.empty()) {
+      active_first.push_back(s);
+    }
+  }
+
+  // ---- Step 1: overload relief -------------------------------------------
+  std::vector<VmId> migration_list;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    while (!wp.hosted(server.id).empty() && !wp.feasible(server.id, constraints)) {
+      const VmId victim = smallest_vm(wp, server.id);
+      wp.remove(victim);
+      migration_list.push_back(victim);
+    }
+  }
+  if (!migration_list.empty()) {
+    const PacResult pac = power_aware_consolidation(wp, migration_list, constraints,
+                                                    options.min_slack, active_first);
+    report.min_slack_steps += pac.min_slack_steps;
+    report.overload_moves = pac.placed.size();
+    for (const VmId vm : pac.placed) {
+      bytes_approved += migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
+    }
+    // VMs nothing could take remain unplaced and are surfaced in the plan.
+    for (const VmId vm : pac.unplaced) {
+      util::Log(util::LogLevel::kWarn, "ipac")
+          << "overloaded VM " << vm << " could not be re-placed";
+    }
+    migration_list = pac.unplaced;
+  }
+  std::vector<VmId> unplaced = std::move(migration_list);
+
+  // ---- Step 2: consolidation rounds --------------------------------------
+  // Candidate donors: occupied servers, least power-efficient first.
+  std::vector<ServerId> donors;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    if (wp.occupied(server.id)) donors.push_back(server.id);
+  }
+  std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
+    const double ea = snapshot.server(a).power_efficiency;
+    const double eb = snapshot.server(b).power_efficiency;
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+
+  // The paper's loop criterion is the number of ACTIVE servers, which
+  // includes awake-but-empty machines (they get put to sleep once the plan
+  // is applied). Track that live baseline as rounds are accepted.
+  std::size_t active_baseline = 0;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    if (server.active || !server.hosted.empty()) ++active_baseline;
+  }
+
+  for (const ServerId donor : donors) {
+    if (report.rounds_attempted >= options.max_rounds) break;
+    if (!wp.occupied(donor)) continue;  // already emptied by an earlier round
+    ++report.rounds_attempted;
+
+    // Evacuate the donor.
+    std::vector<VmId> evacuated(wp.hosted(donor).begin(), wp.hosted(donor).end());
+    const double power_before_round = estimated_power_w(wp);
+    for (const VmId vm : evacuated) wp.remove(vm);
+
+    std::vector<ServerId> targets;
+    targets.reserve(active_first.size() - 1);
+    for (const ServerId s : active_first) {
+      if (s != donor) targets.push_back(s);
+    }
+
+    const PacResult pac =
+        power_aware_consolidation(wp, evacuated, constraints, options.min_slack, targets);
+    report.min_slack_steps += pac.min_slack_steps;
+
+    // A round pays when it shrinks the active-server set (applying the plan
+    // sleeps every emptied machine), or — at equal count — when the
+    // estimated cluster power still drops (the donor was less efficient
+    // than the machines that absorbed its VMs).
+    bool accept = pac.unplaced.empty() &&
+                  (wp.occupied_server_count() < active_baseline ||
+                   estimated_power_w(wp) < power_before_round - 1e-9);
+    if (accept) {
+      // Cost/benefit check: the round's estimated power saving, split
+      // across its moves.
+      const double benefit_per_move =
+          std::max(0.0, power_before_round - estimated_power_w(wp)) /
+          static_cast<double>(evacuated.size());
+      double round_bytes = 0.0;
+      for (const VmId vm : evacuated) {
+        MigrationProposal proposal;
+        proposal.vm = vm;
+        proposal.from = donor;
+        proposal.to = wp.host_of(vm);
+        proposal.estimated_benefit_w = benefit_per_move;
+        proposal.bytes = migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
+        proposal.bytes_already_approved = bytes_approved + round_bytes;
+        if (!policy.allow(snapshot, proposal)) {
+          accept = false;
+          ++report.rounds_rejected_by_policy;
+          break;
+        }
+        round_bytes += proposal.bytes;
+      }
+      if (accept) bytes_approved += round_bytes;
+    }
+
+    if (accept) {
+      ++report.rounds_accepted;
+      report.consolidation_moves += evacuated.size();
+      active_baseline = wp.occupied_server_count();
+      continue;  // try the next least-efficient donor
+    }
+
+    // Roll back the round and stop: the active-server count no longer
+    // decreases (or the policy vetoed the round).
+    for (const VmId vm : evacuated) {
+      if (wp.host_of(vm) != datacenter::kNoServer) wp.remove(vm);
+      wp.place(vm, donor);
+    }
+    break;
+  }
+
+  report.occupied_after = wp.occupied_server_count();
+  report.plan = wp.plan(unplaced);
+  return report;
+}
+
+}  // namespace vdc::consolidate

@@ -1,0 +1,53 @@
+// Incremental Power Aware Consolidation (IPAC, Section V).
+//
+// Each invocation:
+//   1. Overload relief: pull the smallest VMs off servers that can no
+//      longer host their load (workload grew since the last invocation)
+//      into the migration list, and PAC-place them.
+//   2. Consolidation rounds: evacuate the least power-efficient occupied
+//      server into the migration list, PAC-place the list on the other
+//      servers, and keep going with the next least-efficient server while
+//      the number of occupied servers decreases. A round that fails to
+//      place every VM — or whose migrations the cost policy rejects — is
+//      rolled back and ends the loop.
+//
+// Only the migration list is repacked each time (hence *incremental*),
+// which is what keeps IPAC cheap enough to run with Minimum Slack inside.
+#pragma once
+
+#include <cstddef>
+
+#include "consolidate/cost_policy.hpp"
+#include "consolidate/minimum_slack.hpp"
+#include "consolidate/snapshot.hpp"
+
+namespace vdc::consolidate {
+
+struct IpacOptions {
+  MinSlackOptions min_slack;
+  /// Upper bound on consolidation rounds per invocation (each round can
+  /// empty one server); the default lets the loop run to quiescence.
+  std::size_t max_rounds = static_cast<std::size_t>(-1);
+};
+
+struct IpacReport {
+  PlacementPlan plan;
+  std::size_t occupied_before = 0;
+  std::size_t occupied_after = 0;
+  std::size_t overload_moves = 0;
+  std::size_t consolidation_moves = 0;
+  std::size_t rounds_attempted = 0;
+  std::size_t rounds_accepted = 0;
+  std::size_t rounds_rejected_by_policy = 0;
+  std::size_t min_slack_steps = 0;
+};
+
+/// Pure function: computes the plan; apply it with apply_plan().
+/// Overload-relief migrations bypass the cost policy (they protect SLAs);
+/// consolidation migrations are submitted to it move by move.
+[[nodiscard]] IpacReport ipac(const DataCenterSnapshot& snapshot,
+                              const ConstraintSet& constraints,
+                              const MigrationCostPolicy& policy = AllowAllPolicy(),
+                              const IpacOptions& options = {});
+
+}  // namespace vdc::consolidate

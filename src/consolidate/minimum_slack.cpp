@@ -1,0 +1,127 @@
+#include "consolidate/minimum_slack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdc::consolidate {
+
+namespace {
+
+struct SearchState {
+  const DataCenterSnapshot* snapshot;
+  const ServerSnapshot* server;
+  const ConstraintSet* constraints;
+  std::vector<VmId> order;                  // candidates, largest demand first
+  std::vector<const VmSnapshot*> resident;  // existing + currently selected
+  std::vector<VmId> selected;
+  double selected_demand = 0.0;
+  double base_demand = 0.0;  // demand of VMs already on the server
+
+  MinSlackResult best;
+  double epsilon;
+  std::size_t budget;
+  const MinSlackOptions* options;
+  bool done = false;
+
+  [[nodiscard]] double slack() const noexcept {
+    return server->max_capacity_ghz - base_demand - selected_demand;
+  }
+
+  void consider_current() {
+    const double s = slack();
+    if (s < best.slack_ghz - 1e-12) {
+      best.slack_ghz = s;
+      best.selected = selected;
+    }
+    if (best.slack_ghz < epsilon) done = true;  // line 4-5 of Algorithm 1
+  }
+
+  void dfs(std::size_t start) {
+    if (done) return;
+    for (std::size_t i = start; i < order.size(); ++i) {
+      if (done) return;
+      // A "step" is one candidate-placement attempt (the unit of work).
+      ++best.steps;
+      if (best.steps >= budget) {  // lines 15-17: escalate epsilon
+        if (best.escalations >= options->max_escalations) {
+          done = true;
+          return;
+        }
+        ++best.escalations;
+        epsilon *= options->epsilon_escalation;
+        budget += options->step_budget;
+        if (best.slack_ghz < epsilon) {
+          done = true;
+          return;
+        }
+      }
+      const VmId vm = order[i];
+      const VmSnapshot& info = snapshot->vm(vm);
+      // Symmetry pruning (standard MBS): identical siblings explore
+      // identical subtrees — try only the first of an equal run per level.
+      if (i > start) {
+        const VmSnapshot& prev = snapshot->vm(order[i - 1]);
+        if (prev.cpu_demand_ghz == info.cpu_demand_ghz && prev.memory_mb == info.memory_mb) {
+          continue;
+        }
+      }
+      // CPU-slack bound: a VM larger than the remaining raw-capacity slack
+      // would push total demand past the server's capacity, which can only
+      // worsen the slack objective — prune before the full constraint
+      // evaluation.
+      if (info.cpu_demand_ghz > slack() + 1e-9) continue;
+      resident.push_back(&info);  // line 2: pack VM into S
+      if (constraints->admits(*server, resident)) {  // line 3
+        selected.push_back(vm);
+        selected_demand += info.cpu_demand_ghz;
+        consider_current();  // lines 11-14
+        if (!done) dfs(i + 1);  // line 7: recurse on the remaining VMs
+        selected_demand -= info.cpu_demand_ghz;
+        selected.pop_back();
+      }
+      resident.pop_back();  // line 9: remove VM from S
+    }
+  }
+};
+
+}  // namespace
+
+MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
+                             std::span<const VmId> candidates,
+                             const ConstraintSet& constraints, const MinSlackOptions& options) {
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  if (server >= snapshot.servers.size()) throw std::out_of_range("minimum_slack: server id");
+
+  SearchState state;
+  state.snapshot = &snapshot;
+  state.server = &snapshot.server(server);
+  state.constraints = &constraints;
+  state.options = &options;
+  state.epsilon = options.epsilon_ghz;
+  state.budget = options.step_budget;
+
+  state.order.assign(candidates.begin(), candidates.end());
+  for (const VmId vm : state.order) {
+    if (placement.host_of(vm) != datacenter::kNoServer) {
+      throw std::invalid_argument("minimum_slack: candidate VM is already placed");
+    }
+  }
+  std::sort(state.order.begin(), state.order.end(), [&](VmId a, VmId b) {
+    const double da = snapshot.vm(a).cpu_demand_ghz;
+    const double db = snapshot.vm(b).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  for (const VmId vm : placement.hosted(server)) {
+    state.resident.push_back(&snapshot.vm(vm));
+    state.base_demand += snapshot.vm(vm).cpu_demand_ghz;
+  }
+
+  state.best.slack_ghz = state.slack();  // empty selection is the baseline
+  state.consider_current();
+  if (!state.done) state.dfs(0);
+  return state.best;
+}
+
+}  // namespace vdc::consolidate

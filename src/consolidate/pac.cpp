@@ -1,0 +1,40 @@
+#include "consolidate/pac.hpp"
+
+#include <algorithm>
+
+#include "consolidate/ffd.hpp"
+
+namespace vdc::consolidate {
+
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options) {
+  const std::vector<ServerId> order = servers_by_power_efficiency(placement.snapshot());
+  return power_aware_consolidation(placement, vms, constraints, options, order);
+}
+
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options,
+                                    std::span<const ServerId> server_order) {
+  PacResult result;
+  std::vector<VmId> remaining(vms.begin(), vms.end());
+  if (remaining.empty()) return result;
+
+  for (const ServerId server : server_order) {
+    if (remaining.empty()) break;
+    MinSlackResult fit = minimum_slack(placement, server, remaining, constraints, options);
+    result.min_slack_steps += fit.steps;
+    if (fit.selected.empty()) continue;
+    for (const VmId vm : fit.selected) {
+      placement.place(vm, server);
+      result.placed.push_back(vm);
+      remaining.erase(std::remove(remaining.begin(), remaining.end(), vm), remaining.end());
+    }
+    ++result.servers_used;
+  }
+  result.unplaced = std::move(remaining);
+  return result;
+}
+
+}  // namespace vdc::consolidate

@@ -1,0 +1,36 @@
+// Power Aware Consolidation (PAC, Section V): walk the servers from most to
+// least power-efficient; on each, run Minimum Slack over the remaining
+// unallocated VMs and commit the best-fitting subset; stop when every VM is
+// placed. Greedy in server order, near-optimal per server via Algorithm 1.
+#pragma once
+
+#include <span>
+
+#include "consolidate/minimum_slack.hpp"
+#include "consolidate/working_placement.hpp"
+
+namespace vdc::consolidate {
+
+struct PacResult {
+  std::vector<VmId> placed;
+  std::vector<VmId> unplaced;  ///< no server could take them
+  std::size_t servers_used = 0;  ///< servers that received at least one VM
+  std::size_t min_slack_steps = 0;  ///< total DFS work across servers
+};
+
+/// Consolidates `vms` (currently unplaced in `placement`) onto the servers.
+/// Mutates `placement`. Servers already hosting VMs participate: their
+/// residents count toward the constraints, exactly as in the paper ("given
+/// a list of servers (some servers are possibly not empty)").
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options = {});
+
+/// Variant with an explicit server visiting order (IPAC uses it to exclude
+/// the server being evacuated from the target list).
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options,
+                                    std::span<const ServerId> server_order);
+
+}  // namespace vdc::consolidate

@@ -1,0 +1,124 @@
+#include "consolidate/pmapper.hpp"
+
+#include <algorithm>
+
+#include "consolidate/ffd.hpp"
+#include "consolidate/working_placement.hpp"
+
+namespace vdc::consolidate {
+
+PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints) {
+  PMapperReport report;
+
+  // ---- Phase 1: target allocation on a phantom (emptied) copy -------------
+  DataCenterSnapshot phantom = snapshot;
+  for (ServerSnapshot& server : phantom.servers) server.hosted.clear();
+  WorkingPlacement target(phantom);
+  {
+    const std::vector<ServerId> order = servers_by_power_efficiency(phantom);
+    std::vector<VmId> all;
+    all.reserve(phantom.vms.size());
+    for (const VmSnapshot& vm : phantom.vms) all.push_back(vm.id);
+    (void)first_fit_decreasing(target, order, all, constraints);
+  }
+  report.target_demand_ghz.resize(snapshot.servers.size(), 0.0);
+  for (const ServerSnapshot& server : snapshot.servers) {
+    report.target_demand_ghz[server.id] = target.cpu_demand(server.id);
+  }
+
+  // ---- Phase 2: donors shed their smallest VMs; receivers absorb ----------
+  WorkingPlacement wp(snapshot);
+  report.occupied_before = wp.occupied_server_count();
+
+  std::vector<ServerId> receivers;
+  std::vector<VmId> migration_list;
+  constexpr double kEps = 1e-9;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    const double current = wp.cpu_demand(server.id);
+    const double target_demand = report.target_demand_ghz[server.id];
+    if (target_demand > current + kEps) {
+      receivers.push_back(server.id);
+    } else if (target_demand < current - kEps) {
+      // Donor: shed the smallest VMs until at (or below) target.
+      std::vector<VmId> hosted(wp.hosted(server.id).begin(), wp.hosted(server.id).end());
+      std::sort(hosted.begin(), hosted.end(), [&](VmId a, VmId b) {
+        const double da = snapshot.vm(a).cpu_demand_ghz;
+        const double db = snapshot.vm(b).cpu_demand_ghz;
+        if (da != db) return da < db;
+        return a < b;
+      });
+      for (const VmId vm : hosted) {
+        if (wp.cpu_demand(server.id) <= target_demand + kEps) break;
+        wp.remove(vm);
+        migration_list.push_back(vm);
+      }
+    }
+  }
+
+  // Receivers absorb the list, most power-efficient first, capped at their
+  // phase-1 target so the realized allocation converges to the plan.
+  std::sort(receivers.begin(), receivers.end(), [&](ServerId a, ServerId b) {
+    const double ea = snapshot.server(a).power_efficiency;
+    const double eb = snapshot.server(b).power_efficiency;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+
+  // Remember origins so VMs nobody can absorb return to their donor.
+  std::vector<ServerId> origin(snapshot.vms.size(), datacenter::kNoServer);
+  for (const ServerSnapshot& server : snapshot.servers) {
+    for (const VmId vm : server.hosted) origin[vm] = server.id;
+  }
+
+  std::vector<VmId> order = migration_list;
+  std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
+    const double da = snapshot.vm(a).cpu_demand_ghz;
+    const double db = snapshot.vm(b).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<VmId> unplaced;
+  for (const VmId vm : order) {
+    bool placed = false;
+    for (const ServerId receiver : receivers) {
+      const VmId extra[] = {vm};
+      const bool fits_target =
+          wp.cpu_demand(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
+          report.target_demand_ghz[receiver] + kEps;
+      if (fits_target && wp.admits_with(receiver, extra, constraints)) {
+        wp.place(vm, receiver);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Second chance ignoring the target cap (constraints still hold):
+      // pMapper prefers a slightly off-target placement to losing the VM.
+      for (const ServerId receiver : receivers) {
+        const VmId extra[] = {vm};
+        if (wp.admits_with(receiver, extra, constraints)) {
+          wp.place(vm, receiver);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      // No receiver can take it: keep it where it was (no migration) rather
+      // than leaving it homeless.
+      if (origin[vm] != datacenter::kNoServer) {
+        wp.place(vm, origin[vm]);
+      } else {
+        unplaced.push_back(vm);
+      }
+    }
+  }
+
+  report.occupied_after = wp.occupied_server_count();
+  report.plan = wp.plan(unplaced);
+  report.moves = report.plan.moves.size();
+  return report;
+}
+
+}  // namespace vdc::consolidate

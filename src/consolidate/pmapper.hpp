@@ -1,0 +1,31 @@
+// pMapper baseline (Verma, Ahuja, Neogi — Middleware'08), reimplemented
+// from the description in Section VII of the paper:
+//
+//   Phase 1: sort servers by power efficiency and compute a *target*
+//   allocation by first-fit placing all VMs, most-efficient server first
+//   (no VM actually moves in this phase).
+//   Phase 2: servers whose target utilization exceeds their current one
+//   are receivers; servers with lower targets are donors. Each donor
+//   contributes its smallest VMs to a migration list until it is at its
+//   target; the list is then placed onto the receivers with first-fit
+//   decreasing.
+#pragma once
+
+#include "consolidate/constraints.hpp"
+#include "consolidate/snapshot.hpp"
+
+namespace vdc::consolidate {
+
+struct PMapperReport {
+  PlacementPlan plan;
+  std::size_t occupied_before = 0;
+  std::size_t occupied_after = 0;
+  std::size_t moves = 0;
+  /// Phase-1 target CPU demand per server (GHz), indexed by ServerId.
+  std::vector<double> target_demand_ghz;
+};
+
+[[nodiscard]] PMapperReport pmapper(const DataCenterSnapshot& snapshot,
+                                    const ConstraintSet& constraints);
+
+}  // namespace vdc::consolidate

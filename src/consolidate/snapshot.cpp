@@ -1,0 +1,52 @@
+#include "consolidate/snapshot.hpp"
+
+#include <algorithm>
+
+namespace vdc::consolidate {
+
+ServerId DataCenterSnapshot::host_of(VmId id) const {
+  for (const ServerSnapshot& s : servers) {
+    if (std::find(s.hosted.begin(), s.hosted.end(), id) != s.hosted.end()) return s.id;
+  }
+  return datacenter::kNoServer;
+}
+
+DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster) {
+  DataCenterSnapshot snap;
+  snap.servers.reserve(cluster.server_count());
+  for (ServerId id = 0; id < cluster.server_count(); ++id) {
+    const datacenter::Server& srv = cluster.server(id);
+    ServerSnapshot s;
+    s.id = id;
+    s.max_capacity_ghz = srv.max_capacity_ghz();
+    s.memory_mb = srv.memory_mb();
+    s.max_power_w = srv.power_model().max_power_w();
+    s.idle_power_w = srv.power_model().active_power_w(1.0, 0.0);
+    s.sleep_power_w = srv.power_model().sleep_w;
+    s.power_efficiency = srv.power_efficiency();
+    s.active = srv.active();
+    const auto hosted = cluster.vms_on(id);
+    s.hosted.assign(hosted.begin(), hosted.end());
+    snap.servers.push_back(std::move(s));
+  }
+  snap.vms.reserve(cluster.vm_count());
+  for (VmId id = 0; id < cluster.vm_count(); ++id) {
+    const datacenter::Vm& vm = cluster.vm(id);
+    snap.vms.push_back(VmSnapshot{id, vm.cpu_demand_ghz, vm.memory_mb});
+  }
+  return snap;
+}
+
+void apply_plan(datacenter::Cluster& cluster, const PlacementPlan& plan, double now_s) {
+  for (const Move& move : plan.moves) {
+    cluster.wake(move.to);
+    if (move.from == datacenter::kNoServer && cluster.host_of(move.vm) == datacenter::kNoServer) {
+      cluster.place(move.vm, move.to);
+    } else {
+      cluster.migrate(move.vm, move.to, now_s);
+    }
+  }
+  cluster.sleep_idle_servers();
+}
+
+}  // namespace vdc::consolidate

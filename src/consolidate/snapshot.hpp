@@ -1,0 +1,66 @@
+// Immutable snapshot of the data center handed to the consolidation
+// algorithms. Decoupling them from the live Cluster keeps the algorithms
+// pure functions: snapshot in, placement plan out.
+#pragma once
+
+#include <vector>
+
+#include "datacenter/cluster.hpp"
+
+namespace vdc::consolidate {
+
+using datacenter::ServerId;
+using datacenter::VmId;
+
+struct VmSnapshot {
+  VmId id = 0;
+  double cpu_demand_ghz = 0.0;
+  double memory_mb = 0.0;
+};
+
+struct ServerSnapshot {
+  ServerId id = 0;
+  double max_capacity_ghz = 0.0;  ///< at max DVFS frequency
+  double memory_mb = 0.0;
+  double max_power_w = 0.0;
+  double idle_power_w = 0.0;   ///< active power at min utilization, max freq
+  double sleep_power_w = 0.0;
+  /// The paper's metric: max total frequency / max power (GHz/W).
+  double power_efficiency = 0.0;
+  bool active = false;
+  std::vector<VmId> hosted;
+};
+
+struct DataCenterSnapshot {
+  std::vector<ServerSnapshot> servers;  ///< indexed by ServerId
+  std::vector<VmSnapshot> vms;          ///< indexed by VmId
+
+  [[nodiscard]] const VmSnapshot& vm(VmId id) const { return vms.at(id); }
+  [[nodiscard]] const ServerSnapshot& server(ServerId id) const { return servers.at(id); }
+  /// Host of a VM (kNoServer when unplaced). O(total hosted) — use
+  /// WorkingPlacement for repeated queries.
+  [[nodiscard]] ServerId host_of(VmId id) const;
+};
+
+/// Captures the current demands, capacities and mapping.
+[[nodiscard]] DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster);
+
+/// A consolidation decision: the VM moves (or initial placements) to apply.
+struct Move {
+  VmId vm = 0;
+  ServerId from = datacenter::kNoServer;  ///< kNoServer = initial placement
+  ServerId to = 0;
+};
+
+struct PlacementPlan {
+  std::vector<Move> moves;
+  /// VMs the algorithm could not place anywhere (capacity exhausted).
+  std::vector<VmId> unplaced;
+  [[nodiscard]] bool complete() const noexcept { return unplaced.empty(); }
+};
+
+/// Applies a plan to the live cluster: wakes target servers, migrates /
+/// places the VMs, then puts emptied servers to sleep.
+void apply_plan(datacenter::Cluster& cluster, const PlacementPlan& plan, double now_s = 0.0);
+
+}  // namespace vdc::consolidate

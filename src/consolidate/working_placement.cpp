@@ -1,0 +1,83 @@
+#include "consolidate/working_placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdc::consolidate {
+
+WorkingPlacement::WorkingPlacement(const DataCenterSnapshot& snapshot)
+    : snapshot_(&snapshot),
+      host_(snapshot.vms.size(), datacenter::kNoServer),
+      hosted_(snapshot.servers.size()),
+      demand_(snapshot.servers.size(), 0.0),
+      memory_(snapshot.servers.size(), 0.0) {
+  for (const ServerSnapshot& server : snapshot.servers) {
+    for (const VmId vm : server.hosted) {
+      host_.at(vm) = server.id;
+      hosted_[server.id].push_back(vm);
+      demand_[server.id] += snapshot.vm(vm).cpu_demand_ghz;
+      memory_[server.id] += snapshot.vm(vm).memory_mb;
+    }
+  }
+}
+
+void WorkingPlacement::remove(VmId vm) {
+  const ServerId server = host_.at(vm);
+  if (server == datacenter::kNoServer) {
+    throw std::logic_error("WorkingPlacement::remove: VM is not placed");
+  }
+  auto& list = hosted_[server];
+  list.erase(std::remove(list.begin(), list.end(), vm), list.end());
+  demand_[server] -= snapshot_->vm(vm).cpu_demand_ghz;
+  memory_[server] -= snapshot_->vm(vm).memory_mb;
+  host_[vm] = datacenter::kNoServer;
+}
+
+void WorkingPlacement::place(VmId vm, ServerId server) {
+  if (host_.at(vm) != datacenter::kNoServer) {
+    throw std::logic_error("WorkingPlacement::place: VM already placed");
+  }
+  if (server >= hosted_.size()) throw std::out_of_range("WorkingPlacement::place: server id");
+  host_[vm] = server;
+  hosted_[server].push_back(vm);
+  demand_[server] += snapshot_->vm(vm).cpu_demand_ghz;
+  memory_[server] += snapshot_->vm(vm).memory_mb;
+}
+
+bool WorkingPlacement::admits_with(ServerId server, std::span<const VmId> extra,
+                                   const ConstraintSet& constraints) const {
+  std::vector<const VmSnapshot*> vms;
+  vms.reserve(hosted_.at(server).size() + extra.size());
+  for (const VmId vm : hosted_[server]) vms.push_back(&snapshot_->vm(vm));
+  for (const VmId vm : extra) vms.push_back(&snapshot_->vm(vm));
+  return constraints.admits(snapshot_->server(server), vms);
+}
+
+std::size_t WorkingPlacement::occupied_server_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(hosted_.begin(), hosted_.end(),
+                    [](const std::vector<VmId>& v) { return !v.empty(); }));
+}
+
+double WorkingPlacement::cpu_slack(ServerId server) const {
+  return snapshot_->server(server).max_capacity_ghz - demand_.at(server);
+}
+
+PlacementPlan WorkingPlacement::plan(std::span<const VmId> unplaced) const {
+  PlacementPlan plan;
+  // Original host per VM.
+  std::vector<ServerId> original(snapshot_->vms.size(), datacenter::kNoServer);
+  for (const ServerSnapshot& server : snapshot_->servers) {
+    for (const VmId vm : server.hosted) original.at(vm) = server.id;
+  }
+  for (VmId vm = 0; vm < host_.size(); ++vm) {
+    if (host_[vm] == datacenter::kNoServer) continue;
+    if (host_[vm] != original[vm]) {
+      plan.moves.push_back(Move{vm, original[vm], host_[vm]});
+    }
+  }
+  plan.unplaced.assign(unplaced.begin(), unplaced.end());
+  return plan;
+}
+
+}  // namespace vdc::consolidate

@@ -1,0 +1,59 @@
+// Mutable scratch mapping used inside the consolidation algorithms. Tracks
+// which VMs sit on which server, incremental demand/memory sums, and can
+// emit the diff against the original snapshot as a PlacementPlan.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "consolidate/constraints.hpp"
+#include "consolidate/snapshot.hpp"
+
+namespace vdc::consolidate {
+
+class WorkingPlacement {
+ public:
+  explicit WorkingPlacement(const DataCenterSnapshot& snapshot);
+
+  [[nodiscard]] const DataCenterSnapshot& snapshot() const noexcept { return *snapshot_; }
+
+  [[nodiscard]] ServerId host_of(VmId vm) const { return host_.at(vm); }
+  [[nodiscard]] std::span<const VmId> hosted(ServerId server) const {
+    return hosted_.at(server);
+  }
+  [[nodiscard]] double cpu_demand(ServerId server) const { return demand_.at(server); }
+  [[nodiscard]] double memory_used(ServerId server) const { return memory_.at(server); }
+
+  /// Detaches a VM from its host (it becomes unplaced).
+  void remove(VmId vm);
+  /// Attaches an unplaced VM to a server (no constraint check).
+  void place(VmId vm, ServerId server);
+
+  /// Would `server` admit its current VMs plus `extra` under `constraints`?
+  [[nodiscard]] bool admits_with(ServerId server, std::span<const VmId> extra,
+                                 const ConstraintSet& constraints) const;
+  /// Does the server satisfy the constraints with exactly its current VMs?
+  [[nodiscard]] bool feasible(ServerId server, const ConstraintSet& constraints) const {
+    return admits_with(server, {}, constraints);
+  }
+
+  /// Servers currently hosting at least one VM.
+  [[nodiscard]] std::size_t occupied_server_count() const;
+  [[nodiscard]] bool occupied(ServerId server) const { return !hosted_.at(server).empty(); }
+
+  /// CPU slack of a server: capacity * utilization_target - demand. Uses
+  /// target 1.0; Minimum Slack passes its own target through constraints.
+  [[nodiscard]] double cpu_slack(ServerId server) const;
+
+  /// Diff against the original snapshot (placements and migrations).
+  [[nodiscard]] PlacementPlan plan(std::span<const VmId> unplaced = {}) const;
+
+ private:
+  const DataCenterSnapshot* snapshot_;
+  std::vector<ServerId> host_;             // per VM
+  std::vector<std::vector<VmId>> hosted_;  // per server
+  std::vector<double> demand_;             // per server, GHz
+  std::vector<double> memory_;             // per server, MB
+};
+
+}  // namespace vdc::consolidate

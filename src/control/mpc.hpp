@@ -1,0 +1,115 @@
+// MIMO Model-Predictive response-time controller (Section IV).
+//
+// At the end of every control period the controller minimizes
+//
+//   J(k) = sum_{i=1..P} || t(k+i|k) - ref(k+i|k) ||^2_Q
+//        + sum_{i=0..M-1} || dc(k+i|k) ||^2_R            (equation 2)
+//
+// over the input trajectory dc(k), ..., dc(k+M-1|k), subject to
+//
+//   t(k+M|k) = Ts                 (terminal constraint, equation 4)
+//   c_min <= c(k+i|k) <= c_max    (actuator range)
+//   |dc| <= delta_max             (rate limit, optional)
+//
+// using the identified ARX model for prediction, then applies only the
+// first move dc(k) (receding horizon). The predictions are built in DMC
+// form: free response (inputs held) plus step-response convolution of the
+// future moves.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "control/arx.hpp"
+#include "control/reference.hpp"
+#include "linalg/matrix.hpp"
+
+namespace vdc::control {
+
+struct MpcConfig {
+  std::size_t prediction_horizon = 8;  ///< P
+  std::size_t control_horizon = 2;     ///< M (<= P)
+  double q_weight = 1.0;               ///< tracking error weight Q
+  /// Control penalty per input (R(i) in the paper); higher = that VM's
+  /// allocation changes more reluctantly. Must be positive. Resized/
+  /// broadcast to the model's input count when a single value is given.
+  std::vector<double> r_weight = {0.01};
+  double period_s = 4.0;   ///< control period T
+  double tref_s = 12.0;    ///< reference trajectory time constant
+  double setpoint = 1.0;   ///< Ts, in the output's unit (seconds here)
+  std::vector<double> c_min = {0.05};  ///< per-input lower bound (GHz)
+  std::vector<double> c_max = {4.0};   ///< per-input upper bound (GHz)
+  /// Max |dc| per input per period; <= 0 disables the rate limit.
+  double delta_max = 0.5;
+  /// Terminal constraint handling (equation 4). kHard is the paper's exact
+  /// formulation — an equality t(k+M|k) = Ts — but becomes *infeasible*
+  /// against the actuator range/rate limits after a large disturbance
+  /// (the paper assumes feasibility, Section IV-A). kSoft replaces it with
+  /// a heavily weighted terminal penalty: identical behavior when the hard
+  /// constraint is feasible and inactive elsewhere, graceful degradation
+  /// when it is not. kOff disables it.
+  enum class Terminal { kHard, kSoft, kOff };
+  Terminal terminal = Terminal::kSoft;
+  /// Weight of the soft terminal penalty, relative to q_weight.
+  double terminal_weight = 50.0;
+  /// DMC-style feedback correction: the one-step prediction error d(k) =
+  /// t(k) - t_hat(k|k-1) is low-pass filtered with this gain (1 = use the
+  /// latest error directly, 0 = no correction) and added to every
+  /// prediction. Zero under nominal dynamics; it is what makes the loop
+  /// robust to the model being identified on a different operating region
+  /// (Figures 4-5 of the paper).
+  double disturbance_gain = 1.0;
+
+  void validate(std::size_t nu) const;
+  /// Broadcasts scalar-valued per-input fields to width nu.
+  [[nodiscard]] MpcConfig broadcast(std::size_t nu) const;
+};
+
+struct MpcDiagnostics {
+  bool qp_converged = true;
+  std::size_t qp_iterations = 0;
+  double predicted_terminal = 0.0;  ///< t(k+M|k) under the optimized plan
+  double cost = 0.0;
+};
+
+class MpcController {
+ public:
+  MpcController(ArxModel model, MpcConfig config);
+
+  /// Initializes the internal history with a steady state: output t0,
+  /// allocations c0. Must be called before the first step().
+  void reset(double t0, std::span<const double> c0);
+
+  /// One control period: feed back the measured output t(k), receive the
+  /// allocation vector c(k) to apply for the next period.
+  [[nodiscard]] std::vector<double> step(double measured_output);
+
+  void set_setpoint(double setpoint) noexcept { config_.setpoint = setpoint; }
+  [[nodiscard]] double setpoint() const noexcept { return config_.setpoint; }
+  [[nodiscard]] const MpcConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ArxModel& model() const noexcept { return model_; }
+  [[nodiscard]] const MpcDiagnostics& diagnostics() const noexcept { return diagnostics_; }
+  [[nodiscard]] std::vector<double> current_allocations() const;
+
+  /// Step-response coefficients s_m(i), i=1..P: output response at step i
+  /// to a unit step on input m (exposed for analysis/tests).
+  [[nodiscard]] const linalg::Matrix& step_response() const noexcept { return step_response_; }
+
+ private:
+  void compute_step_response();
+  [[nodiscard]] std::vector<double> free_response() const;
+
+  ArxModel model_;
+  MpcConfig config_;
+  ReferenceTrajectory reference_;
+  linalg::Matrix step_response_;  // P x nu
+  linalg::Matrix g_;              // P x (M*nu), prediction matrix
+  linalg::Matrix hessian_;        // QP Hessian (constant)
+  std::vector<double> t_hist_;               // t(k), t(k-1), ... (most recent first)
+  std::vector<std::vector<double>> c_hist_;  // c(k-1), c(k-2), ... (most recent first)
+  double disturbance_ = 0.0;                 // filtered one-step prediction error
+  bool initialized_ = false;
+  MpcDiagnostics diagnostics_;
+};
+
+}  // namespace vdc::control

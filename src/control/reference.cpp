@@ -1,0 +1,27 @@
+#include "control/reference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::control {
+
+ReferenceTrajectory::ReferenceTrajectory(double period_s, double tref_s)
+    : period_s_(period_s), tref_s_(tref_s) {
+  if (!(period_s > 0.0)) throw std::invalid_argument("ReferenceTrajectory: period");
+  if (!(tref_s > 0.0)) throw std::invalid_argument("ReferenceTrajectory: time constant");
+}
+
+double ReferenceTrajectory::at(std::size_t i, double current, double setpoint) const {
+  const double decay = std::exp(-static_cast<double>(i) * period_s_ / tref_s_);
+  return setpoint - decay * (setpoint - current);
+}
+
+std::vector<double> ReferenceTrajectory::horizon(std::size_t p, double current,
+                                                 double setpoint) const {
+  std::vector<double> out;
+  out.reserve(p);
+  for (std::size_t i = 1; i <= p; ++i) out.push_back(at(i, current, setpoint));
+  return out;
+}
+
+}  // namespace vdc::control

@@ -1,0 +1,35 @@
+// The exponential reference trajectory of equation (3):
+//
+//   ref(k+i|k) = Ts - e^{-iT/Tref} (Ts - t(k))
+//
+// The controller tracks this trajectory instead of jumping straight to the
+// set point, so the closed loop behaves like a first-order linear system
+// with time constant Tref.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vdc::control {
+
+class ReferenceTrajectory {
+ public:
+  /// `period_s` is the control period T; `tref_s` the time constant Tref.
+  ReferenceTrajectory(double period_s, double tref_s);
+
+  /// ref(k+i|k) given the current measurement t(k) and set point Ts.
+  [[nodiscard]] double at(std::size_t i, double current, double setpoint) const;
+
+  /// The whole horizon [ref(k+1|k) ... ref(k+P|k)].
+  [[nodiscard]] std::vector<double> horizon(std::size_t p, double current,
+                                            double setpoint) const;
+
+  [[nodiscard]] double period_s() const noexcept { return period_s_; }
+  [[nodiscard]] double tref_s() const noexcept { return tref_s_; }
+
+ private:
+  double period_s_;
+  double tref_s_;
+};
+
+}  // namespace vdc::control

@@ -1,0 +1,51 @@
+// Nominal closed-loop analysis of the MPC response-time controller.
+//
+// For the unconstrained (equality-terminal only) controller, the optimal
+// move is an affine function of the plant state, dc(k) = K s(k) + u0, so
+// the nominal closed loop is linear: s(k+1) = (A + B K) s(k) + const. This
+// module builds A, B and K numerically from the ARX model and the MPC
+// configuration and reports the closed-loop spectral radius — the paper's
+// stability condition (Section IV-B): with the terminal constraint the MPC
+// loop is stable iff rho(A + BK) < 1 — plus the steady-state output, which
+// equals the set point when the controller has integral-like action.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "control/arx.hpp"
+#include "control/mpc.hpp"
+
+namespace vdc::control {
+
+struct StabilityReport {
+  /// Worst-case geometric decay rate of the *output* error under unit state
+  /// perturbations of the nominal closed loop (per control period; < 1
+  /// means the response time converges back to the set point). With more
+  /// VMs than outputs the closed loop has a manifold of equilibria —
+  /// allocation redistributions with identical output — so the raw matrix
+  /// spectral radius is structurally 1 and says nothing about tracking;
+  /// the output decay rate is the quantity that matters.
+  double output_decay_rate = 0.0;
+  /// Raw spectral radius of the full closed-loop matrix (== 1 whenever the
+  /// equilibrium manifold exists; reported for completeness).
+  double full_spectral_radius = 0.0;
+  bool stable = false;
+  /// Output value at the nominal closed-loop fixed point.
+  double steady_state_output = 0.0;
+  /// steady_state_output - setpoint (0 = offset-free tracking).
+  double steady_state_error = 0.0;
+  /// Dimension of the analyzed state (na + max(nb-1,1)*nu).
+  std::size_t state_dimension = 0;
+  /// Exact spectrum of the full closed-loop matrix (Francis QR); the
+  /// structural eigenvalue-1 modes are visible here explicitly.
+  std::vector<std::complex<double>> closed_loop_eigenvalues;
+};
+
+/// Analyzes the nominal (constraint-inactive) closed loop.
+/// Throws std::runtime_error when the controller's QP is degenerate for
+/// this model (e.g. zero steady-state gain).
+[[nodiscard]] StabilityReport analyze_closed_loop(const ArxModel& model,
+                                                  const MpcConfig& config);
+
+}  // namespace vdc::control

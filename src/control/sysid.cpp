@@ -1,0 +1,124 @@
+#include "control/sysid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/qr.hpp"
+
+namespace vdc::control {
+
+void SysIdData::append(double t, std::vector<double> c) {
+  outputs.push_back(t);
+  inputs.push_back(std::move(c));
+}
+
+void SysIdData::validate() const {
+  if (outputs.size() != inputs.size()) {
+    throw std::invalid_argument("SysIdData: outputs/inputs length mismatch");
+  }
+  if (!inputs.empty()) {
+    const std::size_t nu = inputs.front().size();
+    for (const auto& c : inputs) {
+      if (c.size() != nu) throw std::invalid_argument("SysIdData: ragged inputs");
+    }
+  }
+}
+
+ArxModel fit_arx(const SysIdData& data, const SysIdOptions& options) {
+  data.validate();
+  if (data.inputs.empty()) throw std::invalid_argument("fit_arx: empty data");
+  const std::size_t nu = data.inputs.front().size();
+  const std::size_t na = options.na;
+  const std::size_t nb = options.nb;
+  if (nb == 0 || nu == 0) throw std::invalid_argument("fit_arx: need inputs");
+  const std::size_t lag = std::max(na, nb);
+  const std::size_t params = na + nb * nu + 1;
+  if (data.length() < lag + params + 2) {
+    throw std::invalid_argument("fit_arx: not enough data for the requested orders");
+  }
+
+  const std::size_t rows = data.length() - lag;
+  linalg::Matrix phi(rows, params);
+  linalg::Vector y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t k = lag + r;
+    y[r] = data.outputs[k];
+    std::size_t col = 0;
+    for (std::size_t i = 1; i <= na; ++i) phi(r, col++) = data.outputs[k - i];
+    for (std::size_t j = 1; j <= nb; ++j) {
+      for (std::size_t m = 0; m < nu; ++m) phi(r, col++) = data.inputs[k - j][m];
+    }
+    phi(r, col) = 1.0;  // bias
+  }
+
+  const linalg::Vector theta =
+      options.ridge_lambda > 0.0
+          ? linalg::ridge_least_squares(phi, y, options.ridge_lambda)
+          : linalg::least_squares(phi, y);
+
+  ArxModel model;
+  model.na = na;
+  model.nb = nb;
+  model.nu = nu;
+  model.a.assign(theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(na));
+  model.b = linalg::Matrix(nb, nu);
+  std::size_t col = na;
+  for (std::size_t j = 0; j < nb; ++j) {
+    for (std::size_t m = 0; m < nu; ++m) model.b(j, m) = theta[col++];
+  }
+  model.bias = theta[col];
+  model.validate();
+  return model;
+}
+
+double r_squared(const ArxModel& model, const SysIdData& data) {
+  data.validate();
+  const std::size_t lag = std::max(model.na, model.nb);
+  if (data.length() <= lag + 1) throw std::invalid_argument("r_squared: data too short");
+
+  double mean = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = lag; k < data.length(); ++k) {
+    mean += data.outputs[k];
+    ++count;
+  }
+  mean /= static_cast<double>(count);
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  std::vector<double> t_hist(model.na);
+  std::vector<std::vector<double>> c_hist(model.nb);
+  for (std::size_t k = lag; k < data.length(); ++k) {
+    for (std::size_t i = 0; i < model.na; ++i) t_hist[i] = data.outputs[k - 1 - i];
+    for (std::size_t j = 0; j < model.nb; ++j) c_hist[j] = data.inputs[k - 1 - j];
+    const double pred = model.predict(t_hist, c_hist);
+    const double err = data.outputs[k] - pred;
+    ss_res += err * err;
+    const double dev = data.outputs[k] - mean;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+ExcitationSequence::ExcitationSequence(util::Rng rng, std::size_t inputs, double lo, double hi,
+                                       std::size_t hold_periods)
+    : rng_(rng), inputs_(inputs), lo_(lo), hi_(hi), hold_(hold_periods) {
+  if (inputs == 0) throw std::invalid_argument("ExcitationSequence: need inputs");
+  if (!(hi > lo)) throw std::invalid_argument("ExcitationSequence: hi must exceed lo");
+  if (hold_ == 0) hold_ = 1;
+  current_.assign(inputs_, lo_);
+}
+
+std::vector<double> ExcitationSequence::at(std::size_t k) {
+  // Draws are consumed strictly in order; calls must be sequential in k.
+  while (next_draw_ <= k) {
+    if (next_draw_ % hold_ == 0) {
+      for (double& c : current_) c = rng_.uniform(lo_, hi_);
+    }
+    ++next_draw_;
+  }
+  return current_;
+}
+
+}  // namespace vdc::control

@@ -1,0 +1,63 @@
+// System identification (Section IV-B): fits an ARX response-time model to
+// measured (response time, CPU allocation) sequences by least squares —
+// "collect data in experiments and then establish a statistical model".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/arx.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::control {
+
+/// Time-aligned experiment record: outputs[k] is t(k) and inputs[k] is c(k)
+/// (the allocation vector applied during period k).
+struct SysIdData {
+  std::vector<double> outputs;
+  std::vector<std::vector<double>> inputs;
+
+  [[nodiscard]] std::size_t length() const noexcept { return outputs.size(); }
+  void append(double t, std::vector<double> c);
+  /// Throws std::invalid_argument when outputs/inputs disagree in length or
+  /// input width varies.
+  void validate() const;
+};
+
+struct SysIdOptions {
+  std::size_t na = 1;
+  std::size_t nb = 2;
+  /// Ridge regularization; > 0 keeps the fit well-posed under weak
+  /// excitation (the usual case for production workloads).
+  double ridge_lambda = 1e-6;
+};
+
+/// Least-squares ARX fit. Requires data.length() > na+nb+parameters.
+[[nodiscard]] ArxModel fit_arx(const SysIdData& data, const SysIdOptions& options = {});
+
+/// Coefficient of determination of one-step-ahead predictions on `data`
+/// (1 = perfect; <= 0 = no better than predicting the mean).
+[[nodiscard]] double r_squared(const ArxModel& model, const SysIdData& data);
+
+/// Pseudo-random binary/multi-level excitation sequence generator for
+/// identification experiments: allocation for each input held for
+/// `hold_periods` control periods, drawn uniformly from [lo, hi].
+class ExcitationSequence {
+ public:
+  ExcitationSequence(util::Rng rng, std::size_t inputs, double lo, double hi,
+                     std::size_t hold_periods = 3);
+
+  /// Allocation vector for control period k (deterministic in k).
+  [[nodiscard]] std::vector<double> at(std::size_t k);
+
+ private:
+  util::Rng rng_;
+  std::size_t inputs_;
+  double lo_;
+  double hi_;
+  std::size_t hold_;
+  std::size_t next_draw_ = 0;
+  std::vector<double> current_;
+};
+
+}  // namespace vdc::control

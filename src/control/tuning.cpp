@@ -1,0 +1,50 @@
+#include "control/tuning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::control {
+
+TuningResult tune_mpc(const ArxModel& model, const TuningOptions& options) {
+  model.validate();
+  if (options.control_horizons.empty() || options.r_weights.empty() ||
+      options.tref_factors.empty()) {
+    throw std::invalid_argument("tune_mpc: empty candidate grid");
+  }
+
+  TuningResult result;
+  double best_decay = 2.0;
+  for (const std::size_t m : options.control_horizons) {
+    for (const double r : options.r_weights) {
+      for (const double tref_factor : options.tref_factors) {
+        MpcConfig candidate = options.base;
+        candidate.control_horizon = m;
+        if (candidate.prediction_horizon < m) candidate.prediction_horizon = 4 * m;
+        candidate.r_weight = {r};
+        candidate.tref_s = tref_factor * candidate.period_s;
+        ++result.evaluated;
+        StabilityReport report;
+        try {
+          report = analyze_closed_loop(model, candidate);
+        } catch (const std::exception&) {
+          continue;  // degenerate candidate (e.g. singular QP)
+        }
+        const bool acceptable =
+            report.stable &&
+            report.output_decay_rate <= 1.0 - options.stability_margin &&
+            std::abs(report.steady_state_error) <= options.max_steady_state_error;
+        if (!acceptable) continue;
+        ++result.stable_candidates;
+        if (report.output_decay_rate < best_decay) {
+          best_decay = report.output_decay_rate;
+          result.found = true;
+          result.config = candidate;
+          result.report = report;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vdc::control

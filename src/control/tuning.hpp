@@ -1,0 +1,43 @@
+// Automatic MPC tuning: scan a small grid of (control horizon, control
+// penalty, reference time constant) candidates, keep only configurations
+// whose nominal closed loop is output-stable with offset-free tracking
+// (via analyze_closed_loop), and return the one with the fastest output
+// decay. This packages the paper's "analyze the control performance" step
+// into the deployment workflow: identify -> tune -> verify -> run.
+#pragma once
+
+#include <vector>
+
+#include "control/arx.hpp"
+#include "control/mpc.hpp"
+#include "control/stability.hpp"
+
+namespace vdc::control {
+
+struct TuningOptions {
+  /// Template providing the fixed parts: period, set point, bounds, rate
+  /// limit, terminal mode, prediction horizon.
+  MpcConfig base;
+  std::vector<std::size_t> control_horizons = {2, 3, 4};
+  std::vector<double> r_weights = {0.2, 0.5, 1.0, 2.0, 5.0};
+  /// Candidate Tref values as multiples of the control period.
+  std::vector<double> tref_factors = {3.0, 4.0, 6.0};
+  /// Require decay <= 1 - margin to accept a candidate.
+  double stability_margin = 0.02;
+  /// Maximum |steady-state error| accepted (absolute, output units).
+  double max_steady_state_error = 1e-3;
+};
+
+struct TuningResult {
+  bool found = false;
+  MpcConfig config;          ///< best accepted configuration (if found)
+  StabilityReport report;    ///< its nominal analysis
+  std::size_t evaluated = 0;
+  std::size_t stable_candidates = 0;
+};
+
+/// Deterministic exhaustive scan (the grid is tiny); throws only on an
+/// invalid base configuration or model.
+[[nodiscard]] TuningResult tune_mpc(const ArxModel& model, const TuningOptions& options);
+
+}  // namespace vdc::control

@@ -1,0 +1,85 @@
+#include "core/overload_guard.hpp"
+
+#include <algorithm>
+
+#include "consolidate/ffd.hpp"
+#include "consolidate/pac.hpp"
+#include "consolidate/working_placement.hpp"
+
+namespace vdc::core {
+
+OverloadGuard::OverloadGuard(OverloadGuardConfig config) : config_(config) {}
+
+OverloadGuardReport OverloadGuard::check(datacenter::Cluster& cluster, double now_s) {
+  OverloadGuardReport report;
+  strikes_.resize(cluster.server_count(), 0);
+
+  // Debounce: count consecutive overloads per server.
+  std::vector<datacenter::ServerId> triggered;
+  for (datacenter::ServerId s = 0; s < cluster.server_count(); ++s) {
+    if (cluster.overloaded(s)) {
+      if (++strikes_[s] >= config_.trigger_after_checks) triggered.push_back(s);
+    } else {
+      strikes_[s] = 0;
+    }
+  }
+  report.overloaded_servers = triggered.size();
+  if (triggered.empty()) return report;
+
+  const consolidate::DataCenterSnapshot snapshot = consolidate::snapshot_of(cluster);
+  consolidate::WorkingPlacement wp(snapshot);
+  const consolidate::ConstraintSet constraints =
+      consolidate::ConstraintSet::standard(config_.utilization_target);
+
+  // Shed the smallest VMs from each triggered server until it is feasible.
+  std::vector<consolidate::VmId> evicted;
+  for (const datacenter::ServerId server : triggered) {
+    while (!wp.hosted(server).empty() && !wp.feasible(server, constraints)) {
+      const auto hosted = wp.hosted(server);
+      consolidate::VmId victim = hosted.front();
+      double victim_demand = snapshot.vm(victim).cpu_demand_ghz;
+      for (const consolidate::VmId vm : hosted) {
+        const double d = snapshot.vm(vm).cpu_demand_ghz;
+        if (d < victim_demand || (d == victim_demand && vm < victim)) {
+          victim = vm;
+          victim_demand = d;
+        }
+      }
+      wp.remove(victim);
+      evicted.push_back(victim);
+    }
+  }
+
+  // Place on active servers first, waking sleeping ones only if needed —
+  // "move VMs from the overloaded servers to idle servers".
+  const std::vector<datacenter::ServerId> order =
+      consolidate::servers_by_power_efficiency(snapshot);
+  std::vector<datacenter::ServerId> targets;
+  for (const datacenter::ServerId s : order) {
+    if (snapshot.server(s).active) targets.push_back(s);
+  }
+  for (const datacenter::ServerId s : order) {
+    if (!snapshot.server(s).active) targets.push_back(s);
+  }
+  const consolidate::PacResult pac =
+      consolidate::power_aware_consolidation(wp, evicted, constraints, config_.min_slack,
+                                             targets);
+  report.unplaced = pac.unplaced.size();
+
+  const consolidate::PlacementPlan plan = wp.plan(pac.unplaced);
+  for (const consolidate::Move& move : plan.moves) {
+    if (!cluster.server(move.to).active()) {
+      cluster.wake(move.to);
+      ++report.woken_servers;
+      ++total_activations_;
+    }
+    cluster.migrate(move.vm, move.to, now_s);
+    ++report.migrations;
+    ++total_migrations_;
+  }
+  // Any VM that could not be placed stays on its (overloaded) origin.
+  for (const datacenter::ServerId server : triggered) strikes_[server] = 0;
+  return report;
+}
+
+}  // namespace vdc::core

@@ -1,0 +1,62 @@
+#include "core/power_optimizer.hpp"
+
+#include <stdexcept>
+
+namespace vdc::core {
+
+std::string to_string(ConsolidationAlgorithm algorithm) {
+  switch (algorithm) {
+    case ConsolidationAlgorithm::kIpac: return "IPAC";
+    case ConsolidationAlgorithm::kPMapper: return "pMapper";
+    case ConsolidationAlgorithm::kNone: return "none";
+  }
+  return "?";
+}
+
+PowerOptimizer::PowerOptimizer(OptimizerConfig config,
+                               std::shared_ptr<consolidate::MigrationCostPolicy> policy)
+    : config_(config),
+      constraints_(consolidate::ConstraintSet::standard(config.utilization_target)),
+      policy_(std::move(policy)) {
+  if (!policy_) policy_ = std::make_shared<consolidate::AllowAllPolicy>();
+}
+
+void PowerOptimizer::add_constraint(
+    std::unique_ptr<consolidate::PlacementConstraint> constraint) {
+  constraints_.add(std::move(constraint));
+}
+
+OptimizationOutcome PowerOptimizer::optimize(datacenter::Cluster& cluster, double now_s) {
+  ++invocations_;
+  OptimizationOutcome outcome;
+  outcome.active_before = cluster.active_server_count();
+
+  const consolidate::DataCenterSnapshot snapshot = consolidate::snapshot_of(cluster);
+  consolidate::PlacementPlan plan;
+  switch (config_.algorithm) {
+    case ConsolidationAlgorithm::kIpac: {
+      const consolidate::IpacReport report =
+          consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac);
+      plan = report.plan;
+      break;
+    }
+    case ConsolidationAlgorithm::kPMapper: {
+      const consolidate::PMapperReport report = consolidate::pmapper(snapshot, constraints_);
+      plan = report.plan;
+      break;
+    }
+    case ConsolidationAlgorithm::kNone:
+      cluster.sleep_idle_servers();
+      outcome.active_after = cluster.active_server_count();
+      return outcome;
+  }
+
+  consolidate::apply_plan(cluster, plan, now_s);
+  outcome.migrations = plan.moves.size();
+  outcome.unplaced = plan.unplaced.size();
+  outcome.active_after = cluster.active_server_count();
+  total_migrations_ += outcome.migrations;
+  return outcome;
+}
+
+}  // namespace vdc::core

@@ -1,0 +1,63 @@
+// Data-center-level power optimizer: periodically snapshots the cluster,
+// runs the configured consolidation algorithm (IPAC or the pMapper
+// baseline), pushes the resulting migrations/sleep transitions back to the
+// cluster, and keeps statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "consolidate/constraints.hpp"
+#include "consolidate/cost_policy.hpp"
+#include "consolidate/ipac.hpp"
+#include "consolidate/pmapper.hpp"
+#include "datacenter/cluster.hpp"
+
+namespace vdc::core {
+
+enum class ConsolidationAlgorithm { kIpac, kPMapper, kNone };
+
+[[nodiscard]] std::string to_string(ConsolidationAlgorithm algorithm);
+
+struct OptimizerConfig {
+  ConsolidationAlgorithm algorithm = ConsolidationAlgorithm::kIpac;
+  /// Target utilization the CPU constraint packs to (headroom for demand
+  /// growth between invocations).
+  double utilization_target = 0.9;
+  consolidate::IpacOptions ipac;
+};
+
+struct OptimizationOutcome {
+  std::size_t migrations = 0;
+  std::size_t unplaced = 0;
+  std::size_t active_before = 0;
+  std::size_t active_after = 0;
+};
+
+class PowerOptimizer {
+ public:
+  /// `policy` may be null (allow-all). Additional constraints can be added
+  /// through `extra_constraints` (appended to the standard CPU+memory set).
+  explicit PowerOptimizer(OptimizerConfig config,
+                          std::shared_ptr<consolidate::MigrationCostPolicy> policy = nullptr);
+
+  /// Installs an administrator-defined constraint alongside CPU+memory.
+  void add_constraint(std::unique_ptr<consolidate::PlacementConstraint> constraint);
+
+  /// Runs one optimization pass against the live cluster.
+  OptimizationOutcome optimize(datacenter::Cluster& cluster, double now_s);
+
+  [[nodiscard]] const OptimizerConfig& config() const noexcept { return config_; }
+  /// Cumulative counters across invocations.
+  [[nodiscard]] std::size_t total_migrations() const noexcept { return total_migrations_; }
+  [[nodiscard]] std::size_t invocations() const noexcept { return invocations_; }
+
+ private:
+  OptimizerConfig config_;
+  consolidate::ConstraintSet constraints_;
+  std::shared_ptr<consolidate::MigrationCostPolicy> policy_;
+  std::size_t total_migrations_ = 0;
+  std::size_t invocations_ = 0;
+};
+
+}  // namespace vdc::core

@@ -1,0 +1,53 @@
+#include "core/response_time_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdc::core {
+
+ResponseTimeController::ResponseTimeController(control::ArxModel model,
+                                               control::MpcConfig config,
+                                               std::vector<double> initial_allocations)
+    : mpc_(std::move(model), config), last_measurement_(config.setpoint) {
+  mpc_.reset(config.setpoint, initial_allocations);
+}
+
+std::vector<double> ResponseTimeController::control(
+    const std::optional<app::PeriodStats>& stats) {
+  if (stats && stats->count > 0) last_measurement_ = stats->controlled;
+  std::vector<double> demands = mpc_.step(last_measurement_);
+
+  // Infeasibility watch: the SLA stays violated while CPU re-allocation has
+  // stopped helping — either every actuator is railed at its upper bound,
+  // or the optimizer is stationary (|dc| negligible) despite the violation.
+  const bool violated = last_measurement_ > mpc_.setpoint() * 1.1;
+  const control::MpcConfig& config = mpc_.config();
+  bool railed = true;
+  bool stalled = true;
+  for (std::size_t m = 0; m < demands.size(); ++m) {
+    const double range = config.c_max[m] - config.c_min[m];
+    if (demands[m] < config.c_max[m] - 0.01 * range) railed = false;
+    if (!previous_demands_.empty() &&
+        std::abs(demands[m] - previous_demands_[m]) > 0.02 * range) {
+      stalled = false;
+    }
+  }
+  if (previous_demands_.empty()) stalled = false;
+  previous_demands_ = demands;
+
+  // Windowed majority vote: occasional QP wobble must not reset the
+  // detector, but a genuine recovery (violation clears) must.
+  history_.push_back(violated && (railed || stalled));
+  if (history_.size() > window_) history_.erase(history_.begin());
+  if (!violated) {
+    infeasible_ = false;
+    history_.clear();
+  } else if (history_.size() == window_) {
+    const auto hits = static_cast<std::size_t>(
+        std::count(history_.begin(), history_.end(), true));
+    if (hits * 5 >= window_ * 4) infeasible_ = true;  // >= 80% of the window
+  }
+  return demands;
+}
+
+}  // namespace vdc::core

@@ -1,0 +1,61 @@
+// Application-level response-time controller: the glue between the
+// response-time monitor (sensor) and the MPC (decision) for one multi-tier
+// application. Produces the per-VM CPU *demands* that the server-level
+// arbitrators then grant.
+//
+// Also watches for SLA infeasibility: the paper (Section IV-A) assumes the
+// constrained problem is feasible and notes that when it is not — e.g. the
+// application is I/O-bound — "no controller can guarantee the set points
+// through CPU resource adaptation". The controller flags that condition
+// (actuators saturated at c_max while the SLA stays violated) so the
+// operator can bring other resources to bear.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "app/monitor.hpp"
+#include "control/mpc.hpp"
+
+namespace vdc::core {
+
+class ResponseTimeController {
+ public:
+  /// `model` and `config` come from system identification / tuning;
+  /// `initial_allocations` seeds the controller state (GHz per tier VM).
+  ResponseTimeController(control::ArxModel model, control::MpcConfig config,
+                         std::vector<double> initial_allocations);
+
+  /// One control period. `stats` is the monitor's harvest for the period;
+  /// when no request completed (empty), the previous measurement is held —
+  /// an empty window under load means requests are stuck, so the last
+  /// (high) value keeps pressure on the controller.
+  [[nodiscard]] std::vector<double> control(const std::optional<app::PeriodStats>& stats);
+
+  void set_setpoint(double setpoint_s) noexcept { mpc_.set_setpoint(setpoint_s); }
+  [[nodiscard]] double setpoint() const noexcept { return mpc_.setpoint(); }
+  [[nodiscard]] double last_measurement() const noexcept { return last_measurement_; }
+  [[nodiscard]] const control::MpcController& mpc() const noexcept { return mpc_; }
+  [[nodiscard]] std::vector<double> current_demands() const {
+    return mpc_.current_allocations();
+  }
+
+  /// True when the SLA has been violated for `infeasibility_window()`
+  /// consecutive periods while CPU re-allocation has stopped helping
+  /// (actuators railed at c_max, or the optimizer stationary despite the
+  /// violation) — the set point cannot be reached through CPU adaptation
+  /// alone (I/O bound, or simply unreachable).
+  [[nodiscard]] bool sla_infeasible() const noexcept { return infeasible_; }
+  [[nodiscard]] std::size_t infeasibility_window() const noexcept { return window_; }
+  void set_infeasibility_window(std::size_t periods) noexcept { window_ = periods; }
+
+ private:
+  control::MpcController mpc_;
+  double last_measurement_;
+  std::size_t window_ = 8;
+  std::vector<bool> history_;  // per-period "violated and not improving"
+  std::vector<double> previous_demands_;
+  bool infeasible_ = false;
+};
+
+}  // namespace vdc::core

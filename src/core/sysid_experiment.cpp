@@ -1,0 +1,52 @@
+#include "core/sysid_experiment.hpp"
+
+#include "app/monitor.hpp"
+#include "sim/simulation.hpp"
+
+namespace vdc::core {
+
+SysIdExperimentResult identify_app_model(const app::AppConfig& app_config,
+                                         const SysIdExperimentConfig& config) {
+  sim::Simulation sim;
+  app::MultiTierApp app(sim, app_config);
+  app::ResponseTimeMonitor monitor(config.quantile);
+  app.set_response_callback(
+      [&monitor](double, double response_time) { monitor.record(response_time); });
+  app.start();
+
+  // Warm up at mid-range allocations so the recorded data starts near a
+  // plausible operating point.
+  const std::size_t nu = app.tier_count();
+  const double mid = 0.5 * (config.allocation_lo_ghz + config.allocation_hi_ghz);
+  app.set_allocations(std::vector<double>(nu, mid));
+  sim.run_until(config.warmup_s);
+  (void)monitor.harvest();  // drop warmup samples
+
+  control::ExcitationSequence excitation(util::Rng(config.seed), nu,
+                                         config.allocation_lo_ghz, config.allocation_hi_ghz,
+                                         config.hold_periods);
+  std::vector<std::vector<double>> allocations(config.periods + 1);
+  for (std::size_t k = 0; k <= config.periods; ++k) allocations[k] = excitation.at(k);
+
+  control::SysIdData data;
+  double last_output = config.quantile;  // placeholder until first harvest
+  for (std::size_t k = 0; k < config.periods; ++k) {
+    app.set_allocations(allocations[k]);
+    sim.run_until(config.warmup_s + static_cast<double>(k + 1) * config.control_period_s);
+    const auto stats = monitor.harvest();
+    if (stats && stats->count > 0) last_output = stats->quantile;
+    // Pairing matches the controller's timing: the measurement of window k
+    // responds at lag 1 to the allocation applied *during* window k, which
+    // is the controller's most recent decision ("c(k-1)" in the model). So
+    // inputs[j] must hold the allocation of window j+1.
+    data.append(last_output, allocations[k + 1]);
+  }
+
+  SysIdExperimentResult result;
+  result.model = control::fit_arx(data, config.arx);
+  result.r_squared = control::r_squared(result.model, data);
+  result.data = std::move(data);
+  return result;
+}
+
+}  // namespace vdc::core

@@ -1,0 +1,42 @@
+// System-identification experiment driver (Section IV-B): runs a dedicated
+// simulation of one multi-tier application, excites the CPU allocations
+// with a held pseudo-random sequence, records the 90-percentile response
+// time each control period, and fits the ARX model the MPC uses.
+#pragma once
+
+#include <cstdint>
+
+#include "app/multi_tier_app.hpp"
+#include "control/arx.hpp"
+#include "control/sysid.hpp"
+
+namespace vdc::core {
+
+struct SysIdExperimentConfig {
+  double control_period_s = 4.0;
+  std::size_t periods = 400;          ///< experiment length in control periods
+  double warmup_s = 40.0;             ///< discard transients before recording
+  /// Excitation range per tier. Chosen around the operating region where
+  /// the target response times live; the plant is strongly nonlinear, so a
+  /// locally identified linear model beats a globally sloppy one.
+  double allocation_lo_ghz = 0.15;
+  double allocation_hi_ghz = 0.7;
+  std::size_t hold_periods = 3;       ///< excitation dwell time
+  double quantile = 0.9;
+  control::SysIdOptions arx{.na = 1, .nb = 2, .ridge_lambda = 1e-4};
+  std::uint64_t seed = 99;
+};
+
+struct SysIdExperimentResult {
+  control::ArxModel model;
+  double r_squared = 0.0;
+  control::SysIdData data;  ///< the recorded experiment, for inspection
+};
+
+/// Runs the experiment on a *fresh* instance of `app_config` (the live app
+/// is never disturbed — identification happens on a staging copy, as on
+/// the paper's prototype).
+[[nodiscard]] SysIdExperimentResult identify_app_model(const app::AppConfig& app_config,
+                                                       const SysIdExperimentConfig& config = {});
+
+}  // namespace vdc::core

@@ -1,0 +1,237 @@
+#include "core/testbed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace vdc::core {
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  if (config_.num_apps == 0 || config_.num_servers == 0) {
+    throw std::invalid_argument("Testbed: need at least one app and one server");
+  }
+
+  // Identify the shared response-time model on a staging copy of the app.
+  const app::AppConfig staging =
+      app::default_two_tier_app("staging", config_.seed + 1000, config_.concurrency);
+  SysIdExperimentResult sysid = identify_app_model(staging, config_.sysid);
+  model_ = std::move(sysid.model);
+  model_r2_ = sysid.r_squared;
+  util::Log(util::LogLevel::kInfo, "testbed")
+      << "identified ARX model, R^2 = " << model_r2_;
+
+  // Cluster: the testbed machines (2 GHz dual-core class).
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    cluster_.add_server(datacenter::Server(datacenter::dual_core_2ghz(),
+                                           datacenter::power_model_dual_2ghz(),
+                                           /*memory_mb=*/8192.0));
+  }
+
+  // Applications, monitors, controllers, and their VMs.
+  control::MpcConfig mpc = config_.mpc;
+  mpc.period_s = config_.control_period_s;
+  mpc.setpoint = config_.setpoint_s;
+
+  response_series_.resize(config_.num_apps);
+  allocation_series_.resize(config_.num_apps);
+  for (std::size_t i = 0; i < config_.num_apps; ++i) {
+    app::AppConfig app_config = app::default_two_tier_app(
+        "app" + std::to_string(i + 1), config_.seed + i, config_.concurrency);
+    auto application = std::make_unique<app::MultiTierApp>(sim_, std::move(app_config));
+    auto monitor = std::make_unique<app::ResponseTimeMonitor>(0.9);
+    app::ResponseTimeMonitor* monitor_ptr = monitor.get();
+    application->set_response_callback(
+        [monitor_ptr](double, double rt) { monitor_ptr->record(rt); });
+
+    const std::size_t tiers = application->tier_count();
+    std::vector<double> initial(tiers, 0.6);
+    application->set_allocations(initial);
+
+    controllers_.push_back(std::make_unique<ResponseTimeController>(model_, mpc, initial));
+
+    // One VM per tier, spread round-robin over the servers.
+    std::vector<datacenter::VmId> ids;
+    for (std::size_t j = 0; j < tiers; ++j) {
+      datacenter::Vm vm;
+      vm.name = application->name() + (j == 0 ? "-web" : "-db");
+      vm.role = j == 0 ? "web" : "db";
+      vm.cpu_demand_ghz = initial[j];
+      vm.memory_mb = 1024.0;
+      const auto server = static_cast<datacenter::ServerId>(
+          (i * tiers + j) % config_.num_servers);
+      ids.push_back(cluster_.add_vm(vm, server));
+    }
+    vm_ids_.push_back(std::move(ids));
+    apps_.push_back(std::move(application));
+    monitors_.push_back(std::move(monitor));
+  }
+  last_work_done_.assign(config_.num_apps * 2, 0.0);
+}
+
+void Testbed::set_setpoint(std::size_t app, double setpoint_s) {
+  controllers_.at(app)->set_setpoint(setpoint_s);
+}
+
+void Testbed::set_concurrency(std::size_t app, std::size_t concurrency) {
+  apps_.at(app)->set_concurrency(concurrency);
+}
+
+app::PeriodStats Testbed::lifetime_stats(std::size_t app) const {
+  return monitors_.at(app)->lifetime();
+}
+
+util::RunningStats Testbed::response_stats_after(std::size_t app, double from_s) const {
+  util::RunningStats stats;
+  const std::vector<double>& series = response_series_.at(app);
+  const auto first = static_cast<std::size_t>(from_s / config_.control_period_s);
+  for (std::size_t k = first; k < series.size(); ++k) stats.add(series[k]);
+  return stats;
+}
+
+void Testbed::run_until(double until_s) {
+  if (!loop_started_) {
+    loop_started_ = true;
+    for (auto& application : apps_) application->start();
+    sim_.schedule(config_.control_period_s, [this] { control_tick(); });
+    if (config_.enable_optimizer) {
+      sim_.schedule(config_.optimizer_period_s, [this] { optimizer_tick(); });
+    }
+  }
+  sim_.run_until(until_s);
+}
+
+void Testbed::optimizer_tick() {
+  sim_.schedule(sim_.now() + config_.optimizer_period_s, [this] { optimizer_tick(); });
+  // Re-planning while migrations are in flight would race the mapping.
+  if (migrations_in_flight_ > 0) return;
+  ++optimizer_invocations_;
+
+  const consolidate::DataCenterSnapshot snapshot = consolidate::snapshot_of(cluster_);
+  const consolidate::ConstraintSet constraints =
+      consolidate::ConstraintSet::standard(config_.optimizer_utilization_target);
+  consolidate::PlacementPlan plan;
+  switch (config_.optimizer_algorithm) {
+    case ConsolidationAlgorithm::kIpac: {
+      plan = consolidate::ipac(snapshot, constraints).plan;
+      break;
+    }
+    case ConsolidationAlgorithm::kPMapper: {
+      plan = consolidate::pmapper(snapshot, constraints).plan;
+      break;
+    }
+    case ConsolidationAlgorithm::kNone:
+      break;
+  }
+  for (const consolidate::Move& move : plan.moves) start_migration(move.vm, move.to);
+  if (plan.moves.empty()) cluster_.sleep_idle_servers();
+}
+
+void Testbed::start_migration(datacenter::VmId vm, datacenter::ServerId to) {
+  // Pre-copy live migration: the VM keeps serving on the source while its
+  // memory image crosses the network, stalls for the stop-and-copy
+  // downtime, then resumes on the destination.
+  const datacenter::MigrationModel& model = cluster_.migration_model();
+  const double copy_s =
+      std::max(0.0, model.duration_s(cluster_.vm(vm).memory_mb) - model.downtime_s);
+  ++migrations_in_flight_;
+  cluster_.wake(to);
+  sim_.schedule_after(copy_s, [this, vm, to] {
+    // Stop-and-copy: the tier stops processing for the downtime window.
+    for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
+      for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
+        if (vm_ids_[i][j] == vm) apps_[i]->set_allocation(j, 0.0);
+      }
+    }
+    sim_.schedule_after(cluster_.migration_model().downtime_s, [this, vm, to] {
+      cluster_.migrate(vm, to, sim_.now());
+      // Resume with the controller's current demand; the next control tick
+      // re-arbitrates the destination server.
+      for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
+        for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
+          if (vm_ids_[i][j] == vm) {
+            apps_[i]->set_allocation(j, cluster_.vm(vm).cpu_demand_ghz);
+          }
+        }
+      }
+      --migrations_in_flight_;
+      ++completed_migrations_;
+      if (migrations_in_flight_ == 0) cluster_.sleep_idle_servers();
+    });
+  });
+}
+
+void Testbed::control_tick() {
+  const double now = sim_.now();
+  const double interval = now - last_power_time_;
+
+  // ---- power over the elapsed interval (actual work done / capacity) -----
+  double total_power = 0.0;
+  {
+    std::size_t vm_index = 0;
+    std::vector<double> server_work(cluster_.server_count(), 0.0);
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      for (std::size_t j = 0; j < apps_[i]->tier_count(); ++j, ++vm_index) {
+        const double done = apps_[i]->tier_work_done(j);
+        const double delta = done - last_work_done_[vm_index];
+        last_work_done_[vm_index] = done;
+        server_work[cluster_.host_of(vm_ids_[i][j])] += delta;
+      }
+    }
+    for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
+      const datacenter::Server& server = cluster_.server(s);
+      const double capacity = server.capacity_ghz();
+      const double utilization =
+          (capacity > 0.0 && interval > 0.0) ? server_work[s] / (capacity * interval) : 0.0;
+      total_power += server.power_w(utilization);
+    }
+  }
+  if (interval > 0.0) power_series_.push_back(total_power);
+  last_power_time_ = now;
+
+  // ---- feedback control: demands per application --------------------------
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const auto stats = monitors_[i]->harvest();
+    response_series_[i].push_back(stats && stats->count > 0
+                                      ? stats->quantile
+                                      : controllers_[i]->last_measurement());
+    const std::vector<double> demands = controllers_[i]->control(stats);
+    allocation_series_[i].push_back(demands);
+    for (std::size_t j = 0; j < demands.size(); ++j) {
+      cluster_.vm(vm_ids_[i][j]).cpu_demand_ghz = demands[j];
+    }
+  }
+
+  // ---- server-level arbitration: DVFS + grants -----------------------------
+  std::vector<double> demands;
+  for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
+    const auto hosted = cluster_.vms_on(s);
+    demands.clear();
+    for (const datacenter::VmId vm : hosted) {
+      demands.push_back(cluster_.vm(vm).cpu_demand_ghz);
+    }
+    datacenter::CpuResourceArbitrator arbitrator(1.1);
+    datacenter::ArbitrationResult arb = arbitrator.arbitrate(cluster_.server(s).cpu(), demands);
+    if (!config_.dvfs) {
+      arb.frequency_ghz = cluster_.server(s).cpu().max_freq_ghz;
+    }
+    cluster_.server(s).set_frequency(arb.frequency_ghz);
+    // Apply the granted allocations to the tier queues.
+    for (std::size_t h = 0; h < hosted.size(); ++h) {
+      const datacenter::VmId vm = hosted[h];
+      // Find which app/tier this VM belongs to (few VMs; linear scan ok).
+      for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
+        for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
+          if (vm_ids_[i][j] == vm) {
+            apps_[i]->set_allocation(j, arb.allocations_ghz[h]);
+          }
+        }
+      }
+    }
+  }
+
+  sim_.schedule(now + config_.control_period_s, [this] { control_tick(); });
+}
+
+}  // namespace vdc::core

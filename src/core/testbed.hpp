@@ -1,0 +1,133 @@
+// The hardware-testbed equivalent (Section VI-A): a small cluster of
+// virtualized servers hosting several two-tier RUBBoS-like applications,
+// each under its own MPC response-time controller, with per-server CPU
+// arbitration and DVFS. This is the engine behind Figures 2-5.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/monitor.hpp"
+#include "app/multi_tier_app.hpp"
+#include "core/power_optimizer.hpp"
+#include "core/response_time_controller.hpp"
+#include "core/sysid_experiment.hpp"
+#include "datacenter/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "util/statistics.hpp"
+
+namespace vdc::core {
+
+struct TestbedConfig {
+  std::size_t num_apps = 8;
+  std::size_t num_servers = 4;
+  double control_period_s = 4.0;
+  double setpoint_s = 1.0;          ///< 1000 ms, the paper's default SLA
+  std::size_t concurrency = 40;     ///< `ab` concurrency level per app
+  std::uint64_t seed = 7;
+  bool dvfs = true;                 ///< let the arbitrator throttle CPUs
+  /// MPC tuning shared by all applications; the setpoint field is
+  /// overwritten with `setpoint_s` per controller.
+  control::MpcConfig mpc{
+      .prediction_horizon = 12,
+      .control_horizon = 3,
+      .q_weight = 1.0,
+      .r_weight = {1.0},
+      .period_s = 4.0,
+      .tref_s = 16.0,
+      .setpoint = 1.0,
+      .c_min = {0.15},
+      .c_max = {1.5},
+      .delta_max = 0.3,
+      .terminal = control::MpcConfig::Terminal::kSoft,
+      .terminal_weight = 50.0,
+      .disturbance_gain = 0.5,
+  };
+  /// Identification experiment; run once and shared by all controllers
+  /// (the applications are instances of the same benchmark, as on the
+  /// paper's testbed).
+  SysIdExperimentConfig sysid;
+
+  // ---- data-center level (two-level integration, Section VII-A) ----------
+  /// Run the power optimizer on the testbed cluster. Migrations follow live
+  /// (pre-copy) semantics in the co-simulation: the VM keeps running on the
+  /// source for the copy duration, then stalls for the stop-and-copy
+  /// downtime before resuming on the destination.
+  bool enable_optimizer = false;
+  double optimizer_period_s = 300.0;
+  ConsolidationAlgorithm optimizer_algorithm = ConsolidationAlgorithm::kIpac;
+  double optimizer_utilization_target = 0.85;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  /// Advances the co-simulation (control loop + applications) to absolute
+  /// simulated time `until_s`. Callable repeatedly.
+  void run_until(double until_s);
+
+  [[nodiscard]] double now() const noexcept { return sim_.now(); }
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+
+  [[nodiscard]] app::MultiTierApp& application(std::size_t i) { return *apps_.at(i); }
+  void set_setpoint(std::size_t app, double setpoint_s);
+  void set_concurrency(std::size_t app, std::size_t concurrency);
+
+  /// The identified model all controllers share, and its fit quality.
+  [[nodiscard]] const control::ArxModel& identified_model() const noexcept { return model_; }
+  [[nodiscard]] double model_r_squared() const noexcept { return model_r2_; }
+
+  // ---- recorded series (one sample per control period) -------------------
+  [[nodiscard]] const std::vector<double>& response_series(std::size_t app) const {
+    return response_series_.at(app);
+  }
+  [[nodiscard]] const std::vector<double>& power_series() const noexcept {
+    return power_series_;
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& allocation_series(
+      std::size_t app) const {
+    return allocation_series_.at(app);
+  }
+  /// Response-time statistics over everything since construction.
+  [[nodiscard]] app::PeriodStats lifetime_stats(std::size_t app) const;
+  /// Statistics over periods recorded after `from_s` (skip settling).
+  [[nodiscard]] util::RunningStats response_stats_after(std::size_t app, double from_s) const;
+
+  [[nodiscard]] const datacenter::Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  /// Live migrations completed so far (two-level mode).
+  [[nodiscard]] std::size_t completed_migrations() const noexcept {
+    return completed_migrations_;
+  }
+  [[nodiscard]] std::size_t optimizer_invocations() const noexcept {
+    return optimizer_invocations_;
+  }
+
+ private:
+  void control_tick();
+  void optimizer_tick();
+  void start_migration(datacenter::VmId vm, datacenter::ServerId to);
+
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  datacenter::Cluster cluster_;
+  std::vector<std::unique_ptr<app::MultiTierApp>> apps_;
+  std::vector<std::unique_ptr<app::ResponseTimeMonitor>> monitors_;
+  std::vector<std::unique_ptr<ResponseTimeController>> controllers_;
+  /// vm_ids_[app][tier] -> VmId in cluster_.
+  std::vector<std::vector<datacenter::VmId>> vm_ids_;
+  control::ArxModel model_;
+  double model_r2_ = 0.0;
+  double last_power_time_ = 0.0;
+  std::vector<double> last_work_done_;  // per app*tier, Gcycles
+  std::vector<std::vector<double>> response_series_;
+  std::vector<std::vector<std::vector<double>>> allocation_series_;
+  std::vector<double> power_series_;
+  bool loop_started_ = false;
+  std::size_t migrations_in_flight_ = 0;
+  std::size_t completed_migrations_ = 0;
+  std::size_t optimizer_invocations_ = 0;
+};
+
+}  // namespace vdc::core

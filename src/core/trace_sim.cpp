@@ -1,0 +1,198 @@
+#include "core/trace_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "consolidate/ffd.hpp"
+#include "consolidate/working_placement.hpp"
+#include "core/overload_guard.hpp"
+#include "trace/forecast.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::core {
+
+TraceDrivenSimulator::TraceDrivenSimulator(const trace::UtilizationTrace& trace)
+    : trace_(&trace) {}
+
+TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
+  if (config.num_vms == 0 || config.num_vms > trace_->server_count()) {
+    throw std::invalid_argument("TraceDrivenSimulator: num_vms out of range");
+  }
+  if (!(config.consolidation_period_s > 0.0)) {
+    throw std::invalid_argument("TraceDrivenSimulator: consolidation period");
+  }
+  util::Rng rng(config.seed);
+
+  // ---- build the data center ---------------------------------------------
+  // Fixed heterogeneous inventory shared by every data-center size ("every
+  // data center is assumed to have enough inactive servers"); unused ones
+  // are shut down by the consolidators.
+  const std::size_t pool = config.pool_size;
+  const auto quad_count = static_cast<std::size_t>(config.quad_3ghz_fraction *
+                                                   static_cast<double>(pool));
+  const auto dual2_count = static_cast<std::size_t>(config.dual_2ghz_fraction *
+                                                    static_cast<double>(pool));
+  std::vector<int> types;
+  types.reserve(pool);
+  for (std::size_t s = 0; s < pool; ++s) {
+    types.push_back(s < quad_count ? 0 : (s < quad_count + dual2_count ? 1 : 2));
+  }
+  std::shuffle(types.begin(), types.end(), rng.engine());
+
+  datacenter::Cluster cluster;
+  for (const int type : types) {
+    switch (type) {
+      case 0:
+        cluster.add_server(datacenter::Server(datacenter::quad_core_3ghz(),
+                                              datacenter::power_model_quad_3ghz(), 32768.0));
+        break;
+      case 1:
+        cluster.add_server(datacenter::Server(datacenter::dual_core_2ghz(),
+                                              datacenter::power_model_dual_2ghz(), 16384.0));
+        break;
+      default:
+        cluster.add_server(datacenter::Server(datacenter::dual_core_1_5ghz(),
+                                              datacenter::power_model_dual_1_5ghz(), 12288.0));
+        break;
+    }
+  }
+
+  std::vector<double> peak_ghz(config.num_vms);
+  for (std::size_t v = 0; v < config.num_vms; ++v) {
+    peak_ghz[v] = rng.uniform(config.vm_peak_lo_ghz, config.vm_peak_hi_ghz);
+    datacenter::Vm vm;
+    vm.name = "vm" + std::to_string(v);
+    vm.cpu_demand_ghz = trace_->at(v, 0) * peak_ghz[v];
+    vm.memory_mb = config.vm_memory_choices_mb.at(rng.index(config.vm_memory_choices_mb.size()));
+    cluster.add_vm(vm);
+  }
+
+  // Initial placement: first-fit decreasing onto the most power-efficient
+  // servers (identical starting point for every algorithm under test).
+  {
+    const consolidate::DataCenterSnapshot snap = consolidate::snapshot_of(cluster);
+    consolidate::WorkingPlacement wp(snap);
+    const consolidate::ConstraintSet constraints =
+        consolidate::ConstraintSet::standard(config.utilization_target);
+    const std::vector<datacenter::ServerId> order =
+        consolidate::servers_by_power_efficiency(snap);
+    std::vector<datacenter::VmId> all;
+    for (datacenter::VmId v = 0; v < config.num_vms; ++v) all.push_back(v);
+    const consolidate::FfdResult ffd =
+        consolidate::first_fit_decreasing(wp, order, all, constraints);
+    if (!ffd.unplaced.empty()) {
+      throw std::runtime_error("TraceDrivenSimulator: initial placement failed");
+    }
+    consolidate::apply_plan(cluster, wp.plan(), 0.0);
+  }
+
+  OptimizerConfig opt_config;
+  opt_config.algorithm = config.algorithm;
+  opt_config.utilization_target = config.utilization_target;
+  opt_config.ipac = config.ipac;
+  PowerOptimizer optimizer(opt_config);
+
+  OverloadGuardConfig guard_config;
+  guard_config.utilization_target = config.utilization_target;
+  guard_config.min_slack = config.ipac.min_slack;
+  OverloadGuard guard(guard_config);
+
+  const auto consolidation_horizon = static_cast<std::size_t>(
+      std::max(1.0, config.consolidation_period_s / trace_->sample_period_s()));
+  std::unique_ptr<trace::DemandForecaster> forecaster;
+  switch (config.forecast) {
+    case TraceSimConfig::Forecast::kRecentPeak:
+      forecaster = std::make_unique<trace::RecentPeakForecaster>(
+          config.num_vms, consolidation_horizon, config.forecast_safety);
+      break;
+    case TraceSimConfig::Forecast::kDiurnalPeak:
+      forecaster = std::make_unique<trace::DiurnalPeakForecaster>(
+          config.num_vms, static_cast<std::size_t>(86400.0 / trace_->sample_period_s()),
+          config.forecast_safety);
+      break;
+    case TraceSimConfig::Forecast::kNone:
+      break;
+  }
+
+  // ---- main loop over trace samples ---------------------------------------
+  TraceSimResult result;
+  const double dt = trace_->sample_period_s();
+  const auto consolidation_every = static_cast<std::size_t>(
+      std::max(1.0, config.consolidation_period_s / dt));
+  std::size_t overloaded_samples = 0;
+  std::size_t active_samples = 0;
+
+  for (std::size_t k = 0; k < trace_->sample_count(); ++k) {
+    const double now = static_cast<double>(k) * dt;
+    for (datacenter::VmId v = 0; v < config.num_vms; ++v) {
+      cluster.vm(v).cpu_demand_ghz = trace_->at(v, k) * peak_ghz[v];
+    }
+    if (forecaster) {
+      for (datacenter::VmId v = 0; v < config.num_vms; ++v) {
+        forecaster->observe(v, cluster.vm(v).cpu_demand_ghz);
+      }
+    }
+    if (k % consolidation_every == 0) {
+      // Proactive mode: present the forecast peak to the optimizer, then
+      // restore the true instantaneous demands for power accounting.
+      std::vector<double> actual;
+      if (forecaster) {
+        actual.resize(config.num_vms);
+        for (datacenter::VmId v = 0; v < config.num_vms; ++v) {
+          actual[v] = cluster.vm(v).cpu_demand_ghz;
+          cluster.vm(v).cpu_demand_ghz =
+              std::max(actual[v], forecaster->predict_peak(v, consolidation_horizon));
+        }
+      }
+      const OptimizationOutcome outcome = optimizer.optimize(cluster, now);
+      if (forecaster) {
+        for (datacenter::VmId v = 0; v < config.num_vms; ++v) {
+          cluster.vm(v).cpu_demand_ghz = actual[v];
+        }
+      }
+      result.migrations += outcome.migrations;
+      ++result.optimizer_invocations;
+      if (outcome.unplaced > 0) {
+        util::Log(util::LogLevel::kWarn, "trace-sim")
+            << outcome.unplaced << " VMs unplaced at t=" << now;
+      }
+    } else if (config.on_demand_overload_guard) {
+      const OverloadGuardReport relief = guard.check(cluster, now);
+      result.guard_migrations += relief.migrations;
+    }
+
+    double power = cluster.arbitrate_and_power_w(config.dvfs);
+    if (!config.count_sleep_power) {
+      // Shut-down semantics: sleeping servers draw nothing.
+      for (datacenter::ServerId s = 0; s < cluster.server_count(); ++s) {
+        if (!cluster.server(s).active()) power -= cluster.server(s).power_model().sleep_w;
+      }
+    }
+    result.power_series_w.push_back(power);
+    result.energy_wh_total += power * dt / 3600.0;
+
+    if (config.sample_probe) config.sample_probe(cluster, k);
+
+    const std::size_t active = cluster.active_server_count();
+    result.peak_active_servers = std::max(result.peak_active_servers, active);
+    active_samples += active;
+    for (datacenter::ServerId s = 0; s < cluster.server_count(); ++s) {
+      if (cluster.overloaded(s)) ++overloaded_samples;
+    }
+  }
+
+  result.server_wakes = cluster.wake_count();
+  result.energy_wh_total += static_cast<double>(result.server_wakes) * config.server_wake_energy_wh;
+  result.energy_wh_per_vm = result.energy_wh_total / static_cast<double>(config.num_vms);
+  result.final_active_servers = cluster.active_server_count();
+  result.overload_fraction =
+      active_samples > 0
+          ? static_cast<double>(overloaded_samples) / static_cast<double>(active_samples)
+          : 0.0;
+  return result;
+}
+
+}  // namespace vdc::core

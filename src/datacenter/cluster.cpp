@@ -1,0 +1,177 @@
+#include "datacenter/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdc::datacenter {
+
+Cluster::Cluster(MigrationModel migration_model, CpuResourceArbitrator arbitrator)
+    : migration_model_(migration_model), arbitrator_(arbitrator) {}
+
+ServerId Cluster::add_server(Server server) {
+  const auto id = static_cast<ServerId>(servers_.size());
+  servers_.push_back(std::move(server));
+  hosted_.emplace_back();
+  return id;
+}
+
+VmId Cluster::add_vm(Vm vm, std::optional<ServerId> host) {
+  const auto id = static_cast<VmId>(vms_.size());
+  vms_.push_back(std::move(vm));
+  host_.push_back(kNoServer);
+  if (host) place(id, *host);
+  return id;
+}
+
+const Server& Cluster::server(ServerId id) const {
+  check_server(id);
+  return servers_[id];
+}
+
+Server& Cluster::server(ServerId id) {
+  check_server(id);
+  return servers_[id];
+}
+
+const Vm& Cluster::vm(VmId id) const {
+  check_vm(id);
+  return vms_[id];
+}
+
+Vm& Cluster::vm(VmId id) {
+  check_vm(id);
+  return vms_[id];
+}
+
+ServerId Cluster::host_of(VmId id) const {
+  check_vm(id);
+  return host_[id];
+}
+
+std::span<const VmId> Cluster::vms_on(ServerId id) const {
+  check_server(id);
+  return hosted_[id];
+}
+
+void Cluster::place(VmId vm, ServerId host) {
+  check_vm(vm);
+  check_server(host);
+  if (host_[vm] != kNoServer) {
+    throw std::logic_error("Cluster::place: VM already placed (use migrate)");
+  }
+  host_[vm] = host;
+  hosted_[host].push_back(vm);
+}
+
+void Cluster::migrate(VmId vm, ServerId host, double now_s) {
+  check_vm(vm);
+  check_server(host);
+  const ServerId from = host_[vm];
+  if (from == kNoServer) throw std::logic_error("Cluster::migrate: VM is not placed");
+  if (from == host) return;
+  detach(vm);
+  host_[vm] = host;
+  hosted_[host].push_back(vm);
+  migrations_.add(MigrationRecord{
+      .vm = vm,
+      .from = from,
+      .to = host,
+      .time_s = now_s,
+      .duration_s = migration_model_.duration_s(vms_[vm].memory_mb),
+      .bytes = migration_model_.bytes_moved(vms_[vm].memory_mb),
+  });
+}
+
+double Cluster::server_cpu_demand(ServerId id) const {
+  check_server(id);
+  double total = 0.0;
+  for (const VmId vm : hosted_[id]) total += vms_[vm].cpu_demand_ghz;
+  return total;
+}
+
+double Cluster::server_memory_used(ServerId id) const {
+  check_server(id);
+  double total = 0.0;
+  for (const VmId vm : hosted_[id]) total += vms_[vm].memory_mb;
+  return total;
+}
+
+bool Cluster::overloaded(ServerId id) const {
+  check_server(id);
+  const double demand = server_cpu_demand(id);
+  if (!servers_[id].active()) return demand > 0.0;
+  return demand > servers_[id].max_capacity_ghz() + 1e-9 ||
+         server_memory_used(id) > servers_[id].memory_mb() + 1e-9;
+}
+
+std::vector<ServerId> Cluster::overloaded_servers() const {
+  std::vector<ServerId> out;
+  for (ServerId id = 0; id < servers_.size(); ++id) {
+    if (overloaded(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t Cluster::active_server_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(servers_.begin(), servers_.end(),
+                    [](const Server& s) { return s.active(); }));
+}
+
+double Cluster::arbitrate_and_power_w(bool dvfs) {
+  double total = 0.0;
+  std::vector<double> demands;
+  for (ServerId id = 0; id < servers_.size(); ++id) {
+    Server& srv = servers_[id];
+    if (!srv.active()) {
+      total += srv.power_w(0.0);
+      continue;
+    }
+    demands.clear();
+    for (const VmId vm : hosted_[id]) demands.push_back(vms_[vm].cpu_demand_ghz);
+    if (dvfs) {
+      const ArbitrationResult arb = arbitrator_.arbitrate(srv.cpu(), demands);
+      srv.set_frequency(arb.frequency_ghz);
+      total += srv.power_w(arb.utilization());
+    } else {
+      srv.set_frequency(srv.cpu().max_freq_ghz);
+      const double demand = server_cpu_demand(id);
+      const double cap = srv.capacity_ghz();
+      total += srv.power_w(cap > 0.0 ? std::min(1.0, demand / cap) : 0.0);
+    }
+  }
+  return total;
+}
+
+std::size_t Cluster::sleep_idle_servers() {
+  std::size_t transitioned = 0;
+  for (ServerId id = 0; id < servers_.size(); ++id) {
+    if (servers_[id].active() && hosted_[id].empty()) {
+      servers_[id].set_state(ServerState::kSleeping);
+      ++transitioned;
+    }
+  }
+  return transitioned;
+}
+
+void Cluster::wake(ServerId id) {
+  check_server(id);
+  if (!servers_[id].active()) ++wake_count_;
+  servers_[id].set_state(ServerState::kActive);
+}
+
+void Cluster::check_server(ServerId id) const {
+  if (id >= servers_.size()) throw std::out_of_range("Cluster: bad server id");
+}
+
+void Cluster::check_vm(VmId id) const {
+  if (id >= vms_.size()) throw std::out_of_range("Cluster: bad VM id");
+}
+
+void Cluster::detach(VmId vm) {
+  auto& list = hosted_[host_[vm]];
+  list.erase(std::remove(list.begin(), list.end(), vm), list.end());
+  host_[vm] = kNoServer;
+}
+
+}  // namespace vdc::datacenter

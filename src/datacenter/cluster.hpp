@@ -1,0 +1,84 @@
+// The data center: servers, VMs, and the VM->server mapping (single source
+// of truth). Provides the demand/capacity/overload queries the consolidators
+// need and the power/energy accounting the benchmarks report.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "datacenter/arbitrator.hpp"
+#include "datacenter/migration.hpp"
+#include "datacenter/server.hpp"
+
+namespace vdc::datacenter {
+
+class Cluster {
+ public:
+  explicit Cluster(MigrationModel migration_model = {},
+                   CpuResourceArbitrator arbitrator = CpuResourceArbitrator(1.0));
+
+  // ---- topology -----------------------------------------------------------
+  ServerId add_server(Server server);
+  /// Adds a VM, optionally placing it immediately. Unplaced VMs must be
+  /// placed before power accounting.
+  VmId add_vm(Vm vm, std::optional<ServerId> host = std::nullopt);
+
+  [[nodiscard]] std::size_t server_count() const noexcept { return servers_.size(); }
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] const Server& server(ServerId id) const;
+  [[nodiscard]] Server& server(ServerId id);
+  [[nodiscard]] const Vm& vm(VmId id) const;
+  [[nodiscard]] Vm& vm(VmId id);
+  [[nodiscard]] ServerId host_of(VmId id) const;
+  [[nodiscard]] std::span<const VmId> vms_on(ServerId id) const;
+
+  // ---- placement ----------------------------------------------------------
+  /// Places an unplaced VM (no migration cost).
+  void place(VmId vm, ServerId host);
+  /// Re-maps a placed VM, logging the migration at simulated time `now_s`.
+  /// A no-op (not logged) when the VM is already on `host`.
+  void migrate(VmId vm, ServerId host, double now_s = 0.0);
+  [[nodiscard]] const MigrationLog& migration_log() const noexcept { return migrations_; }
+  [[nodiscard]] const MigrationModel& migration_model() const noexcept { return migration_model_; }
+
+  // ---- aggregate queries --------------------------------------------------
+  [[nodiscard]] double server_cpu_demand(ServerId id) const;
+  [[nodiscard]] double server_memory_used(ServerId id) const;
+  /// Demand exceeds the server's capacity at max frequency (or the server
+  /// sleeps while hosting VMs).
+  [[nodiscard]] bool overloaded(ServerId id) const;
+  [[nodiscard]] std::vector<ServerId> overloaded_servers() const;
+  [[nodiscard]] std::size_t active_server_count() const;
+
+  // ---- power --------------------------------------------------------------
+  /// Applies the arbitrator to every active server: sets the DVFS frequency
+  /// for the current demands (when `dvfs` is true; max frequency otherwise)
+  /// and returns total power. Sleeping servers contribute sleep power.
+  double arbitrate_and_power_w(bool dvfs = true);
+
+  /// Puts every active server hosting no VMs to sleep; returns how many
+  /// were transitioned.
+  std::size_t sleep_idle_servers();
+  /// Wakes a sleeping server (consolidators call this before placing VMs).
+  /// Counted in wake_count() when the server was actually asleep — waking
+  /// is a slow, energy-costly transition the optimizer should minimize.
+  void wake(ServerId id);
+  [[nodiscard]] std::size_t wake_count() const noexcept { return wake_count_; }
+
+ private:
+  void check_server(ServerId id) const;
+  void check_vm(VmId id) const;
+  void detach(VmId vm);
+
+  std::vector<Server> servers_;
+  std::vector<Vm> vms_;
+  std::vector<ServerId> host_;               // per VM; kNoServer when unplaced
+  std::vector<std::vector<VmId>> hosted_;    // per server
+  MigrationModel migration_model_;
+  CpuResourceArbitrator arbitrator_;
+  MigrationLog migrations_;
+  std::size_t wake_count_ = 0;
+};
+
+}  // namespace vdc::datacenter

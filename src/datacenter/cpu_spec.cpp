@@ -1,0 +1,56 @@
+#include "datacenter/cpu_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::datacenter {
+
+double CpuSpec::frequency_for_demand(double demand_ghz) const {
+  for (const double f : dvfs_freqs_ghz) {
+    if (capacity_at(f) >= demand_ghz - 1e-12) return f;
+  }
+  return max_freq_ghz;
+}
+
+void CpuSpec::validate() const {
+  if (cores <= 0) throw std::invalid_argument("CpuSpec: cores must be positive");
+  if (!(max_freq_ghz > 0.0)) throw std::invalid_argument("CpuSpec: max frequency");
+  if (dvfs_freqs_ghz.empty()) throw std::invalid_argument("CpuSpec: empty DVFS ladder");
+  if (!std::is_sorted(dvfs_freqs_ghz.begin(), dvfs_freqs_ghz.end())) {
+    throw std::invalid_argument("CpuSpec: DVFS ladder must be ascending");
+  }
+  if (std::abs(dvfs_freqs_ghz.back() - max_freq_ghz) > 1e-9) {
+    throw std::invalid_argument("CpuSpec: DVFS ladder must end at the max frequency");
+  }
+  if (dvfs_freqs_ghz.front() <= 0.0) {
+    throw std::invalid_argument("CpuSpec: DVFS frequencies must be positive");
+  }
+}
+
+namespace {
+
+std::vector<double> ladder(double fmax) {
+  // Six operating points from 50% to 100% of nominal, typical of the
+  // 2008-2010 server CPUs the paper's testbed used.
+  return {0.5 * fmax, 0.6 * fmax, 0.7 * fmax, 0.8 * fmax, 0.9 * fmax, fmax};
+}
+
+}  // namespace
+
+CpuSpec quad_core_3ghz() {
+  return CpuSpec{.model = "quad-3.0GHz", .max_freq_ghz = 3.0, .cores = 4,
+                 .dvfs_freqs_ghz = ladder(3.0)};
+}
+
+CpuSpec dual_core_2ghz() {
+  return CpuSpec{.model = "dual-2.0GHz", .max_freq_ghz = 2.0, .cores = 2,
+                 .dvfs_freqs_ghz = ladder(2.0)};
+}
+
+CpuSpec dual_core_1_5ghz() {
+  return CpuSpec{.model = "dual-1.5GHz", .max_freq_ghz = 1.5, .cores = 2,
+                 .dvfs_freqs_ghz = ladder(1.5)};
+}
+
+}  // namespace vdc::datacenter

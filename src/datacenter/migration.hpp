@@ -1,0 +1,55 @@
+// Live-migration model and accounting. A migration's duration and network
+// cost follow the pre-copy model: roughly the VM's memory image must cross
+// the network once (plus dirty-page rounds folded into `overhead_factor`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datacenter/server.hpp"
+
+namespace vdc::datacenter {
+
+struct MigrationModel {
+  double network_bandwidth_mbps = 1000.0;  ///< dedicated migration bandwidth
+  double overhead_factor = 1.3;            ///< dirty-page re-send multiplier
+  double downtime_s = 0.5;                 ///< stop-and-copy downtime
+
+  /// Wall-clock duration of migrating a VM with the given memory footprint.
+  [[nodiscard]] double duration_s(double vm_memory_mb) const noexcept {
+    const double megabits = vm_memory_mb * 8.0 * overhead_factor;
+    return megabits / network_bandwidth_mbps + downtime_s;
+  }
+  /// Bytes moved across the network.
+  [[nodiscard]] double bytes_moved(double vm_memory_mb) const noexcept {
+    return vm_memory_mb * 1e6 * overhead_factor;
+  }
+};
+
+struct MigrationRecord {
+  VmId vm;
+  ServerId from;
+  ServerId to;
+  double time_s;      ///< when the migration was issued
+  double duration_s;
+  double bytes;
+};
+
+/// Append-only log of executed migrations with aggregate statistics.
+class MigrationLog {
+ public:
+  void add(MigrationRecord record);
+
+  [[nodiscard]] std::size_t count() const noexcept { return records_.size(); }
+  [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] double total_duration_s() const noexcept { return total_duration_; }
+  [[nodiscard]] const std::vector<MigrationRecord>& records() const noexcept { return records_; }
+  void clear() noexcept;
+
+ private:
+  std::vector<MigrationRecord> records_;
+  double total_bytes_ = 0.0;
+  double total_duration_ = 0.0;
+};
+
+}  // namespace vdc::datacenter

@@ -1,0 +1,44 @@
+#include "datacenter/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::datacenter {
+
+double PowerModel::active_power_w(double f_ratio, double utilization) const {
+  f_ratio = std::clamp(f_ratio, 0.0, 1.0);
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  const double dyn = std::pow(f_ratio, dyn_exponent);
+  return base_w + idle_dyn_w * dyn + load_dyn_w * dyn * utilization;
+}
+
+void PowerModel::validate() const {
+  if (sleep_w < 0.0 || base_w < 0.0 || idle_dyn_w < 0.0 || load_dyn_w < 0.0) {
+    throw std::invalid_argument("PowerModel: negative power term");
+  }
+  if (sleep_w > base_w) {
+    throw std::invalid_argument("PowerModel: sleep power exceeds active base power");
+  }
+  if (dyn_exponent < 1.0 || dyn_exponent > 4.0) {
+    throw std::invalid_argument("PowerModel: dynamic exponent outside [1,4]");
+  }
+}
+
+PowerModel power_model_quad_3ghz() {
+  // Late-generation, most efficient class: 12 GHz / 270 W peak = 0.044 GHz/W.
+  return PowerModel{.sleep_w = 8.0, .base_w = 130.0, .idle_dyn_w = 30.0, .load_dyn_w = 110.0};
+}
+
+PowerModel power_model_dual_2ghz() {
+  // Mid-generation: 4 GHz / 180 W = 0.022 GHz/W.
+  return PowerModel{.sleep_w = 6.0, .base_w = 100.0, .idle_dyn_w = 20.0, .load_dyn_w = 60.0};
+}
+
+PowerModel power_model_dual_1_5ghz() {
+  // Oldest class, poor perf/W (the heterogeneity the optimizer exploits):
+  // 3 GHz / 200 W = 0.015 GHz/W.
+  return PowerModel{.sleep_w = 5.0, .base_w = 110.0, .idle_dyn_w = 20.0, .load_dyn_w = 70.0};
+}
+
+}  // namespace vdc::datacenter

@@ -1,0 +1,44 @@
+// Server power model.
+//
+//   P_sleep                                  when sleeping
+//   P(f, u) = base + idle_dyn*(f/fmax)^3 + load_dyn*(f/fmax)^3 * u   when active
+//
+// base is static/leakage power (also covering fans, disks, memory); the two
+// dynamic terms scale cubically with frequency because supply voltage
+// scales with frequency under DVFS. The model preserves the two properties
+// the paper's algorithms exploit: idle servers still burn most of their
+// peak power (so consolidation + sleep wins), and running the same work at
+// lower frequency costs quadratically less dynamic power (so DVFS wins).
+#pragma once
+
+namespace vdc::datacenter {
+
+struct PowerModel {
+  double sleep_w = 5.0;
+  double base_w = 120.0;      ///< frequency-independent floor while active
+  double idle_dyn_w = 20.0;   ///< clock-tree and uncore dynamic power at fmax
+  double load_dyn_w = 80.0;   ///< additional dynamic power at fmax, 100% load
+  double dyn_exponent = 3.0;  ///< voltage-frequency scaling exponent
+
+  /// Active power at relative frequency `f_ratio` = f/fmax, utilization
+  /// u in [0,1] measured at that frequency.
+  [[nodiscard]] double active_power_w(double f_ratio, double utilization) const;
+
+  /// Peak power (fmax, fully loaded) — the denominator of the paper's
+  /// power-efficiency metric.
+  [[nodiscard]] double max_power_w() const noexcept {
+    return base_w + idle_dyn_w + load_dyn_w;
+  }
+
+  /// Throws std::invalid_argument on non-physical parameters.
+  void validate() const;
+};
+
+/// Power models matched to the three simulator server classes; sized so the
+/// power-efficiency ranking is quad-3GHz > dual-2GHz > dual-1.5GHz, giving
+/// the consolidators meaningful heterogeneity to exploit.
+[[nodiscard]] PowerModel power_model_quad_3ghz();
+[[nodiscard]] PowerModel power_model_dual_2ghz();
+[[nodiscard]] PowerModel power_model_dual_1_5ghz();
+
+}  // namespace vdc::datacenter

@@ -1,0 +1,43 @@
+#include "datacenter/server.hpp"
+
+#include <stdexcept>
+
+namespace vdc::datacenter {
+
+Server::Server(CpuSpec cpu, PowerModel power, double memory_mb)
+    : cpu_(std::move(cpu)), power_(power), memory_mb_(memory_mb) {
+  cpu_.validate();
+  power_.validate();
+  if (!(memory_mb > 0.0)) throw std::invalid_argument("Server: memory must be positive");
+  frequency_ghz_ = cpu_.max_freq_ghz;
+}
+
+void Server::set_state(ServerState state) noexcept {
+  state_ = state;
+  if (state_ == ServerState::kActive && frequency_ghz_ <= 0.0) {
+    frequency_ghz_ = cpu_.max_freq_ghz;
+  }
+}
+
+void Server::set_frequency(double freq_ghz) {
+  // Snap up to the nearest DVFS operating point.
+  for (const double f : cpu_.dvfs_freqs_ghz) {
+    if (f >= freq_ghz - 1e-12) {
+      frequency_ghz_ = f;
+      return;
+    }
+  }
+  frequency_ghz_ = cpu_.max_freq_ghz;
+}
+
+double Server::capacity_ghz() const noexcept {
+  if (state_ != ServerState::kActive) return 0.0;
+  return cpu_.capacity_at(frequency_ghz_);
+}
+
+double Server::power_w(double utilization) const noexcept {
+  if (state_ != ServerState::kActive) return power_.sleep_w;
+  return power_.active_power_w(frequency_ghz_ / cpu_.max_freq_ghz, utilization);
+}
+
+}  // namespace vdc::datacenter

@@ -1,0 +1,69 @@
+// A physical server: CPU spec + power model + memory + sleep/active state
+// and the current DVFS operating point. VM hosting lives in Cluster so
+// there is a single source of truth for the mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "datacenter/cpu_spec.hpp"
+#include "datacenter/power_model.hpp"
+
+namespace vdc::datacenter {
+
+using ServerId = std::uint32_t;
+using VmId = std::uint32_t;
+inline constexpr ServerId kNoServer = static_cast<ServerId>(-1);
+
+enum class ServerState { kSleeping, kActive };
+
+class Server {
+ public:
+  Server(CpuSpec cpu, PowerModel power, double memory_mb);
+
+  [[nodiscard]] const CpuSpec& cpu() const noexcept { return cpu_; }
+  [[nodiscard]] const PowerModel& power_model() const noexcept { return power_; }
+  [[nodiscard]] double memory_mb() const noexcept { return memory_mb_; }
+
+  [[nodiscard]] ServerState state() const noexcept { return state_; }
+  [[nodiscard]] bool active() const noexcept { return state_ == ServerState::kActive; }
+  void set_state(ServerState state) noexcept;
+
+  /// Current DVFS frequency (GHz). Meaningful only while active.
+  [[nodiscard]] double frequency_ghz() const noexcept { return frequency_ghz_; }
+  /// Snaps to the nearest ladder point at or above the request.
+  void set_frequency(double freq_ghz);
+
+  /// Aggregate capacity at the current state/frequency; 0 while sleeping.
+  [[nodiscard]] double capacity_ghz() const noexcept;
+  [[nodiscard]] double max_capacity_ghz() const noexcept { return cpu_.max_capacity_ghz(); }
+
+  /// Instantaneous power draw given utilization (fraction of current
+  /// capacity in use, [0,1]).
+  [[nodiscard]] double power_w(double utilization) const noexcept;
+
+  /// The paper's power-efficiency metric: max total frequency / max power
+  /// (GHz per watt) — servers are consolidated onto high values first.
+  [[nodiscard]] double power_efficiency() const noexcept {
+    return cpu_.max_capacity_ghz() / power_.max_power_w();
+  }
+
+ private:
+  CpuSpec cpu_;
+  PowerModel power_;
+  double memory_mb_;
+  ServerState state_ = ServerState::kActive;
+  double frequency_ghz_;
+};
+
+/// A virtual machine: its current CPU demand (GHz, set by the response-time
+/// controller or by the utilization trace) and its memory footprint.
+struct Vm {
+  std::string name;
+  double cpu_demand_ghz = 0.0;
+  double memory_mb = 1024.0;
+  /// Which application/tier this VM runs (free-form; used by reports).
+  std::string role;
+};
+
+}  // namespace vdc::datacenter

@@ -1,0 +1,66 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::linalg {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (!a.square()) throw std::invalid_argument("Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  const double tol = 1e-13 * std::max(1.0, a.max_abs());
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    if (d <= tol) throw std::runtime_error("Cholesky: matrix is not positive definite");
+    l_(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: dimension mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
+    y[i] = s / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * x[j];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+double CholeskyDecomposition::log_determinant() const noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+bool is_spd(const Matrix& a) noexcept {
+  if (!a.square()) return false;
+  const double tol = 1e-9 * std::max(1.0, a.max_abs());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = r + 1; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - a(c, r)) > tol) return false;
+    }
+  }
+  try {
+    const CholeskyDecomposition chol(a);
+    (void)chol;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace vdc::linalg

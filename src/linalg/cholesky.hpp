@@ -1,0 +1,28 @@
+// Cholesky factorization for the symmetric positive-definite Hessians that
+// arise in the MPC quadratic program.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace vdc::linalg {
+
+/// Factors A = L * L^T for symmetric positive-definite A.
+/// Throws std::runtime_error if A is not (numerically) SPD.
+class CholeskyDecomposition {
+ public:
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+  [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
+  /// log(det A) — numerically safe product of squared diagonal entries.
+  [[nodiscard]] double log_determinant() const noexcept;
+
+ private:
+  Matrix l_;
+};
+
+/// Returns true when `a` is numerically symmetric positive definite.
+[[nodiscard]] bool is_spd(const Matrix& a) noexcept;
+
+}  // namespace vdc::linalg

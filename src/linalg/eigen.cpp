@@ -1,0 +1,195 @@
+#include "linalg/eigen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::linalg {
+
+Matrix hessenberg(Matrix a) {
+  if (!a.square()) throw std::invalid_argument("hessenberg: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n < 3) return a;
+
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating a(k+2..n-1, k).
+    double norm = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) continue;
+    const double alpha = a(k + 1, k) >= 0 ? -norm : norm;
+    std::vector<double> v(n, 0.0);
+    v[k + 1] = a(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = a(i, k);
+    double vtv = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
+    if (vtv < 1e-300) continue;
+    const double beta = 2.0 / vtv;
+
+    // A <- (I - beta v v^T) A
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, c);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, c) -= s * v[i];
+    }
+    // A <- A (I - beta v v^T)
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += a(r, i) * v[i];
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) a(r, i) -= s * v[i];
+    }
+  }
+  // Clean the (now numerically zero) entries below the subdiagonal.
+  for (std::size_t r = 2; r < n; ++r) {
+    for (std::size_t c = 0; c + 1 < r; ++c) a(r, c) = 0.0;
+  }
+  return a;
+}
+
+namespace {
+
+/// Eigenvalues of the trailing 2x2 block [[a,b],[c,d]].
+void block_eigenvalues(double a, double b, double c, double d,
+                       std::vector<std::complex<double>>& out) {
+  const double tr = a + d;
+  const double det = a * d - b * c;
+  const double disc = tr * tr / 4.0 - det;
+  if (disc >= 0.0) {
+    const double root = std::sqrt(disc);
+    out.emplace_back(tr / 2.0 + root, 0.0);
+    out.emplace_back(tr / 2.0 - root, 0.0);
+  } else {
+    const double imag = std::sqrt(-disc);
+    out.emplace_back(tr / 2.0, imag);
+    out.emplace_back(tr / 2.0, -imag);
+  }
+}
+
+/// One implicit double-shift (Francis) QR sweep on h(lo..hi, lo..hi).
+void francis_sweep(Matrix& h, std::size_t lo, std::size_t hi) {
+  const std::size_t n = h.rows();
+  // Shift polynomial from the trailing 2x2 of the active block.
+  const double s = h(hi - 1, hi - 1) + h(hi, hi);                       // trace
+  const double t = h(hi - 1, hi - 1) * h(hi, hi) - h(hi - 1, hi) * h(hi, hi - 1);
+
+  // First column of (H - aI)(H - bI) restricted to the leading 3 entries.
+  double x = h(lo, lo) * h(lo, lo) + h(lo, lo + 1) * h(lo + 1, lo) - s * h(lo, lo) + t;
+  double y = h(lo + 1, lo) * (h(lo, lo) + h(lo + 1, lo + 1) - s);
+  double z = (lo + 2 <= hi) ? h(lo + 2, lo + 1) * h(lo + 1, lo) : 0.0;
+
+  for (std::size_t k = lo; k + 1 <= hi; ++k) {
+    // Householder on (x, y, z).
+    const double norm = std::sqrt(x * x + y * y + z * z);
+    if (norm > 1e-300) {
+      const double alpha = x >= 0 ? -norm : norm;
+      double v0 = x - alpha;
+      double v1 = y;
+      double v2 = z;
+      const double vtv = v0 * v0 + v1 * v1 + v2 * v2;
+      if (vtv > 1e-300) {
+        const double beta = 2.0 / vtv;
+        const std::size_t rows = (k + 2 <= hi) ? 3 : 2;
+        // Apply P = I - beta v v^T from the left to rows k..k+rows-1.
+        const std::size_t col_start = (k > lo) ? k - 1 : lo;
+        for (std::size_t c = col_start; c < n; ++c) {
+          double dot = v0 * h(k, c) + v1 * h(k + 1, c);
+          if (rows == 3) dot += v2 * h(k + 2, c);
+          dot *= beta;
+          h(k, c) -= dot * v0;
+          h(k + 1, c) -= dot * v1;
+          if (rows == 3) h(k + 2, c) -= dot * v2;
+        }
+        // ... and from the right to columns k..k+rows-1.
+        const std::size_t row_end = std::min(hi, k + 3);
+        for (std::size_t r = 0; r <= row_end; ++r) {
+          double dot = v0 * h(r, k) + v1 * h(r, k + 1);
+          if (rows == 3) dot += v2 * h(r, k + 2);
+          dot *= beta;
+          h(r, k) -= dot * v0;
+          h(r, k + 1) -= dot * v1;
+          if (rows == 3) h(r, k + 2) -= dot * v2;
+        }
+      }
+    }
+    // Next bulge column.
+    if (k + 1 <= hi) {
+      x = h(k + 1, k);
+      y = (k + 2 <= hi) ? h(k + 2, k) : 0.0;
+      z = (k + 3 <= hi) ? h(k + 3, k) : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a, std::size_t max_iterations) {
+  if (!a.square()) throw std::invalid_argument("eigenvalues: matrix must be square");
+  const std::size_t n = a.rows();
+  std::vector<std::complex<double>> out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.emplace_back(a(0, 0), 0.0);
+    return out;
+  }
+
+  Matrix h = hessenberg(a);
+  const double scale = std::max(1.0, h.max_abs());
+  std::size_t hi = n - 1;
+  std::size_t stuck = 0;
+
+  while (true) {
+    // Deflate tiny subdiagonals in the active block.
+    for (std::size_t i = 1; i <= hi; ++i) {
+      const double threshold =
+          1e-14 * (std::abs(h(i - 1, i - 1)) + std::abs(h(i, i)) + scale * 1e-3);
+      if (std::abs(h(i, i - 1)) < threshold) h(i, i - 1) = 0.0;
+    }
+
+    // Peel converged eigenvalues off the bottom.
+    if (hi == 0) {
+      out.emplace_back(h(0, 0), 0.0);
+      break;
+    }
+    if (h(hi, hi - 1) == 0.0) {
+      out.emplace_back(h(hi, hi), 0.0);
+      --hi;
+      stuck = 0;
+      continue;
+    }
+    if (hi == 1 || h(hi - 1, hi - 2) == 0.0) {
+      block_eigenvalues(h(hi - 1, hi - 1), h(hi - 1, hi), h(hi, hi - 1), h(hi, hi), out);
+      if (hi == 1) break;
+      hi -= 2;
+      stuck = 0;
+      continue;
+    }
+
+    // Find the start of the active (unreduced) block ending at hi.
+    std::size_t lo = hi - 1;
+    while (lo > 0 && h(lo, lo - 1) != 0.0) --lo;
+
+    if (++stuck > max_iterations) {
+      // Exceptional shift: perturb to break symmetric stagnation, as in
+      // LAPACK's ad-hoc shifts.
+      h(hi, hi - 1) *= 0.99;
+      h(hi - 1, hi - 1) += 1e-8 * scale;
+      if (stuck > 3 * max_iterations) {
+        throw std::runtime_error("eigenvalues: QR iteration failed to converge");
+      }
+    }
+    francis_sweep(h, lo, hi);
+  }
+
+  return out;
+}
+
+double exact_spectral_radius(const Matrix& a) {
+  double rho = 0.0;
+  for (const std::complex<double>& lambda : eigenvalues(a)) {
+    rho = std::max(rho, std::abs(lambda));
+  }
+  return rho;
+}
+
+}  // namespace vdc::linalg

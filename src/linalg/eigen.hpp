@@ -1,0 +1,28 @@
+// Dense real eigenvalue solver: Householder reduction to upper Hessenberg
+// form followed by the Francis implicit double-shift QR iteration (Golub &
+// Van Loan §7.5). Returns the full complex spectrum; used to analyze
+// closed-loop dynamics exactly (the power-iteration estimator in
+// matrix.hpp only bounds the spectral radius).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vdc::linalg {
+
+/// Reduces `a` to upper Hessenberg form via Householder similarity
+/// transforms (same spectrum).
+[[nodiscard]] Matrix hessenberg(Matrix a);
+
+/// All eigenvalues of a real square matrix, in no particular order.
+/// Throws std::invalid_argument for non-square inputs and
+/// std::runtime_error if the QR iteration fails to converge.
+[[nodiscard]] std::vector<std::complex<double>> eigenvalues(const Matrix& a,
+                                                            std::size_t max_iterations = 30);
+
+/// max |lambda| from the exact spectrum.
+[[nodiscard]] double exact_spectral_radius(const Matrix& a);
+
+}  // namespace vdc::linalg

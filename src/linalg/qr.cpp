@@ -1,0 +1,130 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::linalg {
+
+QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (m < n) throw std::invalid_argument("QR: need rows >= cols");
+  tau_.assign(n, 0.0);
+  const double tol = 1e-12 * std::max(1.0, qr_.max_abs());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating column k below row k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= tol) {
+      rank_deficient_ = true;
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    qr_(k, k) = alpha;
+    // Store v (scaled so v[0] = 1) below the diagonal.
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[k] = -v0 / alpha;  // beta = 2 / (v^T v) with v[0] = 1 normalization
+
+    // Apply the reflector to the remaining columns: A <- (I - beta v v^T) A.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = qr_(k, c);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, c);
+      s *= tau_[k];
+      qr_(k, c) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, c) -= s * qr_(i, k);
+    }
+  }
+}
+
+Vector QrDecomposition::qt_apply(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (b.size() != m) throw std::invalid_argument("QR::qt_apply: dimension mismatch");
+  Vector y(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Vector QrDecomposition::q_apply(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (b.size() != m) throw std::invalid_argument("QR::q_apply: dimension mismatch");
+  Vector y(b.begin(), b.end());
+  // Q = H_0 H_1 ... H_{n-1}; apply reflectors in reverse order.
+  for (std::size_t kk = n; kk-- > 0;) {
+    if (tau_[kk] == 0.0) continue;
+    double s = y[kk];
+    for (std::size_t i = kk + 1; i < m; ++i) s += qr_(i, kk) * y[i];
+    s *= tau_[kk];
+    y[kk] -= s;
+    for (std::size_t i = kk + 1; i < m; ++i) y[i] -= s * qr_(i, kk);
+  }
+  return y;
+}
+
+Matrix QrDecomposition::q_full() const {
+  const std::size_t m = qr_.rows();
+  Matrix q(m, m);
+  Vector e(m, 0.0);
+  for (std::size_t c = 0; c < m; ++c) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[c] = 1.0;
+    const Vector col = q_apply(e);
+    for (std::size_t r = 0; r < m; ++r) q(r, c) = col[r];
+  }
+  return q;
+}
+
+Vector QrDecomposition::solve(std::span<const double> b) const {
+  if (rank_deficient_) throw std::runtime_error("QR::solve: matrix is rank deficient");
+  const std::size_t n = qr_.cols();
+  Vector y = qt_apply(b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+Matrix QrDecomposition::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Vector least_squares(Matrix a, std::span<const double> b) {
+  return QrDecomposition(std::move(a)).solve(b);
+}
+
+Vector ridge_least_squares(const Matrix& a, std::span<const double> b, double lambda) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("ridge_least_squares: lambda must be > 0");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("ridge_least_squares: dimension mismatch");
+  // Solve the stacked system [A; sqrt(lambda) I] x ~= [b; 0].
+  Matrix stacked(m + n, n);
+  stacked.set_block(0, 0, a);
+  const double s = std::sqrt(lambda);
+  for (std::size_t i = 0; i < n; ++i) stacked(m + i, i) = s;
+  Vector rhs(m + n, 0.0);
+  std::copy(b.begin(), b.end(), rhs.begin());
+  return least_squares(std::move(stacked), rhs);
+}
+
+}  // namespace vdc::linalg

@@ -1,0 +1,48 @@
+// Householder QR factorization and least squares — the workhorse of system
+// identification (ARX fitting) and the MPC's "least squares solver" that the
+// paper's controller contains.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace vdc::linalg {
+
+/// Householder QR of an m x n matrix with m >= n.
+class QrDecomposition {
+ public:
+  explicit QrDecomposition(Matrix a);
+
+  /// Least-squares solution of min ||A x - b||_2 (b.size() == m).
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// The upper-triangular factor R (n x n).
+  [[nodiscard]] Matrix r() const;
+  /// Applies Q^T to a vector of length m.
+  [[nodiscard]] Vector qt_apply(std::span<const double> b) const;
+  /// Applies Q to a vector of length m.
+  [[nodiscard]] Vector q_apply(std::span<const double> b) const;
+  /// The full m x m orthogonal factor Q (columns n..m-1 span the orthogonal
+  /// complement of range(A) — the null space of A^T).
+  [[nodiscard]] Matrix q_full() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return qr_.cols(); }
+  /// True when R has a (numerically) zero diagonal entry.
+  [[nodiscard]] bool rank_deficient() const noexcept { return rank_deficient_; }
+
+ private:
+  Matrix qr_;         // Householder vectors below the diagonal, R above
+  Vector tau_;        // Householder coefficients
+  bool rank_deficient_ = false;
+};
+
+/// One-shot least squares: min ||A x - b||. Throws on rank deficiency.
+[[nodiscard]] Vector least_squares(Matrix a, std::span<const double> b);
+
+/// Ridge-regularized least squares: min ||A x - b||^2 + lambda ||x||^2.
+/// Always well-posed for lambda > 0; used by system identification when the
+/// excitation is weak.
+[[nodiscard]] Vector ridge_least_squares(const Matrix& a, std::span<const double> b,
+                                         double lambda);
+
+}  // namespace vdc::linalg

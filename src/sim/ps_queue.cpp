@@ -1,0 +1,98 @@
+#include "sim/ps_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace vdc::sim {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+PsQueue::PsQueue(Simulation& sim, double capacity_ghz, CompletionHandler on_complete)
+    : sim_(sim), capacity_(capacity_ghz), on_complete_(std::move(on_complete)) {
+  if (capacity_ghz < 0.0) throw std::invalid_argument("PsQueue: negative capacity");
+  last_sync_ = sim_.now();
+}
+
+JobId PsQueue::add_job(double demand_gcycles) {
+  if (!(demand_gcycles > 0.0)) throw std::invalid_argument("PsQueue: demand must be positive");
+  sync();
+  const JobId id = next_job_id_++;
+  jobs_.emplace(id, demand_gcycles);
+  schedule_next_completion();
+  return id;
+}
+
+double PsQueue::remove_job(JobId id) {
+  sync();
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return -1.0;
+  const double remaining = it->second;
+  jobs_.erase(it);
+  schedule_next_completion();
+  return remaining;
+}
+
+void PsQueue::set_capacity(double capacity_ghz) {
+  if (capacity_ghz < 0.0) throw std::invalid_argument("PsQueue: negative capacity");
+  sync();
+  capacity_ = capacity_ghz;
+  schedule_next_completion();
+}
+
+double PsQueue::busy_time() const {
+  // busy_time_ is advanced in sync(); add the open interval since then.
+  if (jobs_.empty()) return busy_time_;
+  return busy_time_ + (sim_.now() - last_sync_);
+}
+
+void PsQueue::sync() {
+  const double now = sim_.now();
+  const double elapsed = now - last_sync_;
+  last_sync_ = now;
+  if (elapsed <= 0.0 || jobs_.empty()) return;
+
+  busy_time_ += elapsed;
+  if (capacity_ <= 0.0) return;  // VM is allocated nothing: work stalls
+
+  const double per_job = elapsed * capacity_ / static_cast<double>(jobs_.size());
+  // Jobs whose residual hits zero here complete "now"; deliver them in id
+  // order for determinism.
+  std::vector<JobId> finished;
+  for (auto& [id, remaining] : jobs_) {
+    remaining -= per_job;
+    work_done_ += per_job;
+    if (remaining <= kEps) {
+      work_done_ += remaining;  // don't over-count the overshoot
+      finished.push_back(id);
+    }
+  }
+  std::sort(finished.begin(), finished.end());
+  for (const JobId id : finished) jobs_.erase(id);
+  for (const JobId id : finished) {
+    if (on_complete_) on_complete_(id);
+  }
+}
+
+void PsQueue::schedule_next_completion() {
+  if (pending_completion_ != 0) {
+    sim_.cancel(pending_completion_);
+    pending_completion_ = 0;
+  }
+  if (jobs_.empty() || capacity_ <= 0.0) return;
+
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, remaining] : jobs_) min_remaining = std::min(min_remaining, remaining);
+  const double dt =
+      std::max(0.0, min_remaining) * static_cast<double>(jobs_.size()) / capacity_;
+  pending_completion_ = sim_.schedule_after(dt, [this] {
+    pending_completion_ = 0;
+    sync();
+    schedule_next_completion();
+  });
+}
+
+}  // namespace vdc::sim

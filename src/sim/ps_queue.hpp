@@ -1,0 +1,70 @@
+// Processor-sharing queue with dynamically adjustable capacity.
+//
+// This models one VM (one application tier) under a credit-scheduler cap:
+// the queue's capacity is the CPU allocation in GHz (cycles/second), each
+// job carries a service demand in cycles, and all resident jobs share the
+// capacity equally — the behaviour of a CPU-bound tier under Xen's
+// work-conserving-off cap, which is what the paper's arbitrator enforces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulation.hpp"
+
+namespace vdc::sim {
+
+using JobId = std::uint64_t;
+
+class PsQueue {
+ public:
+  /// Called when a job finishes; runs inside the simulation event.
+  using CompletionHandler = std::function<void(JobId)>;
+
+  /// `capacity_ghz` is the initial processing rate in 1e9 cycles/second.
+  PsQueue(Simulation& sim, double capacity_ghz, CompletionHandler on_complete);
+
+  PsQueue(const PsQueue&) = delete;
+  PsQueue& operator=(const PsQueue&) = delete;
+
+  /// Admits a job with the given service demand (unit: Gcycles, i.e. the
+  /// job takes demand/capacity seconds when running alone). Returns its id.
+  JobId add_job(double demand_gcycles);
+
+  /// Removes a job before completion (e.g. client abandoned). Returns the
+  /// remaining demand, or a negative value if the job is unknown.
+  double remove_job(JobId id);
+
+  /// Changes the capacity (DVFS / new CPU allocation). Takes effect
+  /// immediately; in-flight work is preserved.
+  void set_capacity(double capacity_ghz);
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t jobs_in_service() const noexcept { return jobs_.size(); }
+
+  /// Total work completed since construction (Gcycles) — used for
+  /// utilization accounting.
+  [[nodiscard]] double work_done() const noexcept { return work_done_; }
+
+  /// Busy time (seconds with >= 1 job) since construction.
+  [[nodiscard]] double busy_time() const;
+
+ private:
+  /// Advances all job residuals to sim.now() and reschedules the next
+  /// completion event.
+  void sync();
+  void schedule_next_completion();
+
+  Simulation& sim_;
+  double capacity_;
+  CompletionHandler on_complete_;
+  std::unordered_map<JobId, double> jobs_;  // id -> remaining Gcycles
+  JobId next_job_id_ = 1;
+  double last_sync_ = 0.0;
+  EventId pending_completion_ = 0;  // 0 = none
+  double work_done_ = 0.0;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace vdc::sim

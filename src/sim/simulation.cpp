@@ -1,0 +1,64 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace vdc::sim {
+
+EventId Simulation::schedule(double time, std::function<void()> callback) {
+  if (time < now_) throw std::invalid_argument("Simulation::schedule: time is in the past");
+  if (!callback) throw std::invalid_argument("Simulation::schedule: empty callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id});
+  callbacks_.emplace(id, std::move(callback));
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);  // lazy deletion; popped entries are skipped
+  return true;
+}
+
+bool Simulation::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(top.id);
+    if (cb_it == callbacks_.end()) continue;  // defensive; should not happen
+    std::function<void()> callback = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = top.time;
+    ++executed_;
+    callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(double t) {
+  if (t < now_) throw std::invalid_argument("Simulation::run_until: time is in the past");
+  while (!heap_.empty()) {
+    // Skim cancelled entries off the top so the peeked time is live.
+    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace vdc::sim

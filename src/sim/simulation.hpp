@@ -1,0 +1,68 @@
+// Discrete-event simulation kernel. Single-threaded, deterministic: events
+// with equal timestamps fire in scheduling order. This is the substrate on
+// which the multi-tier application testbed (RUBBoS-equivalent) runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace vdc::sim {
+
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  /// Current simulation time in seconds.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `callback` at absolute time `time` (>= now). Returns a handle
+  /// usable with `cancel`.
+  EventId schedule(double time, std::function<void()> callback);
+
+  /// Schedules `callback` after a relative delay (>= 0).
+  EventId schedule_after(double delay, std::function<void()> callback) {
+    return schedule(now_ + delay, std::move(callback));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op; returns whether an event was actually cancelled.
+  bool cancel(EventId id);
+
+  /// Executes the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Processes all events with time <= t, then advances the clock to t.
+  void run_until(double t);
+
+  /// Runs until no events remain.
+  void run();
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;  // doubles as tie-break sequence number (monotonic)
+    // min-heap on (time, id)
+    bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace vdc::sim

@@ -1,0 +1,98 @@
+#include "trace/analysis.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/statistics.hpp"
+
+namespace vdc::trace {
+
+SeriesProfile profile_series(std::span<const double> series) {
+  SeriesProfile profile;
+  if (series.empty()) return profile;
+  util::RunningStats stats;
+  for (const double u : series) stats.add(u);
+  profile.mean = stats.mean();
+  profile.stddev = stats.stddev();
+  profile.min = stats.min();
+  profile.max = stats.max();
+  profile.peak_to_mean = stats.mean() > 0.0 ? stats.max() / stats.mean() : 0.0;
+
+  if (series.size() > 2 && stats.variance() > 0.0) {
+    double cov = 0.0;
+    for (std::size_t k = 0; k + 1 < series.size(); ++k) {
+      cov += (series[k] - profile.mean) * (series[k + 1] - profile.mean);
+    }
+    cov /= static_cast<double>(series.size() - 1);
+    profile.autocorrelation_lag1 = cov / stats.variance();
+  }
+  return profile;
+}
+
+TraceProfile profile_trace(const UtilizationTrace& trace) {
+  TraceProfile profile;
+
+  // Overall profile over the per-sample cluster means.
+  std::vector<double> cluster_mean(trace.sample_count());
+  for (std::size_t k = 0; k < trace.sample_count(); ++k) cluster_mean[k] = trace.mean_at(k);
+  profile.overall = profile_series(cluster_mean);
+
+  util::RunningStats business;
+  util::RunningStats night;
+  util::RunningStats weekday;
+  util::RunningStats weekend;
+  for (std::size_t k = 0; k < trace.sample_count(); ++k) {
+    const double t = static_cast<double>(k) * trace.sample_period_s();
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    const bool is_weekend = (static_cast<int>(t / 86400.0) % 7) >= 5;
+    (is_weekend ? weekend : weekday).add(cluster_mean[k]);
+    if (!is_weekend) {
+      if (hour >= 9.0 && hour < 17.0) business.add(cluster_mean[k]);
+      if (hour < 5.0) night.add(cluster_mean[k]);
+    }
+  }
+  profile.business_hours_mean = business.mean();
+  profile.night_mean = night.mean();
+  profile.diurnal_ratio =
+      night.mean() > 0.0 ? business.mean() / night.mean() : 0.0;
+  profile.weekday_mean = weekday.mean();
+  profile.weekend_mean = weekend.mean();
+
+  // Per-label: average the label's servers sample-wise, then profile.
+  if (trace.labels.size() == trace.server_count()) {
+    std::map<std::string, std::vector<std::size_t>> members;
+    for (std::size_t s = 0; s < trace.server_count(); ++s) {
+      members[trace.labels[s]].push_back(s);
+    }
+    for (const auto& [label, servers] : members) {
+      if (label.empty()) continue;
+      std::vector<double> mean_series(trace.sample_count(), 0.0);
+      for (const std::size_t s : servers) {
+        const auto series = trace.series(s);
+        for (std::size_t k = 0; k < series.size(); ++k) mean_series[k] += series[k];
+      }
+      for (double& v : mean_series) v /= static_cast<double>(servers.size());
+      profile.by_label[label] = profile_series(mean_series);
+    }
+  }
+  return profile;
+}
+
+std::string to_string(const TraceProfile& profile) {
+  std::ostringstream out;
+  out.precision(3);
+  out << "overall: mean " << profile.overall.mean << ", std " << profile.overall.stddev
+      << ", peak/mean " << profile.overall.peak_to_mean << ", lag-1 ac "
+      << profile.overall.autocorrelation_lag1 << '\n';
+  out << "diurnal: business " << profile.business_hours_mean << " vs night "
+      << profile.night_mean << " (ratio " << profile.diurnal_ratio << ")\n";
+  out << "weekly: weekday " << profile.weekday_mean << " vs weekend "
+      << profile.weekend_mean << '\n';
+  for (const auto& [label, series] : profile.by_label) {
+    out << "sector " << label << ": mean " << series.mean << ", peak/mean "
+        << series.peak_to_mean << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace vdc::trace

@@ -1,0 +1,49 @@
+// Trace characterization: summary statistics used to validate the
+// synthetic trace against the features the paper's evaluation relies on
+// (low average utilization, strong diurnality, weekday/weekend contrast) —
+// and to let users sanity-check their own imported traces.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace vdc::trace {
+
+struct SeriesProfile {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double peak_to_mean = 0.0;
+  /// Lag-1 autocorrelation (smoothness of the series).
+  double autocorrelation_lag1 = 0.0;
+};
+
+struct TraceProfile {
+  SeriesProfile overall;
+  /// Business hours (9-17 local) mean over weekday samples.
+  double business_hours_mean = 0.0;
+  /// Night (0-5 local) mean over weekday samples.
+  double night_mean = 0.0;
+  /// business_hours_mean / night_mean — the diurnal contrast the
+  /// consolidators exploit.
+  double diurnal_ratio = 0.0;
+  double weekday_mean = 0.0;
+  double weekend_mean = 0.0;
+  /// Per-label profile when the trace carries labels (synthetic sectors).
+  std::map<std::string, SeriesProfile> by_label;
+};
+
+/// Profile of a single server's series.
+[[nodiscard]] SeriesProfile profile_series(std::span<const double> series);
+
+/// Whole-trace profile. Assumes the trace starts at Monday 00:00 (as the
+/// paper's does).
+[[nodiscard]] TraceProfile profile_trace(const UtilizationTrace& trace);
+
+/// Renders the profile as a short human-readable report.
+[[nodiscard]] std::string to_string(const TraceProfile& profile);
+
+}  // namespace vdc::trace

@@ -1,0 +1,70 @@
+#include "trace/forecast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdc::trace {
+
+RecentPeakForecaster::RecentPeakForecaster(std::size_t vms, std::size_t window,
+                                           double safety_factor)
+    : window_(window), safety_(safety_factor), history_(vms) {
+  if (window == 0) throw std::invalid_argument("RecentPeakForecaster: window must be > 0");
+  if (!(safety_factor >= 1.0)) {
+    throw std::invalid_argument("RecentPeakForecaster: safety factor must be >= 1");
+  }
+}
+
+void RecentPeakForecaster::observe(std::size_t vm, double demand) {
+  auto& h = history_.at(vm);
+  h.push_back(demand);
+  if (h.size() > window_) h.pop_front();
+}
+
+double RecentPeakForecaster::predict_peak(std::size_t vm, std::size_t) const {
+  const auto& h = history_.at(vm);
+  if (h.empty()) return 0.0;
+  return safety_ * *std::max_element(h.begin(), h.end());
+}
+
+DiurnalPeakForecaster::DiurnalPeakForecaster(std::size_t vms, std::size_t period,
+                                             double safety_factor)
+    : period_(period), safety_(safety_factor), history_(vms) {
+  if (period == 0) throw std::invalid_argument("DiurnalPeakForecaster: period must be > 0");
+  if (!(safety_factor >= 1.0)) {
+    throw std::invalid_argument("DiurnalPeakForecaster: safety factor must be >= 1");
+  }
+}
+
+void DiurnalPeakForecaster::observe(std::size_t vm, double demand) {
+  auto& h = history_.at(vm);
+  h.push_back(demand);
+  if (h.size() > 2 * period_) h.pop_front();
+}
+
+double DiurnalPeakForecaster::predict_peak(std::size_t vm, std::size_t horizon) const {
+  const auto& h = history_.at(vm);
+  if (h.empty()) return 0.0;
+  horizon = std::min(horizon, period_);
+
+  // Recent component: the last few observations (captures trends/bursts).
+  const std::size_t recent_window = std::min<std::size_t>(h.size(), 4);
+  double peak = 0.0;
+  for (std::size_t i = h.size() - recent_window; i < h.size(); ++i) {
+    peak = std::max(peak, h[i]);
+  }
+
+  // Seasonal component: the same time window one period ago. The latest
+  // sample is "now"; the next `horizon` samples correspond to offsets
+  // [period - horizon, period) from the back.
+  if (h.size() >= period_) {
+    for (std::size_t step = 1; step <= horizon; ++step) {
+      const std::size_t back = period_ - step;  // index from the back
+      if (back < h.size()) {
+        peak = std::max(peak, h[h.size() - 1 - back]);
+      }
+    }
+  }
+  return safety_ * peak;
+}
+
+}  // namespace vdc::trace

@@ -1,0 +1,68 @@
+// Demand forecasting for proactive consolidation.
+//
+// The optimizer packs VMs by their demand at invocation time; with hours
+// between invocations, demand growth (the diurnal ramp) overloads servers
+// packed at the nightly trough. Forecasting the peak demand over the next
+// invocation period and packing against *that* is the classic fix (cf.
+// pMapper's successor work on workload analysis). Two predictors:
+//
+//   * RecentPeakForecaster — max over the last W observations, times a
+//     safety factor; robust, trend-following.
+//   * DiurnalPeakForecaster — max over the same time-of-day window one
+//     period (day) earlier, blended with the recent peak; exploits the
+//     strong daily seasonality of enterprise utilization traces.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace vdc::trace {
+
+class DemandForecaster {
+ public:
+  virtual ~DemandForecaster() = default;
+  /// Feed one observation per VM per sample (call for every VM each step).
+  virtual void observe(std::size_t vm, double demand) = 0;
+  /// Predicted peak demand for the VM over the next `horizon` samples.
+  [[nodiscard]] virtual double predict_peak(std::size_t vm, std::size_t horizon) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Predicts the recent maximum (sliding window) times a safety factor.
+class RecentPeakForecaster final : public DemandForecaster {
+ public:
+  RecentPeakForecaster(std::size_t vms, std::size_t window, double safety_factor = 1.1);
+
+  void observe(std::size_t vm, double demand) override;
+  [[nodiscard]] double predict_peak(std::size_t vm, std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override { return "recent-peak"; }
+
+ private:
+  std::size_t window_;
+  double safety_;
+  std::vector<std::deque<double>> history_;
+};
+
+/// Predicts max(recent peak, same-time-tomorrow peak from one seasonal
+/// period ago). Falls back to the recent peak until a full period of
+/// history exists.
+class DiurnalPeakForecaster final : public DemandForecaster {
+ public:
+  /// `period` is the seasonal length in samples (96 for daily at 15 min).
+  DiurnalPeakForecaster(std::size_t vms, std::size_t period, double safety_factor = 1.05);
+
+  void observe(std::size_t vm, double demand) override;
+  [[nodiscard]] double predict_peak(std::size_t vm, std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override { return "diurnal-peak"; }
+
+ private:
+  std::size_t period_;
+  double safety_;
+  /// Last 2*period observations per VM (enough to look one period back
+  /// across any horizon <= period).
+  std::vector<std::deque<double>> history_;
+};
+
+}  // namespace vdc::trace

@@ -1,0 +1,23 @@
+// CSV import/export so users with access to a real utilization trace (the
+// paper's is proprietary) can feed it to the simulator unchanged.
+//
+// Format: header "server,label,u0,u1,...,u{N-1}"; one row per server with
+// the label column optional on import.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace vdc::trace {
+
+void write_trace_csv(std::ostream& out, const UtilizationTrace& trace);
+void write_trace_csv_file(const std::filesystem::path& path, const UtilizationTrace& trace);
+
+[[nodiscard]] UtilizationTrace read_trace_csv(std::istream& in,
+                                              double sample_period_s = kPaperSamplePeriodS);
+[[nodiscard]] UtilizationTrace read_trace_csv_file(
+    const std::filesystem::path& path, double sample_period_s = kPaperSamplePeriodS);
+
+}  // namespace vdc::trace

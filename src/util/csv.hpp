@@ -1,0 +1,48 @@
+// Minimal CSV reading/writing used by the trace library and the benchmark
+// harness to emit figure data.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdc::util {
+
+/// Streams rows of a CSV table. The header is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one row; the cell count must match the header width.
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+/// Fully-parsed CSV table (small files only; traces fit comfortably).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+  [[nodiscard]] double as_double(std::size_t row, std::size_t col) const;
+};
+
+/// Parses CSV text. Handles quoted cells with embedded commas and quotes.
+[[nodiscard]] CsvTable parse_csv(std::string_view text, bool has_header = true);
+
+/// Reads and parses a CSV file; throws std::runtime_error when unreadable.
+[[nodiscard]] CsvTable read_csv_file(const std::filesystem::path& path, bool has_header = true);
+
+/// Escapes a cell for CSV output (quotes when it contains , " or newline).
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+}  // namespace vdc::util

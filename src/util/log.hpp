@@ -1,0 +1,45 @@
+// Leveled logging with a process-global threshold. Intentionally small: the
+// simulator is the hot path, so callers guard expensive message construction
+// with `enabled(...)`.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vdc::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the process-global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Writes one line to stderr: "[LEVEL] component: message".
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+/// Convenience stream-style logger:
+///   Log(LogLevel::kInfo, "ipac") << "migrations=" << n;
+class Log {
+ public:
+  Log(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (log_enabled(level_)) log_message(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (log_enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vdc::util

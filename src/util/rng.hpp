@@ -1,0 +1,70 @@
+// Seeded random-number utilities. Every stochastic component in the library
+// takes an explicit `Rng` (or a seed) so simulations are reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+namespace vdc::util {
+
+/// Thin wrapper around std::mt19937_64 with the distributions the simulator
+/// needs. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Index into a container of the given size.
+  std::size_t index(std::size_t size) {
+    if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Bounded Pareto on [lo, hi] with shape alpha — the classic heavy-tailed
+  /// service-demand distribution for web requests.
+  double bounded_pareto(double alpha, double lo, double hi) {
+    if (!(lo > 0.0) || !(hi > lo)) throw std::invalid_argument("bounded_pareto: bad bounds");
+    const double u = uniform(0.0, 1.0);
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Splits off an independently seeded child generator (for components that
+  /// must not perturb each other's streams).
+  Rng split() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vdc::util

@@ -1,0 +1,109 @@
+// Statistics primitives used throughout the simulator and benchmarks:
+// running moments (Welford), exact and streaming (P^2) percentile
+// estimation, fixed-bin histograms and sliding-window samplers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vdc::util {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the samples seen so far; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample set (linear interpolation between order
+/// statistics, the "type 7" definition used by numpy/R). q in [0,1].
+[[nodiscard]] double exact_quantile(std::span<const double> sorted_values, double q);
+
+/// Convenience: copies, sorts, and evaluates `exact_quantile`.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Streaming quantile estimator (Jain & Chlamtac's P^2 algorithm).
+/// Uses O(1) memory; converges to the true quantile for stationary inputs.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+  /// Current estimate. Exact while fewer than 5 samples have been seen.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+/// Keeps the most recent `capacity` samples; answers mean and quantiles over
+/// the window. Used by the response-time monitor.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  void clear() noexcept { samples_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> samples_;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  /// Render a short textual summary (for example binaries / debugging).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vdc::util

@@ -1,0 +1,28 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdc::util {
+
+double TimeSeries::at_time(double t) const {
+  if (values_.empty()) throw std::out_of_range("TimeSeries::at_time: empty series");
+  if (t <= 0.0) return values_.front();
+  auto idx = static_cast<std::size_t>(t / dt_);
+  idx = std::min(idx, values_.size() - 1);
+  return values_[idx];
+}
+
+RunningStats TimeSeries::stats() const {
+  RunningStats stats;
+  for (double v : values_) stats.add(v);
+  return stats;
+}
+
+double TimeSeries::integral() const noexcept {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum * dt_;
+}
+
+}  // namespace vdc::util

@@ -1,0 +1,145 @@
+#include "datacenter/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::datacenter {
+namespace {
+
+Cluster two_server_cluster() {
+  Cluster c;
+  c.add_server(Server(dual_core_2ghz(), power_model_dual_2ghz(), 4096.0));
+  c.add_server(Server(dual_core_1_5ghz(), power_model_dual_1_5ghz(), 4096.0));
+  return c;
+}
+
+Vm make_vm(double demand, double memory = 1024.0) {
+  Vm vm;
+  vm.cpu_demand_ghz = demand;
+  vm.memory_mb = memory;
+  return vm;
+}
+
+TEST(Cluster, TopologyBookkeeping) {
+  Cluster c = two_server_cluster();
+  EXPECT_EQ(c.server_count(), 2u);
+  const VmId v0 = c.add_vm(make_vm(1.0), 0);
+  const VmId v1 = c.add_vm(make_vm(0.5), 0);
+  const VmId v2 = c.add_vm(make_vm(0.2));
+  EXPECT_EQ(c.vm_count(), 3u);
+  EXPECT_EQ(c.host_of(v0), 0u);
+  EXPECT_EQ(c.host_of(v2), kNoServer);
+  EXPECT_EQ(c.vms_on(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(c.server_cpu_demand(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.server_memory_used(0), 2048.0);
+  c.place(v2, 1);
+  EXPECT_EQ(c.host_of(v2), 1u);
+  EXPECT_THROW(c.place(v1, 1), std::logic_error);  // already placed
+  (void)v1;
+}
+
+TEST(Cluster, BadIdsThrow) {
+  Cluster c = two_server_cluster();
+  EXPECT_THROW(c.server(5), std::out_of_range);
+  EXPECT_THROW(c.vm(0), std::out_of_range);
+  EXPECT_THROW(c.vms_on(9), std::out_of_range);
+}
+
+TEST(Cluster, MigrationMovesVmAndLogs) {
+  Cluster c = two_server_cluster();
+  const VmId v = c.add_vm(make_vm(1.0, 2048.0), 0);
+  c.migrate(v, 1, 100.0);
+  EXPECT_EQ(c.host_of(v), 1u);
+  EXPECT_TRUE(c.vms_on(0).empty());
+  ASSERT_EQ(c.migration_log().count(), 1u);
+  const MigrationRecord& rec = c.migration_log().records()[0];
+  EXPECT_EQ(rec.from, 0u);
+  EXPECT_EQ(rec.to, 1u);
+  EXPECT_DOUBLE_EQ(rec.time_s, 100.0);
+  EXPECT_GT(rec.duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(rec.bytes, c.migration_model().bytes_moved(2048.0));
+}
+
+TEST(Cluster, SelfMigrationIsNoop) {
+  Cluster c = two_server_cluster();
+  const VmId v = c.add_vm(make_vm(1.0), 0);
+  c.migrate(v, 0);
+  EXPECT_EQ(c.migration_log().count(), 0u);
+}
+
+TEST(Cluster, MigrateUnplacedThrows) {
+  Cluster c = two_server_cluster();
+  const VmId v = c.add_vm(make_vm(1.0));
+  EXPECT_THROW(c.migrate(v, 1), std::logic_error);
+}
+
+TEST(Cluster, OverloadDetection) {
+  Cluster c = two_server_cluster();
+  const VmId v = c.add_vm(make_vm(3.0), 0);  // demand 3 < 4 GHz capacity
+  EXPECT_FALSE(c.overloaded(0));
+  c.vm(v).cpu_demand_ghz = 4.5;
+  EXPECT_TRUE(c.overloaded(0));
+  EXPECT_EQ(c.overloaded_servers(), (std::vector<ServerId>{0}));
+}
+
+TEST(Cluster, MemoryOverloadDetected) {
+  Cluster c = two_server_cluster();
+  (void)c.add_vm(make_vm(0.1, 5000.0), 0);  // 5 GB on a 4 GB server
+  EXPECT_TRUE(c.overloaded(0));
+}
+
+TEST(Cluster, SleepingHostWithVmsIsOverloaded) {
+  Cluster c = two_server_cluster();
+  (void)c.add_vm(make_vm(0.1), 0);
+  c.server(0).set_state(ServerState::kSleeping);
+  EXPECT_TRUE(c.overloaded(0));
+}
+
+TEST(Cluster, SleepIdleServersOnlyAffectsEmptyOnes) {
+  Cluster c = two_server_cluster();
+  (void)c.add_vm(make_vm(1.0), 0);
+  EXPECT_EQ(c.active_server_count(), 2u);
+  EXPECT_EQ(c.sleep_idle_servers(), 1u);
+  EXPECT_EQ(c.active_server_count(), 1u);
+  EXPECT_TRUE(c.server(0).active());
+  c.wake(1);
+  EXPECT_EQ(c.active_server_count(), 2u);
+}
+
+TEST(Cluster, ArbitrateAndPowerWithDvfs) {
+  Cluster c = two_server_cluster();
+  (void)c.add_vm(make_vm(1.0), 0);
+  c.sleep_idle_servers();
+  const double with_dvfs = c.arbitrate_and_power_w(true);
+  // Server 0 runs at 1.0 GHz (capacity 2.0 >= demand 1.0); server 1 sleeps.
+  EXPECT_DOUBLE_EQ(c.server(0).frequency_ghz(), 1.0);
+  const double without_dvfs = c.arbitrate_and_power_w(false);
+  EXPECT_DOUBLE_EQ(c.server(0).frequency_ghz(), 2.0);
+  EXPECT_LT(with_dvfs, without_dvfs);
+  // Both include the sleeping server's sleep power.
+  EXPECT_GT(with_dvfs, power_model_dual_1_5ghz().sleep_w);
+}
+
+TEST(MigrationModel, DurationAndBytes) {
+  const MigrationModel m{.network_bandwidth_mbps = 1000.0, .overhead_factor = 1.0,
+                         .downtime_s = 0.0};
+  // 1024 MB * 8 bits = 8192 Mb at 1000 Mbps -> 8.192 s.
+  EXPECT_NEAR(m.duration_s(1024.0), 8.192, 1e-9);
+  EXPECT_DOUBLE_EQ(m.bytes_moved(1024.0), 1024.0 * 1e6);
+}
+
+TEST(MigrationLog, Aggregates) {
+  MigrationLog log;
+  log.add(MigrationRecord{.vm = 0, .from = 0, .to = 1, .time_s = 0.0, .duration_s = 2.0,
+                          .bytes = 100.0});
+  log.add(MigrationRecord{.vm = 1, .from = 1, .to = 0, .time_s = 1.0, .duration_s = 3.0,
+                          .bytes = 200.0});
+  EXPECT_EQ(log.count(), 2u);
+  EXPECT_DOUBLE_EQ(log.total_bytes(), 300.0);
+  EXPECT_DOUBLE_EQ(log.total_duration_s(), 5.0);
+  log.clear();
+  EXPECT_EQ(log.count(), 0u);
+  EXPECT_DOUBLE_EQ(log.total_bytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace vdc::datacenter

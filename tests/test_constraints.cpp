@@ -1,0 +1,89 @@
+#include "consolidate/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::consolidate {
+namespace {
+
+ServerSnapshot make_server(double capacity, double memory) {
+  ServerSnapshot s;
+  s.max_capacity_ghz = capacity;
+  s.memory_mb = memory;
+  return s;
+}
+
+TEST(CpuConstraint, AdmitsUpToTarget) {
+  const CpuCapacityConstraint c(0.5);
+  const ServerSnapshot server = make_server(4.0, 8192.0);
+  const VmSnapshot a{0, 1.0, 512.0};
+  const VmSnapshot b{1, 1.1, 512.0};
+  const VmSnapshot* one[] = {&a};
+  const VmSnapshot* two[] = {&a, &b};
+  EXPECT_TRUE(c.admits(server, one));         // 1.0 <= 2.0
+  EXPECT_FALSE(c.admits(server, two));        // 2.1 > 2.0
+  EXPECT_EQ(c.name(), "cpu-capacity");
+  EXPECT_DOUBLE_EQ(c.utilization_target(), 0.5);
+}
+
+TEST(CpuConstraint, ValidatesTarget) {
+  EXPECT_THROW(CpuCapacityConstraint(0.0), std::invalid_argument);
+  EXPECT_THROW(CpuCapacityConstraint(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(CpuCapacityConstraint(1.0));
+}
+
+TEST(MemoryConstraint, ChecksTotalFootprint) {
+  const MemoryConstraint c;
+  const ServerSnapshot server = make_server(4.0, 2048.0);
+  const VmSnapshot a{0, 0.1, 1024.0};
+  const VmSnapshot b{1, 0.1, 1025.0};
+  const VmSnapshot* one[] = {&a};
+  const VmSnapshot* two[] = {&a, &b};
+  EXPECT_TRUE(c.admits(server, one));
+  EXPECT_FALSE(c.admits(server, two));
+}
+
+TEST(CustomConstraint, DelegatesToCallable) {
+  const CustomConstraint c("max-two-vms",
+                           [](const ServerSnapshot&, std::span<const VmSnapshot* const> vms) {
+                             return vms.size() <= 2;
+                           });
+  const ServerSnapshot server = make_server(4.0, 8192.0);
+  const VmSnapshot vm{0, 0.1, 1.0};
+  const VmSnapshot* two[] = {&vm, &vm};
+  const VmSnapshot* three[] = {&vm, &vm, &vm};
+  EXPECT_TRUE(c.admits(server, two));
+  EXPECT_FALSE(c.admits(server, three));
+  EXPECT_EQ(c.name(), "max-two-vms");
+  EXPECT_THROW(CustomConstraint("x", nullptr), std::invalid_argument);
+}
+
+TEST(ConstraintSet, ConjunctionSemantics) {
+  ConstraintSet set = ConstraintSet::standard(1.0);
+  EXPECT_EQ(set.size(), 2u);
+  const ServerSnapshot server = make_server(4.0, 1024.0);
+  const VmSnapshot cpu_hog{0, 5.0, 100.0};
+  const VmSnapshot mem_hog{1, 0.1, 2048.0};
+  const VmSnapshot ok{2, 1.0, 512.0};
+  const VmSnapshot* just_ok[] = {&ok};
+  const VmSnapshot* with_cpu[] = {&cpu_hog};
+  const VmSnapshot* with_mem[] = {&mem_hog};
+  EXPECT_TRUE(set.admits(server, just_ok));
+  EXPECT_FALSE(set.admits(server, with_cpu));
+  EXPECT_FALSE(set.admits(server, with_mem));
+}
+
+TEST(ConstraintSet, EmptySetAdmitsEverything) {
+  const ConstraintSet set;
+  const ServerSnapshot server = make_server(0.1, 1.0);
+  const VmSnapshot huge{0, 100.0, 1e9};
+  const VmSnapshot* vms[] = {&huge};
+  EXPECT_TRUE(set.admits(server, vms));
+}
+
+TEST(ConstraintSet, RejectsNull) {
+  ConstraintSet set;
+  EXPECT_THROW(set.add(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdc::consolidate

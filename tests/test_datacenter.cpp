@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "datacenter/arbitrator.hpp"
+#include "datacenter/cpu_spec.hpp"
+#include "datacenter/power_model.hpp"
+#include "datacenter/server.hpp"
+
+namespace vdc::datacenter {
+namespace {
+
+TEST(CpuSpec, CapacityScalesWithCores) {
+  const CpuSpec quad = quad_core_3ghz();
+  EXPECT_DOUBLE_EQ(quad.max_capacity_ghz(), 12.0);
+  EXPECT_DOUBLE_EQ(quad.capacity_at(1.5), 6.0);
+  EXPECT_NO_THROW(quad.validate());
+}
+
+TEST(CpuSpec, FrequencyForDemandPicksLowestSufficient) {
+  const CpuSpec dual = dual_core_2ghz();  // ladder 1.0 .. 2.0, capacity x2
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(2.5), 1.4);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(3.9), 2.0);
+  // Demand above max capacity still returns the max frequency.
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(100.0), 2.0);
+}
+
+TEST(CpuSpec, ValidateCatchesBadLadders) {
+  CpuSpec spec = dual_core_2ghz();
+  spec.dvfs_freqs_ghz = {2.0, 1.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.dvfs_freqs_ghz = {1.0, 1.5};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);  // must end at max
+  spec.dvfs_freqs_ghz.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = dual_core_2ghz();
+  spec.cores = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(PowerModel, MonotoneInFrequencyAndLoad) {
+  const PowerModel pm = power_model_quad_3ghz();
+  EXPECT_NO_THROW(pm.validate());
+  EXPECT_LT(pm.active_power_w(0.5, 0.5), pm.active_power_w(1.0, 0.5));
+  EXPECT_LT(pm.active_power_w(1.0, 0.2), pm.active_power_w(1.0, 0.9));
+  EXPECT_DOUBLE_EQ(pm.active_power_w(1.0, 1.0), pm.max_power_w());
+}
+
+TEST(PowerModel, DvfsSavesSuperlinearly) {
+  const PowerModel pm = power_model_dual_2ghz();
+  // Same work at half frequency and double utilization must cost less
+  // (dynamic power scales with f^3 but only linearly with u).
+  const double full_speed = pm.active_power_w(1.0, 0.4);
+  const double half_speed = pm.active_power_w(0.5, 0.8);
+  EXPECT_LT(half_speed, full_speed);
+}
+
+TEST(PowerModel, ClampsInputs) {
+  const PowerModel pm = power_model_dual_1_5ghz();
+  EXPECT_DOUBLE_EQ(pm.active_power_w(2.0, 2.0), pm.max_power_w());
+  EXPECT_DOUBLE_EQ(pm.active_power_w(-1.0, -1.0), pm.base_w);
+}
+
+TEST(PowerModel, ValidationRejectsNonPhysical) {
+  PowerModel pm = power_model_quad_3ghz();
+  pm.sleep_w = pm.base_w + 1.0;
+  EXPECT_THROW(pm.validate(), std::invalid_argument);
+  pm = power_model_quad_3ghz();
+  pm.base_w = -5.0;
+  EXPECT_THROW(pm.validate(), std::invalid_argument);
+  pm = power_model_quad_3ghz();
+  pm.dyn_exponent = 7.0;
+  EXPECT_THROW(pm.validate(), std::invalid_argument);
+}
+
+TEST(Server, SleepDropsCapacityAndPower) {
+  Server s(dual_core_2ghz(), power_model_dual_2ghz(), 8192.0);
+  EXPECT_TRUE(s.active());
+  EXPECT_DOUBLE_EQ(s.capacity_ghz(), 4.0);
+  s.set_state(ServerState::kSleeping);
+  EXPECT_DOUBLE_EQ(s.capacity_ghz(), 0.0);
+  EXPECT_DOUBLE_EQ(s.power_w(1.0), power_model_dual_2ghz().sleep_w);
+  s.set_state(ServerState::kActive);
+  EXPECT_GT(s.capacity_ghz(), 0.0);
+}
+
+TEST(Server, FrequencySnapsUpToLadder) {
+  Server s(dual_core_2ghz(), power_model_dual_2ghz(), 8192.0);
+  s.set_frequency(1.25);
+  EXPECT_DOUBLE_EQ(s.frequency_ghz(), 1.4);
+  s.set_frequency(0.1);
+  EXPECT_DOUBLE_EQ(s.frequency_ghz(), 1.0);
+  s.set_frequency(5.0);
+  EXPECT_DOUBLE_EQ(s.frequency_ghz(), 2.0);
+}
+
+TEST(Server, PowerEfficiencyMetric) {
+  const Server quad(quad_core_3ghz(), power_model_quad_3ghz(), 32768.0);
+  const Server dual(dual_core_2ghz(), power_model_dual_2ghz(), 16384.0);
+  const Server old(dual_core_1_5ghz(), power_model_dual_1_5ghz(), 12288.0);
+  EXPECT_GT(quad.power_efficiency(), dual.power_efficiency());
+  EXPECT_GT(dual.power_efficiency(), old.power_efficiency());
+}
+
+TEST(Server, RejectsNonPositiveMemory) {
+  EXPECT_THROW(Server(dual_core_2ghz(), power_model_dual_2ghz(), 0.0), std::invalid_argument);
+}
+
+TEST(Arbitrator, PicksLowestSufficientFrequency) {
+  const CpuResourceArbitrator arb(1.0);
+  const std::vector<double> demands = {0.8, 0.9};  // total 1.7
+  const ArbitrationResult r = arb.arbitrate(dual_core_2ghz(), demands);
+  EXPECT_DOUBLE_EQ(r.frequency_ghz, 1.0);  // 2 GHz capacity covers 1.7
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.allocations_ghz, demands);  // grants equal demands
+  EXPECT_NEAR(r.utilization(), 1.7 / 2.0, 1e-12);
+}
+
+TEST(Arbitrator, HeadroomRaisesFrequency) {
+  const CpuResourceArbitrator arb(1.3);
+  const ArbitrationResult r = arb.arbitrate(dual_core_2ghz(), std::vector<double>{1.7});
+  // 1.7 * 1.3 = 2.21 > 2.0 -> needs the 1.2 GHz point (2.4 capacity).
+  EXPECT_DOUBLE_EQ(r.frequency_ghz, 1.2);
+}
+
+TEST(Arbitrator, SaturationScalesProportionally) {
+  const CpuResourceArbitrator arb(1.0);
+  const std::vector<double> demands = {4.0, 2.0};  // total 6 > 4 GHz max
+  const ArbitrationResult r = arb.arbitrate(dual_core_2ghz(), demands);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.frequency_ghz, 2.0);
+  EXPECT_NEAR(r.allocations_ghz[0], 4.0 * 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(r.allocations_ghz[1], 2.0 * 4.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+}
+
+TEST(Arbitrator, ValidatesInput) {
+  EXPECT_THROW(CpuResourceArbitrator(0.5), std::invalid_argument);
+  const CpuResourceArbitrator arb(1.0);
+  EXPECT_THROW(arb.arbitrate(dual_core_2ghz(), std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Arbitrator, EmptyDemandsIdleAtMinFrequency) {
+  const CpuResourceArbitrator arb(1.0);
+  const ArbitrationResult r = arb.arbitrate(dual_core_2ghz(), {});
+  EXPECT_DOUBLE_EQ(r.frequency_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(r.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace vdc::datacenter

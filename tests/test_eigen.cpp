@@ -1,0 +1,163 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::linalg {
+namespace {
+
+std::vector<std::complex<double>> sorted_by_real(std::vector<std::complex<double>> v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+  return v;
+}
+
+TEST(Hessenberg, PreservesShapeAndTrace) {
+  util::Rng rng(1);
+  Matrix a(6, 6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  const Matrix h = hessenberg(a);
+  for (std::size_t r = 2; r < 6; ++r) {
+    for (std::size_t c = 0; c + 1 < r; ++c) EXPECT_DOUBLE_EQ(h(r, c), 0.0);
+  }
+  // Similarity transform: trace is invariant.
+  double tr_a = 0.0;
+  double tr_h = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    tr_a += a(i, i);
+    tr_h += h(i, i);
+  }
+  EXPECT_NEAR(tr_a, tr_h, 1e-10);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix a = Matrix::diag(std::vector<double>{3.0, -1.0, 0.5});
+  const auto ev = sorted_by_real(eigenvalues(a));
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_NEAR(ev[0].real(), -1.0, 1e-10);
+  EXPECT_NEAR(ev[1].real(), 0.5, 1e-10);
+  EXPECT_NEAR(ev[2].real(), 3.0, 1e-10);
+  for (const auto& lambda : ev) EXPECT_NEAR(lambda.imag(), 0.0, 1e-10);
+}
+
+TEST(Eigen, RotationHasComplexPair) {
+  // 0.8 * rotation(90deg): eigenvalues +-0.8i.
+  const Matrix a{{0.0, -0.8}, {0.8, 0.0}};
+  const auto ev = eigenvalues(a);
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(std::abs(ev[0]), 0.8, 1e-10);
+  EXPECT_NEAR(std::abs(ev[1]), 0.8, 1e-10);
+  EXPECT_NEAR(ev[0].real(), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(ev[0].imag()), 0.8, 1e-10);
+}
+
+TEST(Eigen, CompanionMatrixOfKnownPolynomial) {
+  // p(z) = (z-1)(z-2)(z-3) = z^3 - 6z^2 + 11z - 6; companion eigenvalues
+  // are the roots 1, 2, 3.
+  Matrix c(3, 3);
+  c(0, 0) = 6.0;
+  c(0, 1) = -11.0;
+  c(0, 2) = 6.0;
+  c(1, 0) = 1.0;
+  c(2, 1) = 1.0;
+  const auto ev = sorted_by_real(eigenvalues(c));
+  EXPECT_NEAR(ev[0].real(), 1.0, 1e-8);
+  EXPECT_NEAR(ev[1].real(), 2.0, 1e-8);
+  EXPECT_NEAR(ev[2].real(), 3.0, 1e-8);
+}
+
+TEST(Eigen, ComplexConjugateRootsOfCompanion) {
+  // p(z) = z^2 - 2z + 5 -> roots 1 +- 2i.
+  Matrix c(2, 2);
+  c(0, 0) = 2.0;
+  c(0, 1) = -5.0;
+  c(1, 0) = 1.0;
+  const auto ev = eigenvalues(c);
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(ev[0].real(), 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(ev[0].imag()), 2.0, 1e-10);
+}
+
+class EigenRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenRandomSweep, TraceAndDeterminantIdentities) {
+  util::Rng rng(static_cast<std::uint64_t>(1700 + GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 7;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  }
+  const auto ev = eigenvalues(a);
+  ASSERT_EQ(ev.size(), n);
+
+  std::complex<double> sum = 0.0;
+  std::complex<double> prod = 1.0;
+  for (const auto& lambda : ev) {
+    sum += lambda;
+    prod *= lambda;
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+  EXPECT_NEAR(sum.real(), trace, 1e-7 * std::max(1.0, std::abs(trace)));
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-7);
+
+  // Determinant via LU (may be near zero; compare absolutely then).
+  double det = 0.0;
+  try {
+    det = LuDecomposition(a).determinant();
+  } catch (const std::exception&) {
+    GTEST_SKIP() << "singular sample";
+  }
+  EXPECT_NEAR(prod.real(), det, 1e-6 * std::max(1.0, std::abs(det)));
+  EXPECT_NEAR(prod.imag(), 0.0, 1e-6 * std::max(1.0, std::abs(det)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenRandomSweep, ::testing::Range(0, 20));
+
+class EigenVsPowerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenVsPowerSweep, ExactRadiusMatchesSquaringEstimator) {
+  util::Rng rng(static_cast<std::uint64_t>(1800 + GetParam()));
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 5;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  const double exact = exact_spectral_radius(a);
+  const double estimate = spectral_radius(a);
+  EXPECT_NEAR(exact, estimate, 1e-4 * std::max(1.0, exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenVsPowerSweep, ::testing::Range(0, 15));
+
+TEST(Eigen, EdgeCases) {
+  EXPECT_TRUE(eigenvalues(Matrix()).empty());
+  const auto one = eigenvalues(Matrix{{4.2}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].real(), 4.2);
+  EXPECT_THROW(eigenvalues(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Eigen, DefectiveMatrixJordanBlock) {
+  // Jordan block: eigenvalue 2 with multiplicity 3 (defective).
+  Matrix j(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) j(i, i) = 2.0;
+  j(0, 1) = 1.0;
+  j(1, 2) = 1.0;
+  for (const auto& lambda : eigenvalues(j)) {
+    EXPECT_NEAR(lambda.real(), 2.0, 1e-5);
+    EXPECT_NEAR(lambda.imag(), 0.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace vdc::linalg

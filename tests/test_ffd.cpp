@@ -1,0 +1,85 @@
+#include "consolidate/ffd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vdc::consolidate {
+namespace {
+
+DataCenterSnapshot make_instance(std::vector<double> capacities,
+                                 std::vector<double> demands,
+                                 std::vector<double> efficiencies = {}) {
+  DataCenterSnapshot snap;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    ServerSnapshot s;
+    s.id = static_cast<ServerId>(i);
+    s.max_capacity_ghz = capacities[i];
+    s.memory_mb = 1e6;
+    s.max_power_w = 200.0;
+    s.power_efficiency =
+        efficiencies.empty() ? capacities[i] / 200.0 : efficiencies[i];
+    s.active = true;
+    snap.servers.push_back(s);
+  }
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    snap.vms.push_back(VmSnapshot{static_cast<VmId>(i), demands[i], 1.0});
+  }
+  return snap;
+}
+
+TEST(Ffd, PlacesLargestFirst) {
+  const DataCenterSnapshot snap = make_instance({4.0}, {1.0, 3.0, 2.0});
+  WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const ServerId servers[] = {0};
+  const std::vector<VmId> vms = {0, 1, 2};
+  const FfdResult r = first_fit_decreasing(wp, servers, vms, constraints);
+  // Largest (VM 1, 3.0) then VM 2 (2.0) does not fit... capacity 4: 3+1=4.
+  EXPECT_EQ(r.placed.size(), 2u);
+  EXPECT_EQ(r.unplaced, (std::vector<VmId>{2}));
+  EXPECT_DOUBLE_EQ(wp.cpu_demand(0), 4.0);
+}
+
+TEST(Ffd, WalksServersInGivenOrder) {
+  const DataCenterSnapshot snap = make_instance({2.0, 2.0}, {1.5, 1.5});
+  WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const ServerId servers[] = {1, 0};  // reversed preference
+  const std::vector<VmId> vms = {0, 1};
+  (void)first_fit_decreasing(wp, servers, vms, constraints);
+  EXPECT_EQ(wp.hosted(1).size(), 1u);  // first VM lands on server 1
+  EXPECT_EQ(wp.hosted(0).size(), 1u);
+}
+
+TEST(Ffd, AllUnplacedWhenNothingFits) {
+  const DataCenterSnapshot snap = make_instance({1.0}, {2.0, 3.0});
+  WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const ServerId servers[] = {0};
+  const std::vector<VmId> vms = {0, 1};
+  const FfdResult r = first_fit_decreasing(wp, servers, vms, constraints);
+  EXPECT_TRUE(r.placed.empty());
+  EXPECT_EQ(r.unplaced.size(), 2u);
+}
+
+TEST(Ffd, TieBreaksById) {
+  const DataCenterSnapshot snap = make_instance({1.0}, {0.5, 0.5, 0.5});
+  WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const ServerId servers[] = {0};
+  const std::vector<VmId> vms = {2, 0, 1};
+  const FfdResult r = first_fit_decreasing(wp, servers, vms, constraints);
+  // Equal demands: deterministic id order, ids 0 and 1 placed.
+  EXPECT_EQ(r.placed, (std::vector<VmId>{0, 1}));
+}
+
+TEST(ServersByPowerEfficiency, SortsDescendingWithIdTieBreak) {
+  const DataCenterSnapshot snap =
+      make_instance({1.0, 1.0, 1.0}, {}, {0.02, 0.04, 0.02});
+  const std::vector<ServerId> order = servers_by_power_efficiency(snap);
+  EXPECT_EQ(order, (std::vector<ServerId>{1, 0, 2}));
+}
+
+}  // namespace
+}  // namespace vdc::consolidate

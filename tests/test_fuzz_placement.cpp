@@ -1,0 +1,140 @@
+// Fuzz tests: WorkingPlacement against a straightforward reference
+// implementation under random operation sequences, and full
+// plan/apply_plan consistency against a live cluster.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "consolidate/working_placement.hpp"
+#include "datacenter/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::consolidate {
+namespace {
+
+datacenter::Cluster random_cluster(util::Rng& rng, std::size_t servers, std::size_t vms) {
+  datacenter::Cluster c;
+  for (std::size_t s = 0; s < servers; ++s) {
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        c.add_server(datacenter::Server(datacenter::quad_core_3ghz(),
+                                        datacenter::power_model_quad_3ghz(), 32768.0));
+        break;
+      case 1:
+        c.add_server(datacenter::Server(datacenter::dual_core_2ghz(),
+                                        datacenter::power_model_dual_2ghz(), 16384.0));
+        break;
+      default:
+        c.add_server(datacenter::Server(datacenter::dual_core_1_5ghz(),
+                                        datacenter::power_model_dual_1_5ghz(), 12288.0));
+        break;
+    }
+  }
+  for (std::size_t v = 0; v < vms; ++v) {
+    datacenter::Vm vm;
+    vm.cpu_demand_ghz = rng.uniform(0.1, 1.2);
+    vm.memory_mb = rng.uniform(256.0, 2048.0);
+    if (rng.bernoulli(0.7)) {
+      c.add_vm(vm, static_cast<datacenter::ServerId>(rng.index(servers)));
+    } else {
+      c.add_vm(vm);  // unplaced
+    }
+  }
+  return c;
+}
+
+class PlacementFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementFuzz, MatchesReferenceUnderRandomOps) {
+  util::Rng rng(static_cast<std::uint64_t>(5000 + GetParam()));
+  const std::size_t servers = 6;
+  const std::size_t vms = 20;
+  const datacenter::Cluster cluster = random_cluster(rng, servers, vms);
+  const DataCenterSnapshot snap = snapshot_of(cluster);
+  WorkingPlacement wp(snap);
+
+  // Reference: plain map VM -> host.
+  std::map<VmId, ServerId> reference;
+  for (const ServerSnapshot& server : snap.servers) {
+    for (const VmId vm : server.hosted) reference[vm] = server.id;
+  }
+
+  for (int op = 0; op < 300; ++op) {
+    const auto vm = static_cast<VmId>(rng.index(vms));
+    const auto it = reference.find(vm);
+    if (it != reference.end()) {
+      wp.remove(vm);
+      reference.erase(it);
+    } else {
+      const auto host = static_cast<ServerId>(rng.index(servers));
+      wp.place(vm, host);
+      reference[vm] = host;
+    }
+
+    // Spot-check invariants after every operation.
+    for (VmId v = 0; v < vms; ++v) {
+      const auto ref_it = reference.find(v);
+      EXPECT_EQ(wp.host_of(v),
+                ref_it == reference.end() ? datacenter::kNoServer : ref_it->second);
+    }
+    for (ServerId s = 0; s < servers; ++s) {
+      double demand = 0.0;
+      double memory = 0.0;
+      std::size_t count = 0;
+      for (const auto& [v, host] : reference) {
+        if (host == s) {
+          demand += snap.vm(v).cpu_demand_ghz;
+          memory += snap.vm(v).memory_mb;
+          ++count;
+        }
+      }
+      EXPECT_NEAR(wp.cpu_demand(s), demand, 1e-9);
+      EXPECT_NEAR(wp.memory_used(s), memory, 1e-9);
+      EXPECT_EQ(wp.hosted(s).size(), count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementFuzz, ::testing::Range(0, 8));
+
+class PlanApplyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanApplyFuzz, ApplyPlanReproducesWorkingPlacement) {
+  util::Rng rng(static_cast<std::uint64_t>(6000 + GetParam()));
+  const std::size_t servers = 5;
+  const std::size_t vms = 15;
+  datacenter::Cluster cluster = random_cluster(rng, servers, vms);
+  const DataCenterSnapshot snap = snapshot_of(cluster);
+  WorkingPlacement wp(snap);
+
+  // Random shuffle: move some placed VMs, place some unplaced ones.
+  for (VmId v = 0; v < vms; ++v) {
+    if (wp.host_of(v) != datacenter::kNoServer && rng.bernoulli(0.5)) wp.remove(v);
+  }
+  for (VmId v = 0; v < vms; ++v) {
+    if (wp.host_of(v) == datacenter::kNoServer && rng.bernoulli(0.8)) {
+      wp.place(v, static_cast<ServerId>(rng.index(servers)));
+    }
+  }
+
+  apply_plan(cluster, wp.plan(), 1.0);
+  for (VmId v = 0; v < vms; ++v) {
+    if (wp.host_of(v) != datacenter::kNoServer) {
+      EXPECT_EQ(cluster.host_of(v), wp.host_of(v)) << "vm " << v;
+    }
+  }
+  // Every emptied-but-awake server must now sleep.
+  for (ServerId s = 0; s < servers; ++s) {
+    if (cluster.vms_on(s).empty()) {
+      EXPECT_FALSE(cluster.server(s).active()) << "server " << s;
+    } else {
+      EXPECT_TRUE(cluster.server(s).active()) << "server " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanApplyFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace vdc::consolidate

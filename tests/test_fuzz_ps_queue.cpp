@@ -1,0 +1,122 @@
+// Fuzz test: the event-driven PS queue against a brute-force discrete-time
+// reference integrator under random arrival/capacity-change schedules.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/ps_queue.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::sim {
+namespace {
+
+struct Scenario {
+  struct Arrival {
+    double time;
+    double demand;
+  };
+  struct CapacityChange {
+    double time;
+    double capacity;
+  };
+  std::vector<Arrival> arrivals;
+  std::vector<CapacityChange> capacity_changes;
+  double initial_capacity = 1.0;
+};
+
+Scenario random_scenario(util::Rng& rng) {
+  Scenario s;
+  s.initial_capacity = rng.uniform(0.5, 3.0);
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += rng.exponential(0.3);
+    s.arrivals.push_back({t, rng.uniform(0.05, 1.0)});
+  }
+  t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    t += rng.exponential(1.5);
+    // Occasionally drop to zero capacity (VM starved by the arbitrator).
+    s.capacity_changes.push_back({t, rng.bernoulli(0.15) ? 0.0 : rng.uniform(0.3, 3.0)});
+  }
+  return s;
+}
+
+/// Brute-force reference: integrate the PS dynamics on a fine time grid.
+std::map<int, double> reference_completions(const Scenario& s, double horizon, double dt) {
+  std::map<int, double> remaining;  // arrival index -> residual work
+  std::map<int, double> completion;
+  std::size_t next_arrival = 0;
+  std::size_t next_change = 0;
+  double capacity = s.initial_capacity;
+  for (double t = 0.0; t < horizon; t += dt) {
+    while (next_arrival < s.arrivals.size() && s.arrivals[next_arrival].time <= t) {
+      remaining[static_cast<int>(next_arrival)] = s.arrivals[next_arrival].demand;
+      ++next_arrival;
+    }
+    while (next_change < s.capacity_changes.size() &&
+           s.capacity_changes[next_change].time <= t) {
+      capacity = s.capacity_changes[next_change].capacity;
+      ++next_change;
+    }
+    if (remaining.empty() || capacity <= 0.0) continue;
+    const double share = capacity * dt / static_cast<double>(remaining.size());
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      it->second -= share;
+      if (it->second <= 0.0) {
+        completion[it->first] = t;
+        it = remaining.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return completion;
+}
+
+class PsQueueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PsQueueFuzz, MatchesDiscreteTimeReference) {
+  util::Rng rng(static_cast<std::uint64_t>(7000 + GetParam()));
+  const Scenario scenario = random_scenario(rng);
+  constexpr double kHorizon = 60.0;
+  constexpr double kDt = 1e-3;
+
+  // Event-driven run.
+  Simulation sim;
+  std::map<JobId, int> job_to_arrival;
+  std::map<int, double> completions;
+  PsQueue queue(sim, scenario.initial_capacity, [&](JobId id) {
+    completions[job_to_arrival.at(id)] = sim.now();
+  });
+  for (std::size_t i = 0; i < scenario.arrivals.size(); ++i) {
+    const auto& a = scenario.arrivals[i];
+    if (a.time >= kHorizon) break;
+    sim.schedule(a.time, [&, i] {
+      const JobId id = queue.add_job(scenario.arrivals[i].demand);
+      job_to_arrival[id] = static_cast<int>(i);
+    });
+  }
+  for (const auto& change : scenario.capacity_changes) {
+    if (change.time >= kHorizon) break;
+    sim.schedule(change.time, [&queue, c = change.capacity] { queue.set_capacity(c); });
+  }
+  sim.run_until(kHorizon);
+
+  const std::map<int, double> reference = reference_completions(scenario, kHorizon, kDt);
+  // Same jobs complete, at matching times (within the grid resolution).
+  for (const auto& [arrival, t_ref] : reference) {
+    ASSERT_TRUE(completions.contains(arrival)) << "job " << arrival << " missing";
+    EXPECT_NEAR(completions.at(arrival), t_ref, 0.05) << "job " << arrival;
+  }
+  for (const auto& [arrival, t_event] : completions) {
+    EXPECT_TRUE(reference.contains(arrival))
+        << "job " << arrival << " completed only in the event-driven run (t=" << t_event
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsQueueFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace vdc::sim

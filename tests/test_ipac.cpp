@@ -1,0 +1,150 @@
+#include "consolidate/ipac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datacenter/cluster.hpp"
+
+namespace vdc::consolidate {
+namespace {
+
+using datacenter::Cluster;
+using datacenter::Server;
+using datacenter::Vm;
+
+Cluster heterogeneous_cluster() {
+  Cluster c;
+  // Server 0: efficient quad; servers 1-2: inefficient duals.
+  c.add_server(Server(datacenter::quad_core_3ghz(), datacenter::power_model_quad_3ghz(),
+                      32768.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 12288.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 12288.0));
+  return c;
+}
+
+Vm make_vm(double demand, double memory = 512.0) {
+  Vm vm;
+  vm.cpu_demand_ghz = demand;
+  vm.memory_mb = memory;
+  return vm;
+}
+
+TEST(Ipac, ConsolidatesScatteredVmsOntoEfficientServer) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 1);
+  (void)c.add_vm(make_vm(1.0), 2);
+  (void)c.add_vm(make_vm(0.5), 1);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const IpacReport report = ipac(snap, constraints);
+  EXPECT_TRUE(report.plan.complete());
+  EXPECT_EQ(report.occupied_before, 2u);
+  EXPECT_EQ(report.occupied_after, 1u);
+  EXPECT_GT(report.consolidation_moves, 0u);
+  apply_plan(c, report.plan, 0.0);
+  EXPECT_EQ(c.vms_on(0).size(), 3u);  // everything on the quad
+  EXPECT_EQ(c.active_server_count(), 1u);
+}
+
+TEST(Ipac, ResolvesOverloadByEvictingSmallestVms) {
+  Cluster c = heterogeneous_cluster();
+  // Dual-1.5GHz server (3 GHz capacity) carrying 4.3 GHz of demand.
+  (void)c.add_vm(make_vm(2.5), 1);
+  (void)c.add_vm(make_vm(1.0), 1);
+  (void)c.add_vm(make_vm(0.8), 1);
+  ASSERT_TRUE(c.overloaded(1));
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const IpacReport report = ipac(snap, constraints);
+  EXPECT_GT(report.overload_moves, 0u);
+  apply_plan(c, report.plan, 0.0);
+  EXPECT_TRUE(c.overloaded_servers().empty());
+}
+
+TEST(Ipac, NoChangeOnAlreadyOptimalLayout) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 0);
+  (void)c.add_vm(make_vm(1.0), 0);
+  c.sleep_idle_servers();
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const IpacReport report = ipac(snap, constraints);
+  EXPECT_TRUE(report.plan.moves.empty());
+  EXPECT_EQ(report.occupied_before, report.occupied_after);
+}
+
+TEST(Ipac, CostPolicyVetoRollsBackRound) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 1);
+  (void)c.add_vm(make_vm(1.0), 2);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+
+  // A policy that rejects every consolidation migration.
+  class VetoPolicy final : public MigrationCostPolicy {
+   public:
+    [[nodiscard]] bool allow(const DataCenterSnapshot&, const MigrationProposal&) const override {
+      return false;
+    }
+    [[nodiscard]] std::string name() const override { return "veto"; }
+  };
+  const IpacReport report = ipac(snap, constraints, VetoPolicy());
+  EXPECT_TRUE(report.plan.moves.empty());
+  EXPECT_GT(report.rounds_rejected_by_policy, 0u);
+  EXPECT_EQ(report.occupied_after, report.occupied_before);
+}
+
+TEST(Ipac, StopsWhenEvacuationDoesNotShrink) {
+  Cluster c = heterogeneous_cluster();
+  // Fill every server so nothing can be emptied.
+  (void)c.add_vm(make_vm(11.0, 30000.0), 0);
+  (void)c.add_vm(make_vm(2.8, 12000.0), 1);
+  (void)c.add_vm(make_vm(2.8, 12000.0), 2);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const IpacReport report = ipac(snap, constraints);
+  EXPECT_TRUE(report.plan.moves.empty());
+  EXPECT_EQ(report.occupied_after, 3u);
+  EXPECT_LE(report.rounds_accepted, 0u);
+}
+
+TEST(Ipac, MaxRoundsLimitsWork) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(0.5), 1);
+  (void)c.add_vm(make_vm(0.5), 2);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  IpacOptions options;
+  options.max_rounds = 0;
+  const IpacReport report = ipac(snap, constraints, AllowAllPolicy(), options);
+  EXPECT_EQ(report.rounds_attempted, 0u);
+  EXPECT_TRUE(report.plan.moves.empty());
+}
+
+TEST(Ipac, IncrementalSecondInvocationIsQuiescent) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 1);
+  (void)c.add_vm(make_vm(1.0), 2);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const IpacReport first = ipac(snapshot_of(c), constraints);
+  apply_plan(c, first.plan, 0.0);
+  const IpacReport second = ipac(snapshot_of(c), constraints);
+  EXPECT_TRUE(second.plan.moves.empty());
+}
+
+TEST(Ipac, WakesSleepingEfficientServerWhenNeeded) {
+  Cluster c = heterogeneous_cluster();
+  c.server(0).set_state(datacenter::ServerState::kSleeping);
+  // Overload an inefficient server; relief must be able to wake the quad.
+  (void)c.add_vm(make_vm(2.0), 1);
+  (void)c.add_vm(make_vm(2.0), 1);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const IpacReport report = ipac(snap, constraints);
+  apply_plan(c, report.plan, 0.0);
+  EXPECT_TRUE(c.overloaded_servers().empty());
+}
+
+}  // namespace
+}  // namespace vdc::consolidate

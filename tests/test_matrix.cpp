@@ -1,0 +1,143 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace vdc::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  const std::vector<double> d = {2.0, 5.0};
+  const Matrix diag = Matrix::diag(d);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(Matrix, ArithmeticShapesChecked) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+  EXPECT_NO_THROW(a * b);
+  EXPECT_THROW(b * b, std::invalid_argument);
+}
+
+TEST(Matrix, KnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x = {1.0, -1.0};
+  const Vector y = a * std::span<const double>(x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, TransposeProperty) {
+  util::Rng rng(3);
+  const Matrix a = random_matrix(4, 3, rng);
+  const Matrix b = random_matrix(3, 5, rng);
+  const Matrix lhs = (a * b).transpose();
+  const Matrix rhs = b.transpose() * a.transpose();
+  EXPECT_LT((lhs - rhs).max_abs(), 1e-12);
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  util::Rng rng(5);
+  Matrix big(6, 6);
+  const Matrix small = random_matrix(2, 3, rng);
+  big.set_block(1, 2, small);
+  EXPECT_EQ(big.block(1, 2, 2, 3), small);
+  EXPECT_THROW(big.set_block(5, 5, small), std::out_of_range);
+  EXPECT_THROW(big.block(5, 5, 2, 2), std::out_of_range);
+}
+
+TEST(Matrix, NormAndMaxAbs) {
+  const Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  const Matrix m{{1.5}};
+  EXPECT_NE(m.to_string().find("1.5"), std::string::npos);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const std::vector<double> a = {1.0, 2.0, 2.0};
+  const std::vector<double> b = {2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  std::vector<double> c = a;
+  axpy(2.0, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  EXPECT_DOUBLE_EQ(c[2], 4.0);
+  EXPECT_THROW(dot(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, AddSubScale) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 5.0};
+  EXPECT_EQ(add(a, b), (Vector{4.0, 7.0}));
+  EXPECT_EQ(sub(b, a), (Vector{2.0, 3.0}));
+  EXPECT_EQ(scale(a, -2.0), (Vector{-2.0, -4.0}));
+}
+
+TEST(SpectralRadius, DiagonalMatrix) {
+  const Matrix m = Matrix::diag(std::vector<double>{0.5, -0.9, 0.2});
+  EXPECT_NEAR(spectral_radius(m), 0.9, 1e-6);
+}
+
+TEST(SpectralRadius, RotationWithContraction) {
+  // 0.8 * rotation: complex eigenvalues of modulus 0.8 (plain power
+  // iteration on a vector oscillates here; the squaring estimator must not).
+  const double s = 0.8;
+  const Matrix m{{0.0, -s}, {s, 0.0}};
+  EXPECT_NEAR(spectral_radius(m), 0.8, 1e-6);
+}
+
+TEST(SpectralRadius, UnstableMatrixDetected) {
+  const Matrix m{{1.05, 1.0}, {0.0, 0.3}};
+  EXPECT_NEAR(spectral_radius(m), 1.05, 1e-4);
+}
+
+TEST(SpectralRadius, ZeroMatrix) {
+  EXPECT_DOUBLE_EQ(spectral_radius(Matrix(3, 3)), 0.0);
+}
+
+TEST(SpectralRadius, RequiresSquare) {
+  EXPECT_THROW(spectral_radius(Matrix(2, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdc::linalg

@@ -1,0 +1,198 @@
+#include "consolidate/minimum_slack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datacenter/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::consolidate {
+namespace {
+
+/// Builds a snapshot with one server of the given capacity and unplaced VMs
+/// with the given demands (memory is ample unless specified).
+DataCenterSnapshot make_instance(double capacity_ghz, std::vector<double> demands,
+                                 double server_memory = 1e6,
+                                 std::vector<double> memories = {}) {
+  DataCenterSnapshot snap;
+  ServerSnapshot server;
+  server.id = 0;
+  server.max_capacity_ghz = capacity_ghz;
+  server.memory_mb = server_memory;
+  server.max_power_w = 200.0;
+  server.power_efficiency = capacity_ghz / 200.0;
+  server.active = true;
+  snap.servers.push_back(server);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    VmSnapshot vm;
+    vm.id = static_cast<VmId>(i);
+    vm.cpu_demand_ghz = demands[i];
+    vm.memory_mb = memories.empty() ? 1.0 : memories[i];
+    snap.vms.push_back(vm);
+  }
+  return snap;
+}
+
+std::vector<VmId> all_ids(const DataCenterSnapshot& snap) {
+  std::vector<VmId> ids(snap.vms.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+double demand_of(const DataCenterSnapshot& snap, const std::vector<VmId>& vms) {
+  double total = 0.0;
+  for (const VmId vm : vms) total += snap.vm(vm).cpu_demand_ghz;
+  return total;
+}
+
+TEST(MinimumSlack, FindsPerfectFill) {
+  // Subset {3, 2.5, 0.5} fills the 6 GHz server exactly.
+  const DataCenterSnapshot snap = make_instance(6.0, {3.0, 2.5, 2.0, 0.5});
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const std::vector<VmId> candidates = {0, 1, 2, 3};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints);
+  EXPECT_NEAR(r.slack_ghz, 0.0, 1e-9);
+  EXPECT_NEAR(demand_of(snap, r.selected), 6.0, 1e-9);
+}
+
+TEST(MinimumSlack, BeatsGreedyOnClassicInstance) {
+  // Greedy (largest-first) fills 5+3 = 8 of 10; optimal is 5+3+2 = 10.
+  const DataCenterSnapshot snap = make_instance(10.0, {5.0, 4.0, 3.0, 2.0});
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const std::vector<VmId> candidates = {0, 1, 2, 3};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints);
+  EXPECT_NEAR(demand_of(snap, r.selected), 10.0, 1e-9);
+}
+
+TEST(MinimumSlack, RespectsExistingResidents) {
+  DataCenterSnapshot snap = make_instance(6.0, {3.0, 2.0, 1.0});
+  snap.servers[0].hosted = {0};  // VM 0 already on the server
+  snap.vms[0].cpu_demand_ghz = 3.0;
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const std::vector<VmId> candidates = {1, 2};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints);
+  // Room is 3: takes both VM 1 (2.0) and VM 2 (1.0).
+  EXPECT_NEAR(r.slack_ghz, 0.0, 1e-9);
+  EXPECT_EQ(r.selected.size(), 2u);
+}
+
+TEST(MinimumSlack, HonorsMemoryConstraint) {
+  // CPU-wise both fit; memory admits only one.
+  const DataCenterSnapshot snap =
+      make_instance(10.0, {2.0, 2.0}, /*server_memory=*/1024.0,
+                    /*memories=*/{800.0, 800.0});
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const std::vector<VmId> candidates = {0, 1};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints);
+  EXPECT_EQ(r.selected.size(), 1u);
+}
+
+TEST(MinimumSlack, HonorsCustomConstraint) {
+  const DataCenterSnapshot snap = make_instance(10.0, {1.0, 1.0, 1.0, 1.0});
+  const WorkingPlacement wp(snap);
+  ConstraintSet constraints;
+  constraints.add(std::make_unique<CustomConstraint>(
+      "max-two", [](const ServerSnapshot&, std::span<const VmSnapshot* const> vms) {
+        return vms.size() <= 2;
+      }));
+  const std::vector<VmId> candidates = {0, 1, 2, 3};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints);
+  EXPECT_EQ(r.selected.size(), 2u);
+}
+
+TEST(MinimumSlack, EpsilonAcceptsGoodEnoughFit) {
+  const DataCenterSnapshot snap = make_instance(6.0, {5.95, 3.0, 2.9});
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  MinSlackOptions options;
+  options.epsilon_ghz = 0.1;
+  const std::vector<VmId> candidates = {0, 1, 2};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints, options);
+  // 5.95 leaves slack 0.05 < 0.1: accepted immediately, search stops.
+  EXPECT_NEAR(r.slack_ghz, 0.05, 1e-9);
+  EXPECT_EQ(r.selected, (std::vector<VmId>{0}));
+}
+
+TEST(MinimumSlack, EmptyCandidatesKeepBaseline) {
+  const DataCenterSnapshot snap = make_instance(6.0, {});
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const MinSlackResult r = minimum_slack(wp, 0, {}, constraints);
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_DOUBLE_EQ(r.slack_ghz, 6.0);
+}
+
+TEST(MinimumSlack, OversizedCandidatesIgnored) {
+  const DataCenterSnapshot snap = make_instance(2.0, {5.0, 1.5});
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const std::vector<VmId> candidates = {0, 1};
+  const MinSlackResult r = minimum_slack(wp, 0, candidates, constraints);
+  EXPECT_EQ(r.selected, (std::vector<VmId>{1}));
+}
+
+TEST(MinimumSlack, RejectsPlacedCandidates) {
+  DataCenterSnapshot snap = make_instance(6.0, {1.0});
+  snap.servers[0].hosted = {0};
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const std::vector<VmId> candidates = {0};
+  EXPECT_THROW(minimum_slack(wp, 0, candidates, constraints), std::invalid_argument);
+}
+
+TEST(MinimumSlack, StepBudgetEscalationTerminates) {
+  // 24 identical-ish items force a big search tree; a tiny budget must
+  // still terminate and produce a sane (feasible) answer.
+  std::vector<double> demands;
+  for (int i = 0; i < 24; ++i) demands.push_back(0.37 + 0.001 * i);
+  const DataCenterSnapshot snap = make_instance(4.0, demands);
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  MinSlackOptions options;
+  options.epsilon_ghz = 1e-6;  // practically unreachable
+  options.step_budget = 50;
+  options.max_escalations = 3;
+  const MinSlackResult r = minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  EXPECT_LE(demand_of(snap, r.selected), 4.0 + 1e-9);
+  EXPECT_GT(r.escalations, 0u);
+}
+
+class MinSlackOptimalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinSlackOptimalitySweep, MatchesBruteForceOnSmallInstances) {
+  util::Rng rng(static_cast<std::uint64_t>(700 + GetParam()));
+  const std::size_t n = 8;
+  std::vector<double> demands(n);
+  for (double& d : demands) d = rng.uniform(0.3, 2.0);
+  const double capacity = 4.0;
+  const DataCenterSnapshot snap = make_instance(capacity, demands);
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+
+  // Brute force best subset by slack.
+  double best = capacity;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) total += demands[i];
+    }
+    if (total <= capacity + 1e-12) best = std::min(best, capacity - total);
+  }
+
+  std::vector<VmId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  MinSlackOptions options;
+  options.epsilon_ghz = 1e-9;
+  const MinSlackResult r = minimum_slack(wp, 0, ids, constraints, options);
+  EXPECT_NEAR(r.slack_ghz, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinSlackOptimalitySweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace vdc::consolidate

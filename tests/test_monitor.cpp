@@ -1,0 +1,101 @@
+#include "app/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::app {
+namespace {
+
+TEST(Monitor, RejectsBadQuantile) {
+  EXPECT_THROW(ResponseTimeMonitor(-0.1), std::invalid_argument);
+  EXPECT_THROW(ResponseTimeMonitor(1.5), std::invalid_argument);
+}
+
+TEST(Monitor, EmptyHarvestIsNullopt) {
+  ResponseTimeMonitor m;
+  EXPECT_FALSE(m.harvest().has_value());
+}
+
+TEST(Monitor, HarvestReportsPeriodStats) {
+  ResponseTimeMonitor m(0.5);
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) m.record(x);
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count, 5u);
+  EXPECT_DOUBLE_EQ(stats->mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats->quantile, 3.0);
+  EXPECT_DOUBLE_EQ(stats->min, 1.0);
+  EXPECT_DOUBLE_EQ(stats->max, 5.0);
+}
+
+TEST(Monitor, HarvestClearsPeriodBuffer) {
+  ResponseTimeMonitor m;
+  m.record(1.0);
+  EXPECT_EQ(m.pending_samples(), 1u);
+  (void)m.harvest();
+  EXPECT_EQ(m.pending_samples(), 0u);
+  EXPECT_FALSE(m.harvest().has_value());
+}
+
+TEST(Monitor, NinetiethPercentileDefault) {
+  ResponseTimeMonitor m;  // q = 0.9
+  for (int i = 1; i <= 101; ++i) m.record(static_cast<double>(i));
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->quantile, 91.0, 1e-9);
+}
+
+TEST(Monitor, LifetimeSpansAllPeriods) {
+  ResponseTimeMonitor m(0.5);
+  m.record(1.0);
+  (void)m.harvest();
+  m.record(3.0);
+  (void)m.harvest();
+  const PeriodStats life = m.lifetime();
+  EXPECT_EQ(life.count, 2u);
+  EXPECT_DOUBLE_EQ(life.mean, 2.0);
+}
+
+TEST(Monitor, LifetimeOnEmptyMonitorIsZeroed) {
+  const ResponseTimeMonitor m;
+  const PeriodStats life = m.lifetime();
+  EXPECT_EQ(life.count, 0u);
+  EXPECT_DOUBLE_EQ(life.mean, 0.0);
+}
+
+TEST(Monitor, ControlledValueFollowsMetricSelection) {
+  const auto fill = [](ResponseTimeMonitor& m) {
+    for (const double x : {1.0, 2.0, 3.0, 4.0, 10.0}) m.record(x);
+  };
+  ResponseTimeMonitor p90(0.9, SlaMetric::kQuantile);
+  ResponseTimeMonitor mean(0.9, SlaMetric::kMean);
+  ResponseTimeMonitor max(0.9, SlaMetric::kMax);
+  fill(p90);
+  fill(mean);
+  fill(max);
+  const auto sp = p90.harvest();
+  const auto sm = mean.harvest();
+  const auto sx = max.harvest();
+  ASSERT_TRUE(sp && sm && sx);
+  EXPECT_DOUBLE_EQ(sp->controlled, sp->quantile);
+  EXPECT_DOUBLE_EQ(sm->controlled, 4.0);   // mean of the five samples
+  EXPECT_DOUBLE_EQ(sx->controlled, 10.0);  // maximum
+  EXPECT_EQ(mean.metric(), SlaMetric::kMean);
+  EXPECT_DOUBLE_EQ(p90.quantile_level(), 0.9);
+}
+
+TEST(Monitor, MetricNames) {
+  EXPECT_EQ(to_string(SlaMetric::kQuantile), "quantile");
+  EXPECT_EQ(to_string(SlaMetric::kMean), "mean");
+  EXPECT_EQ(to_string(SlaMetric::kMax), "max");
+}
+
+TEST(Monitor, DefaultControlledIsNinetiethPercentile) {
+  ResponseTimeMonitor m;
+  for (int i = 1; i <= 101; ++i) m.record(static_cast<double>(i));
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_DOUBLE_EQ(stats->controlled, stats->quantile);
+}
+
+}  // namespace
+}  // namespace vdc::app

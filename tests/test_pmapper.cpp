@@ -1,0 +1,128 @@
+#include "consolidate/pmapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datacenter/cluster.hpp"
+
+namespace vdc::consolidate {
+namespace {
+
+using datacenter::Cluster;
+using datacenter::Server;
+using datacenter::Vm;
+
+Cluster heterogeneous_cluster() {
+  Cluster c;
+  c.add_server(Server(datacenter::quad_core_3ghz(), datacenter::power_model_quad_3ghz(),
+                      32768.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 12288.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 12288.0));
+  return c;
+}
+
+Vm make_vm(double demand, double memory = 512.0) {
+  Vm vm;
+  vm.cpu_demand_ghz = demand;
+  vm.memory_mb = memory;
+  return vm;
+}
+
+TEST(PMapper, Phase1TargetsPreferEfficientServers) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 1);
+  (void)c.add_vm(make_vm(1.0), 2);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport report = pmapper(snap, constraints);
+  // FFD by efficiency puts both targets on the quad.
+  EXPECT_DOUBLE_EQ(report.target_demand_ghz[0], 2.0);
+  EXPECT_DOUBLE_EQ(report.target_demand_ghz[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.target_demand_ghz[2], 0.0);
+}
+
+TEST(PMapper, MigratesDonorVmsToReceivers) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 1);
+  (void)c.add_vm(make_vm(1.0), 2);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport report = pmapper(snap, constraints);
+  EXPECT_EQ(report.moves, 2u);
+  Cluster live = heterogeneous_cluster();
+  (void)live.add_vm(make_vm(1.0), 1);
+  (void)live.add_vm(make_vm(1.0), 2);
+  apply_plan(live, report.plan, 0.0);
+  EXPECT_EQ(live.vms_on(0).size(), 2u);
+  EXPECT_EQ(live.active_server_count(), 1u);
+}
+
+TEST(PMapper, QuiescentWhenAlreadyAtTarget) {
+  Cluster c = heterogeneous_cluster();
+  (void)c.add_vm(make_vm(1.0), 0);
+  (void)c.add_vm(make_vm(0.5), 0);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport report = pmapper(snap, constraints);
+  EXPECT_TRUE(report.plan.moves.empty());
+}
+
+TEST(PMapper, DonorShedsSmallestVmsFirst) {
+  Cluster c = heterogeneous_cluster();
+  // Quad holds a big and a small VM; also load the duals so the quad's
+  // target is below its current demand.
+  (void)c.add_vm(make_vm(8.0, 20000.0), 0);
+  (void)c.add_vm(make_vm(0.5), 0);
+  (void)c.add_vm(make_vm(3.5, 20000.0), 1);  // memory keeps it off the quad
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport report = pmapper(snap, constraints);
+  // Whatever the plan, the 8 GHz VM must not be the one moved off the quad
+  // while the 0.5 GHz VM stays.
+  for (const Move& m : report.plan.moves) {
+    EXPECT_NE(m.vm, 0u) << "largest VM should not move before the smallest";
+  }
+}
+
+TEST(PMapper, ResolvesOverloadViaTargets) {
+  Cluster c = heterogeneous_cluster();
+  // Overload a dual-1.5 (3 GHz): 4 GHz demand.
+  (void)c.add_vm(make_vm(2.0), 1);
+  (void)c.add_vm(make_vm(2.0), 1);
+  ASSERT_TRUE(c.overloaded(1));
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport report = pmapper(snap, constraints);
+  apply_plan(c, report.plan, 0.0);
+  EXPECT_TRUE(c.overloaded_servers().empty());
+}
+
+TEST(PMapper, UnabsorbableVmReturnsToOrigin) {
+  Cluster c;
+  c.add_server(Server(datacenter::dual_core_2ghz(), datacenter::power_model_dual_2ghz(),
+                      1024.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 1024.0));
+  // Two VMs on the less efficient server; the efficient one lacks memory
+  // for both, so at most one can move.
+  (void)c.add_vm(make_vm(1.0, 700.0), 1);
+  (void)c.add_vm(make_vm(1.0, 700.0), 1);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport report = pmapper(snap, constraints);
+  EXPECT_TRUE(report.plan.unplaced.empty());  // nothing may be lost
+  Cluster live;
+  live.add_server(Server(datacenter::dual_core_2ghz(), datacenter::power_model_dual_2ghz(),
+                         1024.0));
+  live.add_server(Server(datacenter::dual_core_1_5ghz(),
+                         datacenter::power_model_dual_1_5ghz(), 1024.0));
+  (void)live.add_vm(make_vm(1.0, 700.0), 1);
+  (void)live.add_vm(make_vm(1.0, 700.0), 1);
+  apply_plan(live, report.plan, 0.0);
+  EXPECT_EQ(live.vms_on(0).size() + live.vms_on(1).size(), 2u);
+  EXPECT_TRUE(live.overloaded_servers().empty());
+}
+
+}  // namespace
+}  // namespace vdc::consolidate

@@ -1,0 +1,99 @@
+#include "core/power_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::core {
+namespace {
+
+using datacenter::Cluster;
+using datacenter::Server;
+using datacenter::Vm;
+
+Cluster scattered_cluster() {
+  Cluster c;
+  c.add_server(Server(datacenter::quad_core_3ghz(), datacenter::power_model_quad_3ghz(),
+                      32768.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 12288.0));
+  c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                      datacenter::power_model_dual_1_5ghz(), 12288.0));
+  Vm vm;
+  vm.cpu_demand_ghz = 1.0;
+  vm.memory_mb = 512.0;
+  c.add_vm(vm, 1);
+  c.add_vm(vm, 2);
+  return c;
+}
+
+TEST(PowerOptimizer, ToStringNames) {
+  EXPECT_EQ(to_string(ConsolidationAlgorithm::kIpac), "IPAC");
+  EXPECT_EQ(to_string(ConsolidationAlgorithm::kPMapper), "pMapper");
+  EXPECT_EQ(to_string(ConsolidationAlgorithm::kNone), "none");
+}
+
+TEST(PowerOptimizer, IpacConsolidatesAndSleeps) {
+  Cluster c = scattered_cluster();
+  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac,
+                                           .utilization_target = 1.0});
+  const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
+  EXPECT_EQ(outcome.active_before, 3u);
+  EXPECT_EQ(outcome.active_after, 1u);
+  EXPECT_EQ(outcome.migrations, 2u);
+  EXPECT_EQ(outcome.unplaced, 0u);
+  EXPECT_EQ(optimizer.total_migrations(), 2u);
+  EXPECT_EQ(optimizer.invocations(), 1u);
+  EXPECT_EQ(c.vms_on(0).size(), 2u);
+}
+
+TEST(PowerOptimizer, PMapperAlsoConsolidates) {
+  Cluster c = scattered_cluster();
+  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kPMapper,
+                                           .utilization_target = 1.0});
+  const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
+  EXPECT_EQ(outcome.active_after, 1u);
+  EXPECT_EQ(c.vms_on(0).size(), 2u);
+}
+
+TEST(PowerOptimizer, NoneOnlySleepsIdleServers) {
+  Cluster c = scattered_cluster();
+  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kNone});
+  const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
+  EXPECT_EQ(outcome.migrations, 0u);
+  EXPECT_EQ(outcome.active_after, 2u);  // the empty quad went to sleep
+}
+
+TEST(PowerOptimizer, CustomConstraintIsEnforced) {
+  Cluster c = scattered_cluster();
+  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac,
+                                           .utilization_target = 1.0});
+  // Forbid any server from hosting more than one VM.
+  optimizer.add_constraint(std::make_unique<consolidate::CustomConstraint>(
+      "one-vm-per-server",
+      [](const consolidate::ServerSnapshot&,
+         std::span<const consolidate::VmSnapshot* const> vms) { return vms.size() <= 1; }));
+  const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
+  EXPECT_EQ(outcome.active_after, 2u);  // cannot merge the two VMs
+}
+
+TEST(PowerOptimizer, CostPolicyShared) {
+  Cluster c = scattered_cluster();
+  // A zero-byte bandwidth budget vetoes every consolidation round.
+  PowerOptimizer optimizer(
+      OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac, .utilization_target = 1.0},
+      std::make_shared<consolidate::BandwidthBudgetPolicy>(1.0));
+  const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
+  EXPECT_EQ(outcome.migrations, 0u);
+}
+
+TEST(PowerOptimizer, RepeatedInvocationsAreQuiescent) {
+  Cluster c = scattered_cluster();
+  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac,
+                                           .utilization_target = 1.0});
+  (void)optimizer.optimize(c, 0.0);
+  const OptimizationOutcome second = optimizer.optimize(c, 3600.0);
+  EXPECT_EQ(second.migrations, 0u);
+  EXPECT_EQ(second.active_before, second.active_after);
+}
+
+}  // namespace
+}  // namespace vdc::core

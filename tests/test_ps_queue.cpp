@@ -1,0 +1,159 @@
+#include "sim/ps_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vdc::sim {
+namespace {
+
+struct Completions {
+  std::vector<JobId> ids;
+  std::vector<double> times;
+};
+
+TEST(PsQueue, SingleJobCompletesAtDemandOverCapacity) {
+  Simulation sim;
+  Completions done;
+  PsQueue q(sim, 2.0, [&](JobId id) {
+    done.ids.push_back(id);
+    done.times.push_back(sim.now());
+  });
+  q.add_job(1.0);  // 1 Gcycle at 2 GHz -> 0.5 s
+  sim.run();
+  ASSERT_EQ(done.ids.size(), 1u);
+  EXPECT_NEAR(done.times[0], 0.5, 1e-9);
+}
+
+TEST(PsQueue, TwoEqualJobsShareCapacity) {
+  Simulation sim;
+  Completions done;
+  PsQueue q(sim, 1.0, [&](JobId) { done.times.push_back(sim.now()); });
+  q.add_job(1.0);
+  q.add_job(1.0);
+  sim.run();
+  ASSERT_EQ(done.times.size(), 2u);
+  // Both receive 0.5 GHz until both finish at t = 2.
+  EXPECT_NEAR(done.times[0], 2.0, 1e-9);
+  EXPECT_NEAR(done.times[1], 2.0, 1e-9);
+}
+
+TEST(PsQueue, UnequalJobsFinishInDemandOrder) {
+  Simulation sim;
+  Completions done;
+  PsQueue q(sim, 1.0, [&](JobId id) {
+    done.ids.push_back(id);
+    done.times.push_back(sim.now());
+  });
+  const JobId small = q.add_job(0.5);
+  const JobId large = q.add_job(1.5);
+  sim.run();
+  ASSERT_EQ(done.ids.size(), 2u);
+  EXPECT_EQ(done.ids[0], small);
+  EXPECT_EQ(done.ids[1], large);
+  // Shared until small finishes at t=1 (each got 0.5); large has 1.0 left,
+  // then runs alone: finishes at t=2.
+  EXPECT_NEAR(done.times[0], 1.0, 1e-9);
+  EXPECT_NEAR(done.times[1], 2.0, 1e-9);
+}
+
+TEST(PsQueue, LateArrivalSharesRemainingWork) {
+  Simulation sim;
+  Completions done;
+  PsQueue q(sim, 1.0, [&](JobId id) {
+    done.ids.push_back(id);
+    done.times.push_back(sim.now());
+  });
+  const JobId first = q.add_job(1.0);
+  sim.schedule(0.5, [&] { q.add_job(1.0); });
+  sim.run();
+  ASSERT_EQ(done.ids.size(), 2u);
+  EXPECT_EQ(done.ids[0], first);
+  // First: 0.5 done alone, then shares: remaining 0.5 at rate 0.5 -> t=1.5.
+  EXPECT_NEAR(done.times[0], 1.5, 1e-9);
+  // Second: got 0.5 by t=1.5, then alone for 0.5 -> t=2.0.
+  EXPECT_NEAR(done.times[1], 2.0, 1e-9);
+}
+
+TEST(PsQueue, CapacityChangePreservesWork) {
+  Simulation sim;
+  Completions done;
+  PsQueue q(sim, 1.0, [&](JobId) { done.times.push_back(sim.now()); });
+  q.add_job(2.0);
+  sim.schedule(1.0, [&] { q.set_capacity(2.0); });  // halfway through
+  sim.run();
+  ASSERT_EQ(done.times.size(), 1u);
+  // 1 Gcycle done at t=1; remaining 1 Gcycle at 2 GHz -> +0.5 s.
+  EXPECT_NEAR(done.times[0], 1.5, 1e-9);
+}
+
+TEST(PsQueue, ZeroCapacityStallsUntilRestored) {
+  Simulation sim;
+  Completions done;
+  PsQueue q(sim, 0.0, [&](JobId) { done.times.push_back(sim.now()); });
+  q.add_job(1.0);
+  sim.schedule(3.0, [&] { q.set_capacity(1.0); });
+  sim.run();
+  ASSERT_EQ(done.times.size(), 1u);
+  EXPECT_NEAR(done.times[0], 4.0, 1e-9);
+}
+
+TEST(PsQueue, RemoveJobReturnsResidualWork) {
+  Simulation sim;
+  PsQueue q(sim, 1.0, [](JobId) {});
+  const JobId id = q.add_job(2.0);
+  sim.schedule(1.0, [&] {
+    const double remaining = q.remove_job(id);
+    EXPECT_NEAR(remaining, 1.0, 1e-9);
+  });
+  sim.run();
+  EXPECT_EQ(q.jobs_in_service(), 0u);
+  EXPECT_LT(q.remove_job(id), 0.0);  // unknown job
+}
+
+TEST(PsQueue, WorkDoneIsConserved) {
+  Simulation sim;
+  PsQueue q(sim, 1.5, [](JobId) {});
+  q.add_job(1.0);
+  q.add_job(0.5);
+  q.add_job(0.25);
+  sim.run();
+  EXPECT_NEAR(q.work_done(), 1.75, 1e-9);
+}
+
+TEST(PsQueue, BusyTimeTracksOccupancy) {
+  Simulation sim;
+  PsQueue q(sim, 1.0, [](JobId) {});
+  q.add_job(1.0);  // busy [0, 1]
+  sim.schedule(5.0, [&] { q.add_job(2.0); });  // busy [5, 7]
+  sim.run();
+  EXPECT_NEAR(q.busy_time(), 3.0, 1e-9);
+}
+
+TEST(PsQueue, RejectsInvalidArguments) {
+  Simulation sim;
+  EXPECT_THROW(PsQueue(sim, -1.0, nullptr), std::invalid_argument);
+  PsQueue q(sim, 1.0, [](JobId) {});
+  EXPECT_THROW(q.add_job(0.0), std::invalid_argument);
+  EXPECT_THROW(q.add_job(-1.0), std::invalid_argument);
+  EXPECT_THROW(q.set_capacity(-2.0), std::invalid_argument);
+}
+
+class PsQueueFairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PsQueueFairnessSweep, NEqualJobsFinishTogetherAtNTimesDemand) {
+  const int n = GetParam();
+  Simulation sim;
+  std::vector<double> times;
+  PsQueue q(sim, 2.0, [&](JobId) { times.push_back(sim.now()); });
+  for (int i = 0; i < n; ++i) q.add_job(1.0);
+  sim.run();
+  ASSERT_EQ(times.size(), static_cast<std::size_t>(n));
+  // Processor sharing: n equal jobs all finish at n * (demand / capacity).
+  for (const double t : times) EXPECT_NEAR(t, n * 0.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PsQueueFairnessSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace vdc::sim

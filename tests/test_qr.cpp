@@ -1,0 +1,141 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/lu.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::linalg {
+namespace {
+
+Matrix random_full_rank(std::size_t m, std::size_t n, util::Rng& rng) {
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  for (std::size_t j = 0; j < n && j < m; ++j) a(j, j) += 2.0;
+  return a;
+}
+
+TEST(Qr, ExactSolveOnSquareSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = least_squares(a, std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Qr, OverdeterminedMatchesNormalEquations) {
+  util::Rng rng(3);
+  const Matrix a = random_full_rank(12, 4, rng);
+  std::vector<double> b(12);
+  for (double& v : b) v = rng.uniform(-2.0, 2.0);
+
+  const Vector x_qr = least_squares(a, b);
+  // Normal equations via LU: (A'A) x = A'b.
+  const Matrix ata = a.transpose() * a;
+  const Vector atb = a.transpose() * std::span<const double>(b);
+  const Vector x_ne = lu_solve(ata, atb);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-9);
+}
+
+TEST(Qr, ResidualOrthogonalToColumnSpace) {
+  util::Rng rng(5);
+  const Matrix a = random_full_rank(10, 3, rng);
+  std::vector<double> b(10);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = least_squares(a, b);
+  const Vector ax = a * std::span<const double>(x);
+  const Vector r = sub(b, ax);
+  const Vector atr = a.transpose() * std::span<const double>(r);
+  for (const double v : atr) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Qr, RankDeficiencyDetectedAndThrows) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // second column dependent
+  }
+  const QrDecomposition qr(a);
+  EXPECT_TRUE(qr.rank_deficient());
+  EXPECT_THROW(qr.solve(std::vector<double>(4, 1.0)), std::runtime_error);
+}
+
+TEST(Qr, WideMatrixRejected) { EXPECT_THROW(QrDecomposition(Matrix(2, 3)), std::invalid_argument); }
+
+TEST(Qr, QFullIsOrthogonal) {
+  util::Rng rng(7);
+  const Matrix a = random_full_rank(6, 3, rng);
+  const QrDecomposition qr(a);
+  const Matrix q = qr.q_full();
+  EXPECT_LT((q.transpose() * q - Matrix::identity(6)).max_abs(), 1e-10);
+}
+
+TEST(Qr, QtThenQIsIdentityOnVectors) {
+  util::Rng rng(9);
+  const Matrix a = random_full_rank(7, 4, rng);
+  const QrDecomposition qr(a);
+  std::vector<double> v(7);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  const Vector round_trip = qr.q_apply(qr.qt_apply(v));
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(round_trip[i], v[i], 1e-11);
+}
+
+TEST(Qr, TrailingQColumnsSpanNullSpaceOfAt) {
+  // Columns n..m-1 of Q are orthogonal to range(A): A^T q = 0.
+  util::Rng rng(11);
+  const Matrix a = random_full_rank(6, 2, rng);
+  const QrDecomposition qr(a);
+  const Matrix q = qr.q_full();
+  for (std::size_t c = 2; c < 6; ++c) {
+    std::vector<double> col(6);
+    for (std::size_t r = 0; r < 6; ++r) col[r] = q(r, c);
+    const Vector atq = a.transpose() * std::span<const double>(col);
+    for (const double v : atq) EXPECT_NEAR(v, 0.0, 1e-10);
+  }
+}
+
+TEST(Qr, RReconstructsAFromQ) {
+  util::Rng rng(13);
+  const Matrix a = random_full_rank(5, 3, rng);
+  const QrDecomposition qr(a);
+  const Matrix r = qr.r();
+  // A == Q * [R; 0]: check column by column via q_apply.
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<double> rc(5, 0.0);
+    for (std::size_t i = 0; i <= c; ++i) rc[i] = r(i, c);
+    const Vector ac = qr.q_apply(rc);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(ac[i], a(i, c), 1e-10);
+  }
+}
+
+TEST(Ridge, ShrinksTowardZeroAsLambdaGrows) {
+  util::Rng rng(15);
+  const Matrix a = random_full_rank(8, 3, rng);
+  std::vector<double> b(8);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x_small = ridge_least_squares(a, b, 1e-8);
+  const Vector x_large = ridge_least_squares(a, b, 1e4);
+  EXPECT_GT(norm2(x_small), norm2(x_large));
+  EXPECT_LT(norm2(x_large), 1e-2);
+}
+
+TEST(Ridge, HandlesRankDeficiencyGracefully) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 1.0;
+  }
+  const Vector x = ridge_least_squares(a, std::vector<double>(4, 2.0), 1e-6);
+  // Symmetric problem: ridge splits the weight evenly.
+  EXPECT_NEAR(x[0], x[1], 1e-9);
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(Ridge, RejectsNonPositiveLambda) {
+  EXPECT_THROW(ridge_least_squares(Matrix(2, 2), std::vector<double>(2, 0.0), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdc::linalg

@@ -1,0 +1,80 @@
+#include "control/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vdc::control {
+namespace {
+
+TEST(Reference, ValidatesParameters) {
+  EXPECT_THROW(ReferenceTrajectory(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ReferenceTrajectory(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Reference, AtZeroStepsEqualsCurrent) {
+  const ReferenceTrajectory ref(4.0, 16.0);
+  EXPECT_NEAR(ref.at(0, 2.0, 1.0), 2.0, 1e-12);
+}
+
+TEST(Reference, MatchesEquation3) {
+  const double period = 4.0;
+  const double tref = 16.0;
+  const ReferenceTrajectory ref(period, tref);
+  const double current = 3.0;
+  const double setpoint = 1.0;
+  for (std::size_t i = 1; i <= 10; ++i) {
+    const double expected =
+        setpoint - std::exp(-static_cast<double>(i) * period / tref) * (setpoint - current);
+    EXPECT_NEAR(ref.at(i, current, setpoint), expected, 1e-12);
+  }
+}
+
+TEST(Reference, MonotoneApproachFromAbove) {
+  const ReferenceTrajectory ref(4.0, 16.0);
+  double prev = 5.0;
+  for (std::size_t i = 1; i <= 20; ++i) {
+    const double r = ref.at(i, 5.0, 1.0);
+    EXPECT_LT(r, prev);
+    EXPECT_GT(r, 1.0);
+    prev = r;
+  }
+}
+
+TEST(Reference, MonotoneApproachFromBelow) {
+  const ReferenceTrajectory ref(4.0, 16.0);
+  double prev = 0.2;
+  for (std::size_t i = 1; i <= 20; ++i) {
+    const double r = ref.at(i, 0.2, 1.0);
+    EXPECT_GT(r, prev);
+    EXPECT_LT(r, 1.0);
+    prev = r;
+  }
+}
+
+TEST(Reference, SmallerTrefConvergesFaster) {
+  const ReferenceTrajectory fast(4.0, 8.0);
+  const ReferenceTrajectory slow(4.0, 32.0);
+  // Starting above the set point, the fast trajectory is closer after the
+  // same number of steps.
+  EXPECT_LT(fast.at(3, 2.0, 1.0), slow.at(3, 2.0, 1.0));
+}
+
+TEST(Reference, HorizonMatchesPointwise) {
+  const ReferenceTrajectory ref(4.0, 16.0);
+  const std::vector<double> h = ref.horizon(5, 2.0, 1.0);
+  ASSERT_EQ(h.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(h[i], ref.at(i + 1, 2.0, 1.0));
+  }
+}
+
+TEST(Reference, AtSetpointStaysAtSetpoint) {
+  const ReferenceTrajectory ref(4.0, 16.0);
+  for (std::size_t i = 0; i <= 10; ++i) {
+    EXPECT_NEAR(ref.at(i, 1.0, 1.0), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vdc::control

@@ -1,0 +1,121 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vdc::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulation, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, RejectsPastAndEmptyCallbacks) {
+  Simulation sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(10.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulation, CancelUnknownIdReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<double> fired;
+  sim.schedule(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule(2.0, [&] { fired.push_back(2.0); });
+  sim.schedule(3.0, [&] { fired.push_back(3.0); });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_THROW(sim.run_until(5.0), std::invalid_argument);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulation, ScheduleAfterUsesRelativeDelay) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule(2.0, [&] {
+    sim.schedule_after(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, CancelInsideEvent) {
+  Simulation sim;
+  bool second_fired = false;
+  EventId second = 0;
+  sim.schedule(1.0, [&] { sim.cancel(second); });
+  second = sim.schedule(2.0, [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RunUntilWithOnlyCancelledEvents) {
+  Simulation sim;
+  const EventId id = sim.schedule(1.0, [] { FAIL(); });
+  sim.cancel(id);
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+}  // namespace
+}  // namespace vdc::sim

@@ -1,0 +1,126 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vdc::trace {
+namespace {
+
+SyntheticTraceOptions small_options(std::uint64_t seed = 1) {
+  SyntheticTraceOptions o;
+  o.servers = 120;
+  o.samples = kPaperSampleCount;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Synthetic, DimensionsMatchOptions) {
+  const UtilizationTrace t = generate_synthetic_trace(small_options());
+  EXPECT_EQ(t.server_count(), 120u);
+  EXPECT_EQ(t.sample_count(), kPaperSampleCount);
+  EXPECT_EQ(t.labels.size(), 120u);
+}
+
+TEST(Synthetic, UtilizationWithinBounds) {
+  const UtilizationTrace t = generate_synthetic_trace(small_options());
+  for (std::size_t s = 0; s < t.server_count(); ++s) {
+    for (const double u : t.series(s)) {
+      EXPECT_GE(u, 0.01);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const UtilizationTrace a = generate_synthetic_trace(small_options(7));
+  const UtilizationTrace b = generate_synthetic_trace(small_options(7));
+  const UtilizationTrace c = generate_synthetic_trace(small_options(8));
+  EXPECT_DOUBLE_EQ(a.at(3, 100), b.at(3, 100));
+  EXPECT_DOUBLE_EQ(a.global_mean(), b.global_mean());
+  EXPECT_NE(a.global_mean(), c.global_mean());
+}
+
+TEST(Synthetic, AllFourSectorsPresent) {
+  const UtilizationTrace t = generate_synthetic_trace(small_options());
+  const std::set<std::string> sectors(t.labels.begin(), t.labels.end());
+  EXPECT_TRUE(sectors.contains("manufacturing"));
+  EXPECT_TRUE(sectors.contains("telecom"));
+  EXPECT_TRUE(sectors.contains("financial"));
+  EXPECT_TRUE(sectors.contains("retail"));
+}
+
+TEST(Synthetic, DiurnalStructureVisible) {
+  // Averaged over servers and days, business hours must exceed night hours.
+  const UtilizationTrace t = generate_synthetic_trace(small_options());
+  double day = 0.0;
+  double night = 0.0;
+  int day_count = 0;
+  int night_count = 0;
+  for (std::size_t k = 0; k < t.sample_count(); ++k) {
+    const double hour = std::fmod(static_cast<double>(k) * 900.0 / 3600.0, 24.0);
+    const int weekday = static_cast<int>(static_cast<double>(k) * 900.0 / 86400.0) % 7;
+    if (weekday >= 5) continue;  // weekdays only for the sharpest contrast
+    if (hour >= 9.0 && hour < 17.0) {
+      day += t.mean_at(k);
+      ++day_count;
+    } else if (hour < 5.0) {
+      night += t.mean_at(k);
+      ++night_count;
+    }
+  }
+  ASSERT_GT(day_count, 0);
+  ASSERT_GT(night_count, 0);
+  EXPECT_GT(day / day_count, 1.3 * night / night_count);
+}
+
+TEST(Synthetic, FinancialSectorQuietOnWeekends) {
+  SyntheticTraceOptions o = small_options();
+  o.sectors = {default_sector_profiles()[2]};  // financial only
+  o.sector_weights = {1.0};
+  const UtilizationTrace t = generate_synthetic_trace(o);
+  double weekday = 0.0;
+  double weekend = 0.0;
+  int wd = 0;
+  int we = 0;
+  for (std::size_t k = 0; k < t.sample_count(); ++k) {
+    const int day = static_cast<int>(static_cast<double>(k) * 900.0 / 86400.0) % 7;
+    if (day >= 5) {
+      weekend += t.mean_at(k);
+      ++we;
+    } else {
+      weekday += t.mean_at(k);
+      ++wd;
+    }
+  }
+  EXPECT_GT(weekday / wd, 1.15 * weekend / we);
+}
+
+TEST(Synthetic, CustomSectorMixRespected) {
+  SyntheticTraceOptions o = small_options();
+  o.sectors = default_sector_profiles();
+  o.sector_weights = {1.0, 0.0, 0.0, 0.0};  // manufacturing only
+  const UtilizationTrace t = generate_synthetic_trace(o);
+  for (const std::string& label : t.labels) EXPECT_EQ(label, "manufacturing");
+}
+
+TEST(Synthetic, ValidatesWeights) {
+  SyntheticTraceOptions o = small_options();
+  o.sectors = default_sector_profiles();
+  o.sector_weights = {1.0};  // wrong length
+  EXPECT_THROW(generate_synthetic_trace(o), std::invalid_argument);
+  o.sector_weights = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(generate_synthetic_trace(o), std::invalid_argument);
+}
+
+TEST(Synthetic, MeanUtilizationInDataCenterRange) {
+  // Enterprise servers average 10-40% utilization; the synthetic trace
+  // must land there for the consolidation results to be meaningful.
+  const UtilizationTrace t = generate_synthetic_trace(small_options());
+  EXPECT_GT(t.global_mean(), 0.10);
+  EXPECT_LT(t.global_mean(), 0.45);
+}
+
+}  // namespace
+}  // namespace vdc::trace

@@ -1,0 +1,156 @@
+#include "control/sysid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace vdc::control {
+namespace {
+
+/// Simulates a known ARX model under random excitation and returns the data.
+SysIdData simulate(const ArxModel& truth, std::size_t length, double noise,
+                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  SysIdData data;
+  std::vector<double> t_hist(truth.na, 0.0);
+  std::vector<std::vector<double>> c_hist(truth.nb, std::vector<double>(truth.nu, 0.0));
+  for (std::size_t k = 0; k < length; ++k) {
+    std::vector<double> c(truth.nu);
+    for (double& x : c) x = rng.uniform(0.2, 1.0);
+    const double t = truth.predict(t_hist, c_hist) + rng.normal(0.0, noise);
+    data.append(t, c);
+    // Advance histories: the input applied at k is c (paired at index k, so
+    // the model's c(k-1) is inputs[k-1] — the same convention fit_arx uses).
+    t_hist.insert(t_hist.begin(), t);
+    t_hist.pop_back();
+    c_hist.insert(c_hist.begin(), c);
+    c_hist.pop_back();
+  }
+  return data;
+}
+
+ArxModel ground_truth() {
+  ArxModel m;
+  m.na = 1;
+  m.nb = 2;
+  m.nu = 2;
+  m.a = {0.6};
+  m.b = linalg::Matrix(2, 2);
+  m.b(0, 0) = -0.5;
+  m.b(0, 1) = -1.5;
+  m.b(1, 0) = 0.1;
+  m.b(1, 1) = 0.4;
+  m.bias = 1.2;
+  return m;
+}
+
+TEST(SysId, RecoversNoiselessModelExactly) {
+  const ArxModel truth = ground_truth();
+  const SysIdData data = simulate(truth, 300, 0.0, 5);
+  const ArxModel fit = fit_arx(data, SysIdOptions{.na = 1, .nb = 2, .ridge_lambda = 0.0});
+  EXPECT_NEAR(fit.a[0], truth.a[0], 1e-8);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t m = 0; m < 2; ++m) EXPECT_NEAR(fit.b(j, m), truth.b(j, m), 1e-7);
+  }
+  EXPECT_NEAR(fit.bias, truth.bias, 1e-7);
+  EXPECT_NEAR(r_squared(fit, data), 1.0, 1e-9);
+}
+
+TEST(SysId, RecoversNoisyModelApproximately) {
+  const ArxModel truth = ground_truth();
+  const SysIdData data = simulate(truth, 3000, 0.05, 7);
+  const ArxModel fit = fit_arx(data, SysIdOptions{.na = 1, .nb = 2, .ridge_lambda = 1e-8});
+  EXPECT_NEAR(fit.a[0], truth.a[0], 0.05);
+  EXPECT_NEAR(fit.b(0, 1), truth.b(0, 1), 0.1);
+  EXPECT_GT(r_squared(fit, data), 0.9);
+}
+
+class SysIdOrderSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SysIdOrderSweep, RecoversRandomStableModels) {
+  const auto [na, nb] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(na * 10 + nb));
+  ArxModel truth;
+  truth.na = static_cast<std::size_t>(na);
+  truth.nb = static_cast<std::size_t>(nb);
+  truth.nu = 1;
+  truth.a.resize(truth.na);
+  double total = 0.0;
+  for (double& a : truth.a) {
+    a = rng.uniform(-0.3, 0.4);
+    total += std::abs(a);
+  }
+  if (total > 0.9) {
+    for (double& a : truth.a) a *= 0.9 / total;  // keep the AR part stable
+  }
+  truth.b = linalg::Matrix(truth.nb, 1);
+  for (std::size_t j = 0; j < truth.nb; ++j) truth.b(j, 0) = rng.uniform(-2.0, -0.1);
+  truth.bias = rng.uniform(0.0, 2.0);
+
+  const SysIdData data = simulate(truth, 500, 0.0, 99);
+  const ArxModel fit =
+      fit_arx(data, SysIdOptions{.na = truth.na, .nb = truth.nb, .ridge_lambda = 0.0});
+  for (std::size_t i = 0; i < truth.na; ++i) EXPECT_NEAR(fit.a[i], truth.a[i], 1e-6);
+  for (std::size_t j = 0; j < truth.nb; ++j) EXPECT_NEAR(fit.b(j, 0), truth.b(j, 0), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SysIdOrderSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(SysId, RidgeKeepsWeakExcitationWellPosed) {
+  // Constant input: the regressor matrix is rank deficient without ridge.
+  SysIdData data;
+  double t = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    t = 0.5 * t + 1.0;
+    data.append(t, {0.7, 0.7});
+  }
+  EXPECT_NO_THROW(fit_arx(data, SysIdOptions{.na = 1, .nb = 2, .ridge_lambda = 1e-4}));
+  EXPECT_THROW(fit_arx(data, SysIdOptions{.na = 1, .nb = 2, .ridge_lambda = 0.0}),
+               std::exception);
+}
+
+TEST(SysId, InsufficientDataThrows) {
+  SysIdData data;
+  for (int k = 0; k < 5; ++k) data.append(1.0, {0.5});
+  EXPECT_THROW(fit_arx(data), std::invalid_argument);
+}
+
+TEST(SysId, ValidatesDataConsistency) {
+  SysIdData data;
+  data.outputs = {1.0, 2.0};
+  data.inputs = {{1.0}};
+  EXPECT_THROW(data.validate(), std::invalid_argument);
+  data.inputs = {{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(data.validate(), std::invalid_argument);
+}
+
+TEST(Excitation, HoldsLevelsForConfiguredPeriods) {
+  ExcitationSequence seq(util::Rng(3), 2, 0.2, 0.8, 4);
+  const auto a0 = seq.at(0);
+  const auto a3 = seq.at(3);
+  const auto a4 = seq.at(4);
+  EXPECT_EQ(a0, a3);
+  EXPECT_NE(a0, a4);
+  for (const double x : a4) {
+    EXPECT_GE(x, 0.2);
+    EXPECT_LT(x, 0.8);
+  }
+}
+
+TEST(Excitation, ValidatesArguments) {
+  EXPECT_THROW(ExcitationSequence(util::Rng(1), 0, 0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(ExcitationSequence(util::Rng(1), 1, 0.5, 0.1), std::invalid_argument);
+}
+
+TEST(RSquared, PenalizesWrongModel) {
+  const ArxModel truth = ground_truth();
+  const SysIdData data = simulate(truth, 500, 0.0, 11);
+  ArxModel wrong = truth;
+  wrong.b(0, 1) = +3.0;  // sign-flipped dominant gain
+  EXPECT_LT(r_squared(wrong, data), 0.5);
+}
+
+}  // namespace
+}  // namespace vdc::control

@@ -1,0 +1,148 @@
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::core {
+namespace {
+
+TestbedConfig fast_config() {
+  TestbedConfig config;
+  config.num_apps = 2;
+  config.num_servers = 2;
+  config.sysid.periods = 250;  // shorter identification for test speed
+  return config;
+}
+
+TEST(Testbed, ValidatesConfiguration) {
+  TestbedConfig config = fast_config();
+  config.num_apps = 0;
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+}
+
+TEST(Testbed, IdentifiedModelIsPlausible) {
+  const Testbed tb{fast_config()};
+  EXPECT_GT(tb.model_r_squared(), 0.4);
+  const control::ArxModel& m = tb.identified_model();
+  EXPECT_EQ(m.nu, 2u);
+  // More CPU must lower the response time: negative DC gains.
+  for (const double g : m.dc_gain()) EXPECT_LT(g, 0.0);
+}
+
+TEST(Testbed, ControlLoopConvergesNearSetpoint) {
+  Testbed tb{fast_config()};
+  tb.run_until(600.0);
+  for (std::size_t i = 0; i < tb.app_count(); ++i) {
+    const util::RunningStats s = tb.response_stats_after(i, 200.0);
+    EXPECT_NEAR(s.mean(), 1.0, 0.25) << "app " << i;
+  }
+}
+
+TEST(Testbed, SeriesAreRecordedPerControlPeriod) {
+  Testbed tb{fast_config()};
+  tb.run_until(100.0);
+  // 100 s at 4 s periods: 25 ticks, power recorded from the 2nd onward.
+  EXPECT_EQ(tb.response_series(0).size(), 25u);
+  EXPECT_EQ(tb.allocation_series(0).size(), 25u);
+  EXPECT_GE(tb.power_series().size(), 24u);
+  for (const double p : tb.power_series()) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 400.0);  // two dual-2GHz servers peak below 2x180 W
+  }
+}
+
+TEST(Testbed, SetpointChangeIsTracked) {
+  Testbed tb{fast_config()};
+  tb.set_setpoint(0, 0.7);
+  tb.run_until(600.0);
+  const util::RunningStats s = tb.response_stats_after(0, 250.0);
+  EXPECT_NEAR(s.mean(), 0.7, 0.2);
+}
+
+TEST(Testbed, SurgeRaisesThenRecovers) {
+  Testbed tb{fast_config()};
+  tb.run_until(300.0);
+  tb.set_concurrency(0, 80);
+  tb.run_until(700.0);
+  // Late in the surge the controller has recovered to the set point.
+  const util::RunningStats late = tb.response_stats_after(0, 500.0);
+  EXPECT_NEAR(late.mean(), 1.0, 0.35);
+  // And the allocations for app 0 have grown to absorb the doubled load.
+  const auto& allocs = tb.allocation_series(0);
+  const double before = allocs[70][0] + allocs[70][1];   // t = 280 s
+  const double during = allocs.back()[0] + allocs.back()[1];
+  EXPECT_GT(during, before);
+}
+
+TEST(Testbed, DvfsReducesPowerVersusFixedFrequency) {
+  TestbedConfig with = fast_config();
+  TestbedConfig without = fast_config();
+  without.dvfs = false;
+  Testbed a{with};
+  Testbed b{without};
+  a.run_until(300.0);
+  b.run_until(300.0);
+  double pa = 0.0;
+  for (const double p : a.power_series()) pa += p;
+  pa /= static_cast<double>(a.power_series().size());
+  double pb = 0.0;
+  for (const double p : b.power_series()) pb += p;
+  pb /= static_cast<double>(b.power_series().size());
+  EXPECT_LT(pa, pb);
+}
+
+TEST(Testbed, TwoLevelModeConsolidatesWithLiveMigrations) {
+  TestbedConfig config = fast_config();
+  config.num_apps = 3;
+  config.num_servers = 6;  // oversized: 6 tier VMs over 6 servers
+  config.enable_optimizer = true;
+  config.optimizer_period_s = 120.0;
+  Testbed tb{config};
+  tb.run_until(700.0);
+  EXPECT_GT(tb.optimizer_invocations(), 0u);
+  EXPECT_GT(tb.completed_migrations(), 0u);
+  EXPECT_LT(tb.cluster().active_server_count(), 6u);
+  // SLAs survive the consolidation (skip the settling + first migrations).
+  for (std::size_t i = 0; i < tb.app_count(); ++i) {
+    EXPECT_NEAR(tb.response_stats_after(i, 300.0).mean(), 1.0, 0.3) << "app " << i;
+  }
+  // Power drops versus the scattered start.
+  const auto& power = tb.power_series();
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t k = 5; k < 25; ++k) early += power[k];
+  for (std::size_t k = power.size() - 20; k < power.size(); ++k) late += power[k];
+  EXPECT_LT(late, early);
+}
+
+TEST(Testbed, TwoLevelModeWithPMapperAlsoWorks) {
+  TestbedConfig config = fast_config();
+  config.num_apps = 2;
+  config.num_servers = 4;
+  config.enable_optimizer = true;
+  config.optimizer_period_s = 120.0;
+  config.optimizer_algorithm = ConsolidationAlgorithm::kPMapper;
+  Testbed tb{config};
+  tb.run_until(500.0);
+  EXPECT_LE(tb.cluster().active_server_count(), 4u);
+  EXPECT_EQ(tb.cluster().overloaded_servers().size(), 0u);
+}
+
+TEST(Testbed, OptimizerDisabledKeepsMappingStatic) {
+  TestbedConfig config = fast_config();
+  Testbed tb{config};
+  tb.run_until(300.0);
+  EXPECT_EQ(tb.completed_migrations(), 0u);
+  EXPECT_EQ(tb.optimizer_invocations(), 0u);
+  EXPECT_EQ(tb.cluster().migration_log().count(), 0u);
+}
+
+TEST(Testbed, ClusterTopologyMatchesConfig) {
+  const TestbedConfig config = fast_config();
+  Testbed tb{config};
+  EXPECT_EQ(tb.cluster().server_count(), config.num_servers);
+  EXPECT_EQ(tb.cluster().vm_count(), config.num_apps * 2);  // two tiers each
+  EXPECT_EQ(tb.app_count(), config.num_apps);
+}
+
+}  // namespace
+}  // namespace vdc::core

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace vdc::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&done] { done.fetch_add(1); return 0; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  EXPECT_THROW(
+      parallel_for(16, [](std::size_t i) {
+        if (i == 7) throw std::logic_error("bad index");
+      }, 4),
+      std::logic_error);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial) {
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::atomic<long long> sum{0};
+  parallel_for(values.size(),
+               [&](std::size_t i) { sum.fetch_add(static_cast<long long>(values[i])); }, 6);
+  EXPECT_EQ(sum.load(), 10000LL * 9999LL / 2LL);
+}
+
+}  // namespace
+}  // namespace vdc::util

@@ -1,0 +1,57 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::util {
+namespace {
+
+TEST(TimeSeries, RejectsNonPositiveDt) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AppendAndAccess) {
+  TimeSeries s(2.0);
+  s.append(1.0);
+  s.append(3.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+  EXPECT_DOUBLE_EQ(s.duration(), 4.0);
+  EXPECT_THROW(s[2], std::out_of_range);
+}
+
+TEST(TimeSeries, AtTimePiecewiseConstant) {
+  TimeSeries s(10.0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.at_time(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at_time(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at_time(9.99), 1.0);
+  EXPECT_DOUBLE_EQ(s.at_time(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at_time(25.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at_time(1000.0), 3.0);  // clamped
+}
+
+TEST(TimeSeries, AtTimeThrowsOnEmpty) {
+  TimeSeries s(1.0);
+  EXPECT_THROW(s.at_time(0.0), std::out_of_range);
+}
+
+TEST(TimeSeries, StatsAndIntegral) {
+  TimeSeries s(0.5, {2.0, 4.0, 6.0});
+  const RunningStats stats = s.stats();
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 6.0);
+  // Integral: (2+4+6) * 0.5 = 6 (power [W] x time [s] = energy [J]).
+  EXPECT_DOUBLE_EQ(s.integral(), 6.0);
+}
+
+TEST(TimeSeries, ValuesSpanReflectsContent) {
+  TimeSeries s(1.0, {9.0, 8.0});
+  const auto v = s.values();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+}
+
+}  // namespace
+}  // namespace vdc::util

@@ -1,0 +1,88 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/synthetic.hpp"
+
+namespace vdc::trace {
+namespace {
+
+TEST(SeriesProfile, EmptySeriesIsZeroed) {
+  const SeriesProfile p = profile_series({});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.autocorrelation_lag1, 0.0);
+}
+
+TEST(SeriesProfile, ConstantSeries) {
+  const std::vector<double> flat(50, 0.4);
+  const SeriesProfile p = profile_series(flat);
+  EXPECT_DOUBLE_EQ(p.mean, 0.4);
+  EXPECT_DOUBLE_EQ(p.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(p.peak_to_mean, 1.0);
+  EXPECT_DOUBLE_EQ(p.autocorrelation_lag1, 0.0);  // degenerate variance
+}
+
+TEST(SeriesProfile, SmoothSeriesHasHighAutocorrelation) {
+  std::vector<double> smooth;
+  std::vector<double> noisy;
+  for (int k = 0; k < 500; ++k) {
+    smooth.push_back(0.5 + 0.3 * std::sin(0.05 * k));
+    noisy.push_back(k % 2 == 0 ? 0.2 : 0.8);  // alternating
+  }
+  EXPECT_GT(profile_series(smooth).autocorrelation_lag1, 0.9);
+  EXPECT_LT(profile_series(noisy).autocorrelation_lag1, -0.9);
+}
+
+TEST(SeriesProfile, PeakToMean) {
+  const std::vector<double> v = {0.1, 0.1, 0.1, 0.5};
+  const SeriesProfile p = profile_series(v);
+  EXPECT_NEAR(p.peak_to_mean, 0.5 / 0.2, 1e-12);
+}
+
+TEST(TraceProfile, SyntheticTraceShowsPaperFeatures) {
+  SyntheticTraceOptions options;
+  options.servers = 150;
+  const UtilizationTrace trace = generate_synthetic_trace(options);
+  const TraceProfile profile = profile_trace(trace);
+
+  // Enterprise-like low mean with pronounced diurnality.
+  EXPECT_GT(profile.overall.mean, 0.1);
+  EXPECT_LT(profile.overall.mean, 0.5);
+  EXPECT_GT(profile.diurnal_ratio, 1.3);
+  EXPECT_GT(profile.business_hours_mean, profile.night_mean);
+  // Cluster-mean series is smooth (AR noise + diurnal shape).
+  EXPECT_GT(profile.overall.autocorrelation_lag1, 0.8);
+  // All four sectors profiled.
+  EXPECT_EQ(profile.by_label.size(), 4u);
+  // Financial has the strongest peaks relative to its mean.
+  const SeriesProfile& fin = profile.by_label.at("financial");
+  const SeriesProfile& tel = profile.by_label.at("telecom");
+  EXPECT_GT(fin.peak_to_mean, tel.peak_to_mean);
+}
+
+TEST(TraceProfile, ReportRendersAllSections) {
+  SyntheticTraceOptions options;
+  options.servers = 40;
+  options.samples = 192;
+  const UtilizationTrace trace = generate_synthetic_trace(options);
+  const std::string report = to_string(profile_trace(trace));
+  EXPECT_NE(report.find("overall:"), std::string::npos);
+  EXPECT_NE(report.find("diurnal:"), std::string::npos);
+  EXPECT_NE(report.find("weekly:"), std::string::npos);
+  EXPECT_NE(report.find("sector"), std::string::npos);
+}
+
+TEST(TraceProfile, UnlabeledTraceHasNoSectorBreakdown) {
+  UtilizationTrace trace(3, 8);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t k = 0; k < 8; ++k) trace.set(s, k, 0.25);
+  }
+  const TraceProfile profile = profile_trace(trace);
+  EXPECT_TRUE(profile.by_label.empty());
+  EXPECT_DOUBLE_EQ(profile.overall.mean, 0.25);
+}
+
+}  // namespace
+}  // namespace vdc::trace

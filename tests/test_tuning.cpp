@@ -1,0 +1,116 @@
+#include "control/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::control {
+namespace {
+
+ArxModel plant() {
+  ArxModel m;
+  m.na = 1;
+  m.nb = 2;
+  m.nu = 2;
+  m.a = {0.5};
+  m.b = linalg::Matrix(2, 2);
+  m.b(0, 0) = -0.5;
+  m.b(0, 1) = -1.5;
+  m.b(1, 0) = 0.05;
+  m.b(1, 1) = 0.3;
+  m.bias = 1.5;
+  return m;
+}
+
+TuningOptions default_options() {
+  TuningOptions options;
+  options.base.prediction_horizon = 12;
+  options.base.period_s = 4.0;
+  options.base.setpoint = 1.0;
+  options.base.c_min = {0.1};
+  options.base.c_max = {2.0};
+  options.base.delta_max = 0.5;
+  options.base.terminal = MpcConfig::Terminal::kSoft;
+  return options;
+}
+
+TEST(Tuning, FindsAStableConfiguration) {
+  const TuningResult result = tune_mpc(plant(), default_options());
+  ASSERT_TRUE(result.found);
+  EXPECT_GT(result.stable_candidates, 0u);
+  EXPECT_EQ(result.evaluated, 3u * 5u * 3u);
+  EXPECT_TRUE(result.report.stable);
+  EXPECT_LT(result.report.output_decay_rate, 1.0);
+  EXPECT_NEAR(result.report.steady_state_error, 0.0, 1e-3);
+}
+
+TEST(Tuning, ChosenConfigPassesIndependentAnalysis) {
+  const TuningResult result = tune_mpc(plant(), default_options());
+  ASSERT_TRUE(result.found);
+  const StabilityReport verify = analyze_closed_loop(plant(), result.config);
+  EXPECT_TRUE(verify.stable);
+  EXPECT_NEAR(verify.output_decay_rate, result.report.output_decay_rate, 1e-9);
+}
+
+TEST(Tuning, PicksFastestDecayAmongCandidates) {
+  const TuningOptions options = default_options();
+  const TuningResult result = tune_mpc(plant(), options);
+  ASSERT_TRUE(result.found);
+  // Every other stable candidate must decay no faster.
+  for (const std::size_t m : options.control_horizons) {
+    for (const double r : options.r_weights) {
+      for (const double f : options.tref_factors) {
+        MpcConfig candidate = options.base;
+        candidate.control_horizon = m;
+        candidate.r_weight = {r};
+        candidate.tref_s = f * candidate.period_s;
+        StabilityReport report;
+        try {
+          report = analyze_closed_loop(plant(), candidate);
+        } catch (const std::exception&) {
+          continue;
+        }
+        if (report.stable && std::abs(report.steady_state_error) <= 1e-3) {
+          EXPECT_GE(report.output_decay_rate,
+                    result.report.output_decay_rate - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Tuning, EmptyGridThrows) {
+  TuningOptions options = default_options();
+  options.r_weights.clear();
+  EXPECT_THROW(tune_mpc(plant(), options), std::invalid_argument);
+}
+
+TEST(Tuning, ReportsNotFoundWhenNothingStable) {
+  // A violently non-minimum-phase model with only aggressive candidates.
+  ArxModel nasty;
+  nasty.na = 2;
+  nasty.nb = 2;
+  nasty.nu = 1;
+  nasty.a = {0.7, -0.18};
+  nasty.b = linalg::Matrix(2, 1);
+  nasty.b(0, 0) = -0.4;
+  nasty.b(1, 0) = 0.72;
+  nasty.bias = 1.0;
+  TuningOptions options = default_options();
+  options.base.prediction_horizon = 2;
+  options.base.terminal = MpcConfig::Terminal::kHard;
+  options.base.delta_max = 0.0;
+  options.control_horizons = {2};
+  options.r_weights = {1e-6};
+  options.tref_factors = {3.0};
+  const TuningResult result = tune_mpc(nasty, options);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.stable_candidates, 0u);
+}
+
+TEST(Tuning, InvalidModelThrows) {
+  ArxModel bad = plant();
+  bad.a = {0.5, 0.5};
+  EXPECT_THROW(tune_mpc(bad, default_options()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdc::control

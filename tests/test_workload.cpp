@@ -1,0 +1,66 @@
+#include "app/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdc::app {
+namespace {
+
+TEST(SurgeSchedule, ProducesTwoSteps) {
+  const auto steps = surge_schedule(40, 600.0, 1200.0, 2.0);
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(steps[0].time_s, 600.0);
+  EXPECT_EQ(steps[0].concurrency, 80u);
+  EXPECT_DOUBLE_EQ(steps[1].time_s, 1200.0);
+  EXPECT_EQ(steps[1].concurrency, 40u);
+}
+
+TEST(SurgeSchedule, FractionalFactorRounds) {
+  const auto steps = surge_schedule(10, 1.0, 2.0, 1.25);
+  EXPECT_EQ(steps[0].concurrency, 13u);  // 12.5 rounds to 13
+}
+
+TEST(SurgeSchedule, RejectsInvertedWindow) {
+  EXPECT_THROW(surge_schedule(40, 10.0, 5.0), std::invalid_argument);
+}
+
+TEST(ApplySchedule, ChangesConcurrencyAtScheduledTimes) {
+  sim::Simulation sim;
+  MultiTierApp app(sim, default_two_tier_app("x", 1, 10));
+  app.start();
+  apply_schedule(sim, app, {{5.0, 20}, {10.0, 3}});
+  sim.run_until(6.0);
+  EXPECT_EQ(app.concurrency(), 20u);
+  sim.run_until(11.0);
+  EXPECT_EQ(app.concurrency(), 3u);
+}
+
+TEST(ApplySchedule, RejectsPastSteps) {
+  sim::Simulation sim;
+  MultiTierApp app(sim, default_two_tier_app("x", 1, 10));
+  sim.schedule(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(apply_schedule(sim, app, {{1.0, 5}}), std::invalid_argument);
+}
+
+TEST(RandomWalkSchedule, StaysInBoundsAndOnGrid) {
+  util::Rng rng(3);
+  const auto steps = random_walk_schedule(rng, 10, 50, 30.0, 300.0);
+  ASSERT_FALSE(steps.empty());
+  double prev_time = 0.0;
+  for (const auto& step : steps) {
+    EXPECT_GE(step.concurrency, 10u);
+    EXPECT_LE(step.concurrency, 50u);
+    EXPECT_GT(step.time_s, prev_time);
+    prev_time = step.time_s;
+  }
+  EXPECT_LT(steps.back().time_s, 300.0);
+}
+
+TEST(RandomWalkSchedule, ValidatesArguments) {
+  util::Rng rng(3);
+  EXPECT_THROW(random_walk_schedule(rng, 50, 10, 30.0, 300.0), std::invalid_argument);
+  EXPECT_THROW(random_walk_schedule(rng, 1, 2, 0.0, 300.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdc::app

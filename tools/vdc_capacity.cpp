@@ -1,0 +1,99 @@
+// vdc_capacity — analytic capacity planning for a multi-tier application.
+//
+//   vdc_capacity --demands D1,D2[,...] --alloc C1,C2[,...]
+//                [--clients N] [--think Z] [--target R]
+//
+// Demands are per-tier mean CPU costs in Gcycles/request; allocations in
+// GHz. Uses exact MVA on the closed PS network (the same model the DES
+// testbed realizes) to report throughput, response time, per-tier
+// utilization — and, with --target, the uniform capacity scale needed to
+// reach a response-time goal.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/queueing.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vdc_capacity --demands D1,D2[,...] --alloc C1,C2[,...]\n"
+               "                    [--clients N] [--think Z_s] [--target R_s]\n");
+  return 2;
+}
+
+std::vector<double> parse_list(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) out.push_back(std::stod(cell));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdc::app;
+
+  std::vector<double> demands_gcycles;
+  std::vector<double> allocations_ghz;
+  std::size_t clients = 40;
+  double think_s = 1.0;
+  double target_s = 0.0;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    try {
+      if (flag == "--demands") {
+        demands_gcycles = parse_list(value);
+      } else if (flag == "--alloc") {
+        allocations_ghz = parse_list(value);
+      } else if (flag == "--clients") {
+        clients = std::stoul(value);
+      } else if (flag == "--think") {
+        think_s = std::stod(value);
+      } else if (flag == "--target") {
+        target_s = std::stod(value);
+      } else {
+        return usage();
+      }
+    } catch (...) {
+      return usage();
+    }
+  }
+  if (demands_gcycles.empty() || demands_gcycles.size() != allocations_ghz.size()) {
+    return usage();
+  }
+
+  try {
+    ClosedNetwork network;
+    network.think_time_s = think_s;
+    for (std::size_t i = 0; i < demands_gcycles.size(); ++i) {
+      network.service_demands_s.push_back(demands_gcycles[i] / allocations_ghz[i]);
+    }
+    const MvaResult r = exact_mva(network, clients);
+    std::printf("clients %zu, think %.2f s\n", clients, think_s);
+    std::printf("throughput     : %.2f req/s (bound %.2f)\n", r.throughput_rps,
+                throughput_upper_bound(network, clients));
+    std::printf("response time  : %.1f ms\n", r.response_time_s * 1000.0);
+    for (std::size_t i = 0; i < r.stations.size(); ++i) {
+      std::printf("tier %zu         : residence %.1f ms, queue %.2f, util %.0f%%\n", i + 1,
+                  r.stations[i].residence_time_s * 1000.0, r.stations[i].queue_length,
+                  100.0 * r.stations[i].utilization);
+    }
+    if (target_s > 0.0) {
+      const double scale = capacity_scale_for_response_time(network, clients, target_s);
+      std::printf("to reach %.0f ms : scale every allocation by %.3f ->", target_s * 1000.0,
+                  scale);
+      for (const double c : allocations_ghz) std::printf(" %.3f", c * scale);
+      std::printf(" GHz\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
