@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_controller.dir/ablation_controller.cpp.o"
+  "CMakeFiles/ablation_controller.dir/ablation_controller.cpp.o.d"
+  "ablation_controller"
+  "ablation_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dvfs.dir/ablation_dvfs.cpp.o"
+  "CMakeFiles/ablation_dvfs.dir/ablation_dvfs.cpp.o.d"
+  "ablation_dvfs"
+  "ablation_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

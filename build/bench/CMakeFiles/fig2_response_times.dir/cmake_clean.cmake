@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_response_times.dir/fig2_response_times.cpp.o"
+  "CMakeFiles/fig2_response_times.dir/fig2_response_times.cpp.o.d"
+  "fig2_response_times"
+  "fig2_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_typical_run.dir/fig3_typical_run.cpp.o"
+  "CMakeFiles/fig3_typical_run.dir/fig3_typical_run.cpp.o.d"
+  "fig3_typical_run"
+  "fig3_typical_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_typical_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_concurrency_sweep.dir/fig4_concurrency_sweep.cpp.o"
+  "CMakeFiles/fig4_concurrency_sweep.dir/fig4_concurrency_sweep.cpp.o.d"
+  "fig4_concurrency_sweep"
+  "fig4_concurrency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_concurrency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

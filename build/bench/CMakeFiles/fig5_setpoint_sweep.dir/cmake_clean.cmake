@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_setpoint_sweep.dir/fig5_setpoint_sweep.cpp.o"
+  "CMakeFiles/fig5_setpoint_sweep.dir/fig5_setpoint_sweep.cpp.o.d"
+  "fig5_setpoint_sweep"
+  "fig5_setpoint_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_setpoint_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

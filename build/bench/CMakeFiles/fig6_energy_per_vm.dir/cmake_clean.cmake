@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_per_vm.dir/fig6_energy_per_vm.cpp.o"
+  "CMakeFiles/fig6_energy_per_vm.dir/fig6_energy_per_vm.cpp.o.d"
+  "fig6_energy_per_vm"
+  "fig6_energy_per_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_per_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_two_level.dir/testbed_two_level.cpp.o"
+  "CMakeFiles/testbed_two_level.dir/testbed_two_level.cpp.o.d"
+  "testbed_two_level"
+  "testbed_two_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_two_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_cost_policy.dir/custom_cost_policy.cpp.o"
+  "CMakeFiles/custom_cost_policy.dir/custom_cost_policy.cpp.o.d"
+  "custom_cost_policy"
+  "custom_cost_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_cost_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_consolidation.dir/datacenter_consolidation.cpp.o"
+  "CMakeFiles/datacenter_consolidation.dir/datacenter_consolidation.cpp.o.d"
+  "datacenter_consolidation"
+  "datacenter_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_control.dir/surge_control.cpp.o"
+  "CMakeFiles/surge_control.dir/surge_control.cpp.o.d"
+  "surge_control"
+  "surge_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

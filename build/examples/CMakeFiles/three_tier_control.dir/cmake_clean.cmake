@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tier_control.dir/three_tier_control.cpp.o"
+  "CMakeFiles/three_tier_control.dir/three_tier_control.cpp.o.d"
+  "three_tier_control"
+  "three_tier_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tier_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/monitor.cpp" "src/app/CMakeFiles/vdc_app.dir/monitor.cpp.o" "gcc" "src/app/CMakeFiles/vdc_app.dir/monitor.cpp.o.d"
+  "/root/repo/src/app/multi_tier_app.cpp" "src/app/CMakeFiles/vdc_app.dir/multi_tier_app.cpp.o" "gcc" "src/app/CMakeFiles/vdc_app.dir/multi_tier_app.cpp.o.d"
+  "/root/repo/src/app/queueing.cpp" "src/app/CMakeFiles/vdc_app.dir/queueing.cpp.o" "gcc" "src/app/CMakeFiles/vdc_app.dir/queueing.cpp.o.d"
+  "/root/repo/src/app/workload.cpp" "src/app/CMakeFiles/vdc_app.dir/workload.cpp.o" "gcc" "src/app/CMakeFiles/vdc_app.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_app.dir/monitor.cpp.o"
+  "CMakeFiles/vdc_app.dir/monitor.cpp.o.d"
+  "CMakeFiles/vdc_app.dir/multi_tier_app.cpp.o"
+  "CMakeFiles/vdc_app.dir/multi_tier_app.cpp.o.d"
+  "CMakeFiles/vdc_app.dir/queueing.cpp.o"
+  "CMakeFiles/vdc_app.dir/queueing.cpp.o.d"
+  "CMakeFiles/vdc_app.dir/workload.cpp.o"
+  "CMakeFiles/vdc_app.dir/workload.cpp.o.d"
+  "libvdc_app.a"
+  "libvdc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consolidate/constraints.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/constraints.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/constraints.cpp.o.d"
+  "/root/repo/src/consolidate/cost_policy.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/cost_policy.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/cost_policy.cpp.o.d"
+  "/root/repo/src/consolidate/ffd.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/ffd.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/ffd.cpp.o.d"
+  "/root/repo/src/consolidate/ipac.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/ipac.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/ipac.cpp.o.d"
+  "/root/repo/src/consolidate/minimum_slack.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/minimum_slack.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/minimum_slack.cpp.o.d"
+  "/root/repo/src/consolidate/pac.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/pac.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/pac.cpp.o.d"
+  "/root/repo/src/consolidate/pmapper.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/pmapper.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/pmapper.cpp.o.d"
+  "/root/repo/src/consolidate/snapshot.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/snapshot.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/snapshot.cpp.o.d"
+  "/root/repo/src/consolidate/working_placement.cpp" "src/consolidate/CMakeFiles/vdc_consolidate.dir/working_placement.cpp.o" "gcc" "src/consolidate/CMakeFiles/vdc_consolidate.dir/working_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datacenter/CMakeFiles/vdc_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

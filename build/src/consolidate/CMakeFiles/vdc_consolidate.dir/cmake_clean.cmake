@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_consolidate.dir/constraints.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/constraints.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/cost_policy.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/cost_policy.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/ffd.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/ffd.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/ipac.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/ipac.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/minimum_slack.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/minimum_slack.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/pac.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/pac.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/pmapper.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/pmapper.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/snapshot.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/snapshot.cpp.o.d"
+  "CMakeFiles/vdc_consolidate.dir/working_placement.cpp.o"
+  "CMakeFiles/vdc_consolidate.dir/working_placement.cpp.o.d"
+  "libvdc_consolidate.a"
+  "libvdc_consolidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_consolidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

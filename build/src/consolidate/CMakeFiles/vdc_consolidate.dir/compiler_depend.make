@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdc_consolidate.
+# This may be replaced when dependencies are built.

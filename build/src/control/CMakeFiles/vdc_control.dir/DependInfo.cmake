@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/arx.cpp" "src/control/CMakeFiles/vdc_control.dir/arx.cpp.o" "gcc" "src/control/CMakeFiles/vdc_control.dir/arx.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/control/CMakeFiles/vdc_control.dir/mpc.cpp.o" "gcc" "src/control/CMakeFiles/vdc_control.dir/mpc.cpp.o.d"
+  "/root/repo/src/control/reference.cpp" "src/control/CMakeFiles/vdc_control.dir/reference.cpp.o" "gcc" "src/control/CMakeFiles/vdc_control.dir/reference.cpp.o.d"
+  "/root/repo/src/control/stability.cpp" "src/control/CMakeFiles/vdc_control.dir/stability.cpp.o" "gcc" "src/control/CMakeFiles/vdc_control.dir/stability.cpp.o.d"
+  "/root/repo/src/control/sysid.cpp" "src/control/CMakeFiles/vdc_control.dir/sysid.cpp.o" "gcc" "src/control/CMakeFiles/vdc_control.dir/sysid.cpp.o.d"
+  "/root/repo/src/control/tuning.cpp" "src/control/CMakeFiles/vdc_control.dir/tuning.cpp.o" "gcc" "src/control/CMakeFiles/vdc_control.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/vdc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_control.dir/arx.cpp.o"
+  "CMakeFiles/vdc_control.dir/arx.cpp.o.d"
+  "CMakeFiles/vdc_control.dir/mpc.cpp.o"
+  "CMakeFiles/vdc_control.dir/mpc.cpp.o.d"
+  "CMakeFiles/vdc_control.dir/reference.cpp.o"
+  "CMakeFiles/vdc_control.dir/reference.cpp.o.d"
+  "CMakeFiles/vdc_control.dir/stability.cpp.o"
+  "CMakeFiles/vdc_control.dir/stability.cpp.o.d"
+  "CMakeFiles/vdc_control.dir/sysid.cpp.o"
+  "CMakeFiles/vdc_control.dir/sysid.cpp.o.d"
+  "CMakeFiles/vdc_control.dir/tuning.cpp.o"
+  "CMakeFiles/vdc_control.dir/tuning.cpp.o.d"
+  "libvdc_control.a"
+  "libvdc_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/overload_guard.cpp" "src/core/CMakeFiles/vdc_core.dir/overload_guard.cpp.o" "gcc" "src/core/CMakeFiles/vdc_core.dir/overload_guard.cpp.o.d"
+  "/root/repo/src/core/power_optimizer.cpp" "src/core/CMakeFiles/vdc_core.dir/power_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/vdc_core.dir/power_optimizer.cpp.o.d"
+  "/root/repo/src/core/response_time_controller.cpp" "src/core/CMakeFiles/vdc_core.dir/response_time_controller.cpp.o" "gcc" "src/core/CMakeFiles/vdc_core.dir/response_time_controller.cpp.o.d"
+  "/root/repo/src/core/sysid_experiment.cpp" "src/core/CMakeFiles/vdc_core.dir/sysid_experiment.cpp.o" "gcc" "src/core/CMakeFiles/vdc_core.dir/sysid_experiment.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/vdc_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/vdc_core.dir/testbed.cpp.o.d"
+  "/root/repo/src/core/trace_sim.cpp" "src/core/CMakeFiles/vdc_core.dir/trace_sim.cpp.o" "gcc" "src/core/CMakeFiles/vdc_core.dir/trace_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/vdc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/vdc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/consolidate/CMakeFiles/vdc_consolidate.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/vdc_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vdc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vdc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

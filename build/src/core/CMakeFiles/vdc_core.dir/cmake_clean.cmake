@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_core.dir/overload_guard.cpp.o"
+  "CMakeFiles/vdc_core.dir/overload_guard.cpp.o.d"
+  "CMakeFiles/vdc_core.dir/power_optimizer.cpp.o"
+  "CMakeFiles/vdc_core.dir/power_optimizer.cpp.o.d"
+  "CMakeFiles/vdc_core.dir/response_time_controller.cpp.o"
+  "CMakeFiles/vdc_core.dir/response_time_controller.cpp.o.d"
+  "CMakeFiles/vdc_core.dir/sysid_experiment.cpp.o"
+  "CMakeFiles/vdc_core.dir/sysid_experiment.cpp.o.d"
+  "CMakeFiles/vdc_core.dir/testbed.cpp.o"
+  "CMakeFiles/vdc_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/vdc_core.dir/trace_sim.cpp.o"
+  "CMakeFiles/vdc_core.dir/trace_sim.cpp.o.d"
+  "libvdc_core.a"
+  "libvdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datacenter/arbitrator.cpp" "src/datacenter/CMakeFiles/vdc_datacenter.dir/arbitrator.cpp.o" "gcc" "src/datacenter/CMakeFiles/vdc_datacenter.dir/arbitrator.cpp.o.d"
+  "/root/repo/src/datacenter/cluster.cpp" "src/datacenter/CMakeFiles/vdc_datacenter.dir/cluster.cpp.o" "gcc" "src/datacenter/CMakeFiles/vdc_datacenter.dir/cluster.cpp.o.d"
+  "/root/repo/src/datacenter/cpu_spec.cpp" "src/datacenter/CMakeFiles/vdc_datacenter.dir/cpu_spec.cpp.o" "gcc" "src/datacenter/CMakeFiles/vdc_datacenter.dir/cpu_spec.cpp.o.d"
+  "/root/repo/src/datacenter/migration.cpp" "src/datacenter/CMakeFiles/vdc_datacenter.dir/migration.cpp.o" "gcc" "src/datacenter/CMakeFiles/vdc_datacenter.dir/migration.cpp.o.d"
+  "/root/repo/src/datacenter/power_model.cpp" "src/datacenter/CMakeFiles/vdc_datacenter.dir/power_model.cpp.o" "gcc" "src/datacenter/CMakeFiles/vdc_datacenter.dir/power_model.cpp.o.d"
+  "/root/repo/src/datacenter/server.cpp" "src/datacenter/CMakeFiles/vdc_datacenter.dir/server.cpp.o" "gcc" "src/datacenter/CMakeFiles/vdc_datacenter.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_datacenter.dir/arbitrator.cpp.o"
+  "CMakeFiles/vdc_datacenter.dir/arbitrator.cpp.o.d"
+  "CMakeFiles/vdc_datacenter.dir/cluster.cpp.o"
+  "CMakeFiles/vdc_datacenter.dir/cluster.cpp.o.d"
+  "CMakeFiles/vdc_datacenter.dir/cpu_spec.cpp.o"
+  "CMakeFiles/vdc_datacenter.dir/cpu_spec.cpp.o.d"
+  "CMakeFiles/vdc_datacenter.dir/migration.cpp.o"
+  "CMakeFiles/vdc_datacenter.dir/migration.cpp.o.d"
+  "CMakeFiles/vdc_datacenter.dir/power_model.cpp.o"
+  "CMakeFiles/vdc_datacenter.dir/power_model.cpp.o.d"
+  "CMakeFiles/vdc_datacenter.dir/server.cpp.o"
+  "CMakeFiles/vdc_datacenter.dir/server.cpp.o.d"
+  "libvdc_datacenter.a"
+  "libvdc_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

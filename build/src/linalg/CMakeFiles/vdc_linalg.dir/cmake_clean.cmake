@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/vdc_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/vdc_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/vdc_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/vdc_linalg.dir/lu.cpp.o"
+  "CMakeFiles/vdc_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/vdc_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/vdc_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/vdc_linalg.dir/qp.cpp.o"
+  "CMakeFiles/vdc_linalg.dir/qp.cpp.o.d"
+  "CMakeFiles/vdc_linalg.dir/qr.cpp.o"
+  "CMakeFiles/vdc_linalg.dir/qr.cpp.o.d"
+  "libvdc_linalg.a"
+  "libvdc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

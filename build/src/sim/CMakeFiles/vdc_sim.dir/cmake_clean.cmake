@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_sim.dir/ps_queue.cpp.o"
+  "CMakeFiles/vdc_sim.dir/ps_queue.cpp.o.d"
+  "CMakeFiles/vdc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/vdc_sim.dir/simulation.cpp.o.d"
+  "libvdc_sim.a"
+  "libvdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

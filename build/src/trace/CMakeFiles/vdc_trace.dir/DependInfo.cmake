@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/vdc_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/vdc_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/forecast.cpp" "src/trace/CMakeFiles/vdc_trace.dir/forecast.cpp.o" "gcc" "src/trace/CMakeFiles/vdc_trace.dir/forecast.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/vdc_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/vdc_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/vdc_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/vdc_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/vdc_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/vdc_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

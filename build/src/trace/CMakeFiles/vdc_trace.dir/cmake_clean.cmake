@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_trace.dir/analysis.cpp.o"
+  "CMakeFiles/vdc_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/vdc_trace.dir/forecast.cpp.o"
+  "CMakeFiles/vdc_trace.dir/forecast.cpp.o.d"
+  "CMakeFiles/vdc_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/vdc_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/vdc_trace.dir/trace.cpp.o"
+  "CMakeFiles/vdc_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/vdc_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/vdc_trace.dir/trace_io.cpp.o.d"
+  "libvdc_trace.a"
+  "libvdc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

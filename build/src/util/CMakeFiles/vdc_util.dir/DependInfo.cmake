@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/vdc_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/vdc_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/vdc_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/vdc_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/util/CMakeFiles/vdc_util.dir/statistics.cpp.o" "gcc" "src/util/CMakeFiles/vdc_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/vdc_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/vdc_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/time_series.cpp" "src/util/CMakeFiles/vdc_util.dir/time_series.cpp.o" "gcc" "src/util/CMakeFiles/vdc_util.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

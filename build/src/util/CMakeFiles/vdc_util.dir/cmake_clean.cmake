@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_util.dir/csv.cpp.o"
+  "CMakeFiles/vdc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/vdc_util.dir/log.cpp.o"
+  "CMakeFiles/vdc_util.dir/log.cpp.o.d"
+  "CMakeFiles/vdc_util.dir/statistics.cpp.o"
+  "CMakeFiles/vdc_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/vdc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/vdc_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/vdc_util.dir/time_series.cpp.o"
+  "CMakeFiles/vdc_util.dir/time_series.cpp.o.d"
+  "libvdc_util.a"
+  "libvdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

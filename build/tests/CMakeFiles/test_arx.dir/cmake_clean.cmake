@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arx.dir/test_arx.cpp.o"
+  "CMakeFiles/test_arx.dir/test_arx.cpp.o.d"
+  "test_arx"
+  "test_arx.pdb"
+  "test_arx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

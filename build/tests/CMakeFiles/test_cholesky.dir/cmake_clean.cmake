@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholesky.dir/test_cholesky.cpp.o"
+  "CMakeFiles/test_cholesky.dir/test_cholesky.cpp.o.d"
+  "test_cholesky"
+  "test_cholesky.pdb"
+  "test_cholesky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/test_cluster.cpp.o"
+  "CMakeFiles/test_cluster.dir/test_cluster.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraints.dir/test_constraints.cpp.o"
+  "CMakeFiles/test_constraints.dir/test_constraints.cpp.o.d"
+  "test_constraints"
+  "test_constraints.pdb"
+  "test_constraints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_policy.dir/test_cost_policy.cpp.o"
+  "CMakeFiles/test_cost_policy.dir/test_cost_policy.cpp.o.d"
+  "test_cost_policy"
+  "test_cost_policy.pdb"
+  "test_cost_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datacenter.dir/test_datacenter.cpp.o"
+  "CMakeFiles/test_datacenter.dir/test_datacenter.cpp.o.d"
+  "test_datacenter"
+  "test_datacenter.pdb"
+  "test_datacenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

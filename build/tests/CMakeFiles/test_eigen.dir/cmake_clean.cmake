@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen.dir/test_eigen.cpp.o"
+  "CMakeFiles/test_eigen.dir/test_eigen.cpp.o.d"
+  "test_eigen"
+  "test_eigen.pdb"
+  "test_eigen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

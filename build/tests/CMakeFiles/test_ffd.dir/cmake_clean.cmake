@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ffd.dir/test_ffd.cpp.o"
+  "CMakeFiles/test_ffd.dir/test_ffd.cpp.o.d"
+  "test_ffd"
+  "test_ffd.pdb"
+  "test_ffd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ffd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast.dir/test_forecast.cpp.o"
+  "CMakeFiles/test_forecast.dir/test_forecast.cpp.o.d"
+  "test_forecast"
+  "test_forecast.pdb"
+  "test_forecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

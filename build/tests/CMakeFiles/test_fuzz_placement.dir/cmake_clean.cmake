@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_placement.dir/test_fuzz_placement.cpp.o"
+  "CMakeFiles/test_fuzz_placement.dir/test_fuzz_placement.cpp.o.d"
+  "test_fuzz_placement"
+  "test_fuzz_placement.pdb"
+  "test_fuzz_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

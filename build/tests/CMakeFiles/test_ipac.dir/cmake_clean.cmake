@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipac.dir/test_ipac.cpp.o"
+  "CMakeFiles/test_ipac.dir/test_ipac.cpp.o.d"
+  "test_ipac"
+  "test_ipac.pdb"
+  "test_ipac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimum_slack.dir/test_minimum_slack.cpp.o"
+  "CMakeFiles/test_minimum_slack.dir/test_minimum_slack.cpp.o.d"
+  "test_minimum_slack"
+  "test_minimum_slack.pdb"
+  "test_minimum_slack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimum_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

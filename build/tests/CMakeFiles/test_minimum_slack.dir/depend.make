@@ -1,0 +1,2 @@
+# Empty dependencies file for test_minimum_slack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor.dir/test_monitor.cpp.o"
+  "CMakeFiles/test_monitor.dir/test_monitor.cpp.o.d"
+  "test_monitor"
+  "test_monitor.pdb"
+  "test_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

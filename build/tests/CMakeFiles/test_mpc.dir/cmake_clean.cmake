@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc.dir/test_mpc.cpp.o"
+  "CMakeFiles/test_mpc.dir/test_mpc.cpp.o.d"
+  "test_mpc"
+  "test_mpc.pdb"
+  "test_mpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_open_workload.dir/test_open_workload.cpp.o"
+  "CMakeFiles/test_open_workload.dir/test_open_workload.cpp.o.d"
+  "test_open_workload"
+  "test_open_workload.pdb"
+  "test_open_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_open_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overload_guard.dir/test_overload_guard.cpp.o"
+  "CMakeFiles/test_overload_guard.dir/test_overload_guard.cpp.o.d"
+  "test_overload_guard"
+  "test_overload_guard.pdb"
+  "test_overload_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overload_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_overload_guard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pac.dir/test_pac.cpp.o"
+  "CMakeFiles/test_pac.dir/test_pac.cpp.o.d"
+  "test_pac"
+  "test_pac.pdb"
+  "test_pac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

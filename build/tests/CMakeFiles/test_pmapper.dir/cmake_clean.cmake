@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmapper.dir/test_pmapper.cpp.o"
+  "CMakeFiles/test_pmapper.dir/test_pmapper.cpp.o.d"
+  "test_pmapper"
+  "test_pmapper.pdb"
+  "test_pmapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

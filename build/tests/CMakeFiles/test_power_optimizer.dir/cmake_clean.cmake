@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_optimizer.dir/test_power_optimizer.cpp.o"
+  "CMakeFiles/test_power_optimizer.dir/test_power_optimizer.cpp.o.d"
+  "test_power_optimizer"
+  "test_power_optimizer.pdb"
+  "test_power_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ps_queue.dir/test_ps_queue.cpp.o"
+  "CMakeFiles/test_ps_queue.dir/test_ps_queue.cpp.o.d"
+  "test_ps_queue"
+  "test_ps_queue.pdb"
+  "test_ps_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ps_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

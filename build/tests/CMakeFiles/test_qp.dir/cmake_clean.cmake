@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qp.dir/test_qp.cpp.o"
+  "CMakeFiles/test_qp.dir/test_qp.cpp.o.d"
+  "test_qp"
+  "test_qp.pdb"
+  "test_qp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qr.dir/test_qr.cpp.o"
+  "CMakeFiles/test_qr.dir/test_qr.cpp.o.d"
+  "test_qr"
+  "test_qr.pdb"
+  "test_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference.dir/test_reference.cpp.o"
+  "CMakeFiles/test_reference.dir/test_reference.cpp.o.d"
+  "test_reference"
+  "test_reference.pdb"
+  "test_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation.dir/test_simulation.cpp.o"
+  "CMakeFiles/test_simulation.dir/test_simulation.cpp.o.d"
+  "test_simulation"
+  "test_simulation.pdb"
+  "test_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

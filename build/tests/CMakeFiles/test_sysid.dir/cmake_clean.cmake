@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysid.dir/test_sysid.cpp.o"
+  "CMakeFiles/test_sysid.dir/test_sysid.cpp.o.d"
+  "test_sysid"
+  "test_sysid.pdb"
+  "test_sysid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbed.dir/test_testbed.cpp.o"
+  "CMakeFiles/test_testbed.dir/test_testbed.cpp.o.d"
+  "test_testbed"
+  "test_testbed.pdb"
+  "test_testbed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_series.dir/test_time_series.cpp.o"
+  "CMakeFiles/test_time_series.dir/test_time_series.cpp.o.d"
+  "test_time_series"
+  "test_time_series.pdb"
+  "test_time_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_analysis.dir/test_trace_analysis.cpp.o"
+  "CMakeFiles/test_trace_analysis.dir/test_trace_analysis.cpp.o.d"
+  "test_trace_analysis"
+  "test_trace_analysis.pdb"
+  "test_trace_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_sim.dir/test_trace_sim.cpp.o"
+  "CMakeFiles/test_trace_sim.dir/test_trace_sim.cpp.o.d"
+  "test_trace_sim"
+  "test_trace_sim.pdb"
+  "test_trace_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tuning.cpp" "tests/CMakeFiles/test_tuning.dir/test_tuning.cpp.o" "gcc" "tests/CMakeFiles/test_tuning.dir/test_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vdc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/vdc_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vdc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/consolidate/CMakeFiles/vdc_consolidate.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/vdc_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vdc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuning.dir/test_tuning.cpp.o"
+  "CMakeFiles/test_tuning.dir/test_tuning.cpp.o.d"
+  "test_tuning"
+  "test_tuning.pdb"
+  "test_tuning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

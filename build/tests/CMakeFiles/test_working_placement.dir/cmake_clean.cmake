@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_working_placement.dir/test_working_placement.cpp.o"
+  "CMakeFiles/test_working_placement.dir/test_working_placement.cpp.o.d"
+  "test_working_placement"
+  "test_working_placement.pdb"
+  "test_working_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_working_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

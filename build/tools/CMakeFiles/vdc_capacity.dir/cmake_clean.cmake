@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_capacity.dir/vdc_capacity.cpp.o"
+  "CMakeFiles/vdc_capacity.dir/vdc_capacity.cpp.o.d"
+  "vdc_capacity"
+  "vdc_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_dcsim.dir/vdc_dcsim.cpp.o"
+  "CMakeFiles/vdc_dcsim.dir/vdc_dcsim.cpp.o.d"
+  "vdc_dcsim"
+  "vdc_dcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_dcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

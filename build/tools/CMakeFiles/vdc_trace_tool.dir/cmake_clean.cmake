@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdc_trace_tool.dir/vdc_trace_tool.cpp.o"
+  "CMakeFiles/vdc_trace_tool.dir/vdc_trace_tool.cpp.o.d"
+  "vdc_trace_tool"
+  "vdc_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdc_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
