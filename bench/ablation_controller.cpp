@@ -9,16 +9,14 @@
 // Metrics: tracking quality (mean |p90 - setpoint|), SLA violations
 // (fraction of periods > 1.2x setpoint), and mean CPU allocated (the power
 // proxy at the application level).
+//
+// Every variant is one standalone AppStack ScenarioSpec — the MPC rows
+// configure the controller, the static rows install a fixed-allocation
+// policy — and the whole grid runs in parallel.
 #include <cstdio>
-#include <functional>
 
-#include "app/monitor.hpp"
-#include "app/multi_tier_app.hpp"
-#include "app/workload.hpp"
-#include "core/response_time_controller.hpp"
+#include "core/scenario.hpp"
 #include "core/sysid_experiment.hpp"
-#include "sim/simulation.hpp"
-#include "util/statistics.hpp"
 
 namespace {
 
@@ -46,38 +44,33 @@ control::MpcConfig tuned(control::MpcConfig::Terminal terminal, double dist_gain
   return mpc;
 }
 
-/// Runs a 1,200 s scenario with a surge in the middle; `decide` maps the
-/// period's monitor harvest to the allocations to apply.
-Metrics run_scenario(
-    const std::function<std::vector<double>(const std::optional<app::PeriodStats>&)>& decide,
-    std::uint64_t seed) {
-  sim::Simulation sim;
-  app::MultiTierApp live(sim, app::default_two_tier_app("a", seed, 40));
-  app::ResponseTimeMonitor monitor(0.9);
-  live.set_response_callback([&](double, double rt) { monitor.record(rt); });
-  live.set_allocations(std::vector<double>(2, 0.6));
-  live.start();
-  apply_schedule(sim, live, app::surge_schedule(40, 400.0, 800.0));
+/// The shared 1,200 s scenario: a surge doubles the concurrency during
+/// [400, 800) s. Controller/policy specifics are filled in by the caller.
+core::ScenarioSpec surge_spec(const char* name) {
+  core::ScenarioSpec spec;
+  spec.name = name;
+  spec.stack.app = app::default_two_tier_app("a", 42, 40);
+  spec.duration_s = 1200.0;  // 300 control periods
+  spec.concurrency_schedule = {{.time_s = 400.0, .app = 0, .concurrency = 80},
+                               {.time_s = 800.0, .app = 0, .concurrency = 40}};
+  return spec;
+}
 
-  Metrics metrics;
+/// Tracking/violation/CPU metrics over the periods after the 200 s warmup.
+Metrics evaluate(const core::ScenarioResult& run) {
+  const auto& response = run.response_series(0);
+  const auto& allocations = run.allocation_series(0);
   util::RunningStats abs_error;
   util::RunningStats cpu;
   std::size_t violations = 0;
   std::size_t periods = 0;
-  double last = 1.0;
-  for (int k = 1; k <= 300; ++k) {
-    sim.run_until(4.0 * k);
-    const auto stats = monitor.harvest();
-    if (stats && stats->count > 0) last = stats->quantile;
-    const std::vector<double> c = decide(stats);
-    live.set_allocations(c);
-    if (k > 50) {
-      abs_error.add(std::abs(last - 1.0));
-      cpu.add(c[0] + c[1]);
-      ++periods;
-      if (last > 1.2) ++violations;
-    }
+  for (std::size_t k = 50; k < response.size(); ++k) {
+    abs_error.add(std::abs(response[k] - 1.0));
+    cpu.add(allocations[k][0] + allocations[k][1]);
+    ++periods;
+    if (response[k] > 1.2) ++violations;
   }
+  Metrics metrics;
   metrics.mean_abs_error_ms = abs_error.mean() * 1000.0;
   metrics.violation_fraction = static_cast<double>(violations) / static_cast<double>(periods);
   metrics.mean_cpu_ghz = cpu.mean();
@@ -92,33 +85,37 @@ int main() {
   const core::SysIdExperimentResult identified =
       core::identify_app_model(app::default_two_tier_app("staging", 1001, 40));
   std::printf("# model R^2 = %.2f\n\n", identified.r_squared);
-  std::printf("%-34s %18s %14s %14s\n", "controller", "mean |err| (ms)", "violations",
-              "mean CPU (GHz)");
 
-  const auto mpc_row = [&](const char* name, control::MpcConfig::Terminal terminal,
-                           double dist_gain) {
-    core::ResponseTimeController controller(identified.model, tuned(terminal, dist_gain),
-                                            std::vector<double>(2, 0.6));
-    const Metrics m = run_scenario(
-        [&](const std::optional<app::PeriodStats>& stats) { return controller.control(stats); },
-        42);
-    std::printf("%-34s %18.0f %13.1f%% %14.2f\n", name, m.mean_abs_error_ms,
-                100.0 * m.violation_fraction, m.mean_cpu_ghz);
+  std::vector<core::ScenarioSpec> specs;
+  const auto mpc_spec = [&](const char* name, control::MpcConfig::Terminal terminal,
+                            double dist_gain) {
+    core::ScenarioSpec spec = surge_spec(name);
+    spec.model = identified.model;
+    spec.stack.mpc = tuned(terminal, dist_gain);
+    specs.push_back(std::move(spec));
   };
-  mpc_row("MPC soft terminal (default)", control::MpcConfig::Terminal::kSoft, 0.5);
-  mpc_row("MPC hard terminal (eq. 4)", control::MpcConfig::Terminal::kHard, 0.5);
-  mpc_row("MPC no terminal constraint", control::MpcConfig::Terminal::kOff, 0.5);
-  mpc_row("MPC no disturbance correction", control::MpcConfig::Terminal::kSoft, 0.0);
+  mpc_spec("MPC soft terminal (default)", control::MpcConfig::Terminal::kSoft, 0.5);
+  mpc_spec("MPC hard terminal (eq. 4)", control::MpcConfig::Terminal::kHard, 0.5);
+  mpc_spec("MPC no terminal constraint", control::MpcConfig::Terminal::kOff, 0.5);
+  mpc_spec("MPC no disturbance correction", control::MpcConfig::Terminal::kSoft, 0.0);
 
   for (const double alloc : {0.35, 0.6, 1.2}) {
-    const Metrics m = run_scenario(
-        [&](const std::optional<app::PeriodStats>&) {
-          return std::vector<double>(2, alloc);
-        },
-        42);
     char name[64];
     std::snprintf(name, sizeof(name), "static %.2f GHz per tier", alloc);
-    std::printf("%-34s %18.0f %13.1f%% %14.2f\n", name, m.mean_abs_error_ms,
+    core::ScenarioSpec spec = surge_spec(name);
+    spec.policy = [alloc](const std::optional<app::PeriodStats>&) {
+      return std::vector<double>(2, alloc);
+    };
+    specs.push_back(std::move(spec));
+  }
+
+  const std::vector<core::ScenarioResult> runs = core::ScenarioRunner().run_all(specs);
+
+  std::printf("%-34s %18s %14s %14s\n", "controller", "mean |err| (ms)", "violations",
+              "mean CPU (GHz)");
+  for (const core::ScenarioResult& run : runs) {
+    const Metrics m = evaluate(run);
+    std::printf("%-34s %18.0f %13.1f%% %14.2f\n", run.name.c_str(), m.mean_abs_error_ms,
                 100.0 * m.violation_fraction, m.mean_cpu_ghz);
   }
 

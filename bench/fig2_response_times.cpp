@@ -6,23 +6,26 @@
 // shows means around 1000 ms with moderate standard deviations.
 #include <cstdio>
 
-#include "core/testbed.hpp"
+#include "core/scenario.hpp"
 
 int main() {
   using namespace vdc;
 
-  core::TestbedConfig config;  // 8 apps, 4 servers, setpoint 1000 ms
-  core::Testbed testbed(config);
+  core::ScenarioSpec spec;  // 8 apps, 4 servers, setpoint 1000 ms
+  spec.name = "fig2";
+  spec.engine = core::ScenarioSpec::Engine::kTestbed;
+  spec.duration_s = 1200.0;
+  const core::ScenarioResult run = core::ScenarioRunner().run(spec);
+
   std::printf("# Figure 2: response time of all 8 applications (set point 1000 ms)\n");
-  std::printf("# identified model R^2 = %.2f\n", testbed.model_r_squared());
-  testbed.run_until(1200.0);
+  std::printf("# identified model R^2 = %.2f\n", run.model_r_squared);
 
   std::printf("\n%-8s %14s %12s %12s %12s\n", "app", "mean p90 (ms)", "std (ms)",
               "min (ms)", "max (ms)");
   double worst_relative_error = 0.0;
-  for (std::size_t i = 0; i < testbed.app_count(); ++i) {
+  for (std::size_t i = 0; i < run.app_count; ++i) {
     // Skip the first 100 s of settling, as a steady-state figure would.
-    const util::RunningStats s = testbed.response_stats_after(i, 100.0);
+    const util::RunningStats s = run.response_stats_after(i, 100.0);
     std::printf("App%-5zu %14.0f %12.0f %12.0f %12.0f\n", i + 1, s.mean() * 1000.0,
                 s.stddev() * 1000.0, s.min() * 1000.0, s.max() * 1000.0);
     worst_relative_error =

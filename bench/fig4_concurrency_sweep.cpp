@@ -4,15 +4,14 @@
 //
 // Paper's observation: the controller achieves the desired response time
 // for all the concurrency levels.
+//
+// The sweep is a declarative ScenarioSpec table: one standalone AppStack
+// scenario per concurrency level, all sharing the once-identified model,
+// executed in parallel by the ScenarioRunner.
 #include <cstdio>
 
-#include "app/monitor.hpp"
-#include "app/multi_tier_app.hpp"
-#include "core/response_time_controller.hpp"
+#include "core/scenario.hpp"
 #include "core/sysid_experiment.hpp"
-#include "sim/simulation.hpp"
-#include "util/statistics.hpp"
-#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -33,25 +32,6 @@ control::MpcConfig tuned_mpc() {
   return mpc;
 }
 
-util::RunningStats run_at_concurrency(const control::ArxModel& model,
-                                      std::size_t concurrency, std::uint64_t seed) {
-  sim::Simulation sim;
-  app::MultiTierApp live(sim, app::default_two_tier_app("a", seed, concurrency));
-  app::ResponseTimeMonitor monitor(0.9);
-  live.set_response_callback([&](double, double rt) { monitor.record(rt); });
-  const std::vector<double> initial(live.tier_count(), 0.6);
-  live.set_allocations(initial);
-  live.start();
-  core::ResponseTimeController controller(model, tuned_mpc(), initial);
-  util::RunningStats tail;
-  for (int k = 1; k <= 300; ++k) {
-    sim.run_until(4.0 * k);
-    live.set_allocations(controller.control(monitor.harvest()));
-    if (k > 75) tail.add(controller.last_measurement());
-  }
-  return tail;
-}
-
 }  // namespace
 
 int main() {
@@ -64,17 +44,26 @@ int main() {
   std::printf("# model R^2 = %.2f\n\n", identified.r_squared);
 
   const std::vector<std::size_t> levels = {30, 40, 50, 60, 70, 80};
-  std::vector<util::RunningStats> results(levels.size());
-  util::parallel_for(levels.size(), [&](std::size_t i) {
-    results[i] = run_at_concurrency(identified.model, levels[i], 2000 + levels[i]);
-  });
+  std::vector<core::ScenarioSpec> specs;
+  for (const std::size_t level : levels) {
+    core::ScenarioSpec spec;
+    spec.name = "concurrency-" + std::to_string(level);
+    spec.model = identified.model;
+    spec.stack.app = app::default_two_tier_app("a", 2000 + level, level);
+    spec.stack.mpc = tuned_mpc();
+    spec.duration_s = 1200.0;  // 300 control periods
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<core::ScenarioResult> results = core::ScenarioRunner().run_all(specs);
 
   std::printf("%-14s %14s %12s\n", "concurrency", "mean p90 (ms)", "std (ms)");
   double worst = 0.0;
   for (std::size_t i = 0; i < levels.size(); ++i) {
-    std::printf("%-14zu %14.0f %12.0f\n", levels[i], results[i].mean() * 1000.0,
-                results[i].stddev() * 1000.0);
-    worst = std::max(worst, std::abs(results[i].mean() - 1.0));
+    // Discard the first 75 periods (300 s) of settling, as before.
+    const util::RunningStats tail = results[i].response_stats_after(0, 300.0);
+    std::printf("%-14zu %14.0f %12.0f\n", levels[i], tail.mean() * 1000.0,
+                tail.stddev() * 1000.0);
+    worst = std::max(worst, std::abs(tail.mean() - 1.0));
   }
   std::printf("\n# paper: desired response time achieved at every level (set point 1000 ms)\n");
   std::printf("# measured: worst |mean - setpoint| = %.0f ms -> %s\n", worst * 1000.0,

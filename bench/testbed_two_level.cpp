@@ -11,6 +11,9 @@
 // Expected shape: cluster power drops sharply after the first optimizer
 // invocation; response times stay at the set point apart from sub-second
 // migration blips.
+//
+// The timeline table is reconstructed post-run from the telemetry probes
+// (active servers, completed migrations) sampled every control period.
 #include <cstdio>
 
 #include "core/testbed.hpp"
@@ -27,16 +30,21 @@ int main() {
 
   std::printf("# Two-level testbed: 8 apps x 2 tiers on 8 servers, IPAC every 300 s\n");
   std::printf("# model R^2 = %.2f\n\n", testbed.model_r_squared());
+  testbed.run_until(1200.0);
+
+  const auto& power = testbed.power_series();
+  const auto& active = testbed.recorder().values(core::kActiveServersSeries);
+  const auto& migrated = testbed.recorder().values(core::kMigrationsCompletedSeries);
   std::printf("%-10s %12s %14s %14s\n", "time(s)", "power (W)", "active srv",
               "migrations");
   for (double t = 100.0; t <= 1200.0; t += 100.0) {
-    testbed.run_until(t);
-    std::printf("%-10.0f %12.1f %14zu %14zu\n", t, testbed.power_series().back(),
-                testbed.cluster().active_server_count(), testbed.completed_migrations());
+    // One probe sample per 4 s control period; the tick at `t` is index t/4-1.
+    const auto k = static_cast<std::size_t>(t / config.control_period_s) - 1;
+    std::printf("%-10.0f %12.1f %14.0f %14.0f\n", t, power[std::min(k, power.size() - 1)],
+                active[k], migrated[k]);
   }
 
   // Power before vs after consolidation.
-  const auto& power = testbed.power_series();
   const auto avg = [&](std::size_t lo, std::size_t hi) {
     double s = 0.0;
     for (std::size_t k = lo; k < hi && k < power.size(); ++k) s += power[k];

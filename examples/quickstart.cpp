@@ -7,12 +7,12 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "app/monitor.hpp"
 #include "app/multi_tier_app.hpp"
 #include "control/stability.hpp"
-#include "core/response_time_controller.hpp"
+#include "core/app_stack.hpp"
 #include "core/sysid_experiment.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/recorder.hpp"
 
 int main() {
   using namespace vdc;
@@ -47,28 +47,28 @@ int main() {
               stability.output_decay_rate, stability.stable ? "yes" : "no",
               stability.steady_state_output * 1000.0);
 
-  // 4. Run the live application under control.
+  // 4. Run the live application under control. An AppStack bundles the
+  //    app + monitor + controller and ticks itself every control period;
+  //    the bound telemetry recorder keeps the per-period series.
   sim::Simulation sim;
-  app::MultiTierApp live(sim, app_config);
-  app::ResponseTimeMonitor monitor(0.9);
-  live.set_response_callback([&](double, double rt) { monitor.record(rt); });
-  const std::vector<double> initial(live.tier_count(), 0.6);
-  live.set_allocations(initial);
-  live.start();
+  core::AppStackConfig stack;
+  stack.app = app_config;
+  stack.mpc = mpc;
+  core::AppStack live(sim, identified.model, stack);
+  telemetry::Recorder recorder;
+  live.bind_recorder(&recorder, core::response_series_name(0),
+                     core::allocation_series_name(0));
+  live.start_control_loop();
+  sim.run_until(240.0);  // 60 control periods
 
-  core::ResponseTimeController controller(identified.model, mpc, initial);
+  const auto& p90 = recorder.values(core::response_series_name(0));
+  const auto& alloc = recorder.rows(core::allocation_series_name(0));
   std::printf("\n%8s %14s %12s %12s\n", "time(s)", "p90 (ms)", "web (GHz)", "db (GHz)");
-  for (int k = 1; k <= 60; ++k) {
-    sim.run_until(4.0 * k);
-    const auto stats = monitor.harvest();
-    const std::vector<double> demands = controller.control(stats);
-    live.set_allocations(demands);
-    if (k % 5 == 0) {
-      std::printf("%8.0f %14.0f %12.3f %12.3f\n", sim.now(),
-                  controller.last_measurement() * 1000.0, demands[0], demands[1]);
-    }
+  for (std::size_t k = 4; k < p90.size(); k += 5) {
+    std::printf("%8.0f %14.0f %12.3f %12.3f\n", (static_cast<double>(k) + 1.0) * 4.0,
+                p90[k] * 1000.0, alloc[k][0], alloc[k][1]);
   }
   std::printf("\nfinal p90 = %.0f ms (set point 1000 ms)\n",
-              controller.last_measurement() * 1000.0);
+              live.last_measurement() * 1000.0);
   return 0;
 }

@@ -7,12 +7,12 @@
 //   ./build/examples/three_tier_control
 #include <cstdio>
 
-#include "app/monitor.hpp"
 #include "app/multi_tier_app.hpp"
 #include "control/tuning.hpp"
-#include "core/response_time_controller.hpp"
+#include "core/app_stack.hpp"
 #include "core/sysid_experiment.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/statistics.hpp"
 
 int main() {
@@ -60,30 +60,34 @@ int main() {
               tuned.report.output_decay_rate, tuned.stable_candidates, tuned.evaluated);
 
   // 4. Control the live stack to a 1000 ms 90-percentile response time.
+  //    An AppStack bundles the plant + monitor + controller; the bound
+  //    recorder keeps the per-period series for the report below.
   sim::Simulation sim;
-  app::MultiTierApp live(sim, config);
-  app::ResponseTimeMonitor monitor(0.9);
-  live.set_response_callback([&](double, double rt) { monitor.record(rt); });
-  const std::vector<double> initial(3, 0.8);
-  live.set_allocations(initial);
-  live.start();
-  core::ResponseTimeController controller(identified.model, tuned.config, initial);
+  core::AppStackConfig stack;
+  stack.app = config;
+  stack.mpc = tuned.config;
+  stack.initial_allocation_ghz = 0.8;
+  core::AppStack live(sim, identified.model, stack);
+  telemetry::Recorder recorder;
+  live.bind_recorder(&recorder, core::response_series_name(0),
+                     core::allocation_series_name(0));
+  live.start_control_loop();
+  sim.run_until(800.0);  // 200 control periods
 
-  util::RunningStats tail;
+  const auto& p90 = recorder.values(core::response_series_name(0));
+  const auto& alloc = recorder.rows(core::allocation_series_name(0));
   std::printf("\n%8s %12s %8s %8s %8s\n", "time(s)", "p90 (ms)", "web", "app", "db");
-  for (int k = 1; k <= 200; ++k) {
-    sim.run_until(4.0 * k);
-    const std::vector<double> demands = controller.control(monitor.harvest());
-    live.set_allocations(demands);
-    if (k % 25 == 0) {
-      std::printf("%8.0f %12.0f %8.2f %8.2f %8.2f\n", sim.now(),
-                  controller.last_measurement() * 1000.0, demands[0], demands[1],
-                  demands[2]);
+  util::RunningStats tail;
+  for (std::size_t k = 0; k < p90.size(); ++k) {
+    if ((k + 1) % 25 == 0) {
+      std::printf("%8.0f %12.0f %8.2f %8.2f %8.2f\n", (static_cast<double>(k) + 1.0) * 4.0,
+                  p90[k] * 1000.0, alloc[k][0], alloc[k][1], alloc[k][2]);
     }
-    if (k > 60) tail.add(controller.last_measurement());
+    if (k >= 60) tail.add(p90[k]);
   }
   std::printf("\nsteady state: mean p90 = %.0f ms (set point 1000 ms), std %.0f ms\n",
               tail.mean() * 1000.0, tail.stddev() * 1000.0);
-  std::printf("SLA infeasible flag: %s\n", controller.sla_infeasible() ? "yes" : "no");
+  std::printf("SLA infeasible flag: %s\n",
+              live.controller()->sla_infeasible() ? "yes" : "no");
   return std::abs(tail.mean() - 1.0) < 0.2 ? 0 : 1;
 }

@@ -1,0 +1,98 @@
+#include "core/app_stack.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vdc::core {
+
+std::string response_series_name(std::size_t app_index) {
+  return "app" + std::to_string(app_index) + "/p90";
+}
+
+std::string allocation_series_name(std::size_t app_index) {
+  return "app" + std::to_string(app_index) + "/alloc";
+}
+
+AppStack::AppStack(sim::Simulation& sim, AppStackConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      app_(std::make_unique<app::MultiTierApp>(sim_, config_.app)),
+      monitor_(config_.monitor_quantile, config_.metric),
+      held_measurement_(config_.mpc.setpoint) {
+  app_->set_response_callback([this](double, double rt) { monitor_.record(rt); });
+  app_->set_allocations(
+      std::vector<double>(app_->tier_count(), config_.initial_allocation_ghz));
+}
+
+AppStack::AppStack(sim::Simulation& sim, const control::ArxModel& model,
+                   AppStackConfig config)
+    : AppStack(sim, std::move(config)) {
+  controller_ = std::make_unique<ResponseTimeController>(
+      model, config_.mpc,
+      std::vector<double>(app_->tier_count(), config_.initial_allocation_ghz));
+}
+
+AppStack::AppStack(sim::Simulation& sim, AppStackConfig config, Policy policy)
+    : AppStack(sim, std::move(config)) {
+  if (!policy) throw std::invalid_argument("AppStack: empty policy");
+  policy_ = std::move(policy);
+}
+
+void AppStack::bind_recorder(telemetry::Recorder* recorder, std::string response_series,
+                             std::string allocation_series) {
+  recorder_ = recorder;
+  response_series_ = std::move(response_series);
+  allocation_series_ = std::move(allocation_series);
+  if (recorder_ != nullptr) {
+    recorder_->declare_scalar(response_series_);
+    recorder_->declare_vector(allocation_series_);
+  }
+}
+
+void AppStack::start() { app_->start(); }
+
+void AppStack::start_control_loop() {
+  if (loop_started_) return;
+  loop_started_ = true;
+  start();
+  sim_.schedule_after(config_.mpc.period_s, [this] { loop_tick(); });
+}
+
+void AppStack::loop_tick() {
+  apply_allocations(control_tick());
+  sim_.schedule_after(config_.mpc.period_s, [this] { loop_tick(); });
+}
+
+std::vector<double> AppStack::control_tick() {
+  const std::optional<app::PeriodStats> stats = monitor_.harvest();
+  // Record BEFORE deciding so an empty period logs the held (previous)
+  // measurement, exactly as the controller perceives it.
+  if (recorder_ != nullptr) {
+    recorder_->append(response_series_,
+                      stats && stats->count > 0 ? stats->controlled : last_measurement());
+  }
+  if (stats && stats->count > 0) held_measurement_ = stats->controlled;
+  std::vector<double> demands =
+      controller_ ? controller_->control(stats) : policy_(stats);
+  if (recorder_ != nullptr) recorder_->append(allocation_series_, demands);
+  return demands;
+}
+
+void AppStack::apply_allocation(std::size_t tier, double ghz) {
+  app_->set_allocation(tier, ghz);
+}
+
+void AppStack::apply_allocations(std::span<const double> ghz) {
+  app_->set_allocations(ghz);
+}
+
+double AppStack::last_measurement() const noexcept {
+  return controller_ ? controller_->last_measurement() : held_measurement_;
+}
+
+void AppStack::set_setpoint(double setpoint_s) {
+  if (!controller_) throw std::logic_error("AppStack: policy-driven stack has no setpoint");
+  controller_->set_setpoint(setpoint_s);
+}
+
+}  // namespace vdc::core

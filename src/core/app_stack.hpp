@@ -1,0 +1,120 @@
+// One application's complete control stack: the simulated multi-tier app
+// (plant), the response-time monitor (sensor), and the MPC response-time
+// controller (decision) with all their wiring — response callback, initial
+// allocations, and the per-period control tick. This used to be duplicated
+// across `core::Testbed` and half a dozen benchmark mains; both now compose
+// an AppStack instead.
+//
+// Two usage modes:
+//   * standalone — `start_control_loop()` self-schedules a tick every
+//     control period and applies the controller's demands directly (no
+//     server arbitration); the figure sweeps run this way.
+//   * embedded — the owner (Testbed) calls `control_tick()` each period to
+//     obtain the CPU *demands*, arbitrates them per server, and pushes the
+//     granted allocations back through `apply_allocation`.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "app/monitor.hpp"
+#include "app/multi_tier_app.hpp"
+#include "control/mpc.hpp"
+#include "core/response_time_controller.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace vdc::core {
+
+struct AppStackConfig {
+  app::AppConfig app;                    ///< plant (name, seed, concurrency, tiers)
+  double monitor_quantile = 0.9;         ///< the paper's 90-percentile SLA
+  app::SlaMetric metric = app::SlaMetric::kQuantile;
+  /// MPC tuning; `period_s` is the control period and `setpoint` the SLA.
+  control::MpcConfig mpc;
+  double initial_allocation_ghz = 0.6;   ///< per-tier starting allocation
+};
+
+/// Canonical telemetry series names shared by AppStack, Testbed, and the
+/// ScenarioRunner: "app<i>/p90" (scalar) and "app<i>/alloc" (vector).
+[[nodiscard]] std::string response_series_name(std::size_t app_index);
+[[nodiscard]] std::string allocation_series_name(std::size_t app_index);
+
+class AppStack {
+ public:
+  /// Replaces the MPC with an arbitrary per-period decision (e.g. a static
+  /// allocation baseline). Must map the period's monitor harvest to the
+  /// per-tier demands; stateless policies are safe to share across
+  /// scenarios that run in parallel.
+  using Policy = std::function<std::vector<double>(const std::optional<app::PeriodStats>&)>;
+
+  /// MPC-controlled stack; `model` is copied into the controller.
+  AppStack(sim::Simulation& sim, const control::ArxModel& model, AppStackConfig config);
+  /// Policy-driven stack (no model, no MPC).
+  AppStack(sim::Simulation& sim, AppStackConfig config, Policy policy);
+
+  AppStack(const AppStack&) = delete;
+  AppStack& operator=(const AppStack&) = delete;
+
+  /// Streams the per-period response/allocation samples into `recorder`
+  /// under the given series names. Call before the first tick.
+  void bind_recorder(telemetry::Recorder* recorder, std::string response_series,
+                     std::string allocation_series);
+
+  /// Starts the client population (call once before running the simulation).
+  void start();
+
+  /// Standalone mode: starts the app and self-schedules a control tick
+  /// every period, applying the decided demands directly to the tiers.
+  void start_control_loop();
+
+  /// One control period: harvests the monitor, records telemetry, and
+  /// returns the decided per-tier CPU demands (GHz). Does NOT apply them —
+  /// the caller either applies them verbatim (standalone) or grants
+  /// arbitrated allocations via `apply_allocation`.
+  [[nodiscard]] std::vector<double> control_tick();
+
+  void apply_allocation(std::size_t tier, double ghz);
+  void apply_allocations(std::span<const double> ghz);
+
+  [[nodiscard]] app::MultiTierApp& app() noexcept { return *app_; }
+  [[nodiscard]] const app::MultiTierApp& app() const noexcept { return *app_; }
+  [[nodiscard]] app::ResponseTimeMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] const app::ResponseTimeMonitor& monitor() const noexcept { return monitor_; }
+  /// Null for policy-driven stacks.
+  [[nodiscard]] ResponseTimeController* controller() noexcept { return controller_.get(); }
+  [[nodiscard]] const ResponseTimeController* controller() const noexcept {
+    return controller_.get();
+  }
+
+  [[nodiscard]] std::size_t tier_count() const noexcept { return app_->tier_count(); }
+  [[nodiscard]] double control_period_s() const noexcept { return config_.mpc.period_s; }
+  /// The SLA value of the last non-empty period (the controller's held
+  /// measurement in MPC mode).
+  [[nodiscard]] double last_measurement() const noexcept;
+
+  void set_setpoint(double setpoint_s);
+  void set_concurrency(std::size_t concurrency) { app_->set_concurrency(concurrency); }
+
+ private:
+  AppStack(sim::Simulation& sim, AppStackConfig config);  // shared wiring
+  void loop_tick();
+
+  sim::Simulation& sim_;
+  AppStackConfig config_;
+  std::unique_ptr<app::MultiTierApp> app_;
+  app::ResponseTimeMonitor monitor_;
+  std::unique_ptr<ResponseTimeController> controller_;
+  Policy policy_;
+  telemetry::Recorder* recorder_ = nullptr;
+  std::string response_series_;
+  std::string allocation_series_;
+  double held_measurement_;  // policy mode's substitute for the controller's
+  bool loop_started_ = false;
+};
+
+}  // namespace vdc::core

@@ -1,0 +1,150 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace vdc::core {
+
+const std::vector<double>& ScenarioResult::response_series(std::size_t app) const {
+  return recorder.values(response_series_name(app));
+}
+
+const std::vector<std::vector<double>>& ScenarioResult::allocation_series(
+    std::size_t app) const {
+  return recorder.rows(allocation_series_name(app));
+}
+
+const std::vector<double>& ScenarioResult::power_series() const {
+  return recorder.values(kPowerSeries);
+}
+
+util::RunningStats ScenarioResult::response_stats_after(std::size_t app,
+                                                        double from_s) const {
+  util::RunningStats stats;
+  const std::vector<double>& series = response_series(app);
+  const auto first = static_cast<std::size_t>(from_s / control_period_s);
+  for (std::size_t k = first; k < series.size(); ++k) stats.add(series[k]);
+  return stats;
+}
+
+namespace {
+
+ScenarioResult run_app_stack(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.name = spec.name;
+  result.control_period_s = spec.stack.mpc.period_s;
+  result.app_count = 1;
+
+  AppStackConfig stack = spec.stack;
+  if (spec.seed != 0) stack.app.seed = spec.seed;
+
+  sim::Simulation sim;
+  std::unique_ptr<AppStack> app_stack;
+  if (spec.policy) {
+    app_stack = std::make_unique<AppStack>(sim, stack, spec.policy);
+  } else {
+    control::ArxModel model;
+    if (spec.model) {
+      model = *spec.model;
+      result.model_r_squared = 1.0;
+    } else {
+      SysIdExperimentResult identified = identify_app_model(stack.app, spec.sysid);
+      model = std::move(identified.model);
+      result.model_r_squared = identified.r_squared;
+    }
+    app_stack = std::make_unique<AppStack>(sim, model, stack);
+  }
+  app_stack->bind_recorder(&result.recorder, response_series_name(0),
+                           allocation_series_name(0));
+
+  for (const SetpointEvent& event : spec.setpoint_schedule) {
+    sim.schedule(event.time_s,
+                 [&stack = *app_stack, event] { stack.set_setpoint(event.setpoint_s); });
+  }
+  for (const ConcurrencyEvent& event : spec.concurrency_schedule) {
+    sim.schedule(event.time_s,
+                 [&stack = *app_stack, event] { stack.set_concurrency(event.concurrency); });
+  }
+
+  app_stack->start_control_loop();
+  sim.drain_until(spec.duration_s);
+  return result;
+}
+
+ScenarioResult run_testbed(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.name = spec.name;
+
+  TestbedConfig config = spec.testbed;
+  if (spec.seed != 0) config.seed = spec.seed;
+  if (spec.model) config.model = spec.model;
+  result.control_period_s = config.control_period_s;
+  result.app_count = config.num_apps;
+
+  Testbed testbed(config);
+  result.model_r_squared = testbed.model_r_squared();
+  for (const SetpointEvent& event : spec.setpoint_schedule) {
+    testbed.simulation().schedule(
+        event.time_s, [&testbed, event] { testbed.set_setpoint(event.app, event.setpoint_s); });
+  }
+  for (const ConcurrencyEvent& event : spec.concurrency_schedule) {
+    testbed.simulation().schedule(event.time_s, [&testbed, event] {
+      testbed.set_concurrency(event.app, event.concurrency);
+    });
+  }
+
+  testbed.run_until(spec.duration_s);
+  result.completed_migrations = testbed.completed_migrations();
+  result.optimizer_invocations = testbed.optimizer_invocations();
+  result.recorder = std::move(testbed.recorder());
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) const {
+  if (spec.duration_s <= 0.0) {
+    throw std::invalid_argument("ScenarioRunner: duration must be > 0");
+  }
+  switch (spec.engine) {
+    case ScenarioSpec::Engine::kAppStack:
+      return run_app_stack(spec);
+    case ScenarioSpec::Engine::kTestbed:
+      return run_testbed(spec);
+  }
+  throw std::logic_error("ScenarioRunner: unknown engine");
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_all(
+    std::span<const ScenarioSpec> specs) const {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  if (specs.empty()) return results;
+
+  std::size_t threads = threads_;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, specs.size());
+  if (threads == 1) {
+    for (const ScenarioSpec& spec : specs) results.push_back(run(spec));
+    return results;
+  }
+
+  util::ThreadPool pool(threads);
+  std::vector<std::future<ScenarioResult>> futures;
+  futures.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    futures.push_back(pool.submit([this, &spec] { return run(spec); }));
+  }
+  for (std::future<ScenarioResult>& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace vdc::core

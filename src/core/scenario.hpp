@@ -1,0 +1,107 @@
+// Declarative experiment scenarios. A `ScenarioSpec` describes one
+// independent run — which engine (a standalone AppStack or the full
+// Testbed co-simulation), how long, which setpoint/concurrency schedule,
+// and which seed — and `ScenarioRunner::run_all` executes a table of specs
+// in parallel on a `util::ThreadPool`. Each scenario owns its private
+// `sim::Simulation` and RNG stream, so results are bit-identical across
+// runs and thread counts: the figure sweeps (fig4/fig5), multi-scenario
+// figures (fig3), and ablation grids are all spec tables now.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/app_stack.hpp"
+#include "core/testbed.hpp"
+#include "telemetry/recorder.hpp"
+#include "util/statistics.hpp"
+
+namespace vdc::core {
+
+/// Scheduled SLA set-point change (testbed engine: per application).
+struct SetpointEvent {
+  double time_s = 0.0;
+  std::size_t app = 0;
+  double setpoint_s = 1.0;
+};
+
+/// Scheduled workload change (the `ab` concurrency level).
+struct ConcurrencyEvent {
+  double time_s = 0.0;
+  std::size_t app = 0;
+  std::size_t concurrency = 40;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+
+  enum class Engine {
+    kAppStack,  ///< one application, demands applied directly (no cluster)
+    kTestbed,   ///< the full co-simulation: cluster, arbitration, optimizer
+  };
+  Engine engine = Engine::kAppStack;
+
+  AppStackConfig stack;    ///< engine == kAppStack
+  TestbedConfig testbed;   ///< engine == kTestbed
+
+  /// Pre-identified ARX model shared across the sweep (identified once, as
+  /// the paper does for Figures 4/5). When absent, a standalone scenario
+  /// identifies its own model from `stack.app` with `sysid`; the testbed
+  /// engine always identifies internally in that case.
+  std::optional<control::ArxModel> model;
+  SysIdExperimentConfig sysid;
+
+  /// Per-period decision override for standalone scenarios (e.g. a static
+  /// provisioning baseline). Leave empty to use the MPC. Must be safe to
+  /// call from the runner's worker thread; stateless lambdas are.
+  AppStack::Policy policy;
+
+  double duration_s = 1200.0;
+  /// Deterministic per-scenario seed; when nonzero it overrides
+  /// `stack.app.seed` / `testbed.seed`.
+  std::uint64_t seed = 0;
+
+  std::vector<SetpointEvent> setpoint_schedule;
+  std::vector<ConcurrencyEvent> concurrency_schedule;
+};
+
+struct ScenarioResult {
+  std::string name;
+  telemetry::Recorder recorder;      ///< every series the scenario recorded
+  double control_period_s = 4.0;
+  std::size_t app_count = 0;
+  double model_r_squared = 0.0;
+  std::size_t completed_migrations = 0;
+  std::size_t optimizer_invocations = 0;
+
+  [[nodiscard]] const std::vector<double>& response_series(std::size_t app = 0) const;
+  [[nodiscard]] const std::vector<std::vector<double>>& allocation_series(
+      std::size_t app = 0) const;
+  /// Cluster power per period (testbed engine only).
+  [[nodiscard]] const std::vector<double>& power_series() const;
+  /// Statistics over response samples recorded after `from_s`.
+  [[nodiscard]] util::RunningStats response_stats_after(std::size_t app,
+                                                        double from_s) const;
+};
+
+class ScenarioRunner {
+ public:
+  /// `threads` = 0 uses the hardware concurrency.
+  explicit ScenarioRunner(std::size_t threads = 0) noexcept : threads_(threads) {}
+
+  /// Executes one scenario to completion (always serial).
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) const;
+
+  /// Executes independent scenarios in parallel, one ThreadPool job each.
+  /// Results come back in spec order and are identical to a serial run.
+  [[nodiscard]] std::vector<ScenarioResult> run_all(
+      std::span<const ScenarioSpec> specs) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace vdc::core

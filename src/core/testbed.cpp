@@ -13,14 +13,19 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
     throw std::invalid_argument("Testbed: need at least one app and one server");
   }
 
-  // Identify the shared response-time model on a staging copy of the app.
-  const app::AppConfig staging =
-      app::default_two_tier_app("staging", config_.seed + 1000, config_.concurrency);
-  SysIdExperimentResult sysid = identify_app_model(staging, config_.sysid);
-  model_ = std::move(sysid.model);
-  model_r2_ = sysid.r_squared;
-  util::Log(util::LogLevel::kInfo, "testbed")
-      << "identified ARX model, R^2 = " << model_r2_;
+  if (config_.model) {
+    model_ = *config_.model;
+    model_r2_ = 1.0;  // externally identified; fit quality unknown here
+  } else {
+    // Identify the shared response-time model on a staging copy of the app.
+    const app::AppConfig staging =
+        app::default_two_tier_app("staging", config_.seed + 1000, config_.concurrency);
+    SysIdExperimentResult sysid = identify_app_model(staging, config_.sysid);
+    model_ = std::move(sysid.model);
+    model_r2_ = sysid.r_squared;
+    util::Log(util::LogLevel::kInfo, "testbed")
+        << "identified ARX model, R^2 = " << model_r2_;
+  }
 
   // Cluster: the testbed machines (2 GHz dual-core class).
   for (std::size_t s = 0; s < config_.num_servers; ++s) {
@@ -29,62 +34,81 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
                                            /*memory_mb=*/8192.0));
   }
 
-  // Applications, monitors, controllers, and their VMs.
-  control::MpcConfig mpc = config_.mpc;
-  mpc.period_s = config_.control_period_s;
-  mpc.setpoint = config_.setpoint_s;
+  // One AppStack (application + monitor + controller) per application.
+  AppStackConfig stack;
+  stack.mpc = config_.mpc;
+  stack.mpc.period_s = config_.control_period_s;
+  stack.mpc.setpoint = config_.setpoint_s;
 
-  response_series_.resize(config_.num_apps);
-  allocation_series_.resize(config_.num_apps);
   for (std::size_t i = 0; i < config_.num_apps; ++i) {
-    app::AppConfig app_config = app::default_two_tier_app(
-        "app" + std::to_string(i + 1), config_.seed + i, config_.concurrency);
-    auto application = std::make_unique<app::MultiTierApp>(sim_, std::move(app_config));
-    auto monitor = std::make_unique<app::ResponseTimeMonitor>(0.9);
-    app::ResponseTimeMonitor* monitor_ptr = monitor.get();
-    application->set_response_callback(
-        [monitor_ptr](double, double rt) { monitor_ptr->record(rt); });
-
-    const std::size_t tiers = application->tier_count();
-    std::vector<double> initial(tiers, 0.6);
-    application->set_allocations(initial);
-
-    controllers_.push_back(std::make_unique<ResponseTimeController>(model_, mpc, initial));
+    stack.app = app::default_two_tier_app("app" + std::to_string(i + 1),
+                                          config_.seed + i, config_.concurrency);
+    auto app_stack = std::make_unique<AppStack>(sim_, model_, stack);
+    app_stack->bind_recorder(&recorder_, response_series_name(i),
+                             allocation_series_name(i));
 
     // One VM per tier, spread round-robin over the servers.
+    const std::size_t tiers = app_stack->tier_count();
     std::vector<datacenter::VmId> ids;
     for (std::size_t j = 0; j < tiers; ++j) {
       datacenter::Vm vm;
-      vm.name = application->name() + (j == 0 ? "-web" : "-db");
+      vm.name = app_stack->app().name() + (j == 0 ? "-web" : "-db");
       vm.role = j == 0 ? "web" : "db";
-      vm.cpu_demand_ghz = initial[j];
+      vm.cpu_demand_ghz = stack.initial_allocation_ghz;
       vm.memory_mb = 1024.0;
       const auto server = static_cast<datacenter::ServerId>(
           (i * tiers + j) % config_.num_servers);
       ids.push_back(cluster_.add_vm(vm, server));
     }
     vm_ids_.push_back(std::move(ids));
-    apps_.push_back(std::move(application));
-    monitors_.push_back(std::move(monitor));
+    stacks_.push_back(std::move(app_stack));
   }
   last_work_done_.assign(config_.num_apps * 2, 0.0);
+  recorder_.declare_scalar(kPowerSeries);
+
+  // Cluster-level gauges sampled at the end of every control tick.
+  probes_.add(kFrequencySeries, [this] {
+    double sum = 0.0;
+    for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
+      sum += cluster_.server(s).frequency_ghz();
+    }
+    return sum / static_cast<double>(cluster_.server_count());
+  });
+  probes_.add(kActiveServersSeries,
+              [this] { return static_cast<double>(cluster_.active_server_count()); });
+  probes_.add(kMigrationsInFlightSeries,
+              [this] { return static_cast<double>(migrations_in_flight_); });
+  probes_.add(kMigrationsCompletedSeries,
+              [this] { return static_cast<double>(completed_migrations_); });
 }
 
 void Testbed::set_setpoint(std::size_t app, double setpoint_s) {
-  controllers_.at(app)->set_setpoint(setpoint_s);
+  stacks_.at(app)->set_setpoint(setpoint_s);
 }
 
 void Testbed::set_concurrency(std::size_t app, std::size_t concurrency) {
-  apps_.at(app)->set_concurrency(concurrency);
+  stacks_.at(app)->set_concurrency(concurrency);
+}
+
+const std::vector<double>& Testbed::response_series(std::size_t app) const {
+  return recorder_.values(response_series_name(app));
+}
+
+const std::vector<double>& Testbed::power_series() const {
+  return recorder_.values(kPowerSeries);
+}
+
+const std::vector<std::vector<double>>& Testbed::allocation_series(std::size_t app) const {
+  return recorder_.rows(allocation_series_name(app));
 }
 
 app::PeriodStats Testbed::lifetime_stats(std::size_t app) const {
-  return monitors_.at(app)->lifetime();
+  return stacks_.at(app)->monitor().lifetime();
 }
 
 util::RunningStats Testbed::response_stats_after(std::size_t app, double from_s) const {
   util::RunningStats stats;
-  const std::vector<double>& series = response_series_.at(app);
+  const std::vector<double>& series = response_series(app);
   const auto first = static_cast<std::size_t>(from_s / config_.control_period_s);
   for (std::size_t k = first; k < series.size(); ++k) stats.add(series[k]);
   return stats;
@@ -93,7 +117,7 @@ util::RunningStats Testbed::response_stats_after(std::size_t app, double from_s)
 void Testbed::run_until(double until_s) {
   if (!loop_started_) {
     loop_started_ = true;
-    for (auto& application : apps_) application->start();
+    for (auto& stack : stacks_) stack->start();
     sim_.schedule(config_.control_period_s, [this] { control_tick(); });
     if (config_.enable_optimizer) {
       sim_.schedule(config_.optimizer_period_s, [this] { optimizer_tick(); });
@@ -141,7 +165,7 @@ void Testbed::start_migration(datacenter::VmId vm, datacenter::ServerId to) {
     // Stop-and-copy: the tier stops processing for the downtime window.
     for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
       for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
-        if (vm_ids_[i][j] == vm) apps_[i]->set_allocation(j, 0.0);
+        if (vm_ids_[i][j] == vm) stacks_[i]->apply_allocation(j, 0.0);
       }
     }
     sim_.schedule_after(cluster_.migration_model().downtime_s, [this, vm, to] {
@@ -151,7 +175,7 @@ void Testbed::start_migration(datacenter::VmId vm, datacenter::ServerId to) {
       for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
         for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
           if (vm_ids_[i][j] == vm) {
-            apps_[i]->set_allocation(j, cluster_.vm(vm).cpu_demand_ghz);
+            stacks_[i]->apply_allocation(j, cluster_.vm(vm).cpu_demand_ghz);
           }
         }
       }
@@ -162,42 +186,38 @@ void Testbed::start_migration(datacenter::VmId vm, datacenter::ServerId to) {
   });
 }
 
-void Testbed::control_tick() {
-  const double now = sim_.now();
+void Testbed::record_power(double now) {
+  // Power over the elapsed interval: actual work done / capacity.
   const double interval = now - last_power_time_;
-
-  // ---- power over the elapsed interval (actual work done / capacity) -----
   double total_power = 0.0;
-  {
-    std::size_t vm_index = 0;
-    std::vector<double> server_work(cluster_.server_count(), 0.0);
-    for (std::size_t i = 0; i < apps_.size(); ++i) {
-      for (std::size_t j = 0; j < apps_[i]->tier_count(); ++j, ++vm_index) {
-        const double done = apps_[i]->tier_work_done(j);
-        const double delta = done - last_work_done_[vm_index];
-        last_work_done_[vm_index] = done;
-        server_work[cluster_.host_of(vm_ids_[i][j])] += delta;
-      }
-    }
-    for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
-      const datacenter::Server& server = cluster_.server(s);
-      const double capacity = server.capacity_ghz();
-      const double utilization =
-          (capacity > 0.0 && interval > 0.0) ? server_work[s] / (capacity * interval) : 0.0;
-      total_power += server.power_w(utilization);
+  std::size_t vm_index = 0;
+  std::vector<double> server_work(cluster_.server_count(), 0.0);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    for (std::size_t j = 0; j < stacks_[i]->tier_count(); ++j, ++vm_index) {
+      const double done = stacks_[i]->app().tier_work_done(j);
+      const double delta = done - last_work_done_[vm_index];
+      last_work_done_[vm_index] = done;
+      server_work[cluster_.host_of(vm_ids_[i][j])] += delta;
     }
   }
-  if (interval > 0.0) power_series_.push_back(total_power);
+  for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
+    const datacenter::Server& server = cluster_.server(s);
+    const double capacity = server.capacity_ghz();
+    const double utilization =
+        (capacity > 0.0 && interval > 0.0) ? server_work[s] / (capacity * interval) : 0.0;
+    total_power += server.power_w(utilization);
+  }
+  if (interval > 0.0) recorder_.append(kPowerSeries, total_power);
   last_power_time_ = now;
+}
+
+void Testbed::control_tick() {
+  const double now = sim_.now();
+  record_power(now);
 
   // ---- feedback control: demands per application --------------------------
-  for (std::size_t i = 0; i < apps_.size(); ++i) {
-    const auto stats = monitors_[i]->harvest();
-    response_series_[i].push_back(stats && stats->count > 0
-                                      ? stats->quantile
-                                      : controllers_[i]->last_measurement());
-    const std::vector<double> demands = controllers_[i]->control(stats);
-    allocation_series_[i].push_back(demands);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    const std::vector<double> demands = stacks_[i]->control_tick();
     for (std::size_t j = 0; j < demands.size(); ++j) {
       cluster_.vm(vm_ids_[i][j]).cpu_demand_ghz = demands[j];
     }
@@ -224,13 +244,14 @@ void Testbed::control_tick() {
       for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
         for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
           if (vm_ids_[i][j] == vm) {
-            apps_[i]->set_allocation(j, arb.allocations_ghz[h]);
+            stacks_[i]->apply_allocation(j, arb.allocations_ghz[h]);
           }
         }
       }
     }
   }
 
+  probes_.sample(recorder_);
   sim_.schedule(now + config_.control_period_s, [this] { control_tick(); });
 }
 

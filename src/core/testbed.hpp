@@ -2,18 +2,24 @@
 // virtualized servers hosting several two-tier RUBBoS-like applications,
 // each under its own MPC response-time controller, with per-server CPU
 // arbitration and DVFS. This is the engine behind Figures 2-5.
+//
+// Structurally the Testbed is now a thin composition: a `Cluster`, one
+// `AppStack` per application (plant + monitor + controller), a telemetry
+// `Recorder` holding every recorded series, and the optimizer tick for the
+// two-level mode. The legacy series accessors delegate into the recorder.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
-#include "app/monitor.hpp"
-#include "app/multi_tier_app.hpp"
+#include "core/app_stack.hpp"
 #include "core/power_optimizer.hpp"
-#include "core/response_time_controller.hpp"
 #include "core/sysid_experiment.hpp"
 #include "datacenter/cluster.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/probe.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/statistics.hpp"
 
 namespace vdc::core {
@@ -47,6 +53,9 @@ struct TestbedConfig {
   /// (the applications are instances of the same benchmark, as on the
   /// paper's testbed).
   SysIdExperimentConfig sysid;
+  /// Pre-identified model: skips the identification experiment entirely.
+  /// The ScenarioRunner uses this to share one model across a sweep.
+  std::optional<control::ArxModel> model;
 
   // ---- data-center level (two-level integration, Section VII-A) ----------
   /// Run the power optimizer on the testbed cluster. Migrations follow live
@@ -59,6 +68,13 @@ struct TestbedConfig {
   double optimizer_utilization_target = 0.85;
 };
 
+/// Cluster-level telemetry series recorded once per control period.
+inline constexpr const char* kPowerSeries = "cluster/power_w";
+inline constexpr const char* kFrequencySeries = "cluster/freq_ghz_mean";
+inline constexpr const char* kActiveServersSeries = "cluster/active_servers";
+inline constexpr const char* kMigrationsInFlightSeries = "cluster/migrations_in_flight";
+inline constexpr const char* kMigrationsCompletedSeries = "cluster/migrations_completed";
+
 class Testbed {
  public:
   explicit Testbed(TestbedConfig config);
@@ -68,9 +84,12 @@ class Testbed {
   void run_until(double until_s);
 
   [[nodiscard]] double now() const noexcept { return sim_.now(); }
-  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+  [[nodiscard]] std::size_t app_count() const noexcept { return stacks_.size(); }
 
-  [[nodiscard]] app::MultiTierApp& application(std::size_t i) { return *apps_.at(i); }
+  [[nodiscard]] app::MultiTierApp& application(std::size_t i) {
+    return stacks_.at(i)->app();
+  }
+  [[nodiscard]] AppStack& app_stack(std::size_t i) { return *stacks_.at(i); }
   void set_setpoint(std::size_t app, double setpoint_s);
   void set_concurrency(std::size_t app, std::size_t concurrency);
 
@@ -79,16 +98,13 @@ class Testbed {
   [[nodiscard]] double model_r_squared() const noexcept { return model_r2_; }
 
   // ---- recorded series (one sample per control period) -------------------
-  [[nodiscard]] const std::vector<double>& response_series(std::size_t app) const {
-    return response_series_.at(app);
-  }
-  [[nodiscard]] const std::vector<double>& power_series() const noexcept {
-    return power_series_;
-  }
+  /// All series live in the recorder; these accessors delegate.
+  [[nodiscard]] telemetry::Recorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const telemetry::Recorder& recorder() const noexcept { return recorder_; }
+  [[nodiscard]] const std::vector<double>& response_series(std::size_t app) const;
+  [[nodiscard]] const std::vector<double>& power_series() const;
   [[nodiscard]] const std::vector<std::vector<double>>& allocation_series(
-      std::size_t app) const {
-    return allocation_series_.at(app);
-  }
+      std::size_t app) const;
   /// Response-time statistics over everything since construction.
   [[nodiscard]] app::PeriodStats lifetime_stats(std::size_t app) const;
   /// Statistics over periods recorded after `from_s` (skip settling).
@@ -108,22 +124,20 @@ class Testbed {
   void control_tick();
   void optimizer_tick();
   void start_migration(datacenter::VmId vm, datacenter::ServerId to);
+  void record_power(double now);
 
   TestbedConfig config_;
   sim::Simulation sim_;
   datacenter::Cluster cluster_;
-  std::vector<std::unique_ptr<app::MultiTierApp>> apps_;
-  std::vector<std::unique_ptr<app::ResponseTimeMonitor>> monitors_;
-  std::vector<std::unique_ptr<ResponseTimeController>> controllers_;
+  std::vector<std::unique_ptr<AppStack>> stacks_;
   /// vm_ids_[app][tier] -> VmId in cluster_.
   std::vector<std::vector<datacenter::VmId>> vm_ids_;
   control::ArxModel model_;
   double model_r2_ = 0.0;
+  telemetry::Recorder recorder_;
+  telemetry::ProbeSet probes_;
   double last_power_time_ = 0.0;
   std::vector<double> last_work_done_;  // per app*tier, Gcycles
-  std::vector<std::vector<double>> response_series_;
-  std::vector<std::vector<std::vector<double>>> allocation_series_;
-  std::vector<double> power_series_;
   bool loop_started_ = false;
   std::size_t migrations_in_flight_ = 0;
   std::size_t completed_migrations_ = 0;

@@ -42,8 +42,9 @@ bool Simulation::step() {
   return false;
 }
 
-void Simulation::run_until(double t) {
-  if (t < now_) throw std::invalid_argument("Simulation::run_until: time is in the past");
+std::size_t Simulation::drain_until(double t) {
+  if (t < now_) throw std::invalid_argument("Simulation::drain_until: time is in the past");
+  std::size_t executed = 0;
   while (!heap_.empty()) {
     // Skim cancelled entries off the top so the peeked time is live.
     while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
@@ -52,7 +53,13 @@ void Simulation::run_until(double t) {
     }
     if (heap_.empty() || heap_.top().time > t) break;
     step();
+    ++executed;
   }
+  return executed;
+}
+
+void Simulation::run_until(double t) {
+  drain_until(t);
   now_ = t;
 }
 

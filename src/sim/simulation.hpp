@@ -38,6 +38,12 @@ class Simulation {
   /// Processes all events with time <= t, then advances the clock to t.
   void run_until(double t);
 
+  /// Processes all events with time <= t but leaves the clock at the last
+  /// executed event instead of fast-forwarding it to t. Returns the number
+  /// of events executed. The ScenarioRunner uses this to flush the final
+  /// control period of a scenario without inventing idle time past it.
+  std::size_t drain_until(double t);
+
   /// Runs until no events remain.
   void run();
 

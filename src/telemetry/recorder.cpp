@@ -1,0 +1,82 @@
+#include "telemetry/recorder.hpp"
+
+#include <stdexcept>
+
+namespace vdc::telemetry {
+
+Recorder::Series& Recorder::open(const std::string& series, bool vector) {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(series, Series{.vector = vector, .scalars = {}, .rows = {}}).first;
+    names_.push_back(series);
+  } else if (it->second.vector != vector) {
+    throw std::invalid_argument("Recorder: series '" + series +
+                                "' already exists with the other sample kind");
+  }
+  return it->second;
+}
+
+const Recorder::Series* Recorder::find(std::string_view series) const noexcept {
+  const auto it = series_.find(series);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void Recorder::declare_scalar(const std::string& series) { open(series, /*vector=*/false); }
+
+void Recorder::declare_vector(const std::string& series) { open(series, /*vector=*/true); }
+
+void Recorder::append(const std::string& series, double value) {
+  open(series, /*vector=*/false).scalars.push_back(value);
+}
+
+void Recorder::append(const std::string& series, std::vector<double> row) {
+  open(series, /*vector=*/true).rows.push_back(std::move(row));
+}
+
+bool Recorder::has(std::string_view series) const noexcept { return find(series) != nullptr; }
+
+bool Recorder::is_vector(std::string_view series) const {
+  const Series* s = find(series);
+  if (s == nullptr) throw std::out_of_range("Recorder: unknown series");
+  return s->vector;
+}
+
+const std::vector<double>& Recorder::values(std::string_view series) const {
+  const Series* s = find(series);
+  if (s == nullptr || s->vector) {
+    throw std::out_of_range("Recorder: no scalar series named '" + std::string(series) + "'");
+  }
+  return s->scalars;
+}
+
+const std::vector<std::vector<double>>& Recorder::rows(std::string_view series) const {
+  const Series* s = find(series);
+  if (s == nullptr || !s->vector) {
+    throw std::out_of_range("Recorder: no vector series named '" + std::string(series) + "'");
+  }
+  return s->rows;
+}
+
+std::size_t Recorder::size(std::string_view series) const noexcept {
+  const Series* s = find(series);
+  if (s == nullptr) return 0;
+  return s->vector ? s->rows.size() : s->scalars.size();
+}
+
+void Recorder::clear() {
+  series_.clear();
+  names_.clear();
+}
+
+bool operator==(const Recorder& a, const Recorder& b) {
+  if (a.names_ != b.names_) return false;
+  for (const std::string& name : a.names_) {
+    const Recorder::Series* sa = a.find(name);
+    const Recorder::Series* sb = b.find(name);
+    if (sb == nullptr || sa->vector != sb->vector) return false;
+    if (sa->scalars != sb->scalars || sa->rows != sb->rows) return false;
+  }
+  return true;
+}
+
+}  // namespace vdc::telemetry

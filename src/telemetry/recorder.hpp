@@ -1,0 +1,77 @@
+// Named-series recorder: the single sink for everything an experiment
+// measures, one sample per control period. Replaces the ad-hoc metric
+// vectors that used to live inside `core::Testbed` — any layer (AppStack,
+// Testbed, probes) appends into series it names, and exporters/analyses
+// read them back uniformly.
+//
+// Two kinds of series:
+//   * scalar — one double per sample (response time p90, cluster power, ...)
+//   * vector — one row of doubles per sample (per-tier CPU allocation)
+//
+// References returned by the accessors stay valid as more series are
+// created (series storage is node-based).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdc::telemetry {
+
+class Recorder {
+ public:
+  /// Creates an empty series up front so accessors are valid before the
+  /// first sample arrives. No-op when it already exists with this kind.
+  void declare_scalar(const std::string& series);
+  void declare_vector(const std::string& series);
+
+  /// Appends one sample to a scalar series, creating it on first use.
+  void append(const std::string& series, double value);
+  /// Appends one row to a vector series, creating it on first use.
+  void append(const std::string& series, std::vector<double> row);
+
+  [[nodiscard]] bool has(std::string_view series) const noexcept;
+  [[nodiscard]] bool is_vector(std::string_view series) const;
+
+  /// Samples of a scalar series; throws std::out_of_range when unknown or
+  /// when the name refers to a vector series.
+  [[nodiscard]] const std::vector<double>& values(std::string_view series) const;
+  /// Rows of a vector series; throws std::out_of_range when unknown or
+  /// when the name refers to a scalar series.
+  [[nodiscard]] const std::vector<std::vector<double>>& rows(std::string_view series) const;
+
+  /// Number of samples in a series (either kind); 0 for unknown names.
+  [[nodiscard]] std::size_t size(std::string_view series) const noexcept;
+
+  /// All series names in creation order.
+  [[nodiscard]] const std::vector<std::string>& series_names() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] std::size_t series_count() const noexcept { return names_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return names_.empty(); }
+
+  void clear();
+
+  /// Exact equality of series names, kinds, and every sample — the
+  /// determinism check the parallel ScenarioRunner is tested against.
+  friend bool operator==(const Recorder& a, const Recorder& b);
+
+ private:
+  struct Series {
+    bool vector = false;
+    std::vector<double> scalars;
+    std::vector<std::vector<double>> rows;
+  };
+
+  Series& open(const std::string& series, bool vector);
+  [[nodiscard]] const Series* find(std::string_view series) const noexcept;
+
+  // std::map with transparent comparison: node-based (stable references)
+  // and lookups work from string_view without allocating.
+  std::map<std::string, Series, std::less<>> series_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace vdc::telemetry

@@ -1,0 +1,125 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sysid_experiment.hpp"
+
+namespace vdc::core {
+namespace {
+
+/// One cheap identification shared by every MPC spec in this file.
+const control::ArxModel& shared_model() {
+  static const SysIdExperimentResult identified = [] {
+    SysIdExperimentConfig sysid;
+    sysid.periods = 120;
+    return identify_app_model(app::default_two_tier_app("staging", 1001, 40),
+                              sysid);
+  }();
+  return identified.model;
+}
+
+/// A short (40-period) MPC-controlled standalone scenario.
+ScenarioSpec mpc_spec(const char* name, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.stack.app = app::default_two_tier_app("a", 1, 40);
+  spec.model = shared_model();
+  spec.seed = seed;
+  spec.duration_s = 160.0;
+  return spec;
+}
+
+ScenarioSpec static_spec(const char* name, std::uint64_t seed, double alloc) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.stack.app = app::default_two_tier_app("s", 1, 40);
+  spec.policy = [alloc](const std::optional<app::PeriodStats>&) {
+    return std::vector<double>(2, alloc);
+  };
+  spec.seed = seed;
+  spec.duration_s = 160.0;
+  return spec;
+}
+
+TEST(ScenarioRunner, RecordsOneSamplePerControlPeriod) {
+  const ScenarioResult run = ScenarioRunner().run(mpc_spec("solo", 5));
+  EXPECT_EQ(run.name, "solo");
+  EXPECT_EQ(run.app_count, 1u);
+  EXPECT_EQ(run.response_series(0).size(), 40u);  // 160 s / 4 s
+  EXPECT_EQ(run.allocation_series(0).size(), 40u);
+  EXPECT_EQ(run.allocation_series(0)[0].size(), 2u);
+}
+
+TEST(ScenarioRunner, ParallelMatchesSerialBitExactly) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(mpc_spec("a", 11));
+  specs.push_back(mpc_spec("b", 22));
+  specs.push_back(static_spec("c", 33, 0.5));
+  specs.push_back(mpc_spec("d", 44));
+
+  const std::vector<ScenarioResult> serial = ScenarioRunner(1).run_all(specs);
+  const std::vector<ScenarioResult> parallel4 = ScenarioRunner(4).run_all(specs);
+  const std::vector<ScenarioResult> parallel2 = ScenarioRunner(2).run_all(specs);
+
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel4.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(serial[i].name, specs[i].name);      // spec order preserved
+    EXPECT_EQ(parallel4[i].name, specs[i].name);
+    EXPECT_TRUE(serial[i].recorder == parallel4[i].recorder) << specs[i].name;
+    EXPECT_TRUE(serial[i].recorder == parallel2[i].recorder) << specs[i].name;
+  }
+}
+
+TEST(ScenarioRunner, RepeatedRunsAreDeterministic) {
+  const ScenarioSpec spec = mpc_spec("repeat", 7);
+  const ScenarioResult first = ScenarioRunner().run(spec);
+  const ScenarioResult second = ScenarioRunner().run(spec);
+  EXPECT_TRUE(first.recorder == second.recorder);
+}
+
+TEST(ScenarioRunner, SeedOverrideChangesTheRun) {
+  const ScenarioResult a = ScenarioRunner().run(mpc_spec("x", 100));
+  const ScenarioResult b = ScenarioRunner().run(mpc_spec("x", 200));
+  EXPECT_FALSE(a.recorder == b.recorder);
+}
+
+TEST(ScenarioRunner, ConcurrencyScheduleFiresDuringTheRun) {
+  ScenarioSpec calm = static_spec("calm", 9, 0.5);
+  ScenarioSpec surged = static_spec("surged", 9, 0.5);
+  surged.concurrency_schedule = {{.time_s = 80.0, .app = 0, .concurrency = 80}};
+  const ScenarioResult a = ScenarioRunner().run(calm);
+  const ScenarioResult b = ScenarioRunner().run(surged);
+  // Identical until the event fires, different after it.
+  EXPECT_EQ(a.response_series(0)[10], b.response_series(0)[10]);  // t = 44 s
+  const util::RunningStats calm_tail = a.response_stats_after(0, 100.0);
+  const util::RunningStats surge_tail = b.response_stats_after(0, 100.0);
+  EXPECT_GT(surge_tail.mean(), calm_tail.mean());
+}
+
+TEST(ScenarioRunner, TestbedEngineRunsAndExposesClusterSeries) {
+  ScenarioSpec spec;
+  spec.name = "cluster";
+  spec.engine = ScenarioSpec::Engine::kTestbed;
+  spec.testbed.num_apps = 2;
+  spec.testbed.num_servers = 2;
+  spec.testbed.model = shared_model();  // skip the sysid experiment
+  spec.duration_s = 80.0;
+  spec.seed = 3;
+
+  const ScenarioResult serial = ScenarioRunner(1).run(spec);
+  EXPECT_EQ(serial.app_count, 2u);
+  EXPECT_DOUBLE_EQ(serial.model_r_squared, 1.0);
+  EXPECT_EQ(serial.response_series(1).size(), 20u);
+  EXPECT_FALSE(serial.power_series().empty());
+
+  const std::vector<ScenarioSpec> specs{spec, spec};
+  const std::vector<ScenarioResult> parallel = ScenarioRunner(2).run_all(specs);
+  EXPECT_TRUE(parallel[0].recorder == serial.recorder);
+  EXPECT_TRUE(parallel[1].recorder == serial.recorder);
+}
+
+}  // namespace
+}  // namespace vdc::core

@@ -1,0 +1,171 @@
+#include "telemetry/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/probe.hpp"
+
+namespace vdc::telemetry {
+namespace {
+
+TEST(Recorder, ScalarSeriesAppendsInOrder) {
+  Recorder rec;
+  rec.append("p90", 1.0);
+  rec.append("p90", 0.5);
+  rec.append("p90", 2.0);
+  EXPECT_TRUE(rec.has("p90"));
+  EXPECT_FALSE(rec.is_vector("p90"));
+  EXPECT_EQ(rec.values("p90"), (std::vector<double>{1.0, 0.5, 2.0}));
+  EXPECT_EQ(rec.size("p90"), 3u);
+}
+
+TEST(Recorder, VectorSeriesKeepsRows) {
+  Recorder rec;
+  rec.append("alloc", std::vector<double>{0.3, 0.4});
+  rec.append("alloc", std::vector<double>{0.5, 0.6});
+  EXPECT_TRUE(rec.is_vector("alloc"));
+  ASSERT_EQ(rec.rows("alloc").size(), 2u);
+  EXPECT_EQ(rec.rows("alloc")[1], (std::vector<double>{0.5, 0.6}));
+}
+
+TEST(Recorder, DeclareCreatesEmptySeries) {
+  Recorder rec;
+  rec.declare_scalar("power");
+  rec.declare_vector("alloc");
+  EXPECT_TRUE(rec.has("power"));
+  EXPECT_TRUE(rec.values("power").empty());
+  EXPECT_TRUE(rec.rows("alloc").empty());
+  EXPECT_EQ(rec.size("power"), 0u);
+}
+
+TEST(Recorder, SeriesNamesInCreationOrder) {
+  Recorder rec;
+  rec.append("z", 1.0);
+  rec.append("a", 2.0);
+  rec.append("m", std::vector<double>{3.0});
+  EXPECT_EQ(rec.series_names(), (std::vector<std::string>{"z", "a", "m"}));
+  EXPECT_EQ(rec.series_count(), 3u);
+}
+
+TEST(Recorder, KindMismatchThrows) {
+  Recorder rec;
+  rec.append("p90", 1.0);
+  rec.append("alloc", std::vector<double>{0.3});
+  EXPECT_THROW(rec.append("p90", std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(rec.append("alloc", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rec.values("alloc"), std::out_of_range);
+  EXPECT_THROW((void)rec.rows("p90"), std::out_of_range);
+  EXPECT_THROW((void)rec.values("unknown"), std::out_of_range);
+}
+
+TEST(Recorder, ReferencesStayValidAcrossNewSeries) {
+  Recorder rec;
+  rec.append("first", 1.0);
+  const std::vector<double>& first = rec.values("first");
+  for (int i = 0; i < 64; ++i) rec.append("series" + std::to_string(i), double(i));
+  EXPECT_EQ(first, (std::vector<double>{1.0}));  // node-based storage
+}
+
+TEST(Recorder, EqualityIsExact) {
+  Recorder a;
+  Recorder b;
+  a.append("p90", 1.0);
+  a.append("alloc", std::vector<double>{0.3, 0.4});
+  b.append("p90", 1.0);
+  b.append("alloc", std::vector<double>{0.3, 0.4});
+  EXPECT_TRUE(a == b);
+  b.append("p90", 1.0 + 1e-15);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Recorder, ClearRemovesEverything) {
+  Recorder rec;
+  rec.append("p90", 1.0);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_FALSE(rec.has("p90"));
+}
+
+TEST(Probe, SetSamplesEveryGaugeIntoItsSeries) {
+  Recorder rec;
+  double power = 100.0;
+  int servers = 4;
+  ProbeSet probes;
+  probes.add("power", [&] { return power; });
+  probes.add("servers", [&] { return double(servers); });
+  probes.sample(rec);
+  power = 80.0;
+  servers = 3;
+  probes.sample(rec);
+  EXPECT_EQ(rec.values("power"), (std::vector<double>{100.0, 80.0}));
+  EXPECT_EQ(rec.values("servers"), (std::vector<double>{4.0, 3.0}));
+}
+
+TEST(Probe, RejectsEmptyNameAndNullGauge) {
+  ProbeSet probes;
+  EXPECT_THROW(probes.add("", [] { return 0.0; }), std::invalid_argument);
+  EXPECT_THROW(probes.add("x", nullptr), std::invalid_argument);
+}
+
+TEST(PeriodicSampler, SamplesOncePerPeriodStartingAtFirstPeriod) {
+  sim::Simulation sim;
+  Recorder rec;
+  ProbeSet probes;
+  probes.add("clock", [&] { return sim.now(); });
+  PeriodicSampler sampler(sim, std::move(probes), rec, 4.0);
+  sampler.start();
+  sim.run_until(20.0);  // samples at t = 4, 8, 12, 16, 20
+  EXPECT_EQ(sampler.samples_taken(), 5u);
+  EXPECT_EQ(rec.values("clock"), (std::vector<double>{4.0, 8.0, 12.0, 16.0, 20.0}));
+}
+
+TEST(Export, CsvRoundTripsExactly) {
+  Recorder rec;
+  rec.append("p90", 1.0 / 3.0);  // not representable in short decimal
+  rec.append("p90", 0.125);
+  rec.append("alloc", std::vector<double>{0.3, 0.7});
+  rec.append("alloc", std::vector<double>{0.6, 1.4});
+  rec.append("power", 123.456789);
+  // power has 1 sample, p90 has 2: ragged lengths pad with empty cells.
+  const Recorder back = from_csv(to_csv(rec));
+  EXPECT_TRUE(back == rec);
+}
+
+TEST(Export, HeaderFlattensVectorSeries) {
+  Recorder rec;
+  rec.append("p90", 1.0);
+  rec.append("alloc", std::vector<double>{0.3, 0.7});
+  std::ostringstream out;
+  write_csv(rec, out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), "p90,alloc[0],alloc[1]");
+}
+
+TEST(Export, FileRoundTrip) {
+  Recorder rec;
+  rec.append("p90", 0.987);
+  rec.append("alloc", std::vector<double>{0.25, 0.5, 0.75});
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "vdc_telemetry_roundtrip.csv";
+  write_csv_file(rec, path);
+  const Recorder back = read_csv_file(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(back == rec);
+}
+
+TEST(Export, EmptyRecorderRejectedEmptyTextAccepted) {
+  const Recorder rec;
+  EXPECT_THROW((void)to_csv(rec), std::invalid_argument);
+  EXPECT_TRUE(from_csv("") == rec);
+}
+
+}  // namespace
+}  // namespace vdc::telemetry
