@@ -79,10 +79,10 @@ int main() {
   std::printf("before: %zu active servers, %.1f W\n", cluster.active_server_count(),
               cluster.arbitrate_and_power_w(true));
 
-  core::PowerOptimizer optimizer(
-      core::OptimizerConfig{.algorithm = core::ConsolidationAlgorithm::kIpac,
-                            .utilization_target = 0.9},
-      std::make_shared<PayForBandwidthPolicy>(8.0));
+  core::OptimizerConfig opt_config;
+  opt_config.algorithm = core::ConsolidationAlgorithm::kIpac;
+  opt_config.utilization_target = 0.9;
+  core::PowerOptimizer optimizer(opt_config, std::make_shared<PayForBandwidthPolicy>(8.0));
   optimizer.add_constraint(std::make_unique<TenantAntiAffinity>());
 
   std::printf("optimizing (cost policy decisions below):\n");

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/app_audit.hpp"
+
 namespace vdc::app {
 
 AppConfig default_two_tier_app(std::string name, std::uint64_t seed, std::size_t concurrency) {
@@ -154,6 +156,7 @@ void MultiTierApp::issue_request() {
   }
   const double first_demand = req.demands[0];
   const std::uint64_t req_id = req.id;
+  ++issued_;
   requests_.emplace(req_id, std::move(req));
   const sim::JobId job = tiers_[0]->add_job(first_demand);
   tier_jobs_[0].emplace(job, req_id);
@@ -181,6 +184,7 @@ void MultiTierApp::on_tier_complete(std::size_t tier, sim::JobId job) {
 
 void MultiTierApp::finish_request(Request req) {
   ++completed_;
+  audit::request_conservation(issued_, completed_, requests_.size());
   const double now = sim_.now();
   if (on_response_) on_response_(now, now - req.start_time);
   if (!open_workload()) client_think();

@@ -84,6 +84,8 @@ class MultiTierApp {
   void set_response_callback(ResponseCallback cb) { on_response_ = std::move(cb); }
 
   [[nodiscard]] std::uint64_t completed_requests() const noexcept { return completed_; }
+  /// Requests issued since construction (= completed + in flight).
+  [[nodiscard]] std::uint64_t issued_requests() const noexcept { return issued_; }
   /// Requests currently inside some tier (not thinking).
   [[nodiscard]] std::size_t requests_in_flight() const noexcept { return requests_.size(); }
   /// Work completed by tier `j` so far (Gcycles).
@@ -114,6 +116,7 @@ class MultiTierApp {
   std::uint64_t next_request_id_ = 1;
   std::size_t active_clients_ = 0;
   std::size_t target_clients_ = 0;
+  std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   bool started_ = false;
   bool open_mode_ = false;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/app_audit.hpp"
+
 namespace vdc::app {
 
 namespace {
@@ -52,6 +54,7 @@ MvaResult exact_mva(const ClosedNetwork& network, std::size_t clients) {
     result.stations[i].utilization = throughput * network.service_demands_s[i];
     result.response_time_s += residence[i];
   }
+  audit::mva_result(result, clients, network.think_time_s);
   return result;
 }
 

@@ -1,0 +1,13 @@
+#include "check/check.hpp"
+
+namespace vdc::check {
+
+void fail(const char* kind, const char* expression, const std::string& message,
+          const char* file, long line, const char* function) {
+  std::ostringstream out;
+  out << file << ":" << line << ": " << function << ": " << kind << " failed: " << expression;
+  if (!message.empty()) out << " - " << message;
+  throw CheckFailure(out.str());
+}
+
+}  // namespace vdc::check

@@ -1,0 +1,100 @@
+// Consolidation auditors: a PlacementPlan emitted by IPAC, pMapper, FFD or
+// Minimum Slack must be *applicable* (every move names a live VM/server and
+// a correct source host, no VM is moved twice) and *feasible* (every server
+// that receives a VM satisfies the full constraint set — Algorithm 1's
+// generalised bin check — with its final residents).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "check/check.hpp"
+#include "consolidate/constraints.hpp"
+#include "consolidate/snapshot.hpp"
+#include "consolidate/working_placement.hpp"
+
+namespace vdc::consolidate::audit {
+
+/// One server currently satisfies the constraint set with its residents.
+inline void server_feasible(const WorkingPlacement& placement, ServerId server,
+                            const ConstraintSet& constraints) {
+  VDC_INVARIANT(placement.feasible(server, constraints),
+                "server " << server << " violates the constraint set (demand "
+                          << placement.cpu_demand(server) << " GHz, capacity "
+                          << placement.snapshot().server(server).max_capacity_ghz << " GHz)");
+}
+
+/// Full plan audit against the snapshot it was computed from. Applies the
+/// moves to a scratch placement and checks:
+///   * ids are in range and each `from` matches the VM's current host;
+///   * no VM is moved twice, and no moved VM is also reported unplaced;
+///   * every receiving server ends feasible under `constraints`.
+/// Servers that only *shed* VMs are exempt: a cluster may start overloaded
+/// (that is what relief is for), but no algorithm may make a server worse.
+inline void plan(const DataCenterSnapshot& snapshot, const PlacementPlan& plan_to_check,
+                 const ConstraintSet& constraints) {
+#if VDC_CHECKS_ENABLED
+  WorkingPlacement scratch(snapshot);
+  std::vector<bool> moved(snapshot.vms.size(), false);
+  std::vector<ServerId> receivers;
+  for (const Move& move : plan_to_check.moves) {
+    VDC_INVARIANT(move.vm < snapshot.vms.size(), "move names unknown VM " << move.vm);
+    VDC_INVARIANT(move.to < snapshot.servers.size(),
+                  "move targets unknown server " << move.to);
+    VDC_INVARIANT(!moved[move.vm], "VM " << move.vm << " is moved twice");
+    moved[move.vm] = true;
+    VDC_INVARIANT(scratch.host_of(move.vm) == move.from,
+                  "move 'from' is stale for VM " << move.vm << ": recorded " << move.from
+                                                 << ", actual " << scratch.host_of(move.vm));
+    VDC_INVARIANT(move.from != move.to, "no-op move for VM " << move.vm);
+    if (move.from != datacenter::kNoServer) scratch.remove(move.vm);
+    scratch.place(move.vm, move.to);
+    receivers.push_back(move.to);
+  }
+  for (const VmId vm : plan_to_check.unplaced) {
+    VDC_INVARIANT(vm < snapshot.vms.size(), "unplaced list names unknown VM " << vm);
+    VDC_INVARIANT(!moved[vm], "VM " << vm << " is both moved and unplaced");
+    if (scratch.host_of(vm) != datacenter::kNoServer) scratch.remove(vm);
+  }
+  for (const ServerId server : receivers) server_feasible(scratch, server, constraints);
+#else
+  static_cast<void>(snapshot);
+  static_cast<void>(plan_to_check);
+  static_cast<void>(constraints);
+#endif
+}
+
+/// A Minimum Slack (Algorithm 1) selection: every selected VM is a distinct
+/// candidate, and the server admits its residents plus the whole selection.
+inline void min_slack_selection(const WorkingPlacement& placement, ServerId server,
+                                std::span<const VmId> candidates,
+                                const ConstraintSet& constraints,
+                                std::span<const VmId> selected) {
+#if VDC_CHECKS_ENABLED
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  std::vector<bool> is_candidate(snapshot.vms.size(), false);
+  for (const VmId vm : candidates) is_candidate[vm] = true;
+  std::vector<const VmSnapshot*> resident;
+  for (const VmId vm : placement.hosted(server)) resident.push_back(&snapshot.vm(vm));
+  std::vector<bool> seen(snapshot.vms.size(), false);
+  for (const VmId vm : selected) {
+    VDC_INVARIANT(vm < snapshot.vms.size() && is_candidate[vm],
+                  "Minimum Slack selected non-candidate VM " << vm);
+    VDC_INVARIANT(!seen[vm], "Minimum Slack selected VM " << vm << " twice");
+    seen[vm] = true;
+    resident.push_back(&snapshot.vm(vm));
+  }
+  // An empty selection is always legal (the server may already be
+  // overloaded — relief targets are); a non-empty one must be admissible.
+  VDC_INVARIANT(selected.empty() || constraints.admits(snapshot.server(server), resident),
+                "Minimum Slack selection is inadmissible on server " << server);
+#else
+  static_cast<void>(placement);
+  static_cast<void>(server);
+  static_cast<void>(candidates);
+  static_cast<void>(constraints);
+  static_cast<void>(selected);
+#endif
+}
+
+}  // namespace vdc::consolidate::audit

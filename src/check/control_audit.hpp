@@ -1,0 +1,73 @@
+// Controller auditors: the MPC's QP solution must be primal-feasible
+// (M x <= gamma within tolerance — the actuator-range and rate-limit rows
+// of Section IV) and no worse than the zero-move plan, which is always
+// feasible for the MPC's constraint set because the previous allocation
+// already sits inside [c_min, c_max]. The applied allocation itself must
+// land inside the actuator box (equation 3's c_min <= c <= c_max).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "check/check.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qp.hpp"
+
+namespace vdc::control::audit {
+
+/// Primal-feasibility tolerance for Hildreth's dual iteration: the primal
+/// point converges from the infeasible side, so small violations at the
+/// stopping tolerance are expected.
+inline constexpr double kPrimalTol = 1e-4;
+
+/// Audits a converged QP solution. `equality_constrained` skips the
+/// zero-move optimality bound (with an eliminated equality block the zero
+/// move is generally infeasible, so the bound does not apply).
+inline void qp_solution(const linalg::Matrix& hessian, std::span<const double> gradient,
+                        const linalg::Matrix& m_ineq, std::span<const double> gamma,
+                        const linalg::QpResult& qp, bool equality_constrained) {
+#if VDC_CHECKS_ENABLED
+  if (!qp.converged) return;  // fallback paths are surfaced via diagnostics
+  VDC_INVARIANT(qp.x.size() == gradient.size(),
+                "QP solution width " << qp.x.size() << " != gradient width " << gradient.size());
+  for (const double v : qp.x) {
+    VDC_INVARIANT(std::isfinite(v), "QP solution contains a non-finite entry");
+  }
+  // KKT primal residual: max_i (Mx - gamma)_i clamped at 0.
+  double residual = 0.0;
+  for (std::size_t r = 0; r < m_ineq.rows(); ++r) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < m_ineq.cols(); ++c) row += m_ineq(r, c) * qp.x[c];
+    residual = std::max(residual, row - gamma[r]);
+  }
+  VDC_INVARIANT(residual <= kPrimalTol,
+                "QP primal residual " << residual << " exceeds tolerance " << kPrimalTol);
+  if (!equality_constrained) {
+    const double at_solution = linalg::qp_objective(hessian, gradient, qp.x);
+    VDC_INVARIANT(at_solution <= kPrimalTol,
+                  "QP solution worse than the feasible zero move: J = " << at_solution);
+  }
+#else
+  static_cast<void>(hessian);
+  static_cast<void>(gradient);
+  static_cast<void>(m_ineq);
+  static_cast<void>(gamma);
+  static_cast<void>(qp);
+  static_cast<void>(equality_constrained);
+#endif
+}
+
+/// The applied per-VM allocation stays inside the actuator box.
+inline void allocation_bounds(std::span<const double> allocation_ghz,
+                              std::span<const double> c_min, std::span<const double> c_max) {
+  VDC_INVARIANT(allocation_ghz.size() == c_min.size() && allocation_ghz.size() == c_max.size(),
+                "allocation width mismatch");
+  for (std::size_t m = 0; m < allocation_ghz.size(); ++m) {
+    VDC_INVARIANT(allocation_ghz[m] >= c_min[m] - 1e-12 &&
+                      allocation_ghz[m] <= c_max[m] + 1e-12,
+                  "allocation " << allocation_ghz[m] << " GHz outside [" << c_min[m] << ", "
+                                << c_max[m] << "] for input " << m);
+  }
+}
+
+}  // namespace vdc::control::audit

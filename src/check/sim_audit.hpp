@@ -1,0 +1,46 @@
+// Event-queue and PS-queue auditors for the discrete-event kernel.
+//
+// The DES substrate promises two things everything above it depends on:
+// simulated time never rewinds, and no event is ever scheduled in the past.
+// The PS-queue additionally promises that job residuals shrink toward zero
+// (never below, beyond rounding) so service conservation holds. Header-only:
+// the functions compile to nothing when checks are off.
+#pragma once
+
+#include <cmath>
+
+#include "check/check.hpp"
+
+namespace vdc::sim::audit {
+
+/// A newly scheduled event must carry a finite timestamp no earlier than
+/// the current clock.
+inline void event_time(double now_s, double event_time_s) {
+  VDC_INVARIANT(std::isfinite(event_time_s),
+                "event timestamp is not finite: t=" << event_time_s);
+  VDC_INVARIANT(event_time_s >= now_s,
+                "event scheduled in the past: t=" << event_time_s << " now=" << now_s);
+}
+
+/// Executing the event queue never moves the clock backwards.
+inline void clock_monotonic(double previous_s, double next_s) {
+  VDC_INVARIANT(next_s >= previous_s,
+                "simulation clock rewound: " << previous_s << " -> " << next_s);
+}
+
+/// A job residual after a processor-sharing sync: finite and nonnegative
+/// up to floating-point rounding of the per-job share.
+inline void ps_residual(double remaining_gcycles) {
+  VDC_INVARIANT(std::isfinite(remaining_gcycles) && remaining_gcycles >= -1e-6,
+                "PS job residual went negative: " << remaining_gcycles << " Gcycles");
+}
+
+/// PS-queue accounting: cumulative work and busy time only grow.
+inline void ps_accounting(double work_done_gcycles, double busy_time_s) {
+  VDC_INVARIANT(work_done_gcycles >= 0.0 && std::isfinite(work_done_gcycles),
+                "work_done is invalid: " << work_done_gcycles);
+  VDC_INVARIANT(busy_time_s >= 0.0 && std::isfinite(busy_time_s),
+                "busy_time is invalid: " << busy_time_s);
+}
+
+}  // namespace vdc::sim::audit

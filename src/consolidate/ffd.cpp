@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/consolidate_audit.hpp"
+
 namespace vdc::consolidate {
 
 FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const ServerId> servers,
@@ -28,6 +30,9 @@ FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const Serv
       }
     }
     if (!placed) result.unplaced.push_back(vm);
+  }
+  for (const VmId vm : result.placed) {
+    audit::server_feasible(placement, placement.host_of(vm), constraints);
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/consolidate_audit.hpp"
 #include "consolidate/ffd.hpp"
 #include "consolidate/pac.hpp"
 #include "util/log.hpp"
@@ -191,6 +192,7 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
 
   report.occupied_after = wp.occupied_server_count();
   report.plan = wp.plan(unplaced);
+  audit::plan(snapshot, report.plan, constraints);
   return report;
 }
 

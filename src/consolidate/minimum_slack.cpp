@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/consolidate_audit.hpp"
+
 namespace vdc::consolidate {
 
 namespace {
@@ -121,6 +123,7 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
   state.best.slack_ghz = state.slack();  // empty selection is the baseline
   state.consider_current();
   if (!state.done) state.dfs(0);
+  audit::min_slack_selection(placement, server, candidates, constraints, state.best.selected);
   return state.best;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/consolidate_audit.hpp"
 #include "consolidate/ffd.hpp"
 #include "consolidate/working_placement.hpp"
 
@@ -118,6 +119,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   report.occupied_after = wp.occupied_server_count();
   report.plan = wp.plan(unplaced);
   report.moves = report.plan.moves.size();
+  audit::plan(snapshot, report.plan, constraints);
   return report;
 }
 

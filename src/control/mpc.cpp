@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/control_audit.hpp"
 #include "linalg/qp.hpp"
 #include "util/log.hpp"
 
@@ -236,9 +237,11 @@ std::vector<double> MpcController::step(double measured_output) {
 
   linalg::QpResult qp;
   bool solved = false;
+  bool equality_constrained = false;
   try {
     qp = linalg::solve_general_qp(hessian_, grad, a_eq, b_eq, m_ineq, gamma);
     solved = true;
+    equality_constrained = a_eq.rows() > 0;
   } catch (const std::exception& e) {
     util::Log(util::LogLevel::kWarn, "mpc")
         << "terminal-constrained QP failed (" << e.what() << "); retrying unconstrained";
@@ -253,6 +256,7 @@ std::vector<double> MpcController::step(double measured_output) {
       qp.converged = false;
     }
   }
+  if (solved) audit::qp_solution(hessian_, grad, m_ineq, gamma, qp, equality_constrained);
 
   if (util::log_enabled(util::LogLevel::kDebug)) {
     util::Log dbg(util::LogLevel::kDebug, "mpc");
@@ -285,6 +289,7 @@ std::vector<double> MpcController::step(double measured_output) {
     }
     c_new[m] = std::clamp(c_prev[m] + dc, config_.c_min[m], config_.c_max[m]);
   }
+  audit::allocation_bounds(c_new, config_.c_min, config_.c_max);
   c_hist_.insert(c_hist_.begin(), c_new);
   c_hist_.pop_back();
   return c_new;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/dc_audit.hpp"
+
 namespace vdc::datacenter {
 
 Cluster::Cluster(MigrationModel migration_model, CpuResourceArbitrator arbitrator)
@@ -124,21 +126,29 @@ double Cluster::arbitrate_and_power_w(bool dvfs) {
   for (ServerId id = 0; id < servers_.size(); ++id) {
     Server& srv = servers_[id];
     if (!srv.active()) {
-      total += srv.power_w(0.0);
+      audit::server_state(srv);
+      const double sleep_power = srv.power_w(0.0);
+      audit::server_power(srv, sleep_power);
+      total += sleep_power;
       continue;
     }
     demands.clear();
     for (const VmId vm : hosted_[id]) demands.push_back(vms_[vm].cpu_demand_ghz);
+    double power = 0.0;
     if (dvfs) {
       const ArbitrationResult arb = arbitrator_.arbitrate(srv.cpu(), demands);
+      audit::arbitration(srv.cpu(), demands, arb);
       srv.set_frequency(arb.frequency_ghz);
-      total += srv.power_w(arb.utilization());
+      power = srv.power_w(arb.utilization());
     } else {
       srv.set_frequency(srv.cpu().max_freq_ghz);
       const double demand = server_cpu_demand(id);
       const double cap = srv.capacity_ghz();
-      total += srv.power_w(cap > 0.0 ? std::min(1.0, demand / cap) : 0.0);
+      power = srv.power_w(cap > 0.0 ? std::min(1.0, demand / cap) : 0.0);
     }
+    audit::server_state(srv);
+    audit::server_power(srv, power);
+    total += power;
   }
   return total;
 }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/sim_audit.hpp"
+
 namespace vdc::sim {
 
 namespace {
@@ -66,10 +68,12 @@ void PsQueue::sync() {
     remaining -= per_job;
     work_done_ += per_job;
     if (remaining <= kEps) {
+      audit::ps_residual(remaining);
       work_done_ += remaining;  // don't over-count the overshoot
       finished.push_back(id);
     }
   }
+  audit::ps_accounting(work_done_, busy_time_);
   std::sort(finished.begin(), finished.end());
   for (const JobId id : finished) jobs_.erase(id);
   for (const JobId id : finished) {

@@ -2,11 +2,14 @@
 
 #include <stdexcept>
 
+#include "check/sim_audit.hpp"
+
 namespace vdc::sim {
 
 EventId Simulation::schedule(double time, std::function<void()> callback) {
   if (time < now_) throw std::invalid_argument("Simulation::schedule: time is in the past");
   if (!callback) throw std::invalid_argument("Simulation::schedule: empty callback");
+  audit::event_time(now_, time);  // catches NaN, which the < above lets through
   const EventId id = next_id_++;
   heap_.push(Entry{time, id});
   callbacks_.emplace(id, std::move(callback));
@@ -34,6 +37,7 @@ bool Simulation::step() {
     if (cb_it == callbacks_.end()) continue;  // defensive; should not happen
     std::function<void()> callback = std::move(cb_it->second);
     callbacks_.erase(cb_it);
+    audit::clock_monotonic(now_, top.time);
     now_ = top.time;
     ++executed_;
     callback();

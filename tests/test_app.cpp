@@ -134,7 +134,7 @@ TEST(MultiTierApp, TierWorkDoneAccumulates) {
   EXPECT_GT(db, 0.0);
   // Mean demands are 8 and 12 Mcycles: db tier does ~1.5x the web work.
   EXPECT_NEAR(db / web, 1.5, 0.25);
-  EXPECT_THROW(app.tier_work_done(2), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(app.tier_work_done(2)), std::out_of_range);
 }
 
 TEST(MultiTierApp, DeterministicForSameSeed) {

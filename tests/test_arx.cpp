@@ -34,9 +34,9 @@ TEST(Arx, PredictValidatesHistoryLengths) {
   const std::vector<std::vector<double>> two_c = {{1.0}, {1.0}};
   const std::vector<std::vector<double>> one_c = {{1.0}};
   const std::vector<std::vector<double>> wide_c = {{1.0, 2.0}, {1.0, 2.0}};
-  EXPECT_THROW(m.predict(empty_t, two_c), std::invalid_argument);
-  EXPECT_THROW(m.predict(one_t, one_c), std::invalid_argument);
-  EXPECT_THROW(m.predict(one_t, wide_c), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.predict(empty_t, two_c)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.predict(one_t, one_c)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.predict(one_t, wide_c)), std::invalid_argument);
 }
 
 TEST(Arx, MimoPredict) {

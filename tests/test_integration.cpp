@@ -109,8 +109,10 @@ TEST(Integration, TwoLevelSystemOptimizerOnTestbedCluster) {
   tb.run_until(200.0);
 
   datacenter::Cluster cluster = tb.cluster();  // copy for offline planning
-  core::PowerOptimizer optimizer(core::OptimizerConfig{
-      .algorithm = core::ConsolidationAlgorithm::kIpac, .utilization_target = 0.9});
+  core::OptimizerConfig opt_config;
+  opt_config.algorithm = core::ConsolidationAlgorithm::kIpac;
+  opt_config.utilization_target = 0.9;
+  core::PowerOptimizer optimizer(opt_config);
   const core::OptimizationOutcome outcome = optimizer.optimize(cluster, tb.now());
   // Four tier VMs at ~0.5-0.8 GHz each fit on fewer than four servers.
   EXPECT_LT(outcome.active_after, outcome.active_before);

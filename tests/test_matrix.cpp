@@ -22,7 +22,7 @@ TEST(Matrix, InitializerListAndAccess) {
   EXPECT_EQ(m.rows(), 2u);
   EXPECT_EQ(m.cols(), 2u);
   EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
-  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(m(2, 0)), std::out_of_range);
   EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
 }
 
@@ -102,7 +102,7 @@ TEST(VectorOps, DotNormAxpy) {
   axpy(2.0, b, c);
   EXPECT_DOUBLE_EQ(c[0], 5.0);
   EXPECT_DOUBLE_EQ(c[2], 4.0);
-  EXPECT_THROW(dot(a, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(dot(a, std::vector<double>{1.0})), std::invalid_argument);
 }
 
 TEST(VectorOps, AddSubScale) {
@@ -136,7 +136,7 @@ TEST(SpectralRadius, ZeroMatrix) {
 }
 
 TEST(SpectralRadius, RequiresSquare) {
-  EXPECT_THROW(spectral_radius(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(spectral_radius(Matrix(2, 3))), std::invalid_argument);
 }
 
 }  // namespace

@@ -27,6 +27,12 @@ Vm make_vm(double demand, double memory = 512.0) {
   return vm;
 }
 
+OverloadGuardConfig trigger_after(std::size_t checks) {
+  OverloadGuardConfig config;
+  config.trigger_after_checks = checks;
+  return config;
+}
+
 TEST(OverloadGuard, NoActionWithoutOverload) {
   Cluster c = guarded_cluster();
   (void)c.add_vm(make_vm(1.0), 0);
@@ -39,7 +45,7 @@ TEST(OverloadGuard, NoActionWithoutOverload) {
 TEST(OverloadGuard, DebouncesTransientOverload) {
   Cluster c = guarded_cluster();
   const auto vm = c.add_vm(make_vm(4.0), 0);  // 4 > 3 GHz capacity
-  OverloadGuard guard(OverloadGuardConfig{.trigger_after_checks = 3});
+  OverloadGuard guard(trigger_after(3));
   EXPECT_EQ(guard.check(c, 0.0).migrations, 0u);  // strike 1
   // Overload disappears: counter resets.
   c.vm(vm).cpu_demand_ghz = 1.0;
@@ -57,7 +63,7 @@ TEST(OverloadGuard, MovesSmallestVmsToRelieve) {
   Cluster c = guarded_cluster();
   (void)c.add_vm(make_vm(2.5), 0);
   const auto small = c.add_vm(make_vm(0.8), 0);  // total 3.3 > 3 GHz
-  OverloadGuard guard(OverloadGuardConfig{.trigger_after_checks = 1});
+  OverloadGuard guard(trigger_after(1));
   const OverloadGuardReport report = guard.check(c, 10.0);
   EXPECT_EQ(report.migrations, 1u);
   EXPECT_NE(c.host_of(small), 0u) << "the smallest VM is the one moved";
@@ -71,7 +77,7 @@ TEST(OverloadGuard, WakesSleepingServerWhenActiveOnesAreFull) {
   c.server(2).set_state(datacenter::ServerState::kSleeping);
   (void)c.add_vm(make_vm(2.0), 0);
   (void)c.add_vm(make_vm(2.0), 0);  // 4 > 3 GHz, no active alternative
-  OverloadGuard guard(OverloadGuardConfig{.trigger_after_checks = 1});
+  OverloadGuard guard(trigger_after(1));
   const OverloadGuardReport report = guard.check(c, 0.0);
   EXPECT_GE(report.migrations, 1u);
   EXPECT_GE(report.woken_servers, 1u);
@@ -85,7 +91,7 @@ TEST(OverloadGuard, ReportsUnplacedWhenClusterSaturated) {
                       datacenter::power_model_dual_1_5ghz(), 12288.0));
   (void)c.add_vm(make_vm(2.0), 0);
   (void)c.add_vm(make_vm(2.0), 0);  // nowhere else to go
-  OverloadGuard guard(OverloadGuardConfig{.trigger_after_checks = 1});
+  OverloadGuard guard(trigger_after(1));
   const OverloadGuardReport report = guard.check(c, 0.0);
   EXPECT_GT(report.unplaced, 0u);
   EXPECT_EQ(report.migrations, 0u);
@@ -96,7 +102,7 @@ TEST(OverloadGuard, ReportsUnplacedWhenClusterSaturated) {
 TEST(OverloadGuard, CountersAccumulateAcrossChecks) {
   Cluster c = guarded_cluster();
   const auto vm = c.add_vm(make_vm(4.0), 0);
-  OverloadGuard guard(OverloadGuardConfig{.trigger_after_checks = 1});
+  OverloadGuard guard(trigger_after(1));
   (void)guard.check(c, 0.0);
   const std::size_t first = guard.total_migrations();
   EXPECT_GE(first, 1u);

@@ -25,6 +25,13 @@ Cluster scattered_cluster() {
   return c;
 }
 
+OptimizerConfig make_config(ConsolidationAlgorithm algorithm, double target = 0.9) {
+  OptimizerConfig config;
+  config.algorithm = algorithm;
+  config.utilization_target = target;
+  return config;
+}
+
 TEST(PowerOptimizer, ToStringNames) {
   EXPECT_EQ(to_string(ConsolidationAlgorithm::kIpac), "IPAC");
   EXPECT_EQ(to_string(ConsolidationAlgorithm::kPMapper), "pMapper");
@@ -33,8 +40,7 @@ TEST(PowerOptimizer, ToStringNames) {
 
 TEST(PowerOptimizer, IpacConsolidatesAndSleeps) {
   Cluster c = scattered_cluster();
-  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac,
-                                           .utilization_target = 1.0});
+  PowerOptimizer optimizer(make_config(ConsolidationAlgorithm::kIpac, 1.0));
   const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
   EXPECT_EQ(outcome.active_before, 3u);
   EXPECT_EQ(outcome.active_after, 1u);
@@ -47,8 +53,7 @@ TEST(PowerOptimizer, IpacConsolidatesAndSleeps) {
 
 TEST(PowerOptimizer, PMapperAlsoConsolidates) {
   Cluster c = scattered_cluster();
-  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kPMapper,
-                                           .utilization_target = 1.0});
+  PowerOptimizer optimizer(make_config(ConsolidationAlgorithm::kPMapper, 1.0));
   const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
   EXPECT_EQ(outcome.active_after, 1u);
   EXPECT_EQ(c.vms_on(0).size(), 2u);
@@ -56,7 +61,7 @@ TEST(PowerOptimizer, PMapperAlsoConsolidates) {
 
 TEST(PowerOptimizer, NoneOnlySleepsIdleServers) {
   Cluster c = scattered_cluster();
-  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kNone});
+  PowerOptimizer optimizer(make_config(ConsolidationAlgorithm::kNone));
   const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
   EXPECT_EQ(outcome.migrations, 0u);
   EXPECT_EQ(outcome.active_after, 2u);  // the empty quad went to sleep
@@ -64,8 +69,7 @@ TEST(PowerOptimizer, NoneOnlySleepsIdleServers) {
 
 TEST(PowerOptimizer, CustomConstraintIsEnforced) {
   Cluster c = scattered_cluster();
-  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac,
-                                           .utilization_target = 1.0});
+  PowerOptimizer optimizer(make_config(ConsolidationAlgorithm::kIpac, 1.0));
   // Forbid any server from hosting more than one VM.
   optimizer.add_constraint(std::make_unique<consolidate::CustomConstraint>(
       "one-vm-per-server",
@@ -79,7 +83,7 @@ TEST(PowerOptimizer, CostPolicyShared) {
   Cluster c = scattered_cluster();
   // A zero-byte bandwidth budget vetoes every consolidation round.
   PowerOptimizer optimizer(
-      OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac, .utilization_target = 1.0},
+      make_config(ConsolidationAlgorithm::kIpac, 1.0),
       std::make_shared<consolidate::BandwidthBudgetPolicy>(1.0));
   const OptimizationOutcome outcome = optimizer.optimize(c, 0.0);
   EXPECT_EQ(outcome.migrations, 0u);
@@ -87,8 +91,7 @@ TEST(PowerOptimizer, CostPolicyShared) {
 
 TEST(PowerOptimizer, RepeatedInvocationsAreQuiescent) {
   Cluster c = scattered_cluster();
-  PowerOptimizer optimizer(OptimizerConfig{.algorithm = ConsolidationAlgorithm::kIpac,
-                                           .utilization_target = 1.0});
+  PowerOptimizer optimizer(make_config(ConsolidationAlgorithm::kIpac, 1.0));
   (void)optimizer.optimize(c, 0.0);
   const OptimizationOutcome second = optimizer.optimize(c, 3600.0);
   EXPECT_EQ(second.migrations, 0u);

@@ -124,13 +124,13 @@ TEST(CapacityScale, ReturnsOneWhenAlreadyMet) {
 
 TEST(CapacityScale, RejectsBadTarget) {
   const ClosedNetwork net{1.0, {0.05}};
-  EXPECT_THROW(capacity_scale_for_response_time(net, 5, 0.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(capacity_scale_for_response_time(net, 5, 0.0)), std::invalid_argument);
 }
 
 TEST(Mg1Ps, FormulaAndStability) {
   EXPECT_NEAR(mg1_ps_response_time(5.0, 0.1), 0.1 / 0.5, 1e-12);
-  EXPECT_THROW(mg1_ps_response_time(10.0, 0.1), std::invalid_argument);  // rho = 1
-  EXPECT_THROW(mg1_ps_response_time(-1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mg1_ps_response_time(10.0, 0.1)), std::invalid_argument);  // rho = 1
+  EXPECT_THROW(static_cast<void>(mg1_ps_response_time(-1.0, 0.1)), std::invalid_argument);
 }
 
 TEST(Mg1Ps, PredictsOpenWorkloadDes) {

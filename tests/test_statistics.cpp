@@ -79,9 +79,9 @@ TEST(RunningStats, NumericallyStableForLargeOffsets) {
 }
 
 TEST(Quantile, ThrowsOnEmptyOrBadQ) {
-  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
-  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
-  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(quantile({}, 0.5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(quantile({1.0}, -0.1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(quantile({1.0}, 1.1)), std::invalid_argument);
 }
 
 TEST(Quantile, EndpointsAndMedian) {

@@ -1,0 +1,145 @@
+// Concurrency stress for the parallel substrate: hammers util::ThreadPool
+// and util::parallel_for from many producer threads, and runs a large
+// ScenarioRunner table under worker contention. Primarily a TSan target
+// (the CI thread-sanitizer job runs the whole suite with
+// -DVDC_SANITIZE=thread); under a plain build it still verifies the
+// functional contracts — exception propagation, drain-on-shutdown, and
+// bit-exact spec-order results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "app/multi_tier_app.hpp"
+#include "core/scenario.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vdc {
+namespace {
+
+constexpr int kProducers = 4;
+constexpr int kTasksPerProducer = 64;
+
+TEST(ThreadPoolStress, ConcurrentSubmittersFromManyThreads) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+
+  std::vector<std::thread> producers;
+  std::vector<std::future<int>> futures[kProducers];
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        futures[p].push_back(pool.submit([&counter, p, t] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+          return p * kTasksPerProducer + t;
+        }));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  long long sum = 0;
+  for (auto& per_producer : futures) {
+    for (std::future<int>& f : per_producer) sum += f.get();
+  }
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+  const long long n = kProducers * kTasksPerProducer;
+  EXPECT_EQ(sum, n * (n - 1) / 2);  // every task id delivered exactly once
+}
+
+TEST(ThreadPoolStress, TaskExceptionsReachTheFutureAndPoolSurvives) {
+  util::ThreadPool pool(2);
+  std::future<int> bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  std::future<int> good = pool.submit([] { return 17; });
+  EXPECT_EQ(good.get(), 17);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsQueuedTasks) {
+  std::vector<std::future<int>> futures;
+  {
+    util::ThreadPool pool(1);  // single worker guarantees a deep queue
+    for (int t = 0; t < 32; ++t) {
+      futures.push_back(pool.submit([t] { return t; }));
+    }
+  }  // shutdown with tasks still queued: they must run, not vanish
+  for (int t = 0; t < 32; ++t) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(t)].get(), t);
+  }
+}
+
+TEST(ParallelForStress, DisjointWritesAndFullCoverage) {
+  constexpr std::size_t kItems = 512;
+  std::vector<std::size_t> out(kItems, 0);
+  util::parallel_for(kItems, [&out](std::size_t i) { out[i] = i + 1; }, 4);
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(ParallelForStress, FirstExceptionIsRethrown) {
+  EXPECT_THROW(
+      util::parallel_for(
+          64, [](std::size_t i) { if (i % 7 == 3) throw std::runtime_error("boom"); }, 4),
+      std::runtime_error);
+}
+
+/// A cheap standalone scenario: fixed-allocation policy (no system
+/// identification), short horizon. Cheap enough that a 16-spec table stays
+/// fast under TSan's ~5-15x slowdown.
+core::ScenarioSpec cheap_spec(std::string name, std::uint64_t seed) {
+  core::ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.stack.app = app::default_two_tier_app("stress", 1, 40);
+  spec.policy = [](const std::optional<app::PeriodStats>&) {
+    return std::vector<double>(2, 0.6);
+  };
+  spec.seed = seed;
+  spec.duration_s = 40.0;
+  return spec;
+}
+
+TEST(ScenarioRunnerStress, LargeTableUnderWorkerContention) {
+  std::vector<core::ScenarioSpec> specs;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    specs.push_back(cheap_spec("stress-" + std::to_string(s), 1000 + s * 17));
+  }
+
+  // More scenarios than workers forces queueing and worker reuse; the
+  // results must still come back in spec order and bit-identical to serial.
+  const std::vector<core::ScenarioResult> parallel = core::ScenarioRunner(4).run_all(specs);
+  const std::vector<core::ScenarioResult> serial = core::ScenarioRunner(1).run_all(specs);
+
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(parallel[i].name, specs[i].name);
+    EXPECT_TRUE(parallel[i].recorder == serial[i].recorder) << specs[i].name;
+  }
+}
+
+TEST(ScenarioRunnerStress, ConcurrentRunnersDoNotInterfere) {
+  // Two independent runners in flight at once — the pattern a parameter
+  // study harness produces — must not share any mutable state.
+  const core::ScenarioSpec spec = cheap_spec("dual", 77);
+  const core::ScenarioResult reference = core::ScenarioRunner(1).run(spec);
+
+  std::vector<core::ScenarioSpec> table(4, spec);
+  core::ScenarioResult from_a;
+  core::ScenarioResult from_b;
+  std::thread a([&] { from_a = core::ScenarioRunner(2).run_all(table).front(); });
+  std::thread b([&] { from_b = core::ScenarioRunner(2).run_all(table).back(); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(from_a.recorder == reference.recorder);
+  EXPECT_TRUE(from_b.recorder == reference.recorder);
+}
+
+}  // namespace
+}  // namespace vdc

@@ -18,7 +18,7 @@ TEST(TimeSeries, AppendAndAccess) {
   EXPECT_DOUBLE_EQ(s[0], 1.0);
   EXPECT_DOUBLE_EQ(s[1], 3.0);
   EXPECT_DOUBLE_EQ(s.duration(), 4.0);
-  EXPECT_THROW(s[2], std::out_of_range);
+  EXPECT_THROW(static_cast<void>(s[2]), std::out_of_range);
 }
 
 TEST(TimeSeries, AtTimePiecewiseConstant) {
@@ -33,7 +33,7 @@ TEST(TimeSeries, AtTimePiecewiseConstant) {
 
 TEST(TimeSeries, AtTimeThrowsOnEmpty) {
   TimeSeries s(1.0);
-  EXPECT_THROW(s.at_time(0.0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(s.at_time(0.0)), std::out_of_range);
 }
 
 TEST(TimeSeries, StatsAndIntegral) {

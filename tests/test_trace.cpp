@@ -24,7 +24,7 @@ TEST(Trace, SetAndGet) {
   EXPECT_DOUBLE_EQ(t.at(0, 1), 0.5);
   EXPECT_DOUBLE_EQ(t.at(1, 2), 1.0);
   EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
-  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(t.at(2, 0)), std::out_of_range);
   EXPECT_THROW(t.set(0, 3, 0.5), std::out_of_range);
   EXPECT_THROW(t.set(0, 0, 1.5), std::invalid_argument);
   EXPECT_THROW(t.set(0, 0, -0.1), std::invalid_argument);
@@ -39,7 +39,7 @@ TEST(Trace, SeriesIsContiguousView) {
   ASSERT_EQ(s.size(), 3u);
   EXPECT_DOUBLE_EQ(s[0], 0.1);
   EXPECT_DOUBLE_EQ(s[2], 0.3);
-  EXPECT_THROW(t.series(5), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(t.series(5)), std::out_of_range);
 }
 
 TEST(Trace, Aggregates) {
