@@ -48,10 +48,17 @@ void ResponseTimeMonitor::record(double response_time_s) {
 }
 
 std::optional<PeriodStats> ResponseTimeMonitor::harvest() {
-  if (period_samples_.empty()) return std::nullopt;
+  const std::size_t dropped = period_dropped_;
+  const bool stale = period_stale_;
+  period_dropped_ = 0;
+  period_stale_ = false;
+  if (period_samples_.empty() && dropped == 0 && !stale) return std::nullopt;
   std::vector<double> samples;
   samples.swap(period_samples_);
-  return stats_of(std::move(samples), q_, metric_);
+  PeriodStats out = stats_of(std::move(samples), q_, metric_);
+  out.dropped = dropped;
+  out.stale = stale;
+  return out;
 }
 
 PeriodStats ResponseTimeMonitor::lifetime() const {

@@ -30,6 +30,14 @@ struct PeriodStats {
   /// The value of the configured SLA metric — what the controller tracks.
   double controlled = 0.0;
   std::size_t count = 0;
+  /// Samples lost to sensor faults this period. A period with count == 0 but
+  /// dropped > 0 means the interval elapsed and all its data was lost — a
+  /// different situation from "no requests completed" (harvest -> nullopt).
+  std::size_t dropped = 0;
+  /// The monitor pipeline was wedged this period: the numbers above are the
+  /// last values it managed to compute, not fresh measurements. Controllers
+  /// must not treat them as new feedback.
+  bool stale = false;
 };
 
 class ResponseTimeMonitor {
@@ -41,9 +49,20 @@ class ResponseTimeMonitor {
   /// Records one completed request's response time (seconds).
   void record(double response_time_s);
 
+  /// Records that a sample existed but was lost before reaching the monitor
+  /// (sensor dropout). Counted per period so an all-dropped interval is
+  /// distinguishable from an idle one.
+  void note_dropped() noexcept { ++period_dropped_; }
+
+  /// Marks the current period's pipeline as wedged: the next harvest is
+  /// flagged stale so the controller holds instead of acting on old data.
+  void mark_stale() noexcept { period_stale_ = true; }
+
   /// Returns statistics over the samples recorded since the last harvest
-  /// and clears the buffer. Empty period -> nullopt (the controller then
-  /// holds its previous measurement).
+  /// and clears the buffer. Truly empty period (no samples, no drops, not
+  /// stale) -> nullopt (the controller then holds its previous measurement).
+  /// All-dropped or stale periods DO return stats (count == 0 / stale set)
+  /// so callers can tell sensor failure apart from idleness.
   [[nodiscard]] std::optional<PeriodStats> harvest();
 
   /// Statistics over everything recorded since construction (all periods).
@@ -58,6 +77,8 @@ class ResponseTimeMonitor {
   SlaMetric metric_;
   std::vector<double> period_samples_;
   std::vector<double> lifetime_samples_;
+  std::size_t period_dropped_ = 0;
+  bool period_stale_ = false;
 };
 
 }  // namespace vdc::app

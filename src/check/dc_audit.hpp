@@ -70,6 +70,10 @@ inline void server_state(const Server& server) {
 /// within [sleep, peak].
 inline void server_power(const Server& server, double power_w) {
   const PowerModel& model = server.power_model();
+  if (server.failed()) {
+    VDC_INVARIANT(power_w == 0.0, "failed server draws " << power_w << " W != 0");
+    return;
+  }
   if (!server.active()) {
     VDC_INVARIANT(power_w == model.sleep_w,
                   "sleeping server draws " << power_w << " W != sleep power " << model.sleep_w);

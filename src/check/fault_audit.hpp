@@ -1,0 +1,50 @@
+// Fault-plan auditors: a chaos schedule is itself an input that must be
+// well-formed, or a "robustness" run silently tests nothing (a window with
+// probability 0.0 typo'd from 1.0, a crash window that ends before it
+// starts, a DVFS pin at a negative frequency). Validated once when the
+// FaultInjector adopts a plan; compiled out under -DVDC_CHECKS=OFF like
+// every other auditor.
+#pragma once
+
+#include <cmath>
+
+#include "check/check.hpp"
+#include "fault/plan.hpp"
+
+namespace vdc::fault::audit {
+
+inline void window(const FaultWindow& w) {
+  VDC_ASSERT(w.start_s >= 0.0, to_string(w.kind) << " window starts at " << w.start_s);
+  VDC_ASSERT(w.end_s > w.start_s, to_string(w.kind) << " window [" << w.start_s << ", "
+                                                    << w.end_s << ") is empty or inverted");
+  VDC_ASSERT(w.probability >= 0.0 && w.probability <= 1.0,
+             to_string(w.kind) << " probability " << w.probability << " outside [0,1]");
+  switch (w.kind) {
+    case FaultKind::kMigrationSlowdown:
+      VDC_ASSERT(w.magnitude >= 1.0,
+                 "slowdown factor " << w.magnitude << " would speed migrations up");
+      break;
+    case FaultKind::kSensorSpike:
+      VDC_ASSERT(w.magnitude > 0.0 && std::isfinite(w.magnitude),
+                 "spike factor " << w.magnitude << " is not a positive finite multiplier");
+      break;
+    case FaultKind::kDvfsPin:
+      VDC_ASSERT(w.magnitude > 0.0 && std::isfinite(w.magnitude),
+                 "pinned frequency " << w.magnitude << " GHz is not positive finite");
+      VDC_ASSERT(w.target != kAnyTarget, "DVFS pin requires an explicit server target");
+      break;
+    case FaultKind::kServerCrash:
+      VDC_ASSERT(w.target != kAnyTarget, "server crash requires an explicit server target");
+      VDC_ASSERT(std::isfinite(w.start_s), "crash start must be a concrete time");
+      break;
+    default:
+      break;
+  }
+}
+
+/// Every window well-formed. Called by FaultInjector when adopting a plan.
+inline void plan(const FaultPlan& p) {
+  for (const FaultWindow& w : p.windows) window(w);
+}
+
+}  // namespace vdc::fault::audit

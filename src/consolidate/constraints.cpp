@@ -43,6 +43,10 @@ ConstraintSet& ConstraintSet::add(std::unique_ptr<PlacementConstraint> constrain
 
 bool ConstraintSet::admits(const ServerSnapshot& server,
                            std::span<const VmSnapshot* const> hosted) const {
+  // Single choke point for crashed servers: no algorithm may plan onto one,
+  // and a failed server hosting anything is by definition infeasible (which
+  // is what makes IPAC's overload-relief step evacuate it).
+  if (server.failed) return false;
   for (const auto& constraint : constraints_) {
     if (!constraint->admits(server, hosted)) return false;
   }

@@ -75,8 +75,20 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     }
   }
 
-  // ---- Step 1: overload relief -------------------------------------------
+  // ---- Step 0: pick up homeless VMs --------------------------------------
+  // A VM with no host (crash-evicted, or never placed) receives no CPU at
+  // all; re-placing it is the most urgent thing the optimizer can do, so it
+  // joins the migration list ahead of overload victims.
   std::vector<VmId> migration_list;
+  for (const VmSnapshot& vm : snapshot.vms) {
+    if (wp.host_of(vm.id) == datacenter::kNoServer) migration_list.push_back(vm.id);
+  }
+  if (!migration_list.empty()) {
+    util::Log(util::LogLevel::kInfo, "ipac")
+        << migration_list.size() << " unplaced VM(s) queued for re-placement";
+  }
+
+  // ---- Step 1: overload relief -------------------------------------------
   for (const ServerSnapshot& server : snapshot.servers) {
     while (!wp.hosted(server.id).empty() && !wp.feasible(server.id, constraints)) {
       const VmId victim = smallest_vm(wp, server.id);

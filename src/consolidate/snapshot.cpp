@@ -25,6 +25,7 @@ DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster) {
     s.sleep_power_w = srv.power_model().sleep_w;
     s.power_efficiency = srv.power_efficiency();
     s.active = srv.active();
+    s.failed = srv.failed();
     const auto hosted = cluster.vms_on(id);
     s.hosted.assign(hosted.begin(), hosted.end());
     snap.servers.push_back(std::move(s));
@@ -39,7 +40,10 @@ DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster) {
 
 void apply_plan(datacenter::Cluster& cluster, const PlacementPlan& plan, double now_s) {
   for (const Move& move : plan.moves) {
-    cluster.wake(move.to);
+    // A failed target cannot be woken; the plan was made against a snapshot
+    // that may have gone stale, so skip the move instead of placing a VM
+    // onto a dead box (it keeps its current host, or stays unplaced).
+    if (!cluster.wake(move.to)) continue;
     if (move.from == datacenter::kNoServer && cluster.host_of(move.vm) == datacenter::kNoServer) {
       cluster.place(move.vm, move.to);
     } else {

@@ -28,6 +28,10 @@ struct ServerSnapshot {
   /// The paper's metric: max total frequency / max power (GHz/W).
   double power_efficiency = 0.0;
   bool active = false;
+  /// Crashed (fault injection): cannot host anything, cannot be woken.
+  /// ConstraintSet::admits rejects failed servers unconditionally, so every
+  /// consolidation algorithm skips them without knowing why.
+  bool failed = false;
   std::vector<VmId> hosted;
 };
 

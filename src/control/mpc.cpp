@@ -150,6 +150,17 @@ std::vector<double> MpcController::current_allocations() const {
   return c_hist_.front();
 }
 
+std::vector<double> MpcController::hold() {
+  if (!initialized_) throw std::logic_error("MpcController: reset() before hold()");
+  const double predicted = model_.predict(t_hist_, c_hist_) + disturbance_;
+  t_hist_.insert(t_hist_.begin(), predicted);
+  t_hist_.pop_back();
+  const std::vector<double> held = c_hist_.front();
+  c_hist_.insert(c_hist_.begin(), held);
+  c_hist_.pop_back();
+  return held;
+}
+
 std::vector<double> MpcController::step(double measured_output) {
   if (!initialized_) throw std::logic_error("MpcController: reset() before step()");
   const std::size_t p = config_.prediction_horizon;

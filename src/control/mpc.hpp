@@ -84,6 +84,14 @@ class MpcController {
   /// allocation vector c(k) to apply for the next period.
   [[nodiscard]] std::vector<double> step(double measured_output);
 
+  /// Degraded control period for when the measurement is missing or flagged
+  /// stale: keeps the previous allocation, advances the internal history
+  /// with the model's own one-step prediction (so the clock of the ARX
+  /// state stays aligned with real time), and leaves the disturbance
+  /// estimate untouched — no new information arrived, so no correction is
+  /// justified. Returns the held allocation.
+  [[nodiscard]] std::vector<double> hold();
+
   void set_setpoint(double setpoint) noexcept { config_.setpoint = setpoint; }
   [[nodiscard]] double setpoint() const noexcept { return config_.setpoint; }
   [[nodiscard]] const MpcConfig& config() const noexcept { return config_; }

@@ -19,7 +19,19 @@ AppStack::AppStack(sim::Simulation& sim, AppStackConfig config)
       app_(std::make_unique<app::MultiTierApp>(sim_, config_.app)),
       monitor_(config_.monitor_quantile, config_.metric),
       held_measurement_(config_.mpc.setpoint) {
-  app_->set_response_callback([this](double, double rt) { monitor_.record(rt); });
+  app_->set_response_callback([this](double, double rt) {
+    // Sensor fault hooks: a disabled injector (the default) early-outs on
+    // both queries without touching its RNG, so the nominal path is
+    // unchanged down to the bit.
+    if (fault_ != nullptr && fault_->enabled()) {
+      if (fault_->sensor_drops(sim_.now(), fault_index_)) {
+        monitor_.note_dropped();
+        return;
+      }
+      rt *= fault_->sensor_spike(sim_.now(), fault_index_);
+    }
+    monitor_.record(rt);
+  });
   app_->set_allocations(
       std::vector<double>(app_->tier_count(), config_.initial_allocation_ghz));
 }
@@ -49,6 +61,11 @@ void AppStack::bind_recorder(telemetry::Recorder* recorder, std::string response
   }
 }
 
+void AppStack::set_fault_injector(fault::FaultInjector* injector, std::uint32_t app_index) {
+  fault_ = injector;
+  fault_index_ = app_index;
+}
+
 void AppStack::start() { app_->start(); }
 
 void AppStack::start_control_loop() {
@@ -64,14 +81,19 @@ void AppStack::loop_tick() {
 }
 
 std::vector<double> AppStack::control_tick() {
+  if (fault_ != nullptr && fault_->enabled() &&
+      fault_->sensor_stale(sim_.now(), fault_index_)) {
+    monitor_.mark_stale();
+  }
   const std::optional<app::PeriodStats> stats = monitor_.harvest();
   // Record BEFORE deciding so an empty period logs the held (previous)
-  // measurement, exactly as the controller perceives it.
+  // measurement, exactly as the controller perceives it. A stale period's
+  // numbers are old news, so the held value is what gets logged too.
+  const bool fresh = stats && stats->count > 0 && !stats->stale;
   if (recorder_ != nullptr) {
-    recorder_->append(response_series_,
-                      stats && stats->count > 0 ? stats->controlled : last_measurement());
+    recorder_->append(response_series_, fresh ? stats->controlled : last_measurement());
   }
-  if (stats && stats->count > 0) held_measurement_ = stats->controlled;
+  if (fresh) held_measurement_ = stats->controlled;
   std::vector<double> demands =
       controller_ ? controller_->control(stats) : policy_(stats);
   if (recorder_ != nullptr) recorder_->append(allocation_series_, demands);

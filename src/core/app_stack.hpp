@@ -25,6 +25,7 @@
 #include "app/multi_tier_app.hpp"
 #include "control/mpc.hpp"
 #include "core/response_time_controller.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/recorder.hpp"
 
@@ -64,6 +65,13 @@ class AppStack {
   /// under the given series names. Call before the first tick.
   void bind_recorder(telemetry::Recorder* recorder, std::string response_series,
                      std::string allocation_series);
+
+  /// Routes this stack's sensor path through a fault injector: response
+  /// samples may be dropped or spiked, and whole periods flagged stale
+  /// (which degrades the controller to a hold). `app_index` is the target
+  /// id sensor fault windows match against. The injector must outlive the
+  /// stack; pass nullptr to detach.
+  void set_fault_injector(fault::FaultInjector* injector, std::uint32_t app_index);
 
   /// Starts the client population (call once before running the simulation).
   void start();
@@ -113,6 +121,8 @@ class AppStack {
   telemetry::Recorder* recorder_ = nullptr;
   std::string response_series_;
   std::string allocation_series_;
+  fault::FaultInjector* fault_ = nullptr;
+  std::uint32_t fault_index_ = 0;
   double held_measurement_;  // policy mode's substitute for the controller's
   bool loop_started_ = false;
 };

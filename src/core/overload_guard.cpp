@@ -69,7 +69,7 @@ OverloadGuardReport OverloadGuard::check(datacenter::Cluster& cluster, double no
   const consolidate::PlacementPlan plan = wp.plan(pac.unplaced);
   for (const consolidate::Move& move : plan.moves) {
     if (!cluster.server(move.to).active()) {
-      cluster.wake(move.to);
+      if (!cluster.wake(move.to)) continue;  // failed target: leave the VM put
       ++report.woken_servers;
       ++total_activations_;
     }

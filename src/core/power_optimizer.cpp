@@ -26,34 +26,68 @@ void PowerOptimizer::add_constraint(
   constraints_.add(std::move(constraint));
 }
 
+consolidate::PlacementPlan PowerOptimizer::plan(const datacenter::Cluster& cluster,
+                                                double now_s) {
+  const consolidate::DataCenterSnapshot snapshot = consolidate::snapshot_of(cluster);
+  consolidate::PlacementPlan out;
+  switch (config_.algorithm) {
+    case ConsolidationAlgorithm::kIpac: {
+      const consolidate::IpacReport report =
+          consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac);
+      out = report.plan;
+      break;
+    }
+    case ConsolidationAlgorithm::kPMapper: {
+      const consolidate::PMapperReport report = consolidate::pmapper(snapshot, constraints_);
+      out = report.plan;
+      break;
+    }
+    case ConsolidationAlgorithm::kNone:
+      return out;
+  }
+
+  // Drop moves of VMs still backing off from a failed migration; placements
+  // of homeless VMs (from == kNoServer) are never deferred — a VM with no
+  // host gets no CPU, so re-placing it always beats waiting.
+  if (!backoff_until_.empty()) {
+    std::vector<consolidate::Move> kept;
+    kept.reserve(out.moves.size());
+    for (const consolidate::Move& move : out.moves) {
+      const auto it = backoff_until_.find(move.vm);
+      if (move.from != datacenter::kNoServer && it != backoff_until_.end() &&
+          now_s < it->second) {
+        ++moves_deferred_;
+        continue;
+      }
+      kept.push_back(move);
+    }
+    out.moves = std::move(kept);
+    // Expired entries can go; the map stays small.
+    std::erase_if(backoff_until_, [now_s](const auto& kv) { return kv.second <= now_s; });
+  }
+  return out;
+}
+
+void PowerOptimizer::note_migration_failure(datacenter::VmId vm, double now_s) {
+  ++migration_failures_;
+  backoff_until_[vm] = now_s + config_.migration_backoff_s;
+}
+
 OptimizationOutcome PowerOptimizer::optimize(datacenter::Cluster& cluster, double now_s) {
   ++invocations_;
   OptimizationOutcome outcome;
   outcome.active_before = cluster.active_server_count();
 
-  const consolidate::DataCenterSnapshot snapshot = consolidate::snapshot_of(cluster);
-  consolidate::PlacementPlan plan;
-  switch (config_.algorithm) {
-    case ConsolidationAlgorithm::kIpac: {
-      const consolidate::IpacReport report =
-          consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac);
-      plan = report.plan;
-      break;
-    }
-    case ConsolidationAlgorithm::kPMapper: {
-      const consolidate::PMapperReport report = consolidate::pmapper(snapshot, constraints_);
-      plan = report.plan;
-      break;
-    }
-    case ConsolidationAlgorithm::kNone:
-      cluster.sleep_idle_servers();
-      outcome.active_after = cluster.active_server_count();
-      return outcome;
+  if (config_.algorithm == ConsolidationAlgorithm::kNone) {
+    cluster.sleep_idle_servers();
+    outcome.active_after = cluster.active_server_count();
+    return outcome;
   }
 
-  consolidate::apply_plan(cluster, plan, now_s);
-  outcome.migrations = plan.moves.size();
-  outcome.unplaced = plan.unplaced.size();
+  const consolidate::PlacementPlan decided = plan(cluster, now_s);
+  consolidate::apply_plan(cluster, decided, now_s);
+  outcome.migrations = decided.moves.size();
+  outcome.unplaced = decided.unplaced.size();
   outcome.active_after = cluster.active_server_count();
   total_migrations_ += outcome.migrations;
   return outcome;

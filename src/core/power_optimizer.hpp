@@ -4,6 +4,7 @@
 // cluster, and keeps statistics.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,12 @@ struct OptimizerConfig {
   /// growth between invocations).
   double utilization_target = 0.9;
   consolidate::IpacOptions ipac;
+  /// After a live migration of a VM fails (hypervisor abort, wake failure
+  /// at the target), the optimizer stops proposing moves for that VM for
+  /// this long — retrying a migration that just rolled back wastes
+  /// bandwidth and usually fails again while the underlying fault window
+  /// is open. Re-planning continues against the *realized* placement.
+  double migration_backoff_s = 600.0;
 };
 
 struct OptimizationOutcome {
@@ -44,13 +51,27 @@ class PowerOptimizer {
   /// Installs an administrator-defined constraint alongside CPU+memory.
   void add_constraint(std::unique_ptr<consolidate::PlacementConstraint> constraint);
 
-  /// Runs one optimization pass against the live cluster.
+  /// Computes one consolidation plan against the live cluster WITHOUT
+  /// applying it. Moves of VMs still inside their failure backoff window
+  /// are filtered out (the rest of the plan stands — targets only get
+  /// fewer VMs, so feasibility is preserved). kNone yields an empty plan.
+  [[nodiscard]] consolidate::PlacementPlan plan(const datacenter::Cluster& cluster,
+                                               double now_s);
+
+  /// Runs one optimization pass against the live cluster (plan + apply).
   OptimizationOutcome optimize(datacenter::Cluster& cluster, double now_s);
+
+  /// Records that a migration of `vm` failed at `now_s`: the optimizer will
+  /// not propose moving that VM again until `migration_backoff_s` elapses.
+  void note_migration_failure(datacenter::VmId vm, double now_s);
 
   [[nodiscard]] const OptimizerConfig& config() const noexcept { return config_; }
   /// Cumulative counters across invocations.
   [[nodiscard]] std::size_t total_migrations() const noexcept { return total_migrations_; }
   [[nodiscard]] std::size_t invocations() const noexcept { return invocations_; }
+  [[nodiscard]] std::size_t migration_failures() const noexcept { return migration_failures_; }
+  /// Moves dropped from plans because their VM was backing off.
+  [[nodiscard]] std::size_t moves_deferred() const noexcept { return moves_deferred_; }
 
  private:
   OptimizerConfig config_;
@@ -58,6 +79,10 @@ class PowerOptimizer {
   std::shared_ptr<consolidate::MigrationCostPolicy> policy_;
   std::size_t total_migrations_ = 0;
   std::size_t invocations_ = 0;
+  std::size_t migration_failures_ = 0;
+  std::size_t moves_deferred_ = 0;
+  /// Per-VM "do not move before" deadline (absent = no backoff).
+  std::map<datacenter::VmId, double> backoff_until_;
 };
 
 }  // namespace vdc::core

@@ -14,6 +14,13 @@ ResponseTimeController::ResponseTimeController(control::ArxModel model,
 
 std::vector<double> ResponseTimeController::control(
     const std::optional<app::PeriodStats>& stats) {
+  if (stats && stats->stale) {
+    // Sensor pipeline wedged: hold the allocation and skip the feedback
+    // update — the infeasibility detector also pauses, since it would be
+    // voting on numbers that carry no new information.
+    ++stale_holds_;
+    return mpc_.hold();
+  }
   if (stats && stats->count > 0) last_measurement_ = stats->controlled;
   std::vector<double> demands = mpc_.step(last_measurement_);
 

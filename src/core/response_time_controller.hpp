@@ -29,7 +29,11 @@ class ResponseTimeController {
   /// One control period. `stats` is the monitor's harvest for the period;
   /// when no request completed (empty), the previous measurement is held —
   /// an empty window under load means requests are stuck, so the last
-  /// (high) value keeps pressure on the controller.
+  /// (high) value keeps pressure on the controller. A harvest flagged
+  /// *stale* (sensor pipeline wedged) instead degrades to MpcController::
+  /// hold(): the previous allocation is kept and no feedback correction is
+  /// made, because acting on old numbers as if they were fresh would steer
+  /// the plant with fiction.
   [[nodiscard]] std::vector<double> control(const std::optional<app::PeriodStats>& stats);
 
   void set_setpoint(double setpoint_s) noexcept { mpc_.set_setpoint(setpoint_s); }
@@ -49,6 +53,9 @@ class ResponseTimeController {
   [[nodiscard]] std::size_t infeasibility_window() const noexcept { return window_; }
   void set_infeasibility_window(std::size_t periods) noexcept { window_ = periods; }
 
+  /// Periods degraded to hold() because the harvest was flagged stale.
+  [[nodiscard]] std::size_t stale_holds() const noexcept { return stale_holds_; }
+
  private:
   control::MpcController mpc_;
   double last_measurement_;
@@ -56,6 +63,7 @@ class ResponseTimeController {
   std::vector<bool> history_;  // per-period "violated and not improving"
   std::vector<double> previous_demands_;
   bool infeasible_ = false;
+  std::size_t stale_holds_ = 0;
 };
 
 }  // namespace vdc::core

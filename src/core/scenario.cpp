@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vdc::core {
@@ -63,6 +64,11 @@ ScenarioResult run_app_stack(const ScenarioSpec& spec) {
   app_stack->bind_recorder(&result.recorder, response_series_name(0),
                            allocation_series_name(0));
 
+  // Scenario-private injector: sensor fault kinds only (no cluster here).
+  // Lives on this stack frame, which outlives the simulation drain below.
+  fault::FaultInjector injector(spec.faults);
+  if (injector.enabled()) app_stack->set_fault_injector(&injector, 0);
+
   for (const SetpointEvent& event : spec.setpoint_schedule) {
     sim.schedule(event.time_s,
                  [&stack = *app_stack, event] { stack.set_setpoint(event.setpoint_s); });
@@ -74,6 +80,10 @@ ScenarioResult run_app_stack(const ScenarioSpec& spec) {
 
   app_stack->start_control_loop();
   sim.drain_until(spec.duration_s);
+  result.faults = injector.counters();
+  if (const ResponseTimeController* controller = app_stack->controller()) {
+    result.stale_holds = controller->stale_holds();
+  }
   return result;
 }
 
@@ -84,6 +94,7 @@ ScenarioResult run_testbed(const ScenarioSpec& spec) {
   TestbedConfig config = spec.testbed;
   if (spec.seed != 0) config.seed = spec.seed;
   if (spec.model) config.model = spec.model;
+  if (spec.faults.enabled()) config.faults = spec.faults;
   result.control_period_s = config.control_period_s;
   result.app_count = config.num_apps;
 
@@ -102,6 +113,14 @@ ScenarioResult run_testbed(const ScenarioSpec& spec) {
   testbed.run_until(spec.duration_s);
   result.completed_migrations = testbed.completed_migrations();
   result.optimizer_invocations = testbed.optimizer_invocations();
+  result.faults = testbed.fault_injector().counters();
+  result.failed_migrations = testbed.failed_migrations();
+  result.vm_restarts = testbed.vm_restarts();
+  for (std::size_t i = 0; i < config.num_apps; ++i) {
+    if (const ResponseTimeController* controller = testbed.app_stack(i).controller()) {
+      result.stale_holds += controller->stale_holds();
+    }
+  }
   result.recorder = std::move(testbed.recorder());
   return result;
 }

@@ -16,6 +16,7 @@
 
 #include "core/app_stack.hpp"
 #include "core/testbed.hpp"
+#include "fault/plan.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/statistics.hpp"
 
@@ -64,6 +65,13 @@ struct ScenarioSpec {
   /// `stack.app.seed` / `testbed.seed`.
   std::uint64_t seed = 0;
 
+  /// Deterministic fault schedule. For the testbed engine this is copied
+  /// into `testbed.faults` (every fault kind applies); for the standalone
+  /// engine a scenario-private injector drives the sensor fault kinds
+  /// (drop/spike/stale — there is no cluster to crash). The default empty
+  /// plan leaves results byte-identical to a fault-free build.
+  fault::FaultPlan faults;
+
   std::vector<SetpointEvent> setpoint_schedule;
   std::vector<ConcurrencyEvent> concurrency_schedule;
 };
@@ -76,6 +84,17 @@ struct ScenarioResult {
   double model_r_squared = 0.0;
   std::size_t completed_migrations = 0;
   std::size_t optimizer_invocations = 0;
+
+  // ---- fault/chaos observability (zero when the plan was empty) ----------
+  /// Per-kind injected fault totals, copied from the scenario's injector.
+  fault::FaultCounters faults;
+  /// Migrations that rolled back or never started (testbed engine).
+  std::size_t failed_migrations = 0;
+  /// Crash-evicted VMs the optimizer restarted elsewhere (testbed engine).
+  std::size_t vm_restarts = 0;
+  /// Control periods where the MPC held its last allocation because the
+  /// sensor pipeline was stale (summed over apps).
+  std::size_t stale_holds = 0;
 
   [[nodiscard]] const std::vector<double>& response_series(std::size_t app = 0) const;
   [[nodiscard]] const std::vector<std::vector<double>>& allocation_series(

@@ -8,7 +8,15 @@
 
 namespace vdc::core {
 
-Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      injector_(config_.faults),
+      optimizer_(OptimizerConfig{
+          .algorithm = config_.optimizer_algorithm,
+          .utilization_target = config_.optimizer_utilization_target,
+          .ipac = {},
+          .migration_backoff_s = config_.optimizer_migration_backoff_s,
+      }) {
   if (config_.num_apps == 0 || config_.num_servers == 0) {
     throw std::invalid_argument("Testbed: need at least one app and one server");
   }
@@ -80,6 +88,32 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
               [this] { return static_cast<double>(migrations_in_flight_); });
   probes_.add(kMigrationsCompletedSeries,
               [this] { return static_cast<double>(completed_migrations_); });
+
+  // Chaos wiring: sensor faults route through the app stacks, and the
+  // fault gauges exist only when a plan is loaded — a healthy run's
+  // telemetry (series names included) is byte-identical to a build that
+  // has never heard of fault injection.
+  if (injector_.enabled()) {
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      stacks_[i]->set_fault_injector(&injector_, static_cast<std::uint32_t>(i));
+    }
+    probes_.add(kFaultsInjectedSeries,
+                [this] { return static_cast<double>(injector_.counters().total()); });
+    probes_.add(kFailedMigrationsSeries,
+                [this] { return static_cast<double>(failed_migrations_); });
+  }
+}
+
+void Testbed::annotate(const std::string& label) {
+  if (injector_.enabled()) recorder_.annotate(sim_.now(), label);
+}
+
+void Testbed::apply_tier_allocation(datacenter::VmId vm, double ghz) {
+  for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
+    for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
+      if (vm_ids_[i][j] == vm) stacks_[i]->apply_allocation(j, ghz);
+    }
+  }
 }
 
 void Testbed::set_setpoint(std::size_t app, double setpoint_s) {
@@ -122,8 +156,34 @@ void Testbed::run_until(double until_s) {
     if (config_.enable_optimizer) {
       sim_.schedule(config_.optimizer_period_s, [this] { optimizer_tick(); });
     }
+    // Scheduled crashes: fail at window start, recover at window end.
+    for (const fault::FaultWindow& w : injector_.crash_windows()) {
+      const auto server = static_cast<datacenter::ServerId>(w.target);
+      sim_.schedule_window(
+          w.start_s, w.end_s, [this, server] { crash_server(server); },
+          [this, server] { repair_crashed_server(server); });
+    }
   }
   sim_.run_until(until_s);
+}
+
+void Testbed::crash_server(datacenter::ServerId id) {
+  injector_.note_crash(sim_.now(), id);
+  annotate("server-crash srv" + std::to_string(id));
+  // Eviction: the hosted VMs lose their CPU on the spot; they get nothing
+  // until the optimizer re-places them.
+  const std::vector<datacenter::VmId> evicted = cluster_.fail_server(id);
+  for (const datacenter::VmId vm : evicted) apply_tier_allocation(vm, 0.0);
+  // Emergency re-plan against the realized placement — the evicted VMs are
+  // homeless and every control period they wait costs SLA.
+  if (config_.enable_optimizer && !evicted.empty() && migrations_in_flight_ == 0) {
+    run_optimizer_pass();
+  }
+}
+
+void Testbed::repair_crashed_server(datacenter::ServerId id) {
+  cluster_.repair_server(id);
+  annotate("server-repair srv" + std::to_string(id));
 }
 
 void Testbed::optimizer_tick() {
@@ -131,25 +191,27 @@ void Testbed::optimizer_tick() {
   // Re-planning while migrations are in flight would race the mapping.
   if (migrations_in_flight_ > 0) return;
   ++optimizer_invocations_;
+  run_optimizer_pass();
+}
 
-  const consolidate::DataCenterSnapshot snapshot = consolidate::snapshot_of(cluster_);
-  const consolidate::ConstraintSet constraints =
-      consolidate::ConstraintSet::standard(config_.optimizer_utilization_target);
-  consolidate::PlacementPlan plan;
-  switch (config_.optimizer_algorithm) {
-    case ConsolidationAlgorithm::kIpac: {
-      plan = consolidate::ipac(snapshot, constraints).plan;
-      break;
+void Testbed::run_optimizer_pass() {
+  const consolidate::PlacementPlan plan = optimizer_.plan(cluster_, sim_.now());
+  for (const consolidate::Move& move : plan.moves) {
+    if (move.from == datacenter::kNoServer) {
+      start_restart(move.vm, move.to);  // crash-evicted VM: no source to copy from
+    } else {
+      start_migration(move.vm, move.to);
     }
-    case ConsolidationAlgorithm::kPMapper: {
-      plan = consolidate::pmapper(snapshot, constraints).plan;
-      break;
-    }
-    case ConsolidationAlgorithm::kNone:
-      break;
   }
-  for (const consolidate::Move& move : plan.moves) start_migration(move.vm, move.to);
   if (plan.moves.empty()) cluster_.sleep_idle_servers();
+}
+
+void Testbed::fail_migration(datacenter::VmId vm, const std::string& label) {
+  --migrations_in_flight_;
+  ++failed_migrations_;
+  optimizer_.note_migration_failure(vm, sim_.now());
+  annotate(label);
+  if (migrations_in_flight_ == 0) cluster_.sleep_idle_servers();
 }
 
 void Testbed::start_migration(datacenter::VmId vm, datacenter::ServerId to) {
@@ -157,32 +219,86 @@ void Testbed::start_migration(datacenter::VmId vm, datacenter::ServerId to) {
   // memory image crosses the network, stalls for the stop-and-copy
   // downtime, then resumes on the destination.
   const datacenter::MigrationModel& model = cluster_.migration_model();
-  const double copy_s =
-      std::max(0.0, model.duration_s(cluster_.vm(vm).memory_mb) - model.downtime_s);
-  ++migrations_in_flight_;
-  cluster_.wake(to);
-  sim_.schedule_after(copy_s, [this, vm, to] {
-    // Stop-and-copy: the tier stops processing for the downtime window.
-    for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
-      for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
-        if (vm_ids_[i][j] == vm) stacks_[i]->apply_allocation(j, 0.0);
-      }
+  const datacenter::ServerId from = cluster_.host_of(vm);
+  // Waking the destination can fail — injected refusal, or the box is
+  // outright crashed. The migration never starts; the VM stays on its
+  // source and the optimizer backs off before retrying.
+  if (!cluster_.server(to).active()) {
+    if (injector_.wake_fails(sim_.now(), to) || !cluster_.wake(to)) {
+      ++failed_migrations_;
+      optimizer_.note_migration_failure(vm, sim_.now());
+      annotate("wake-failure srv" + std::to_string(to) + " vm" + std::to_string(vm) +
+               " stays on srv" + std::to_string(from));
+      return;
     }
+  }
+  const double copy_s =
+      std::max(0.0, model.duration_s(cluster_.vm(vm).memory_mb) - model.downtime_s) *
+      injector_.migration_slowdown(sim_.now(), from);
+  ++migrations_in_flight_;
+  sim_.schedule_after(copy_s, [this, vm, to] {
+    // End of copy: this is where a live migration can die. The source may
+    // have crashed under the copy (the VM is gone — nothing to hand over),
+    // the destination may have failed, or the hypervisor aborts and rolls
+    // back (the VM keeps running on the source as if nothing happened).
+    const datacenter::ServerId source = cluster_.host_of(vm);
+    if (source == datacenter::kNoServer) {
+      fail_migration(vm, "migration-lost vm" + std::to_string(vm) + " (source crashed)");
+      return;
+    }
+    if (cluster_.server(to).failed()) {
+      fail_migration(vm, "migration-abort vm" + std::to_string(vm) + " (target srv" +
+                             std::to_string(to) + " crashed)");
+      return;
+    }
+    if (injector_.migration_aborts(sim_.now(), source)) {
+      fail_migration(vm, "migration-abort vm" + std::to_string(vm) + " on srv" +
+                             std::to_string(source));
+      return;
+    }
+    // Stop-and-copy: the tier stops processing for the downtime window.
+    apply_tier_allocation(vm, 0.0);
     sim_.schedule_after(cluster_.migration_model().downtime_s, [this, vm, to] {
+      if (cluster_.host_of(vm) == datacenter::kNoServer || cluster_.server(to).failed()) {
+        // A crash landed inside the downtime window; the hand-over target
+        // (or the VM itself) is gone.
+        fail_migration(vm, "migration-lost vm" + std::to_string(vm) + " (crash in downtime)");
+        return;
+      }
       cluster_.migrate(vm, to, sim_.now());
       // Resume with the controller's current demand; the next control tick
       // re-arbitrates the destination server.
-      for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
-        for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
-          if (vm_ids_[i][j] == vm) {
-            stacks_[i]->apply_allocation(j, cluster_.vm(vm).cpu_demand_ghz);
-          }
-        }
-      }
+      apply_tier_allocation(vm, cluster_.vm(vm).cpu_demand_ghz);
       --migrations_in_flight_;
       ++completed_migrations_;
       if (migrations_in_flight_ == 0) cluster_.sleep_idle_servers();
     });
+  });
+}
+
+void Testbed::start_restart(datacenter::VmId vm, datacenter::ServerId to) {
+  // A crash-evicted VM has no source to pre-copy from: it cold-restarts on
+  // the target after one stop-and-copy downtime.
+  if (!cluster_.server(to).active()) {
+    if (injector_.wake_fails(sim_.now(), to) || !cluster_.wake(to)) {
+      annotate("wake-failure srv" + std::to_string(to) + " vm" + std::to_string(vm) +
+               " still homeless");
+      return;  // the optimizer retries at its next tick
+    }
+  }
+  ++migrations_in_flight_;
+  sim_.schedule_after(cluster_.migration_model().downtime_s, [this, vm, to] {
+    if (cluster_.server(to).failed() || cluster_.host_of(vm) != datacenter::kNoServer) {
+      --migrations_in_flight_;
+      if (migrations_in_flight_ == 0) cluster_.sleep_idle_servers();
+      return;
+    }
+    cluster_.place(vm, to);
+    apply_tier_allocation(vm, cluster_.vm(vm).cpu_demand_ghz);
+    --migrations_in_flight_;
+    ++restarts_;
+    annotate("vm-restart vm" + std::to_string(vm) + " on srv" + std::to_string(to));
+    if (migrations_in_flight_ == 0) cluster_.sleep_idle_servers();
   });
 }
 
@@ -197,7 +313,10 @@ void Testbed::record_power(double now) {
       const double done = stacks_[i]->app().tier_work_done(j);
       const double delta = done - last_work_done_[vm_index];
       last_work_done_[vm_index] = done;
-      server_work[cluster_.host_of(vm_ids_[i][j])] += delta;
+      // A crash-evicted VM has no host; its (zero-allocation) tier does no
+      // work, and whatever it finished before the crash burned on no server.
+      const datacenter::ServerId host = cluster_.host_of(vm_ids_[i][j]);
+      if (host != datacenter::kNoServer) server_work[host] += delta;
     }
   }
   for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
@@ -236,7 +355,21 @@ void Testbed::control_tick() {
     if (!config_.dvfs) {
       arb.frequency_ghz = cluster_.server(s).cpu().max_freq_ghz;
     }
+    // Actuator fault: DVFS stuck at a fixed step. The arbitrator's grants
+    // assumed its chosen frequency, so rescale them to fit the pinned
+    // capacity — the hypervisor cannot grant cycles the CPU won't deliver.
+    const std::optional<double> pin = injector_.dvfs_pin_ghz(now, static_cast<std::uint32_t>(s));
+    if (pin) arb.frequency_ghz = *pin;
     cluster_.server(s).set_frequency(arb.frequency_ghz);
+    if (pin) {
+      const double cap = cluster_.server(s).capacity_ghz();
+      double granted = 0.0;
+      for (const double g : arb.allocations_ghz) granted += g;
+      if (granted > cap && granted > 0.0) {
+        const double scale = cap / granted;
+        for (double& g : arb.allocations_ghz) g *= scale;
+      }
+    }
     // Apply the granted allocations to the tier queues.
     for (std::size_t h = 0; h < hosted.size(); ++h) {
       const datacenter::VmId vm = hosted[h];

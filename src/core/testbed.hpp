@@ -17,6 +17,7 @@
 #include "core/power_optimizer.hpp"
 #include "core/sysid_experiment.hpp"
 #include "datacenter/cluster.hpp"
+#include "fault/injector.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/probe.hpp"
 #include "telemetry/recorder.hpp"
@@ -66,6 +67,17 @@ struct TestbedConfig {
   double optimizer_period_s = 300.0;
   ConsolidationAlgorithm optimizer_algorithm = ConsolidationAlgorithm::kIpac;
   double optimizer_utilization_target = 0.85;
+  /// How long the optimizer refuses to re-propose moving a VM whose
+  /// migration just failed (see OptimizerConfig::migration_backoff_s).
+  double optimizer_migration_backoff_s = 600.0;
+
+  // ---- chaos (fault injection) -------------------------------------------
+  /// Deterministic fault schedule threaded through the co-simulation:
+  /// migration aborts/slowdowns, wake failures, server crashes, sensor
+  /// dropout/spikes/staleness, DVFS pinning. The default (empty) plan
+  /// disables every hook at zero cost — outputs are byte-identical to a
+  /// build without the fault layer.
+  fault::FaultPlan faults;
 };
 
 /// Cluster-level telemetry series recorded once per control period.
@@ -74,6 +86,10 @@ inline constexpr const char* kFrequencySeries = "cluster/freq_ghz_mean";
 inline constexpr const char* kActiveServersSeries = "cluster/active_servers";
 inline constexpr const char* kMigrationsInFlightSeries = "cluster/migrations_in_flight";
 inline constexpr const char* kMigrationsCompletedSeries = "cluster/migrations_completed";
+/// Fault telemetry, registered ONLY when the fault plan is non-empty so
+/// healthy runs export byte-identical tables.
+inline constexpr const char* kFaultsInjectedSeries = "fault/injected_total";
+inline constexpr const char* kFailedMigrationsSeries = "fault/failed_migrations";
 
 class Testbed {
  public:
@@ -120,10 +136,29 @@ class Testbed {
     return optimizer_invocations_;
   }
 
+  // ---- fault observability -----------------------------------------------
+  [[nodiscard]] const fault::FaultInjector& fault_injector() const noexcept {
+    return injector_;
+  }
+  [[nodiscard]] const PowerOptimizer& optimizer() const noexcept { return optimizer_; }
+  /// Migrations that rolled back (injected abort, wake failure, or a crash
+  /// under the copy phase).
+  [[nodiscard]] std::size_t failed_migrations() const noexcept { return failed_migrations_; }
+  /// Crash-evicted VMs restarted on a new server by the optimizer.
+  [[nodiscard]] std::size_t vm_restarts() const noexcept { return restarts_; }
+
  private:
   void control_tick();
   void optimizer_tick();
+  void run_optimizer_pass();
   void start_migration(datacenter::VmId vm, datacenter::ServerId to);
+  void start_restart(datacenter::VmId vm, datacenter::ServerId to);
+  void fail_migration(datacenter::VmId vm, const std::string& label);
+  void crash_server(datacenter::ServerId id);
+  void repair_crashed_server(datacenter::ServerId id);
+  /// Recorded only while faults are enabled (healthy telemetry unchanged).
+  void annotate(const std::string& label);
+  void apply_tier_allocation(datacenter::VmId vm, double ghz);
   void record_power(double now);
 
   TestbedConfig config_;
@@ -136,12 +171,16 @@ class Testbed {
   double model_r2_ = 0.0;
   telemetry::Recorder recorder_;
   telemetry::ProbeSet probes_;
+  fault::FaultInjector injector_;
+  PowerOptimizer optimizer_;
   double last_power_time_ = 0.0;
   std::vector<double> last_work_done_;  // per app*tier, Gcycles
   bool loop_started_ = false;
   std::size_t migrations_in_flight_ = 0;
   std::size_t completed_migrations_ = 0;
   std::size_t optimizer_invocations_ = 0;
+  std::size_t failed_migrations_ = 0;
+  std::size_t restarts_ = 0;
 };
 
 }  // namespace vdc::core

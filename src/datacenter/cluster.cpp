@@ -164,10 +164,33 @@ std::size_t Cluster::sleep_idle_servers() {
   return transitioned;
 }
 
-void Cluster::wake(ServerId id) {
+bool Cluster::wake(ServerId id) {
   check_server(id);
+  if (servers_[id].failed()) return false;
   if (!servers_[id].active()) ++wake_count_;
   servers_[id].set_state(ServerState::kActive);
+  return true;
+}
+
+std::vector<VmId> Cluster::fail_server(ServerId id) {
+  check_server(id);
+  std::vector<VmId> evicted = hosted_[id];
+  for (const VmId vm : evicted) detach(vm);
+  servers_[id].set_state(ServerState::kFailed);
+  return evicted;
+}
+
+void Cluster::repair_server(ServerId id) {
+  check_server(id);
+  if (servers_[id].failed()) servers_[id].set_state(ServerState::kSleeping);
+}
+
+std::vector<VmId> Cluster::unplaced_vms() const {
+  std::vector<VmId> out;
+  for (VmId id = 0; id < vms_.size(); ++id) {
+    if (host_[id] == kNoServer) out.push_back(id);
+  }
+  return out;
 }
 
 void Cluster::check_server(ServerId id) const {

@@ -63,8 +63,21 @@ class Cluster {
   /// Wakes a sleeping server (consolidators call this before placing VMs).
   /// Counted in wake_count() when the server was actually asleep — waking
   /// is a slow, energy-costly transition the optimizer should minimize.
-  void wake(ServerId id);
+  /// Returns false (and does nothing) when the server has failed: a crashed
+  /// box cannot be powered on until repaired.
+  bool wake(ServerId id);
   [[nodiscard]] std::size_t wake_count() const noexcept { return wake_count_; }
+
+  // ---- faults -------------------------------------------------------------
+  /// Crashes a server: every hosted VM is evicted (left unplaced) and the
+  /// server enters kFailed. Returns the evicted VMs so the caller can
+  /// re-place them — until it does, they receive no CPU at all.
+  std::vector<VmId> fail_server(ServerId id);
+  /// Ends a crash: the server leaves kFailed into kSleeping (it reboots
+  /// powered down; the optimizer wakes it when it wants the capacity).
+  void repair_server(ServerId id);
+  /// VMs currently assigned to no server (crash-evicted or never placed).
+  [[nodiscard]] std::vector<VmId> unplaced_vms() const;
 
  private:
   void check_server(ServerId id) const;

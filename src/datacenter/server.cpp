@@ -36,6 +36,7 @@ double Server::capacity_ghz() const noexcept {
 }
 
 double Server::power_w(double utilization) const noexcept {
+  if (state_ == ServerState::kFailed) return 0.0;  // crashed boxes draw nothing
   if (state_ != ServerState::kActive) return power_.sleep_w;
   return power_.active_power_w(frequency_ghz_ / cpu_.max_freq_ghz, utilization);
 }

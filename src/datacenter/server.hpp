@@ -15,7 +15,13 @@ using ServerId = std::uint32_t;
 using VmId = std::uint32_t;
 inline constexpr ServerId kNoServer = static_cast<ServerId>(-1);
 
-enum class ServerState { kSleeping, kActive };
+enum class ServerState {
+  kSleeping,
+  kActive,
+  /// Crashed: zero capacity, zero draw, and — unlike kSleeping — the server
+  /// cannot be woken until repaired. Used by fault injection.
+  kFailed,
+};
 
 class Server {
  public:
@@ -27,6 +33,7 @@ class Server {
 
   [[nodiscard]] ServerState state() const noexcept { return state_; }
   [[nodiscard]] bool active() const noexcept { return state_ == ServerState::kActive; }
+  [[nodiscard]] bool failed() const noexcept { return state_ == ServerState::kFailed; }
   void set_state(ServerState state) noexcept;
 
   /// Current DVFS frequency (GHz). Meaningful only while active.

@@ -1,0 +1,94 @@
+#include "fault/injector.hpp"
+
+#include "check/fault_audit.hpp"
+
+namespace vdc::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed), enabled_(plan_.enabled()) {
+  audit::plan(plan_);
+}
+
+const FaultWindow* FaultInjector::roll(FaultKind kind, double now_s, std::uint32_t target) {
+  if (!enabled_) return nullptr;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != kind || !w.covers(now_s, target)) continue;
+    if (w.probability >= 1.0) return &w;
+    ++draws_;
+    if (rng_.bernoulli(w.probability)) return &w;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::migration_aborts(double now_s, std::uint32_t source_server) {
+  const FaultWindow* w = roll(FaultKind::kMigrationAbort, now_s, source_server);
+  if (w == nullptr) return false;
+  ++counters_.migration_aborts;
+  events_.push_back({now_s, FaultKind::kMigrationAbort, source_server});
+  return true;
+}
+
+double FaultInjector::migration_slowdown(double now_s, std::uint32_t source_server) {
+  const FaultWindow* w = roll(FaultKind::kMigrationSlowdown, now_s, source_server);
+  if (w == nullptr) return 1.0;
+  ++counters_.migration_slowdowns;
+  events_.push_back({now_s, FaultKind::kMigrationSlowdown, source_server});
+  return w->magnitude;
+}
+
+bool FaultInjector::wake_fails(double now_s, std::uint32_t server) {
+  const FaultWindow* w = roll(FaultKind::kWakeFailure, now_s, server);
+  if (w == nullptr) return false;
+  ++counters_.wake_failures;
+  events_.push_back({now_s, FaultKind::kWakeFailure, server});
+  return true;
+}
+
+std::optional<double> FaultInjector::dvfs_pin_ghz(double now_s, std::uint32_t server) {
+  const FaultWindow* w = roll(FaultKind::kDvfsPin, now_s, server);
+  if (w == nullptr) return std::nullopt;
+  ++counters_.dvfs_pins;
+  return w->magnitude;
+}
+
+bool FaultInjector::sensor_drops(double now_s, std::uint32_t app) {
+  if (roll(FaultKind::kSensorDrop, now_s, app) == nullptr) return false;
+  ++counters_.sensor_drops;
+  return true;
+}
+
+double FaultInjector::sensor_spike(double now_s, std::uint32_t app) {
+  const FaultWindow* w = roll(FaultKind::kSensorSpike, now_s, app);
+  if (w == nullptr) return 1.0;
+  ++counters_.sensor_spikes;
+  return w->magnitude;
+}
+
+bool FaultInjector::sensor_stale(double now_s, std::uint32_t app) {
+  if (roll(FaultKind::kSensorStale, now_s, app) == nullptr) return false;
+  ++counters_.stale_periods;
+  return true;
+}
+
+std::vector<FaultWindow> FaultInjector::crash_windows() const {
+  std::vector<FaultWindow> out;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kServerCrash) out.push_back(w);
+  }
+  return out;
+}
+
+bool FaultInjector::server_down(double now_s, std::uint32_t server) const noexcept {
+  if (!enabled_) return false;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kServerCrash && w.covers(now_s, server)) return true;
+  }
+  return false;
+}
+
+void FaultInjector::note_crash(double now_s, std::uint32_t server) {
+  ++counters_.server_crashes;
+  events_.push_back({now_s, FaultKind::kServerCrash, server});
+}
+
+}  // namespace vdc::fault

@@ -1,0 +1,97 @@
+// The runtime half of fault injection. A `FaultInjector` owns the plan and
+// a private RNG stream; the simulator's hook points *query* it at each
+// decision site ("does this migration abort?", "does this sample get
+// dropped?") and obey the answer. Decisions are a pure function of
+// (plan, seed, query sequence) — and the query sequence is deterministic
+// because every scenario runs on its own single-threaded `sim::Simulation`
+// — so chaos runs are bit-reproducible across reruns and thread counts.
+//
+// Zero cost when idle: a default-constructed injector (or one holding an
+// empty plan) answers every query through an early-out that never touches
+// the RNG, so instrumented hot paths behave identically to uninstrumented
+// ones. `rng_draws()` exists so tests can prove that.
+//
+// Besides counters, the injector keeps a log of discrete fault events
+// (aborts, wake failures, crashes — not per-sample sensor noise, which
+// would swamp it); owners flush the log into telemetry annotations so
+// chaos runs are observable next to the recorded series.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::fault {
+
+/// One discrete injected fault, for telemetry annotation.
+struct FaultEvent {
+  double time_s = 0.0;
+  FaultKind kind = FaultKind::kMigrationAbort;
+  std::uint32_t target = kAnyTarget;
+};
+
+class FaultInjector {
+ public:
+  /// Disabled injector: every query is a no-fault early-out.
+  FaultInjector() = default;
+  /// Validates the plan (fault auditors) and seeds the private RNG.
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // ---- datacenter-level queries -------------------------------------------
+  /// Does the migration of `vm` (keyed by *source* server) abort at the end
+  /// of its copy phase? Counted when it does.
+  [[nodiscard]] bool migration_aborts(double now_s, std::uint32_t source_server);
+  /// Factor (>= 1) applied to the migration copy duration; 1.0 = nominal.
+  [[nodiscard]] double migration_slowdown(double now_s, std::uint32_t source_server);
+  /// Does a wake request against `server` fail?
+  [[nodiscard]] bool wake_fails(double now_s, std::uint32_t server);
+  /// Frequency `server`'s DVFS is pinned at right now, if any.
+  [[nodiscard]] std::optional<double> dvfs_pin_ghz(double now_s, std::uint32_t server);
+
+  // ---- application-level (sensor) queries ---------------------------------
+  /// Is this response-time sample of `app` dropped?
+  [[nodiscard]] bool sensor_drops(double now_s, std::uint32_t app);
+  /// Multiplicative corruption applied to the sample; 1.0 = clean.
+  [[nodiscard]] double sensor_spike(double now_s, std::uint32_t app);
+  /// Is `app`'s monitor pipeline wedged (harvest must be flagged stale)?
+  [[nodiscard]] bool sensor_stale(double now_s, std::uint32_t app);
+
+  // ---- scheduled faults ----------------------------------------------------
+  /// Crash windows (kServerCrash) in plan order; owners schedule the
+  /// fail/recover transitions on their simulation clock.
+  [[nodiscard]] std::vector<FaultWindow> crash_windows() const;
+  /// Is `server` inside one of its crash windows at `now`? Constraint
+  /// filters use this to keep the optimizer from planning onto a dead box.
+  [[nodiscard]] bool server_down(double now_s, std::uint32_t server) const noexcept;
+  /// Owners call this when they execute a scheduled crash (counter + log).
+  void note_crash(double now_s, std::uint32_t server);
+
+  // ---- observability -------------------------------------------------------
+  [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
+  /// Discrete fault events since construction, in injection order.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  /// Bernoulli draws consumed so far; stays 0 while no window matches — the
+  /// proof that idle fault hooks cannot perturb a seeded simulation.
+  [[nodiscard]] std::uint64_t rng_draws() const noexcept { return draws_; }
+
+ private:
+  /// Draws once iff a matching window is active and wins its coin flip;
+  /// returns the winning window.
+  [[nodiscard]] const FaultWindow* roll(FaultKind kind, double now_s, std::uint32_t target);
+
+  FaultPlan plan_;
+  util::Rng rng_{0};
+  bool enabled_ = false;
+  std::uint64_t draws_ = 0;
+  FaultCounters counters_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace vdc::fault

@@ -1,0 +1,94 @@
+#include "fault/plan.hpp"
+
+namespace vdc::fault {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMigrationAbort: return "migration-abort";
+    case FaultKind::kMigrationSlowdown: return "migration-slowdown";
+    case FaultKind::kWakeFailure: return "wake-failure";
+    case FaultKind::kServerCrash: return "server-crash";
+    case FaultKind::kSensorDrop: return "sensor-drop";
+    case FaultKind::kSensorSpike: return "sensor-spike";
+    case FaultKind::kSensorStale: return "sensor-stale";
+    case FaultKind::kDvfsPin: return "dvfs-pin";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultWindow window) {
+  windows.push_back(window);
+  return *this;
+}
+
+FaultPlan& FaultPlan::migration_aborts(double start_s, double end_s, double p,
+                                       std::uint32_t server) {
+  return add({.kind = FaultKind::kMigrationAbort,
+              .start_s = start_s,
+              .end_s = end_s,
+              .probability = p,
+              .target = server});
+}
+
+FaultPlan& FaultPlan::migration_slowdown(double start_s, double end_s, double factor,
+                                         double p, std::uint32_t server) {
+  return add({.kind = FaultKind::kMigrationSlowdown,
+              .start_s = start_s,
+              .end_s = end_s,
+              .probability = p,
+              .magnitude = factor,
+              .target = server});
+}
+
+FaultPlan& FaultPlan::wake_failures(double start_s, double end_s, double p,
+                                    std::uint32_t server) {
+  return add({.kind = FaultKind::kWakeFailure,
+              .start_s = start_s,
+              .end_s = end_s,
+              .probability = p,
+              .target = server});
+}
+
+FaultPlan& FaultPlan::server_crash(std::uint32_t server, double start_s, double end_s) {
+  return add({.kind = FaultKind::kServerCrash,
+              .start_s = start_s,
+              .end_s = end_s,
+              .target = server});
+}
+
+FaultPlan& FaultPlan::sensor_dropout(double start_s, double end_s, double p,
+                                     std::uint32_t app) {
+  return add({.kind = FaultKind::kSensorDrop,
+              .start_s = start_s,
+              .end_s = end_s,
+              .probability = p,
+              .target = app});
+}
+
+FaultPlan& FaultPlan::sensor_spikes(double start_s, double end_s, double factor, double p,
+                                    std::uint32_t app) {
+  return add({.kind = FaultKind::kSensorSpike,
+              .start_s = start_s,
+              .end_s = end_s,
+              .probability = p,
+              .magnitude = factor,
+              .target = app});
+}
+
+FaultPlan& FaultPlan::sensor_stale(double start_s, double end_s, std::uint32_t app) {
+  return add({.kind = FaultKind::kSensorStale,
+              .start_s = start_s,
+              .end_s = end_s,
+              .target = app});
+}
+
+FaultPlan& FaultPlan::dvfs_pin(std::uint32_t server, double freq_ghz, double start_s,
+                               double end_s) {
+  return add({.kind = FaultKind::kDvfsPin,
+              .start_s = start_s,
+              .end_s = end_s,
+              .magnitude = freq_ghz,
+              .target = server});
+}
+
+}  // namespace vdc::fault

@@ -1,0 +1,115 @@
+// Deterministic fault-injection plans. A `FaultPlan` is pure data: a list
+// of `FaultWindow`s (which fault, against which target, over which time
+// span, with which probability/magnitude) plus the seed of the injector's
+// private RNG stream. Plans are declarative so a chaos scenario is exactly
+// reproducible: same plan + same seed => the same faults fire at the same
+// simulated times, on every rerun and on every ScenarioRunner thread count.
+//
+// The paper evaluates the two-level controller on a healthy testbed only;
+// this layer supplies the unhealthy ones — failed/slow live migrations,
+// servers that refuse to wake or crash outright, sensors that drop or
+// corrupt response-time samples, and DVFS actuators stuck at one operating
+// point — so the robustness responses (migration retry/backoff, stale-hold
+// MPC degradation, crash re-planning) can be tested deterministically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vdc::fault {
+
+/// Every injectable fault. The comment gives the magnitude's meaning for
+/// kinds that use one; the rest ignore it.
+enum class FaultKind {
+  kMigrationAbort,    ///< live migration rolls back at end of copy
+  kMigrationSlowdown, ///< copy phase stretched; magnitude = duration factor (>= 1)
+  kWakeFailure,       ///< sleeping server refuses a wake request
+  kServerCrash,       ///< server fails at window start, recovers at window end
+  kSensorDrop,        ///< response-time sample silently lost
+  kSensorSpike,       ///< sample corrupted; magnitude = multiplicative factor
+  kSensorStale,       ///< monitor pipeline wedged: period reports stale data
+  kDvfsPin,           ///< DVFS stuck; magnitude = pinned frequency (GHz)
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// Matches every server/app index.
+inline constexpr std::uint32_t kAnyTarget = std::numeric_limits<std::uint32_t>::max();
+
+/// One scheduled fault activation: `kind` against `target` while
+/// `start_s <= now < end_s`, firing per query with `probability`.
+struct FaultWindow {
+  FaultKind kind = FaultKind::kMigrationAbort;
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+  /// Per-query chance the fault fires while the window is active. Scheduled
+  /// (non-probabilistic) kinds — kServerCrash — ignore it.
+  double probability = 1.0;
+  /// Kind-specific magnitude (see FaultKind); unused kinds ignore it.
+  double magnitude = 0.0;
+  /// Server id (migration/wake/crash/DVFS kinds) or application index
+  /// (sensor kinds); kAnyTarget matches all.
+  std::uint32_t target = kAnyTarget;
+
+  [[nodiscard]] bool covers(double now_s, std::uint32_t who) const noexcept {
+    return now_s >= start_s && now_s < end_s &&
+           (target == kAnyTarget || target == who);
+  }
+};
+
+/// A complete chaos schedule. Empty plan = no faults; the injector then
+/// takes a zero-cost early-out on every query and never draws from its RNG,
+/// so fault hooks are free when idle.
+struct FaultPlan {
+  std::uint64_t seed = 0x600dc0de;
+  std::vector<FaultWindow> windows;
+
+  [[nodiscard]] bool enabled() const noexcept { return !windows.empty(); }
+
+  // ---- builder helpers (return *this for chaining) -------------------------
+  FaultPlan& add(FaultWindow window);
+  /// Migrations issued in [start, end) abort at end-of-copy with chance `p`.
+  FaultPlan& migration_aborts(double start_s, double end_s, double p,
+                              std::uint32_t server = kAnyTarget);
+  /// Migration copy phases in [start, end) take `factor`x as long.
+  FaultPlan& migration_slowdown(double start_s, double end_s, double factor,
+                                double p = 1.0, std::uint32_t server = kAnyTarget);
+  /// Wake requests in [start, end) fail with chance `p`.
+  FaultPlan& wake_failures(double start_s, double end_s, double p,
+                           std::uint32_t server = kAnyTarget);
+  /// `server` crashes at `start` (VMs evicted, capacity lost) and recovers
+  /// at `end`. Requires an explicit server — crashing "any" is not a thing.
+  FaultPlan& server_crash(std::uint32_t server, double start_s, double end_s);
+  /// Response-time samples of `app` in [start, end) are dropped with chance `p`.
+  FaultPlan& sensor_dropout(double start_s, double end_s, double p,
+                            std::uint32_t app = kAnyTarget);
+  /// Samples multiplied by `factor` with chance `p` (measurement spikes).
+  FaultPlan& sensor_spikes(double start_s, double end_s, double factor, double p,
+                           std::uint32_t app = kAnyTarget);
+  /// The monitor pipeline of `app` is wedged for [start, end): every harvest
+  /// in the window is flagged stale.
+  FaultPlan& sensor_stale(double start_s, double end_s, std::uint32_t app = kAnyTarget);
+  /// DVFS of `server` pinned at `freq_ghz` for [start, end).
+  FaultPlan& dvfs_pin(std::uint32_t server, double freq_ghz, double start_s, double end_s);
+};
+
+/// Counters of faults actually injected, exposed for telemetry/tests.
+struct FaultCounters {
+  std::size_t migration_aborts = 0;
+  std::size_t migration_slowdowns = 0;
+  std::size_t wake_failures = 0;
+  std::size_t server_crashes = 0;
+  std::size_t sensor_drops = 0;
+  std::size_t sensor_spikes = 0;
+  std::size_t stale_periods = 0;
+  std::size_t dvfs_pins = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return migration_aborts + migration_slowdowns + wake_failures + server_crashes +
+           sensor_drops + sensor_spikes + stale_periods + dvfs_pins;
+  }
+};
+
+}  // namespace vdc::fault

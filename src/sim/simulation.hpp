@@ -8,6 +8,7 @@
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace vdc::sim {
@@ -26,6 +27,18 @@ class Simulation {
   /// Schedules `callback` after a relative delay (>= 0).
   EventId schedule_after(double delay, std::function<void()> callback) {
     return schedule(now_ + delay, std::move(callback));
+  }
+
+  /// Schedules a bracketed interval: `on_start` fires at absolute time
+  /// `start_s`, `on_end` at `end_s` (> start_s). Convenience for windowed
+  /// state changes (fault windows, load phases); returns both handles so
+  /// either edge can still be cancelled.
+  std::pair<EventId, EventId> schedule_window(double start_s, double end_s,
+                                              std::function<void()> on_start,
+                                              std::function<void()> on_end) {
+    EventId begin = schedule(start_s, std::move(on_start));
+    EventId end = schedule(end_s, std::move(on_end));
+    return {begin, end};
   }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event

@@ -105,6 +105,15 @@ std::string to_csv(const Recorder& recorder) {
   return out.str();
 }
 
+std::string annotations_csv(const Recorder& recorder) {
+  std::ostringstream out;
+  util::CsvWriter writer(out, {"time_s", "label"});
+  for (const Annotation& a : recorder.annotations()) {
+    writer.row({format_sample(a.time_s), a.label});
+  }
+  return out.str();
+}
+
 void write_csv_file(const Recorder& recorder, const std::filesystem::path& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {

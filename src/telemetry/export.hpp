@@ -23,6 +23,12 @@ void write_csv(const Recorder& recorder, std::ostream& out);
 /// `write_csv` into a file; throws std::runtime_error when unwritable.
 void write_csv_file(const Recorder& recorder, const std::filesystem::path& path);
 
+/// The recorder's annotations as their own small CSV table
+/// ("time_s,label"); empty annotation list yields just the header. Kept
+/// separate from `write_csv` so the series table is byte-identical whether
+/// or not a run was annotated.
+[[nodiscard]] std::string annotations_csv(const Recorder& recorder);
+
 /// Parses a table produced by `write_csv` back into a Recorder. Columns
 /// named "name[i]" are reassembled into the vector series "name"; every
 /// other column becomes a scalar series. Empty cells are skipped.

@@ -63,13 +63,18 @@ std::size_t Recorder::size(std::string_view series) const noexcept {
   return s->vector ? s->rows.size() : s->scalars.size();
 }
 
+void Recorder::annotate(double time_s, std::string label) {
+  annotations_.push_back(Annotation{time_s, std::move(label)});
+}
+
 void Recorder::clear() {
   series_.clear();
   names_.clear();
+  annotations_.clear();
 }
 
 bool operator==(const Recorder& a, const Recorder& b) {
-  if (a.names_ != b.names_) return false;
+  if (a.names_ != b.names_ || a.annotations_ != b.annotations_) return false;
   for (const std::string& name : a.names_) {
     const Recorder::Series* sa = a.find(name);
     const Recorder::Series* sb = b.find(name);

@@ -20,6 +20,16 @@
 
 namespace vdc::telemetry {
 
+/// A timestamped text marker next to the series — "server 2 crashed",
+/// "migration of vm3 aborted". Chaos runs use these to make injected
+/// faults visible alongside the numeric telemetry.
+struct Annotation {
+  double time_s = 0.0;
+  std::string label;
+
+  friend bool operator==(const Annotation&, const Annotation&) = default;
+};
+
 class Recorder {
  public:
   /// Creates an empty series up front so accessors are valid before the
@@ -44,6 +54,13 @@ class Recorder {
 
   /// Number of samples in a series (either kind); 0 for unknown names.
   [[nodiscard]] std::size_t size(std::string_view series) const noexcept;
+
+  /// Appends a timestamped text marker (kept in insertion order, which for
+  /// simulation-driven recorders is time order).
+  void annotate(double time_s, std::string label);
+  [[nodiscard]] const std::vector<Annotation>& annotations() const noexcept {
+    return annotations_;
+  }
 
   /// All series names in creation order.
   [[nodiscard]] const std::vector<std::string>& series_names() const noexcept {
@@ -72,6 +89,7 @@ class Recorder {
   // and lookups work from string_view without allocating.
   std::map<std::string, Series, std::less<>> series_;
   std::vector<std::string> names_;
+  std::vector<Annotation> annotations_;
 };
 
 }  // namespace vdc::telemetry

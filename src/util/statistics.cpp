@@ -152,6 +152,7 @@ double SlidingWindow::mean() const noexcept {
 }
 
 double SlidingWindow::quantile(double q) const {
+  if (samples_.empty()) return 0.0;  // consistent with mean(): empty window reads as 0
   std::vector<double> tmp(samples_.begin(), samples_.end());
   return vdc::util::quantile(std::move(tmp), q);
 }

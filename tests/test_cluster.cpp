@@ -141,5 +141,57 @@ TEST(MigrationLog, Aggregates) {
   EXPECT_DOUBLE_EQ(log.total_bytes(), 0.0);
 }
 
+// ---- server failure / repair (fault injection) ------------------------------
+
+TEST(Cluster, FailServerEvictsVmsAndZeroesThePowerDraw) {
+  Cluster c = two_server_cluster();
+  const VmId v0 = c.add_vm(make_vm(1.0), 0);
+  const VmId v1 = c.add_vm(make_vm(0.5), 0);
+  const VmId v2 = c.add_vm(make_vm(0.5), 1);
+
+  const std::vector<VmId> evicted = c.fail_server(0);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(c.host_of(v0), kNoServer);
+  EXPECT_EQ(c.host_of(v1), kNoServer);
+  EXPECT_EQ(c.host_of(v2), 1u);  // the other server is untouched
+  EXPECT_TRUE(c.server(0).failed());
+  EXPECT_TRUE(c.vms_on(0).empty());
+  EXPECT_DOUBLE_EQ(c.server(0).power_w(0.0), 0.0);  // dead iron draws nothing
+
+  const std::vector<VmId> homeless = c.unplaced_vms();
+  ASSERT_EQ(homeless.size(), 2u);
+  EXPECT_EQ(homeless[0], v0);
+  EXPECT_EQ(homeless[1], v1);
+}
+
+TEST(Cluster, FailedServerRefusesWakeUntilRepaired) {
+  Cluster c = two_server_cluster();
+  (void)c.fail_server(0);
+  EXPECT_FALSE(c.wake(0));
+  EXPECT_TRUE(c.server(0).failed());
+
+  c.repair_server(0);
+  EXPECT_FALSE(c.server(0).failed());
+  EXPECT_FALSE(c.server(0).active());  // comes back sleeping, not serving
+  EXPECT_TRUE(c.wake(0));
+  EXPECT_TRUE(c.server(0).active());
+}
+
+TEST(Cluster, WakeSucceedsOnHealthyServers) {
+  Cluster c = two_server_cluster();
+  c.sleep_idle_servers();
+  EXPECT_FALSE(c.server(1).active());
+  EXPECT_TRUE(c.wake(1));
+  EXPECT_TRUE(c.server(1).active());
+  EXPECT_TRUE(c.wake(1));  // waking an active server is a harmless no-op
+}
+
+TEST(Cluster, RepairOnHealthyServerIsNoop) {
+  Cluster c = two_server_cluster();
+  c.repair_server(0);  // never failed
+  EXPECT_TRUE(c.server(0).active());
+  EXPECT_TRUE(c.unplaced_vms().empty());
+}
+
 }  // namespace
 }  // namespace vdc::datacenter

@@ -97,5 +97,70 @@ TEST(Monitor, DefaultControlledIsNinetiethPercentile) {
   EXPECT_DOUBLE_EQ(stats->controlled, stats->quantile);
 }
 
+// ---- degraded sensor pipeline (fault injection) -----------------------------
+
+TEST(Monitor, AllSamplesDroppedStillYieldsAPeriod) {
+  // "Every sample lost" and "no requests arrived" must be distinguishable:
+  // the former harvests a zero-count period with the drop tally, the
+  // latter harvests nothing at all.
+  ResponseTimeMonitor m;
+  m.note_dropped();
+  m.note_dropped();
+  m.note_dropped();
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count, 0u);
+  EXPECT_EQ(stats->dropped, 3u);
+  EXPECT_FALSE(stats->stale);
+  EXPECT_DOUBLE_EQ(stats->mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats->quantile, 0.0);
+}
+
+TEST(Monitor, DropTallyRidesAlongWithSurvivingSamples) {
+  ResponseTimeMonitor m(0.5);
+  m.record(2.0);
+  m.note_dropped();
+  m.record(4.0);
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count, 2u);
+  EXPECT_EQ(stats->dropped, 1u);
+  EXPECT_DOUBLE_EQ(stats->mean, 3.0);
+}
+
+TEST(Monitor, DropTallyResetsEachPeriod) {
+  ResponseTimeMonitor m;
+  m.note_dropped();
+  ASSERT_TRUE(m.harvest().has_value());
+  EXPECT_FALSE(m.harvest().has_value());  // clean period: nothing to report
+  m.record(1.0);
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->dropped, 0u);
+}
+
+TEST(Monitor, StaleFlagSurfacesAndClears) {
+  ResponseTimeMonitor m;
+  m.record(1.0);
+  m.mark_stale();
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->stale);
+  EXPECT_EQ(stats->count, 1u);  // the numbers are there, just untrustworthy
+  m.record(1.0);
+  const auto next = m.harvest();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->stale);
+}
+
+TEST(Monitor, StaleWithNoSamplesStillYieldsAPeriod) {
+  ResponseTimeMonitor m;
+  m.mark_stale();
+  const auto stats = m.harvest();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->stale);
+  EXPECT_EQ(stats->count, 0u);
+}
+
 }  // namespace
 }  // namespace vdc::app

@@ -1,0 +1,252 @@
+// Exhaustive packing properties on random small instances (<= 6 VMs,
+// <= 4 servers) where brute force over all n_servers^n_vms assignments is
+// affordable. For every instance:
+//   * every planner's plan is feasible — applying it overloads nothing and
+//     respects the utilization-target constraint;
+//   * consolidation never makes power worse than the starting placement and
+//     never spreads load over more servers than it started with;
+//   * no heuristic beats the brute-force optimum, and across the sweep IPAC
+//     actually *finds* the optimum on most instances.
+// The instances are seeded, so the whole sweep is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "consolidate/constraints.hpp"
+#include "consolidate/ffd.hpp"
+#include "consolidate/ipac.hpp"
+#include "consolidate/pmapper.hpp"
+#include "consolidate/snapshot.hpp"
+#include "consolidate/working_placement.hpp"
+#include "datacenter/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::consolidate {
+namespace {
+
+using datacenter::Cluster;
+using datacenter::Server;
+using datacenter::Vm;
+using datacenter::kNoServer;
+
+constexpr double kUtilizationTarget = 1.0;
+constexpr double kEps = 1e-9;
+
+Cluster random_cluster(util::Rng& rng, std::size_t n_servers, std::size_t n_vms) {
+  Cluster c;
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    switch (static_cast<int>(rng.uniform(0.0, 3.0))) {
+      case 0:
+        c.add_server(Server(datacenter::quad_core_3ghz(),
+                            datacenter::power_model_quad_3ghz(), 32768.0));
+        break;
+      case 1:
+        c.add_server(Server(datacenter::dual_core_2ghz(),
+                            datacenter::power_model_dual_2ghz(), 8192.0));
+        break;
+      default:
+        c.add_server(Server(datacenter::dual_core_1_5ghz(),
+                            datacenter::power_model_dual_1_5ghz(), 12288.0));
+        break;
+    }
+  }
+  // Initial placement: first fit onto whatever still has room, so the
+  // starting state is always feasible (and the instance non-degenerate).
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    Vm vm;
+    vm.cpu_demand_ghz = rng.uniform(0.2, 1.2);
+    vm.memory_mb = rng.uniform(256.0, 1024.0);
+    const auto start = static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(n_servers)));
+    for (std::size_t k = 0; k < n_servers; ++k) {
+      const auto s = static_cast<datacenter::ServerId>((start + k) % n_servers);
+      double used = 0.0;
+      for (const datacenter::VmId hosted : c.vms_on(s)) {
+        used += c.vm(hosted).cpu_demand_ghz;
+      }
+      if (used + vm.cpu_demand_ghz <= c.server(s).cpu().max_capacity_ghz()) {
+        (void)c.add_vm(vm, s);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+/// Static power of an assignment under the linear utilization model the
+/// snapshot carries: occupied servers draw idle + (max-idle) * utilization,
+/// empty ones sleep. The same estimator scores every candidate, so the
+/// comparisons are apples to apples.
+double assignment_power(const DataCenterSnapshot& snap, const std::vector<ServerId>& host) {
+  std::vector<double> demand(snap.servers.size(), 0.0);
+  for (std::size_t v = 0; v < host.size(); ++v) {
+    demand[host[v]] += snap.vms[v].cpu_demand_ghz;
+  }
+  double total = 0.0;
+  for (const ServerSnapshot& s : snap.servers) {
+    if (demand[s.id] > 0.0) {
+      total += s.idle_power_w +
+               (s.max_power_w - s.idle_power_w) * (demand[s.id] / s.max_capacity_ghz);
+    } else {
+      total += s.sleep_power_w;
+    }
+  }
+  return total;
+}
+
+/// The assignment the snapshot starts from (every VM is placed).
+std::vector<ServerId> initial_assignment(const DataCenterSnapshot& snap) {
+  std::vector<ServerId> host(snap.vms.size(), kNoServer);
+  for (const VmSnapshot& vm : snap.vms) host[vm.id] = snap.host_of(vm.id);
+  return host;
+}
+
+/// The assignment after applying `plan` on top of the snapshot's placement.
+std::vector<ServerId> assignment_after(const DataCenterSnapshot& snap,
+                                       const PlacementPlan& plan) {
+  std::vector<ServerId> host = initial_assignment(snap);
+  for (const Move& move : plan.moves) host[move.vm] = move.to;
+  return host;
+}
+
+std::size_t occupied_count(const std::vector<ServerId>& host) {
+  std::vector<ServerId> used(host);
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used.size();
+}
+
+bool assignment_feasible(const DataCenterSnapshot& snap, const std::vector<ServerId>& host) {
+  std::vector<double> demand(snap.servers.size(), 0.0);
+  std::vector<double> memory(snap.servers.size(), 0.0);
+  for (std::size_t v = 0; v < host.size(); ++v) {
+    if (host[v] == kNoServer) return false;
+    demand[host[v]] += snap.vms[v].cpu_demand_ghz;
+    memory[host[v]] += snap.vms[v].memory_mb;
+  }
+  for (const ServerSnapshot& s : snap.servers) {
+    if (demand[s.id] > s.max_capacity_ghz * kUtilizationTarget + kEps) return false;
+    if (memory[s.id] > s.memory_mb + kEps) return false;
+  }
+  return true;
+}
+
+/// Brute force over every n_servers^n_vms assignment; returns the minimum
+/// feasible power (infinity if the instance is infeasible, which the
+/// generator precludes).
+double brute_force_optimum(const DataCenterSnapshot& snap) {
+  const std::size_t n_servers = snap.servers.size();
+  const std::size_t n_vms = snap.vms.size();
+  std::vector<ServerId> host(n_vms, 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    if (assignment_feasible(snap, host)) {
+      best = std::min(best, assignment_power(snap, host));
+    }
+    // Odometer increment over the assignment space.
+    std::size_t digit = 0;
+    while (digit < n_vms) {
+      if (static_cast<std::size_t>(++host[digit]) < n_servers) break;
+      host[digit] = 0;
+      ++digit;
+    }
+    if (digit == n_vms) break;
+  }
+  return best;
+}
+
+/// FFD repack from scratch in power-efficiency order — the classic
+/// baseline the incremental algorithms are measured against.
+double ffd_repack_power(const DataCenterSnapshot& snap, const ConstraintSet& constraints) {
+  WorkingPlacement placement(snap);
+  std::vector<VmId> all;
+  for (const VmSnapshot& vm : snap.vms) {
+    placement.remove(vm.id);
+    all.push_back(vm.id);
+  }
+  const std::vector<ServerId> order = servers_by_power_efficiency(snap);
+  const FfdResult result = first_fit_decreasing(placement, order, all, constraints);
+  EXPECT_TRUE(result.unplaced.empty());
+  std::vector<ServerId> host(snap.vms.size(), kNoServer);
+  for (const VmSnapshot& vm : snap.vms) host[vm.id] = placement.host_of(vm.id);
+  return assignment_power(snap, host);
+}
+
+TEST(PackingExhaustive, RandomSmallInstancesSatisfyAllPackingProperties) {
+  const ConstraintSet constraints = ConstraintSet::standard(kUtilizationTarget);
+  std::size_t instances = 0;
+  std::size_t instances_with_improvement = 0;
+  std::size_t ipac_hits_optimum = 0;
+  std::size_t ipac_no_worse_than_ffd = 0;
+
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    const auto n_servers = static_cast<std::size_t>(rng.uniform(2.0, 5.0));  // 2..4
+    const auto n_vms = static_cast<std::size_t>(rng.uniform(2.0, 7.0));      // 2..6
+    Cluster cluster = random_cluster(rng, n_servers, n_vms);
+    // Park empty servers before snapshotting, exactly as the testbed does
+    // between optimizer passes. IPAC judges a round against the *active*
+    // server count, and the power estimator assumes empty == sleeping; an
+    // awake-but-empty server would let the two disagree.
+    (void)cluster.sleep_idle_servers();
+    const DataCenterSnapshot snap = snapshot_of(cluster);
+    if (snap.vms.size() < 2) continue;  // capacity ran out during generation
+    ++instances;
+
+    const std::vector<ServerId> initial_host = initial_assignment(snap);
+    const double initial = assignment_power(snap, initial_host);
+    const double optimal = brute_force_optimum(snap);
+    ASSERT_TRUE(std::isfinite(optimal)) << "seed " << seed;
+
+    // Every planner must produce a complete, feasible plan.
+    const IpacReport ipac_report = ipac(snap, constraints);
+    EXPECT_TRUE(ipac_report.plan.complete()) << "seed " << seed;
+    const std::vector<ServerId> ipac_host = assignment_after(snap, ipac_report.plan);
+    EXPECT_TRUE(assignment_feasible(snap, ipac_host)) << "seed " << seed;
+
+    const PMapperReport pmapper_report = pmapper(snap, constraints);
+    EXPECT_TRUE(pmapper_report.plan.complete()) << "seed " << seed;
+    EXPECT_TRUE(assignment_feasible(snap, assignment_after(snap, pmapper_report.plan)))
+        << "seed " << seed;
+
+    const double ipac_power = assignment_power(snap, ipac_host);
+    const double ffd_power = ffd_repack_power(snap, constraints);
+
+    // Consolidation never makes things worse — in power or in footprint —
+    // and nobody beats brute force.
+    EXPECT_LE(ipac_power, initial + kEps) << "seed " << seed;
+    EXPECT_LE(occupied_count(ipac_host), occupied_count(initial_host)) << "seed " << seed;
+    EXPECT_GE(ipac_power, optimal - kEps) << "seed " << seed;
+    EXPECT_GE(ffd_power, optimal - kEps) << "seed " << seed;
+
+    if (ipac_power < initial - kEps) ++instances_with_improvement;
+    if (ipac_power <= optimal + kEps) ++ipac_hits_optimum;
+    if (ipac_power <= ffd_power + kEps) ++ipac_no_worse_than_ffd;
+  }
+  // The sweep must actually exercise consolidation, not just no-ops, and
+  // IPAC must be a *good* heuristic on tiny instances, not merely a safe
+  // one: it lands on the brute-force optimum for most seeds and only
+  // rarely loses to a from-scratch FFD repack (it is incremental — it can
+  // get stuck in a local packing the repack is free to ignore).
+  EXPECT_EQ(instances, 40u);
+  EXPECT_GT(instances_with_improvement, 10u);
+  EXPECT_GE(ipac_hits_optimum, 28u);
+  EXPECT_GE(ipac_no_worse_than_ffd, 35u);
+}
+
+TEST(PackingExhaustive, PlannersAgreeOnSingleServerInstances) {
+  // Degenerate case: one server — nothing can move, plans must be empty.
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    util::Rng rng(seed);
+    const Cluster cluster = random_cluster(rng, 1, 3);
+    const DataCenterSnapshot snap = snapshot_of(cluster);
+    const ConstraintSet constraints = ConstraintSet::standard(kUtilizationTarget);
+    EXPECT_TRUE(ipac(snap, constraints).plan.moves.empty()) << "seed " << seed;
+    EXPECT_TRUE(pmapper(snap, constraints).plan.moves.empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vdc::consolidate

@@ -98,5 +98,68 @@ TEST(PowerOptimizer, RepeatedInvocationsAreQuiescent) {
   EXPECT_EQ(second.active_before, second.active_after);
 }
 
+// ---- migration failure backoff (fault injection) ----------------------------
+
+TEST(PowerOptimizer, FailedMigrationsBackOffBeforeRetrying) {
+  Cluster c = scattered_cluster();
+  OptimizerConfig config = make_config(ConsolidationAlgorithm::kIpac, 1.0);
+  config.migration_backoff_s = 300.0;
+  PowerOptimizer optimizer(config);
+
+  // The plan wants to consolidate both scattered VMs.
+  const consolidate::PlacementPlan first = optimizer.plan(c, 0.0);
+  ASSERT_FALSE(first.moves.empty());
+
+  // Both migrations fail: every move is deferred until the backoff expires.
+  for (const consolidate::Move& move : first.moves) {
+    optimizer.note_migration_failure(move.vm, 0.0);
+  }
+  EXPECT_EQ(optimizer.migration_failures(), first.moves.size());
+
+  const consolidate::PlacementPlan during = optimizer.plan(c, 100.0);
+  EXPECT_TRUE(during.moves.empty());
+  EXPECT_EQ(optimizer.moves_deferred(), first.moves.size());
+
+  // Past the deadline the same moves are proposed again.
+  const consolidate::PlacementPlan after = optimizer.plan(c, 300.0);
+  EXPECT_EQ(after.moves.size(), first.moves.size());
+}
+
+TEST(PowerOptimizer, BackoffNeverDefersHomelessVmPlacements) {
+  Cluster c = scattered_cluster();
+  Vm vm;
+  vm.cpu_demand_ghz = 0.5;
+  vm.memory_mb = 256.0;
+  const datacenter::VmId homeless = c.add_vm(vm);  // no host: starts homeless
+
+  OptimizerConfig config = make_config(ConsolidationAlgorithm::kIpac, 1.0);
+  config.migration_backoff_s = 1000.0;
+  PowerOptimizer optimizer(config);
+  optimizer.note_migration_failure(homeless, 0.0);  // e.g. its restart target died
+
+  // A homeless VM gets no CPU at all, so re-placing it always beats
+  // waiting out the backoff.
+  const consolidate::PlacementPlan plan = optimizer.plan(c, 10.0);
+  bool placed = false;
+  for (const consolidate::Move& move : plan.moves) {
+    if (move.vm == homeless) {
+      EXPECT_EQ(move.from, datacenter::kNoServer);
+      placed = true;
+    }
+  }
+  EXPECT_TRUE(placed);
+}
+
+TEST(PowerOptimizer, PlanSkipsFailedServers) {
+  Cluster c = scattered_cluster();
+  // Kill the efficient quad the consolidation would otherwise target.
+  (void)c.fail_server(0);
+  PowerOptimizer optimizer(make_config(ConsolidationAlgorithm::kIpac, 1.0));
+  const consolidate::PlacementPlan plan = optimizer.plan(c, 0.0);
+  for (const consolidate::Move& move : plan.moves) {
+    EXPECT_NE(move.to, 0u) << "planned a move onto a crashed server";
+  }
+}
+
 }  // namespace
 }  // namespace vdc::core

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/sysid_experiment.hpp"
+#include "telemetry/export.hpp"
 
 namespace vdc::core {
 namespace {
@@ -119,6 +121,48 @@ TEST(ScenarioRunner, TestbedEngineRunsAndExposesClusterSeries) {
   const std::vector<ScenarioResult> parallel = ScenarioRunner(2).run_all(specs);
   EXPECT_TRUE(parallel[0].recorder == serial.recorder);
   EXPECT_TRUE(parallel[1].recorder == serial.recorder);
+}
+
+TEST(ScenarioRunner, ChaosTelemetryIsByteIdenticalAcrossRerunsAndThreadCounts) {
+  // The determinism regression demanded by the fault subsystem: one seeded
+  // chaos spec => the exported CSV (series AND annotations) is the same
+  // byte string on every rerun and on every worker-thread count.
+  ScenarioSpec spec;
+  spec.name = "chaos";
+  spec.engine = ScenarioSpec::Engine::kTestbed;
+  spec.testbed.num_apps = 2;
+  spec.testbed.num_servers = 3;
+  spec.testbed.enable_optimizer = true;
+  spec.testbed.optimizer_period_s = 80.0;
+  spec.testbed.model = shared_model();
+  spec.duration_s = 400.0;
+  spec.seed = 3;
+  spec.faults.migration_aborts(0.0, 200.0, 0.5)
+      .sensor_dropout(50.0, 150.0, 0.3)
+      .sensor_stale(200.0, 250.0, 0)
+      .server_crash(1, 260.0, 320.0);
+
+  const ScenarioResult serial = ScenarioRunner(1).run(spec);
+  const std::string csv = telemetry::to_csv(serial.recorder);
+  const std::string annotations = telemetry::annotations_csv(serial.recorder);
+  EXPECT_GT(serial.faults.total(), 0u);
+  EXPECT_FALSE(annotations.empty());
+
+  const ScenarioResult rerun = ScenarioRunner(1).run(spec);
+  EXPECT_EQ(telemetry::to_csv(rerun.recorder), csv);
+  EXPECT_EQ(telemetry::annotations_csv(rerun.recorder), annotations);
+
+  const std::vector<ScenarioSpec> specs{spec, spec, spec};
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{3}}) {
+    const std::vector<ScenarioResult> parallel = ScenarioRunner(threads).run_all(specs);
+    for (const ScenarioResult& r : parallel) {
+      EXPECT_EQ(telemetry::to_csv(r.recorder), csv) << threads << " threads";
+      EXPECT_EQ(telemetry::annotations_csv(r.recorder), annotations)
+          << threads << " threads";
+      EXPECT_EQ(r.faults.total(), serial.faults.total());
+      EXPECT_EQ(r.stale_holds, serial.stale_holds);
+    }
+  }
 }
 
 }  // namespace

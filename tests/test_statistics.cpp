@@ -192,5 +192,33 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
 }
 
+// ---- empty-window edges (the sensor-fault paths hit these) ------------------
+
+TEST(SlidingWindow, QuantileOnEmptyWindowIsZeroNotathrow) {
+  SlidingWindow w(8);
+  EXPECT_DOUBLE_EQ(w.quantile(0.9), 0.0);
+  EXPECT_DOUBLE_EQ(w.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.quantile(1.0), 0.0);
+}
+
+TEST(SlidingWindow, QuantileWithSingleSampleIsThatSample) {
+  SlidingWindow w(8);
+  w.add(3.5);
+  EXPECT_DOUBLE_EQ(w.quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(w.quantile(0.9), 3.5);
+  EXPECT_DOUBLE_EQ(w.quantile(1.0), 3.5);
+}
+
+TEST(P2Quantile, EmptyEstimatorReportsZero) {
+  const P2Quantile p2(0.9);
+  EXPECT_DOUBLE_EQ(p2.value(), 0.0);
+}
+
+TEST(P2Quantile, SingleSampleIsExact) {
+  P2Quantile p2(0.9);
+  p2.add(2.25);
+  EXPECT_DOUBLE_EQ(p2.value(), 2.25);
+}
+
 }  // namespace
 }  // namespace vdc::util
