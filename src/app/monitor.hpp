@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "util/order_stats.hpp"
+#include "util/statistics.hpp"
+
 namespace vdc::app {
 
 /// Which SLA statistic the controller tracks.
@@ -68,14 +71,20 @@ class ResponseTimeMonitor {
   /// Statistics over everything recorded since construction (all periods).
   [[nodiscard]] PeriodStats lifetime() const;
 
-  [[nodiscard]] std::size_t pending_samples() const noexcept { return period_samples_.size(); }
+  [[nodiscard]] std::size_t pending_samples() const noexcept { return period_order_.size(); }
   [[nodiscard]] SlaMetric metric() const noexcept { return metric_; }
   [[nodiscard]] double quantile_level() const noexcept { return q_; }
 
  private:
   double q_;
   SlaMetric metric_;
-  std::vector<double> period_samples_;
+  // Per-period statistics are maintained incrementally: Welford moments plus
+  // an order-statistic index, so harvest() reads the period's quantile in
+  // O(log n) instead of copying and sorting every sample. The values are
+  // identical to the historical copy+sort (same Welford add order, same
+  // type-7 interpolation over the same order statistics).
+  util::RunningStats period_stats_;
+  util::OrderStatisticTree period_order_;
   std::vector<double> lifetime_samples_;
   std::size_t period_dropped_ = 0;
   bool period_stale_ = false;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 
 #include "check/check.hpp"
 
@@ -41,6 +42,33 @@ inline void ps_accounting(double work_done_gcycles, double busy_time_s) {
                 "work_done is invalid: " << work_done_gcycles);
   VDC_INVARIANT(busy_time_s >= 0.0 && std::isfinite(busy_time_s),
                 "busy_time is invalid: " << busy_time_s);
+}
+
+/// Stalled time (jobs resident but zero capacity) is tracked separately from
+/// busy time; both must stay finite and nonnegative.
+inline void ps_stall_accounting(double busy_time_s, double stalled_time_s) {
+  VDC_INVARIANT(busy_time_s >= 0.0 && std::isfinite(busy_time_s),
+                "busy_time is invalid: " << busy_time_s);
+  VDC_INVARIANT(stalled_time_s >= 0.0 && std::isfinite(stalled_time_s),
+                "stalled_time is invalid: " << stalled_time_s);
+}
+
+/// A job's finish mark in cumulative per-job service (virtual time) must sit
+/// at or ahead of the queue's current virtual time — a mark in the virtual
+/// past would mean the job should already have completed.
+inline void ps_finish_mark(double vtime_gcycles, double mark_gcycles) {
+  VDC_INVARIANT(std::isfinite(mark_gcycles), "finish mark is not finite: " << mark_gcycles);
+  VDC_INVARIANT(mark_gcycles >= vtime_gcycles - 1e-6,
+                "finish mark in the virtual past: mark=" << mark_gcycles
+                                                         << " vtime=" << vtime_gcycles);
+}
+
+/// Event-slab conservation: every slot is either live (armed) or on the free
+/// list. Violations mean a leaked or double-freed event record.
+inline void event_slab(std::size_t live, std::size_t slab_size, std::size_t free_size) {
+  VDC_INVARIANT(live + free_size == slab_size,
+                "event slab leak: live=" << live << " free=" << free_size
+                                         << " slab=" << slab_size);
 }
 
 }  // namespace vdc::sim::audit

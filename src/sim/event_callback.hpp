@@ -1,0 +1,116 @@
+// Small-buffer-optimized, move-only callable used for simulation events.
+//
+// The event loop schedules millions of short-lived callbacks whose captures
+// are almost always tiny (a `this` pointer plus a couple of indices). A
+// `std::function` pays a heap allocation whenever the callable outgrows its
+// implementation-defined SSO buffer (16 bytes on libstdc++), and its copyable
+// contract forbids move-only captures. EventCallback gives the event slab a
+// guaranteed 48-byte inline buffer, falls back to the heap only for oversized
+// callables, and is move-only so records can be relocated inside the slab
+// without touching the allocator.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vdc::sim {
+
+class EventCallback {
+ public:
+  /// Callables up to this size (and max_align_t alignment) are stored inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventCallback() noexcept = default;
+  EventCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventCallback> &&
+                                        !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (no heap allocation).
+  [[nodiscard]] bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    bool inline_storage;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+      [](void* p) { std::launder(static_cast<D*>(p))->~D(); },
+      [](void* dst, void* src) {
+        D* from = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(static_cast<D**>(p)))(); },
+      [](void* p) { delete *std::launder(static_cast<D**>(p)); },
+      [](void* dst, void* src) { ::new (dst) D*(*std::launder(static_cast<D**>(src))); },
+      false,
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+}  // namespace vdc::sim

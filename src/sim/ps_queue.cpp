@@ -22,18 +22,40 @@ PsQueue::PsQueue(Simulation& sim, double capacity_ghz, CompletionHandler on_comp
 JobId PsQueue::add_job(double demand_gcycles) {
   if (!(demand_gcycles > 0.0)) throw std::invalid_argument("PsQueue: demand must be positive");
   sync();
+  if (!fast_ && residuals_.size() + 1 >= kFastUpThreshold) convert_to_fast();
   const JobId id = next_job_id_++;
-  jobs_.emplace(id, demand_gcycles);
+  if (fast_) {
+    const double mark = vtime_ + demand_gcycles;
+    audit::ps_finish_mark(vtime_, mark);
+    marks_.emplace(id, by_mark_.emplace(mark, id));
+  } else {
+    residuals_.emplace(id, demand_gcycles);
+  }
   schedule_next_completion();
   return id;
 }
 
 double PsQueue::remove_job(JobId id) {
   sync();
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return -1.0;
-  const double remaining = it->second;
-  jobs_.erase(it);
+  double remaining = -1.0;
+  if (fast_) {
+    const auto it = marks_.find(id);
+    if (it == marks_.end()) return -1.0;
+    remaining = it->second->first - vtime_;
+    by_mark_.erase(it->second);
+    marks_.erase(it);
+    if (marks_.empty()) {
+      vtime_ = 0.0;
+      fast_ = false;
+    } else if (marks_.size() <= kFastDownThreshold) {
+      convert_to_naive();
+    }
+  } else {
+    const auto it = residuals_.find(id);
+    if (it == residuals_.end()) return -1.0;
+    remaining = it->second;
+    residuals_.erase(it);
+  }
   schedule_next_completion();
   return remaining;
 }
@@ -47,24 +69,46 @@ void PsQueue::set_capacity(double capacity_ghz) {
 
 double PsQueue::busy_time() const {
   // busy_time_ is advanced in sync(); add the open interval since then.
-  if (jobs_.empty()) return busy_time_;
+  if (jobs_in_service() == 0 || capacity_ <= 0.0) return busy_time_;
   return busy_time_ + (sim_.now() - last_sync_);
+}
+
+double PsQueue::stalled_time() const {
+  if (jobs_in_service() == 0 || capacity_ > 0.0) return stalled_time_;
+  return stalled_time_ + (sim_.now() - last_sync_);
 }
 
 void PsQueue::sync() {
   const double now = sim_.now();
   const double elapsed = now - last_sync_;
   last_sync_ = now;
-  if (elapsed <= 0.0 || jobs_.empty()) return;
+  if (elapsed <= 0.0 || jobs_in_service() == 0) return;
 
+  if (capacity_ <= 0.0) {
+    // VM is allocated nothing: work stalls. This is starvation, not load —
+    // it must not inflate the monitor's utilization signal.
+    stalled_time_ += elapsed;
+    audit::ps_stall_accounting(busy_time_, stalled_time_);
+    return;
+  }
   busy_time_ += elapsed;
-  if (capacity_ <= 0.0) return;  // VM is allocated nothing: work stalls
 
-  const double per_job = elapsed * capacity_ / static_cast<double>(jobs_.size());
+  if (fast_) {
+    fast_sync(elapsed);
+  } else {
+    naive_sync(elapsed);
+  }
+}
+
+// The historical formulation, preserved operation-for-operation so that the
+// per-job summation order (and therefore every downstream trajectory) is
+// bit-identical to the pre-optimization engine at bench concurrency levels.
+void PsQueue::naive_sync(double elapsed) {
+  const double per_job = elapsed * capacity_ / static_cast<double>(residuals_.size());
   // Jobs whose residual hits zero here complete "now"; deliver them in id
   // order for determinism.
   std::vector<JobId> finished;
-  for (auto& [id, remaining] : jobs_) {
+  for (auto& [id, remaining] : residuals_) {
     remaining -= per_job;
     work_done_ += per_job;
     if (remaining <= kEps) {
@@ -75,10 +119,65 @@ void PsQueue::sync() {
   }
   audit::ps_accounting(work_done_, busy_time_);
   std::sort(finished.begin(), finished.end());
-  for (const JobId id : finished) jobs_.erase(id);
+  for (const JobId id : finished) residuals_.erase(id);
+  deliver(finished);
+}
+
+void PsQueue::fast_sync(double elapsed) {
+  const double per_job = elapsed * capacity_ / static_cast<double>(marks_.size());
+  work_done_ += per_job * static_cast<double>(marks_.size());
+  vtime_ += per_job;
+
+  // Jobs whose finish mark is reached complete "now"; deliver them in id
+  // order for determinism.
+  std::vector<JobId> finished;
+  while (!by_mark_.empty()) {
+    const auto first = by_mark_.begin();
+    const double remaining = first->first - vtime_;
+    if (remaining > kEps) break;
+    audit::ps_residual(remaining);
+    work_done_ += remaining;  // don't over-count the overshoot
+    finished.push_back(first->second);
+    marks_.erase(first->second);
+    by_mark_.erase(first);
+  }
+  audit::ps_accounting(work_done_, busy_time_);
+  if (marks_.empty()) {
+    vtime_ = 0.0;
+    fast_ = false;
+  } else if (marks_.size() <= kFastDownThreshold) {
+    convert_to_naive();
+  }
+  std::sort(finished.begin(), finished.end());
+  deliver(finished);
+}
+
+void PsQueue::deliver(std::vector<JobId>& finished) {
   for (const JobId id : finished) {
     if (on_complete_) on_complete_(id);
   }
+}
+
+/// Exact: rebasing vtime_ to 0 makes each finish mark equal the residual
+/// (0 + r == r, no rounding), so the switch itself never perturbs state.
+void PsQueue::convert_to_fast() {
+  vtime_ = 0.0;
+  for (const auto& [id, remaining] : residuals_) {
+    marks_.emplace(id, by_mark_.emplace(remaining, id));
+  }
+  residuals_.clear();
+  fast_ = true;
+}
+
+/// Rounds once per job: remaining = mark - vtime_ (<= 1 ulp of vtime_).
+void PsQueue::convert_to_naive() {
+  for (const auto& [mark, id] : by_mark_) {
+    residuals_.emplace(id, mark - vtime_);
+  }
+  by_mark_.clear();
+  marks_.clear();
+  vtime_ = 0.0;
+  fast_ = false;
 }
 
 void PsQueue::schedule_next_completion() {
@@ -86,12 +185,19 @@ void PsQueue::schedule_next_completion() {
     sim_.cancel(pending_completion_);
     pending_completion_ = 0;
   }
-  if (jobs_.empty() || capacity_ <= 0.0) return;
+  if (jobs_in_service() == 0 || capacity_ <= 0.0) return;
 
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, remaining] : jobs_) min_remaining = std::min(min_remaining, remaining);
+  double min_remaining;
+  if (fast_) {
+    min_remaining = by_mark_.begin()->first - vtime_;
+  } else {
+    min_remaining = std::numeric_limits<double>::infinity();
+    for (const auto& [id, remaining] : residuals_) {
+      min_remaining = std::min(min_remaining, remaining);
+    }
+  }
   const double dt =
-      std::max(0.0, min_remaining) * static_cast<double>(jobs_.size()) / capacity_;
+      std::max(0.0, min_remaining) * static_cast<double>(jobs_in_service()) / capacity_;
   pending_completion_ = sim_.schedule_after(dt, [this] {
     pending_completion_ = 0;
     sync();

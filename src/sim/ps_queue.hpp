@@ -5,11 +5,35 @@
 // job carries a service demand in cycles, and all resident jobs share the
 // capacity equally — the behaviour of a CPU-bound tier under Xen's
 // work-conserving-off cap, which is what the paper's arbitrator enforces.
+//
+// The queue is dual-mode:
+//
+// * Below kFastUpThreshold resident jobs it runs the classic per-job-residual
+//   formulation: every sync subtracts the shared quantum from each residual.
+//   That is O(jobs) per event, which is fine when jobs is a few hundred, and
+//   it reproduces the historical floating-point summation order bit-for-bit —
+//   the figure benches (<= 80 concurrent requests per tier) produce
+//   byte-identical output across this rewrite.
+//
+// * At kFastUpThreshold jobs it converts to the virtual-time (attained-
+//   service) formulation: `vtime_` tracks the cumulative service every
+//   resident job has received, and a job with demand d is stored once as a
+//   finish mark `vtime_ + d` in an ordered index. Advancing by wall time dt
+//   moves vtime_ by dt * capacity / n — one addition instead of n
+//   subtractions — so sync() costs O(completions * log n) and the next
+//   completion is an O(1) read of the smallest mark. The up-conversion is
+//   exact (vtime_ rebases to 0, marks == residuals); the down-conversion at
+//   kFastDownThreshold rounds once per job (<= 1 ulp of vtime_).
+//
+// The naive formulation is additionally retained in sim/naive.hpp as the
+// oracle for differential replay tests and the perf-bench baseline.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/simulation.hpp"
 
@@ -21,6 +45,11 @@ class PsQueue {
  public:
   /// Called when a job finishes; runs inside the simulation event.
   using CompletionHandler = std::function<void(JobId)>;
+
+  /// Resident-job count at which the queue switches to the O(log n)
+  /// virtual-time index (and back, with hysteresis to prevent thrashing).
+  static constexpr std::size_t kFastUpThreshold = 512;
+  static constexpr std::size_t kFastDownThreshold = 256;
 
   /// `capacity_ghz` is the initial processing rate in 1e9 cycles/second.
   PsQueue(Simulation& sim, double capacity_ghz, CompletionHandler on_complete);
@@ -41,30 +70,59 @@ class PsQueue {
   void set_capacity(double capacity_ghz);
 
   [[nodiscard]] double capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t jobs_in_service() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t jobs_in_service() const noexcept {
+    return fast_ ? marks_.size() : residuals_.size();
+  }
 
   /// Total work completed since construction (Gcycles) — used for
   /// utilization accounting.
   [[nodiscard]] double work_done() const noexcept { return work_done_; }
 
-  /// Busy time (seconds with >= 1 job) since construction.
+  /// Busy time (seconds with >= 1 job AND capacity > 0) since construction.
+  /// Time spent holding jobs while allocated zero CPU is NOT busy time — it
+  /// accrues to stalled_time() instead, so a starved VM no longer reads as
+  /// 100% utilized.
   [[nodiscard]] double busy_time() const;
 
+  /// Seconds spent with >= 1 resident job but zero capacity (work stalled).
+  [[nodiscard]] double stalled_time() const;
+
+  /// True while the queue is in the O(log n) virtual-time mode (exposed for
+  /// tests and the perf bench).
+  [[nodiscard]] bool fast_mode() const noexcept { return fast_; }
+
  private:
-  /// Advances all job residuals to sim.now() and reschedules the next
-  /// completion event.
+  /// Advances all job state to sim.now(), delivering any completions.
   void sync();
+  void naive_sync(double elapsed);
+  void fast_sync(double elapsed);
   void schedule_next_completion();
+  void convert_to_fast();
+  void convert_to_naive();
+  void deliver(std::vector<JobId>& finished);
 
   Simulation& sim_;
   double capacity_;
   CompletionHandler on_complete_;
-  std::unordered_map<JobId, double> jobs_;  // id -> remaining Gcycles
+
+  bool fast_ = false;
+  /// Naive mode: job id -> remaining Gcycles (historical summation order).
+  std::unordered_map<JobId, double> residuals_;
+  /// Fast mode: cumulative per-job attained service (Gcycles), rebased to 0
+  /// whenever the queue empties to bound floating-point drift.
+  double vtime_ = 0.0;
+  /// Fast mode: finish marks in virtual time -> job id; the next completion
+  /// is the first element. Ties (equal marks) are delivered in id order.
+  std::multimap<double, JobId> by_mark_;
+  /// Fast mode: job id -> its node in by_mark_, for O(log n) removal.
+  std::unordered_map<JobId, std::multimap<double, JobId>::iterator> marks_;
+
   JobId next_job_id_ = 1;
   double last_sync_ = 0.0;
   EventId pending_completion_ = 0;  // 0 = none
   double work_done_ = 0.0;
   double busy_time_ = 0.0;
+  double stalled_time_ = 0.0;
 };
 
 }  // namespace vdc::sim

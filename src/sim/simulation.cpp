@@ -1,26 +1,43 @@
 #include "sim/simulation.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "check/sim_audit.hpp"
 
 namespace vdc::sim {
 
-EventId Simulation::schedule(double time, std::function<void()> callback) {
+EventId Simulation::schedule(double time, EventCallback callback) {
   if (time < now_) throw std::invalid_argument("Simulation::schedule: time is in the past");
   if (!callback) throw std::invalid_argument("Simulation::schedule: empty callback");
   audit::event_time(now_, time);  // catches NaN, which the < above lets through
-  const EventId id = next_id_++;
-  heap_.push(Entry{time, id});
-  callbacks_.emplace(id, std::move(callback));
-  return id;
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slab_.size() >= std::numeric_limits<std::uint32_t>::max()) {
+      throw std::length_error("Simulation::schedule: event slab exhausted");
+    }
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Record& rec = slab_[slot];
+  rec.callback = std::move(callback);
+  rec.armed = true;
+  heap_.push(Entry{time, next_seq_++, slot, rec.generation});
+  ++live_;
+  audit::event_slab(live_, slab_.size(), free_slots_.size());
+  return make_id(rec.generation, slot);
 }
 
 bool Simulation::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);  // lazy deletion; popped entries are skipped
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slab_.size()) return false;
+  Record& rec = slab_[slot];
+  if (!rec.armed || rec.generation != generation_of(id)) return false;
+  release_slot(slot);  // the heap entry goes stale and is skipped when popped
   return true;
 }
 
@@ -28,15 +45,11 @@ bool Simulation::step() {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
     heap_.pop();
-    const auto cancelled_it = cancelled_.find(top.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    auto cb_it = callbacks_.find(top.id);
-    if (cb_it == callbacks_.end()) continue;  // defensive; should not happen
-    std::function<void()> callback = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
+    if (!entry_live(top)) continue;  // cancelled (or recycled) since scheduling
+    // Move the callback out and recycle the slot *before* invoking, so the
+    // callback can freely schedule new events (possibly into this slot).
+    EventCallback callback = std::move(slab_[top.slot].callback);
+    release_slot(top.slot);
     audit::clock_monotonic(now_, top.time);
     now_ = top.time;
     ++executed_;
@@ -50,11 +63,8 @@ std::size_t Simulation::drain_until(double t) {
   if (t < now_) throw std::invalid_argument("Simulation::drain_until: time is in the past");
   std::size_t executed = 0;
   while (!heap_.empty()) {
-    // Skim cancelled entries off the top so the peeked time is live.
-    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-    }
+    // Skim stale entries off the top so the peeked time is live.
+    while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
     if (heap_.empty() || heap_.top().time > t) break;
     step();
     ++executed;

@@ -1,18 +1,27 @@
 // Discrete-event simulation kernel. Single-threaded, deterministic: events
 // with equal timestamps fire in scheduling order. This is the substrate on
 // which the multi-tier application testbed (RUBBoS-equivalent) runs.
+//
+// Event storage is a slab: callbacks live in a contiguous vector of records
+// addressed by a 32-bit slot index, and an EventId packs that slot with a
+// 32-bit generation counter so a recycled slot invalidates stale handles in
+// O(1) without a hash lookup. The heap carries only plain (time, seq, slot,
+// generation) entries; cancellation is lazy — a popped entry whose generation
+// no longer matches its slot is skipped. FIFO order among equal timestamps is
+// preserved by a monotonic sequence number, independent of slot reuse.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/event_callback.hpp"
+
 namespace vdc::sim {
 
+/// Opaque event handle: (generation << 32) | slot. Never 0 for a live event,
+/// so 0 can be used as a "no event" sentinel by callers.
 using EventId = std::uint64_t;
 
 class Simulation {
@@ -22,10 +31,10 @@ class Simulation {
 
   /// Schedules `callback` at absolute time `time` (>= now). Returns a handle
   /// usable with `cancel`.
-  EventId schedule(double time, std::function<void()> callback);
+  EventId schedule(double time, EventCallback callback);
 
   /// Schedules `callback` after a relative delay (>= 0).
-  EventId schedule_after(double delay, std::function<void()> callback) {
+  EventId schedule_after(double delay, EventCallback callback) {
     return schedule(now_ + delay, std::move(callback));
   }
 
@@ -34,8 +43,7 @@ class Simulation {
   /// state changes (fault windows, load phases); returns both handles so
   /// either edge can still be cancelled.
   std::pair<EventId, EventId> schedule_window(double start_s, double end_s,
-                                              std::function<void()> on_start,
-                                              std::function<void()> on_end) {
+                                              EventCallback on_start, EventCallback on_end) {
     EventId begin = schedule(start_s, std::move(on_start));
     EventId end = schedule(end_s, std::move(on_end));
     return {begin, end};
@@ -60,28 +68,65 @@ class Simulation {
   /// Runs until no events remain.
   void run();
 
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return heap_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Capacity of the event slab (high-water mark of simultaneously pending
+  /// events) — exposed for tests and the perf bench.
+  [[nodiscard]] std::size_t slab_size() const noexcept { return slab_.size(); }
 
  private:
   struct Entry {
     double time;
-    EventId id;  // doubles as tie-break sequence number (monotonic)
-    // min-heap on (time, id)
+    std::uint64_t seq;  // monotonic scheduling order: FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t generation;
+    // min-heap on (time, seq)
     bool operator>(const Entry& other) const noexcept {
       if (time != other.time) return time > other.time;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
 
+  struct Record {
+    EventCallback callback;
+    std::uint32_t generation = 1;
+    bool armed = false;
+  };
+
+  static constexpr EventId make_id(std::uint32_t generation, std::uint32_t slot) noexcept {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+  static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id & 0xffffffffull);
+  }
+  static constexpr std::uint32_t generation_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  [[nodiscard]] bool entry_live(const Entry& entry) const noexcept {
+    const Record& rec = slab_[entry.slot];
+    return rec.armed && rec.generation == entry.generation;
+  }
+
+  /// Disarms a record and recycles its slot; the generation bump invalidates
+  /// every outstanding handle and heap entry referring to it.
+  void release_slot(std::uint32_t slot) {
+    Record& rec = slab_[slot];
+    rec.armed = false;
+    rec.callback.reset();
+    ++rec.generation;
+    free_slots_.push_back(slot);
+    --live_;
+  }
+
   double now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Record> slab_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace vdc::sim

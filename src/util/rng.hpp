@@ -36,8 +36,13 @@ class Rng {
     return std::normal_distribution<double>(mean, stddev)(engine_);
   }
 
-  /// Exponential with the given mean (not rate).
+  /// Exponential with the given mean (not rate). The mean must be positive
+  /// and finite: 0 would build an infinite-rate distribution (1/0) and a
+  /// negative or NaN mean a meaningless one, all silently.
   double exponential(double mean) {
+    if (!(mean > 0.0) || !std::isfinite(mean)) {
+      throw std::invalid_argument("Rng::exponential: mean must be positive and finite");
+    }
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
@@ -46,8 +51,13 @@ class Rng {
   }
 
   /// Bounded Pareto on [lo, hi] with shape alpha — the classic heavy-tailed
-  /// service-demand distribution for web requests.
+  /// service-demand distribution for web requests. alpha must be positive
+  /// and finite; alpha <= 0 inverts the CDF's tail and used to be accepted
+  /// silently, producing samples outside [lo, hi].
   double bounded_pareto(double alpha, double lo, double hi) {
+    if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+      throw std::invalid_argument("bounded_pareto: alpha must be positive and finite");
+    }
     if (!(lo > 0.0) || !(hi > lo)) throw std::invalid_argument("bounded_pareto: bad bounds");
     const double u = uniform(0.0, 1.0);
     const double la = std::pow(lo, alpha);

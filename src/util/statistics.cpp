@@ -140,8 +140,13 @@ SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
 }
 
 void SlidingWindow::add(double x) {
+  if (std::isnan(x)) throw std::invalid_argument("SlidingWindow: NaN sample");
   samples_.push_back(x);
-  if (samples_.size() > capacity_) samples_.pop_front();
+  order_.insert(x);
+  if (samples_.size() > capacity_) {
+    order_.erase_one(samples_.front());
+    samples_.pop_front();
+  }
 }
 
 double SlidingWindow::mean() const noexcept {
@@ -153,8 +158,7 @@ double SlidingWindow::mean() const noexcept {
 
 double SlidingWindow::quantile(double q) const {
   if (samples_.empty()) return 0.0;  // consistent with mean(): empty window reads as 0
-  std::vector<double> tmp(samples_.begin(), samples_.end());
-  return vdc::util::quantile(std::move(tmp), q);
+  return order_.quantile(q);
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
@@ -163,10 +167,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi),
 }
 
 void Histogram::add(double x) noexcept {
+  if (std::isnan(x)) {
+    // NaN belongs to no bin; casting it to an integer is undefined
+    // behaviour, so it is counted separately instead of clamped.
+    ++invalid_;
+    return;
+  }
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp in floating point BEFORE the integer cast: a cast of ±inf or any
+  // value beyond ±2^63 is UB, and (x - lo_) / width reaches both for
+  // perfectly reasonable out-of-range samples.
+  const double pos = std::clamp((x - lo_) / width, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/order_stats.hpp"
+
 namespace vdc::util {
 
 /// Numerically stable running mean/variance/min/max (Welford's algorithm).
@@ -67,25 +69,37 @@ class P2Quantile {
 
 /// Keeps the most recent `capacity` samples; answers mean and quantiles over
 /// the window. Used by the response-time monitor.
+///
+/// Samples are mirrored into an incremental order-statistic index, so
+/// `quantile` is O(log n) instead of the historical copy+sort (O(n log n))
+/// per query. NaN samples are rejected (they would corrupt the ordered
+/// index); ±infinity is accepted.
 class SlidingWindow {
  public:
   explicit SlidingWindow(std::size_t capacity);
 
   void add(double x);
-  void clear() noexcept { samples_.clear(); }
+  void clear() noexcept {
+    samples_.clear();
+    order_.clear();
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
   [[nodiscard]] double mean() const noexcept;
+  /// Exact windowed quantile (type-7 interpolation), O(log n).
   [[nodiscard]] double quantile(double q) const;
 
  private:
   std::size_t capacity_;
-  std::deque<double> samples_;
+  std::deque<double> samples_;      // insertion order, for eviction
+  OrderStatisticTree order_;        // value order, for quantiles
 };
 
-/// Fixed-width-bin histogram over [lo, hi); out-of-range samples are clamped
-/// into the first/last bin so totals are conserved.
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples (including
+/// ±infinity) are clamped into the first/last bin so totals are conserved.
+/// NaN samples are counted separately in `invalid()` — they belong to no bin
+/// and previously invoked undefined behaviour via a float->int cast.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -94,6 +108,8 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// NaN samples seen by add(); never binned, never part of total().
+  [[nodiscard]] std::size_t invalid() const noexcept { return invalid_; }
   [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
   [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
   /// Render a short textual summary (for example binaries / debugging).
@@ -104,6 +120,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t invalid_ = 0;
 };
 
 }  // namespace vdc::util

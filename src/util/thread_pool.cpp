@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace vdc::util {
 
@@ -39,6 +40,47 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+/// Shared between the parallel_for caller and its pool helpers. Helpers hold
+/// the state (and a copy of the body) via shared_ptr, so one that is dequeued
+/// long after the call returned finds `next >= n`, touches nothing else, and
+/// exits — the caller never has to wait for helpers that were never needed.
+struct ParallelForState {
+  std::function<void(std::size_t)> body;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception thrown by body; guarded by mutex
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        // Last iteration finished; the caller may be asleep in wait().
+        const std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
   if (n == 0) return;
@@ -51,27 +93,22 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          body(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-        }
-      }
-    });
+  auto state = std::make_shared<ParallelForState>();
+  state->body = body;
+  state->n = n;
+
+  // The caller participates, so only threads - 1 helpers are requested. The
+  // pool may be saturated (including by an enclosing parallel_for) — that
+  // only costs parallelism, never progress, because every iteration left
+  // unclaimed by helpers is claimed by the caller's own drain().
+  for (std::size_t t = 0; t + 1 < threads; ++t) {
+    ThreadPool::shared().submit([state] { state->drain(); });
   }
-  for (auto& worker : workers) worker.join();
-  if (error) std::rethrow_exception(error);
+  state->drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace vdc::util

@@ -25,6 +25,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Process-wide pool (hardware-concurrency workers), created on first use.
+  /// `parallel_for` draws its helpers from here instead of spawning and
+  /// joining fresh threads on every call, which dominated the cost of short
+  /// sweeps. The pool is constructed lazily and torn down at static
+  /// destruction, after every `parallel_for` has drained.
+  [[nodiscard]] static ThreadPool& shared();
+
   /// Enqueues a task; the returned future delivers its result or exception.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
@@ -50,8 +57,14 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs body(i) for i in [0, n) across a temporary pool and waits for all.
-/// Exceptions from the body are rethrown (the first one encountered).
+/// Runs body(i) for i in [0, n) and waits for all iterations. Work is
+/// claimed dynamically from a shared atomic counter by the caller plus up to
+/// `threads - 1` helpers borrowed from `ThreadPool::shared()` — no threads
+/// are created or joined per call. Because the caller itself drains the
+/// counter, the call makes progress (and nested `parallel_for` inside `body`
+/// cannot deadlock) even when every pool worker is busy. Exceptions from the
+/// body are rethrown (the first one encountered). `threads == 0` means
+/// hardware concurrency.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 

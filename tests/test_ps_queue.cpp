@@ -98,6 +98,32 @@ TEST(PsQueue, ZeroCapacityStallsUntilRestored) {
   EXPECT_NEAR(done.times[0], 4.0, 1e-9);
 }
 
+// Regression: sync() used to add elapsed time to busy_time_ BEFORE the
+// capacity <= 0 early-return, so a starved queue (jobs resident, zero CPU)
+// read as 100% busy. Stalled intervals must accrue to stalled_time() only.
+TEST(PsQueue, StalledIntervalIsNotBusyTime) {
+  Simulation sim;
+  PsQueue q(sim, 0.0, [](JobId) {});
+  q.add_job(1.0);
+  sim.schedule(3.0, [&] { q.set_capacity(1.0); });
+  sim.run();
+  // [0, 3] stalled at zero capacity, [3, 4] actually serving.
+  EXPECT_NEAR(q.stalled_time(), 3.0, 1e-12);
+  EXPECT_NEAR(q.busy_time(), 1.0, 1e-12);
+}
+
+TEST(PsQueue, StallAfterPartialServiceSplitsAccounting) {
+  Simulation sim;
+  PsQueue q(sim, 2.0, [](JobId) {});
+  q.add_job(4.0);                                    // would finish at t=2
+  sim.schedule(1.0, [&] { q.set_capacity(0.0); });   // starve halfway
+  sim.schedule(5.0, [&] { q.set_capacity(2.0); });   // resume, +1 s to finish
+  sim.run();
+  EXPECT_NEAR(q.busy_time(), 2.0, 1e-12);
+  EXPECT_NEAR(q.stalled_time(), 4.0, 1e-12);
+  EXPECT_NEAR(q.work_done(), 4.0, 1e-12);
+}
+
 TEST(PsQueue, RemoveJobReturnsResidualWork) {
   Simulation sim;
   PsQueue q(sim, 1.0, [](JobId) {});

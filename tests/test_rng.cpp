@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/statistics.hpp"
 
 namespace vdc::util {
@@ -90,6 +92,26 @@ TEST(Rng, BoundedParetoRejectsBadBounds) {
   Rng rng(1);
   EXPECT_THROW(rng.bounded_pareto(2.0, 0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(rng.bounded_pareto(2.0, 2.0, 1.0), std::invalid_argument);
+}
+
+// Regression: exponential(0.0) divided by zero building the distribution
+// (rate 1/0 = inf) and negative/NaN means were accepted just as silently.
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(std::numeric_limits<double>::infinity()), std::invalid_argument);
+}
+
+// Regression: alpha <= 0 inverted the bounded-Pareto CDF tail and produced
+// samples outside [lo, hi] without any diagnostic.
+TEST(Rng, BoundedParetoRejectsNonPositiveAlpha) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bounded_pareto(0.0, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(rng.bounded_pareto(-1.5, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(rng.bounded_pareto(std::numeric_limits<double>::quiet_NaN(), 1.0, 10.0),
+               std::invalid_argument);
 }
 
 TEST(Rng, NormalMoments) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 namespace vdc::sim {
@@ -115,6 +117,96 @@ TEST(Simulation, RunUntilWithOnlyCancelledEvents) {
   sim.cancel(id);
   sim.run_until(5.0);
   EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+// ---- slab / generation-handle semantics -------------------------------------
+
+TEST(Simulation, RecycledSlotDoesNotResurrectOldId) {
+  Simulation sim;
+  const EventId stale = sim.schedule(1.0, [] {});
+  sim.run();  // slot released back to the free list
+
+  // The next schedule reuses the slot under a bumped generation: the old
+  // handle must neither cancel nor alias the new event.
+  bool fired = false;
+  sim.schedule(2.0, [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, DoubleCancelReturnsFalseAndSlotIsReusable) {
+  Simulation sim;
+  const EventId id = sim.schedule(1.0, [] { FAIL(); });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  int fired = 0;
+  for (int k = 0; k < 100; ++k) sim.schedule(1.0 + k, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulation, SlotsAreRecycledNotLeaked) {
+  Simulation sim;
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 20; ++k) sim.schedule_after(0.5, [] {});
+    sim.run();
+  }
+  // 1000 events executed through at most 20 concurrent slots.
+  EXPECT_EQ(sim.events_executed(), 1000u);
+  EXPECT_LE(sim.slab_size(), 20u);
+}
+
+TEST(Simulation, CallbackCanRescheduleIntoItsOwnSlot) {
+  // The executing event's slot is released before its callback runs, so a
+  // self-rescheduling callback (the PsQueue completion pattern) may land in
+  // the very slot it came from — and must still execute correctly.
+  Simulation sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 10) sim.schedule_after(1.0, [&] { hop(); });
+  };
+  sim.schedule(1.0, [&] { hop(); });
+  sim.run();
+  EXPECT_EQ(hops, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, LargeCallbacksFallBackToHeapStorage) {
+  // Callbacks bigger than the inline buffer take the heap path of
+  // EventCallback; behaviour must be indistinguishable.
+  Simulation sim;
+  std::array<double, 32> payload{};  // 256 bytes, well past the inline buffer
+  payload.fill(1.5);
+  double sum = 0.0;
+  sim.schedule(1.0, [payload, &sum] {
+    for (const double v : payload) sum += v;
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sum, 48.0);
+}
+
+TEST(EventCallback, ReportsInlineVersusHeapStorage) {
+  int x = 0;
+  EventCallback small([&x] { ++x; });
+  EXPECT_TRUE(small.is_inline());
+
+  std::array<char, 128> big{};
+  EventCallback large([big, &x] { x += big[0] + 2; });
+  EXPECT_FALSE(large.is_inline());
+
+  small();
+  large();
+  EXPECT_EQ(x, 3);
+
+  // Moving transfers the callable (inline via relocate, heap via pointer).
+  EventCallback moved(std::move(large));
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_FALSE(static_cast<bool>(large));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(x, 5);
 }
 
 }  // namespace

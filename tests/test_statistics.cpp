@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -207,6 +208,34 @@ TEST(SlidingWindow, QuantileWithSingleSampleIsThatSample) {
   EXPECT_DOUBLE_EQ(w.quantile(0.0), 3.5);
   EXPECT_DOUBLE_EQ(w.quantile(0.9), 3.5);
   EXPECT_DOUBLE_EQ(w.quantile(1.0), 3.5);
+}
+
+// Regression: Histogram::add computed the bin index with a float->size_t
+// cast BEFORE clamping, which is undefined behaviour for NaN, ±infinity and
+// anything beyond ±2^63. Finite out-of-range values must clamp; NaN belongs
+// to no bin and is counted separately.
+TEST(Histogram, ExtremeAndNanSamplesAreSafe) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.invalid(), 0u);
+
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.invalid(), 2u);
+  EXPECT_EQ(h.total(), 4u);  // NaN never binned, never part of total
+}
+
+TEST(SlidingWindow, RejectsNanSamples) {
+  SlidingWindow w(8);
+  w.add(1.0);
+  EXPECT_THROW(w.add(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_EQ(w.size(), 1u);  // the bad sample was not admitted
 }
 
 TEST(P2Quantile, EmptyEstimatorReportsZero) {

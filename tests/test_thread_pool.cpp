@@ -76,5 +76,40 @@ TEST(ParallelFor, ParallelSumMatchesSerial) {
   EXPECT_EQ(sum.load(), 10000LL * 9999LL / 2LL);
 }
 
+TEST(ThreadPool, SharedPoolIsAProcessWideSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_EQ(a.submit([] { return 17; }).get(), 17);
+}
+
+TEST(ParallelFor, RepeatedCallsReuseTheSharedPool) {
+  // parallel_for no longer spawns threads per call; hammering it must not
+  // exhaust anything and must stay correct across many small invocations.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    parallel_for(32, [&](std::size_t) { count.fetch_add(1); }, 4);
+    ASSERT_EQ(count.load(), 32);
+  }
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // An inner parallel_for runs while every pool worker may already be busy
+  // with the outer one. The caller-participates design guarantees progress
+  // even with zero free workers.
+  std::atomic<int> inner_total{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); }, 4);
+  }, 8);
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelFor, ManyMoreIterationsThanWorkers) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace vdc::util
