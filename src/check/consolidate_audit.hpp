@@ -5,6 +5,7 @@
 // generalised bin check — with its final residents).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -56,6 +57,10 @@ inline void plan(const DataCenterSnapshot& snapshot, const PlacementPlan& plan_t
     VDC_INVARIANT(!moved[vm], "VM " << vm << " is both moved and unplaced");
     if (scratch.host_of(vm) != datacenter::kNoServer) scratch.remove(vm);
   }
+  // Feasibility is a property of the final placement, so each receiving
+  // server needs checking once, not once per move that landed on it.
+  std::sort(receivers.begin(), receivers.end());
+  receivers.erase(std::unique(receivers.begin(), receivers.end()), receivers.end());
   for (const ServerId server : receivers) server_feasible(scratch, server, constraints);
 #else
   static_cast<void>(snapshot);
@@ -71,22 +76,38 @@ inline void min_slack_selection(const WorkingPlacement& placement, ServerId serv
                                 const ConstraintSet& constraints,
                                 std::span<const VmId> selected) {
 #if VDC_CHECKS_ENABLED
+  // This auditor runs on every Minimum Slack call — once per server PAC
+  // visits — so its cost must scale with the call's *selection*, not the
+  // fleet or the candidate list: fleet-sized scratch here would
+  // re-quadratize the consolidation pass the fast engine exists to avoid,
+  // and most calls (servers nothing fits on) select nothing at all.
+  if (selected.empty()) return;
   const DataCenterSnapshot& snapshot = placement.snapshot();
-  std::vector<bool> is_candidate(snapshot.vms.size(), false);
-  for (const VmId vm : candidates) is_candidate[vm] = true;
-  std::vector<const VmSnapshot*> resident;
-  for (const VmId vm : placement.hosted(server)) resident.push_back(&snapshot.vm(vm));
-  std::vector<bool> seen(snapshot.vms.size(), false);
-  for (const VmId vm : selected) {
-    VDC_INVARIANT(vm < snapshot.vms.size() && is_candidate[vm],
-                  "Minimum Slack selected non-candidate VM " << vm);
-    VDC_INVARIANT(!seen[vm], "Minimum Slack selected VM " << vm << " twice");
-    seen[vm] = true;
-    resident.push_back(&snapshot.vm(vm));
+  // Sort only the (small) selection and stream the candidate list through
+  // it once: sorting the candidates themselves would cost O(n log n) per
+  // selecting call, which breaks the scaling promise above on relief-sized
+  // candidate lists.
+  std::vector<VmId> sorted_selected(selected.begin(), selected.end());
+  std::sort(sorted_selected.begin(), sorted_selected.end());
+  for (std::size_t i = 0; i < sorted_selected.size(); ++i) {
+    const VmId vm = sorted_selected[i];
+    VDC_INVARIANT(vm < snapshot.vms.size(), "Minimum Slack selected unknown VM " << vm);
+    VDC_INVARIANT(i == 0 || sorted_selected[i - 1] != vm,
+                  "Minimum Slack selected VM " << vm << " twice");
   }
+  std::size_t matched = 0;
+  for (const VmId vm : candidates) {
+    if (std::binary_search(sorted_selected.begin(), sorted_selected.end(), vm)) ++matched;
+  }
+  // Candidates are distinct (each VM appears once in a migration list), so
+  // every selected VM must be matched by exactly one candidate.
+  VDC_INVARIANT(matched == sorted_selected.size(),
+                "Minimum Slack selected " << (sorted_selected.size() - matched)
+                                          << " non-candidate VM(s)");
   // An empty selection is always legal (the server may already be
-  // overloaded — relief targets are); a non-empty one must be admissible.
-  VDC_INVARIANT(selected.empty() || constraints.admits(snapshot.server(server), resident),
+  // overloaded — relief targets are); a non-empty one must be admissible
+  // together with the server's current residents.
+  VDC_INVARIANT(selected.empty() || placement.admits_with(server, selected, constraints),
                 "Minimum Slack selection is inadmissible on server " << server);
 #else
   static_cast<void>(placement);

@@ -1,5 +1,6 @@
 #include "consolidate/constraints.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace vdc::consolidate {
@@ -37,6 +38,16 @@ bool CustomConstraint::admits(const ServerSnapshot& server,
 
 ConstraintSet& ConstraintSet::add(std::unique_ptr<PlacementConstraint> constraint) {
   if (!constraint) throw std::invalid_argument("ConstraintSet: null constraint");
+  if (const auto* cpu = dynamic_cast<const CpuCapacityConstraint*>(constraint.get())) {
+    profile_.cpu_target =
+        profile_.has_cpu ? std::min(profile_.cpu_target, cpu->utilization_target())
+                         : cpu->utilization_target();
+    profile_.has_cpu = true;
+  } else if (dynamic_cast<const MemoryConstraint*>(constraint.get()) != nullptr) {
+    profile_.has_memory = true;
+  } else {
+    profile_.all_builtin = false;
+  }
   constraints_.push_back(std::move(constraint));
   return *this;
 }
@@ -51,6 +62,36 @@ bool ConstraintSet::admits(const ServerSnapshot& server,
     if (!constraint->admits(server, hosted)) return false;
   }
   return true;
+}
+
+bool ConstraintSet::admits_with(const ServerSnapshot& server,
+                                std::span<const VmSnapshot* const> resident,
+                                std::span<const VmSnapshot* const> extra,
+                                std::vector<const VmSnapshot*>& scratch) const {
+  if (server.failed) return false;
+  if (profile_.all_builtin) {
+    // Builtin-only sets reduce to two running sums — no concatenation, no
+    // virtual dispatch. Same formulas and epsilons as the constraint
+    // classes themselves.
+    double demand = 0.0;
+    double memory = 0.0;
+    for (const VmSnapshot* vm : resident) {
+      demand += vm->cpu_demand_ghz;
+      memory += vm->memory_mb;
+    }
+    for (const VmSnapshot* vm : extra) {
+      demand += vm->cpu_demand_ghz;
+      memory += vm->memory_mb;
+    }
+    if (profile_.has_cpu && demand > cpu_limit_ghz(server) + 1e-9) return false;
+    if (profile_.has_memory && memory > server.memory_mb + 1e-9) return false;
+    return true;
+  }
+  scratch.clear();
+  scratch.reserve(resident.size() + extra.size());
+  scratch.insert(scratch.end(), resident.begin(), resident.end());
+  scratch.insert(scratch.end(), extra.begin(), extra.end());
+  return admits(server, scratch);
 }
 
 ConstraintSet ConstraintSet::standard(double utilization_target) {

@@ -64,6 +64,22 @@ class CustomConstraint final : public PlacementConstraint {
 /// Conjunction of constraints; shared by all consolidation algorithms.
 class ConstraintSet {
  public:
+  /// Classification of the set, maintained by `add`. When every member is a
+  /// builtin (CPU capacity / memory) constraint, callers holding running
+  /// demand/memory sums can evaluate admission in O(1) against
+  /// `cpu_limit_ghz(server)` / the server's memory instead of walking the
+  /// polymorphic chain — the fast path of WorkingPlacement::admits_with and
+  /// the Minimum Slack DFS. Any custom (or future) constraint type clears
+  /// `all_builtin` and forces the generic evaluation everywhere.
+  struct BuiltinProfile {
+    bool all_builtin = true;
+    bool has_cpu = false;
+    bool has_memory = false;
+    /// Effective utilization target: the minimum across all CPU capacity
+    /// constraints (meaningful only when has_cpu).
+    double cpu_target = 1.0;
+  };
+
   ConstraintSet() = default;
   ConstraintSet(ConstraintSet&&) = default;
   ConstraintSet& operator=(ConstraintSet&&) = default;
@@ -71,13 +87,29 @@ class ConstraintSet {
   ConstraintSet& add(std::unique_ptr<PlacementConstraint> constraint);
   [[nodiscard]] bool admits(const ServerSnapshot& server,
                             std::span<const VmSnapshot* const> hosted) const;
+  /// Allocation-free variant for callers that hold the residents and the
+  /// candidates separately: concatenates them into `scratch` (reused across
+  /// calls, grown once) and evaluates the conjunction. Builtin-only sets
+  /// are evaluated by direct summation without touching `scratch`.
+  [[nodiscard]] bool admits_with(const ServerSnapshot& server,
+                                 std::span<const VmSnapshot* const> resident,
+                                 std::span<const VmSnapshot* const> extra,
+                                 std::vector<const VmSnapshot*>& scratch) const;
   [[nodiscard]] std::size_t size() const noexcept { return constraints_.size(); }
+
+  [[nodiscard]] const BuiltinProfile& builtin_profile() const noexcept { return profile_; }
+  /// CPU admission limit under the builtin profile (GHz): capacity times
+  /// the effective utilization target.
+  [[nodiscard]] double cpu_limit_ghz(const ServerSnapshot& server) const noexcept {
+    return server.max_capacity_ghz * profile_.cpu_target;
+  }
 
   /// The paper's simulation setup: CPU capacity + memory.
   [[nodiscard]] static ConstraintSet standard(double utilization_target = 1.0);
 
  private:
   std::vector<std::unique_ptr<PlacementConstraint>> constraints_;
+  BuiltinProfile profile_;
 };
 
 }  // namespace vdc::consolidate

@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "check/consolidate_audit.hpp"
+#include "consolidate/slack_index.hpp"
 
 namespace vdc::consolidate {
+
+namespace {
+
+/// Below this many servers the linear first-fit scan beats building a tree.
+constexpr std::size_t kIndexThreshold = 64;
+
+}  // namespace
 
 FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const ServerId> servers,
                                std::span<const VmId> vms, const ConstraintSet& constraints) {
@@ -17,16 +25,44 @@ FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const Serv
     return a < b;
   });
 
+  // First-fit has no capacity bound of its own, so slack-skipping is only
+  // sound when a CpuCapacityConstraint is present: its target is <= 1, so
+  // any server whose raw slack is below the VM's demand would be rejected
+  // by it — skipping cannot change which server is "first". Constraint
+  // sets without a CPU constraint keep the plain linear scan.
+  const ConstraintSet::BuiltinProfile& profile = constraints.builtin_profile();
+  const bool use_index = profile.has_cpu && servers.size() >= kIndexThreshold;
+  SlackIndex index;
+  if (use_index) {
+    index.build(servers, snapshot.servers.size());
+    for (const ServerId server : servers) index.update(server, placement.cpu_slack(server));
+  }
+
   FfdResult result;
   for (const VmId vm : order) {
+    const double demand = snapshot.vm(vm).cpu_demand_ghz;
+    const VmId extra[] = {vm};
     bool placed = false;
-    for (const ServerId server : servers) {
-      const VmId extra[] = {vm};
-      if (placement.admits_with(server, extra, constraints)) {
-        placement.place(vm, server);
-        result.placed.push_back(vm);
-        placed = true;
-        break;
+    if (use_index) {
+      for (std::size_t pos = 0;
+           (pos = index.find_first(pos, demand - 1e-9)) != SlackIndex::npos; ++pos) {
+        const ServerId server = index.server_at(pos);
+        if (placement.admits_with(server, extra, constraints)) {
+          placement.place(vm, server);
+          index.update(server, placement.cpu_slack(server));
+          result.placed.push_back(vm);
+          placed = true;
+          break;
+        }
+      }
+    } else {
+      for (const ServerId server : servers) {
+        if (placement.admits_with(server, extra, constraints)) {
+          placement.place(vm, server);
+          result.placed.push_back(vm);
+          placed = true;
+          break;
+        }
       }
     }
     if (!placed) result.unplaced.push_back(vm);

@@ -5,32 +5,12 @@
 #include "check/consolidate_audit.hpp"
 #include "consolidate/ffd.hpp"
 #include "consolidate/pac.hpp"
+#include "consolidate/slack_index.hpp"
 #include "util/log.hpp"
 
 namespace vdc::consolidate {
 
 namespace {
-
-/// Estimated total power of the placement: occupied servers run at max
-/// frequency with linear-in-utilization power; empty servers sleep. Used to
-/// judge whether a consolidation round that does not change the server
-/// count still pays (e.g. moving VMs from an inefficient machine onto an
-/// efficient one that is already awake).
-double estimated_power_w(const WorkingPlacement& placement) {
-  const DataCenterSnapshot& snap = placement.snapshot();
-  double total = 0.0;
-  for (const ServerSnapshot& server : snap.servers) {
-    if (!placement.occupied(server.id)) {
-      total += server.sleep_power_w;
-      continue;
-    }
-    const double utilization =
-        std::min(1.0, placement.cpu_demand(server.id) /
-                          std::max(1e-9, server.max_capacity_ghz));
-    total += server.idle_power_w + (server.max_power_w - server.idle_power_w) * utilization;
-  }
-  return total;
-}
 
 /// Smallest-CPU-demand VM on the server (the cheapest to evict).
 VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
@@ -49,6 +29,16 @@ VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
 
 }  // namespace
 
+// The fast engine. Three changes against the retained reference
+// (naive::ipac), all plan-preserving:
+//  * the fleet power estimate is WorkingPlacement's O(1) incremental sum
+//    instead of a full server scan per consolidation round;
+//  * PAC's target walk runs over a SlackIndex built once over the
+//    active-first order and kept in sync by the placement itself, with the
+//    donor masked for the duration of its round instead of rebuilding the
+//    target list each round;
+//  * overload-relief feasibility checks hit the O(1) builtin-constraint
+//    path inside WorkingPlacement::feasible.
 IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
                 const MigrationCostPolicy& policy, const IpacOptions& options) {
   WorkingPlacement wp(snapshot);
@@ -75,6 +65,11 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     }
   }
 
+  SlackIndex index;
+  index.build(active_first, snapshot.servers.size());
+  for (const ServerId s : active_first) index.update(s, wp.cpu_slack(s));
+  wp.set_slack_observer(&index);
+
   // ---- Step 0: pick up homeless VMs --------------------------------------
   // A VM with no host (crash-evicted, or never placed) receives no CPU at
   // all; re-placing it is the most urgent thing the optimizer can do, so it
@@ -97,8 +92,8 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     }
   }
   if (!migration_list.empty()) {
-    const PacResult pac = power_aware_consolidation(wp, migration_list, constraints,
-                                                    options.min_slack, active_first);
+    const PacResult pac =
+        power_aware_consolidation(wp, migration_list, constraints, options.min_slack, index);
     report.min_slack_steps += pac.min_slack_steps;
     report.overload_moves = pac.placed.size();
     for (const VmId vm : pac.placed) {
@@ -139,19 +134,15 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     if (!wp.occupied(donor)) continue;  // already emptied by an earlier round
     ++report.rounds_attempted;
 
-    // Evacuate the donor.
+    // Evacuate the donor; masking it keeps it out of PAC's target walk for
+    // the round (the reference rebuilds the whole target list instead).
     std::vector<VmId> evacuated(wp.hosted(donor).begin(), wp.hosted(donor).end());
-    const double power_before_round = estimated_power_w(wp);
+    const double power_before_round = wp.estimated_power_w();
+    index.set_masked(donor, true);
     for (const VmId vm : evacuated) wp.remove(vm);
 
-    std::vector<ServerId> targets;
-    targets.reserve(active_first.size() - 1);
-    for (const ServerId s : active_first) {
-      if (s != donor) targets.push_back(s);
-    }
-
     const PacResult pac =
-        power_aware_consolidation(wp, evacuated, constraints, options.min_slack, targets);
+        power_aware_consolidation(wp, evacuated, constraints, options.min_slack, index);
     report.min_slack_steps += pac.min_slack_steps;
 
     // A round pays when it shrinks the active-server set (applying the plan
@@ -160,12 +151,12 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     // than the machines that absorbed its VMs).
     bool accept = pac.unplaced.empty() &&
                   (wp.occupied_server_count() < active_baseline ||
-                   estimated_power_w(wp) < power_before_round - 1e-9);
+                   wp.estimated_power_w() < power_before_round - 1e-9);
     if (accept) {
       // Cost/benefit check: the round's estimated power saving, split
       // across its moves.
       const double benefit_per_move =
-          std::max(0.0, power_before_round - estimated_power_w(wp)) /
+          std::max(0.0, power_before_round - wp.estimated_power_w()) /
           static_cast<double>(evacuated.size());
       double round_bytes = 0.0;
       for (const VmId vm : evacuated) {
@@ -190,6 +181,7 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       ++report.rounds_accepted;
       report.consolidation_moves += evacuated.size();
       active_baseline = wp.occupied_server_count();
+      index.set_masked(donor, false);  // emptied, but a valid future target
       continue;  // try the next least-efficient donor
     }
 
@@ -199,8 +191,10 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       if (wp.host_of(vm) != datacenter::kNoServer) wp.remove(vm);
       wp.place(vm, donor);
     }
+    index.set_masked(donor, false);
     break;
   }
+  wp.set_slack_observer(nullptr);
 
   report.occupied_after = wp.occupied_server_count();
   report.plan = wp.plan(unplaced);

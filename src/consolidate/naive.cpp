@@ -1,0 +1,495 @@
+#include "consolidate/naive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "check/consolidate_audit.hpp"
+#include "util/log.hpp"
+
+namespace vdc::consolidate::naive {
+
+namespace {
+
+/// The original WorkingPlacement::admits_with: materializes the resident
+/// pointer list on every call (the allocation the fast engine eliminated).
+bool admits_with(const WorkingPlacement& placement, ServerId server,
+                 std::span<const VmId> extra, const ConstraintSet& constraints) {
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  std::vector<const VmSnapshot*> vms;
+  vms.reserve(placement.hosted(server).size() + extra.size());
+  for (const VmId vm : placement.hosted(server)) vms.push_back(&snapshot.vm(vm));
+  for (const VmId vm : extra) vms.push_back(&snapshot.vm(vm));
+  return constraints.admits(snapshot.server(server), vms);
+}
+
+bool feasible(const WorkingPlacement& placement, ServerId server,
+              const ConstraintSet& constraints) {
+  return admits_with(placement, server, {}, constraints);
+}
+
+struct SearchState {
+  const DataCenterSnapshot* snapshot;
+  const ServerSnapshot* server;
+  const ConstraintSet* constraints;
+  std::vector<VmId> order;                  // candidates, largest demand first
+  std::vector<const VmSnapshot*> resident;  // existing + currently selected
+  std::vector<VmId> selected;
+  double selected_demand = 0.0;
+  double base_demand = 0.0;  // demand of VMs already on the server
+
+  MinSlackResult best;
+  double epsilon;
+  std::size_t budget;
+  const MinSlackOptions* options;
+  bool done = false;
+
+  [[nodiscard]] double slack() const noexcept {
+    return server->max_capacity_ghz - base_demand - selected_demand;
+  }
+
+  void consider_current() {
+    const double s = slack();
+    if (s < best.slack_ghz - 1e-12) {
+      best.slack_ghz = s;
+      best.selected = selected;
+    }
+    if (best.slack_ghz < epsilon) done = true;  // line 4-5 of Algorithm 1
+  }
+
+  void dfs(std::size_t start) {
+    if (done) return;
+    for (std::size_t i = start; i < order.size(); ++i) {
+      if (done) return;
+      // A "step" is one candidate-placement attempt (the unit of work).
+      ++best.steps;
+      if (best.steps >= budget) {  // lines 15-17: escalate epsilon
+        if (best.escalations >= options->max_escalations) {
+          done = true;
+          return;
+        }
+        ++best.escalations;
+        epsilon *= options->epsilon_escalation;
+        budget += options->step_budget;
+        if (best.slack_ghz < epsilon) {
+          done = true;
+          return;
+        }
+      }
+      const VmId vm = order[i];
+      const VmSnapshot& info = snapshot->vm(vm);
+      // Symmetry pruning (standard MBS): identical siblings explore
+      // identical subtrees — try only the first of an equal run per level.
+      if (i > start) {
+        const VmSnapshot& prev = snapshot->vm(order[i - 1]);
+        if (prev.cpu_demand_ghz == info.cpu_demand_ghz && prev.memory_mb == info.memory_mb) {
+          continue;
+        }
+      }
+      // CPU-slack bound: a VM larger than the remaining raw-capacity slack
+      // would push total demand past the server's capacity, which can only
+      // worsen the slack objective — prune before the full constraint
+      // evaluation.
+      if (info.cpu_demand_ghz > slack() + 1e-9) continue;
+      resident.push_back(&info);  // line 2: pack VM into S
+      if (constraints->admits(*server, resident)) {  // line 3
+        selected.push_back(vm);
+        selected_demand += info.cpu_demand_ghz;
+        consider_current();  // lines 11-14
+        if (!done) dfs(i + 1);  // line 7: recurse on the remaining VMs
+        selected_demand -= info.cpu_demand_ghz;
+        selected.pop_back();
+      }
+      resident.pop_back();  // line 9: remove VM from S
+    }
+  }
+};
+
+/// Smallest-CPU-demand VM on the server (the cheapest to evict).
+VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
+  const auto hosted = placement.hosted(server);
+  VmId best = hosted.front();
+  double best_demand = placement.snapshot().vm(best).cpu_demand_ghz;
+  for (const VmId vm : hosted) {
+    const double d = placement.snapshot().vm(vm).cpu_demand_ghz;
+    if (d < best_demand || (d == best_demand && vm < best)) {
+      best = vm;
+      best_demand = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double estimated_power_w(const WorkingPlacement& placement) {
+  const DataCenterSnapshot& snap = placement.snapshot();
+  double total = 0.0;
+  for (const ServerSnapshot& server : snap.servers) {
+    if (!placement.occupied(server.id)) {
+      total += server.sleep_power_w;
+      continue;
+    }
+    const double utilization =
+        std::min(1.0, placement.cpu_demand(server.id) /
+                          std::max(1e-9, server.max_capacity_ghz));
+    total += server.idle_power_w + (server.max_power_w - server.idle_power_w) * utilization;
+  }
+  return total;
+}
+
+MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
+                             std::span<const VmId> candidates,
+                             const ConstraintSet& constraints, const MinSlackOptions& options) {
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  if (server >= snapshot.servers.size()) throw std::out_of_range("minimum_slack: server id");
+
+  SearchState state;
+  state.snapshot = &snapshot;
+  state.server = &snapshot.server(server);
+  state.constraints = &constraints;
+  state.options = &options;
+  state.epsilon = options.epsilon_ghz;
+  state.budget = options.step_budget;
+
+  state.order.assign(candidates.begin(), candidates.end());
+  for (const VmId vm : state.order) {
+    if (placement.host_of(vm) != datacenter::kNoServer) {
+      throw std::invalid_argument("minimum_slack: candidate VM is already placed");
+    }
+  }
+  std::sort(state.order.begin(), state.order.end(), [&](VmId a, VmId b) {
+    const double da = snapshot.vm(a).cpu_demand_ghz;
+    const double db = snapshot.vm(b).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  for (const VmId vm : placement.hosted(server)) {
+    state.resident.push_back(&snapshot.vm(vm));
+    state.base_demand += snapshot.vm(vm).cpu_demand_ghz;
+  }
+
+  state.best.slack_ghz = state.slack();  // empty selection is the baseline
+  state.consider_current();
+  if (!state.done) state.dfs(0);
+  audit::min_slack_selection(placement, server, candidates, constraints, state.best.selected);
+  return state.best;
+}
+
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options) {
+  const std::vector<ServerId> order = servers_by_power_efficiency(placement.snapshot());
+  return naive::power_aware_consolidation(placement, vms, constraints, options, order);
+}
+
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options,
+                                    std::span<const ServerId> server_order) {
+  PacResult result;
+  std::vector<VmId> remaining(vms.begin(), vms.end());
+  if (remaining.empty()) return result;
+
+  for (const ServerId server : server_order) {
+    if (remaining.empty()) break;
+    MinSlackResult fit = naive::minimum_slack(placement, server, remaining, constraints, options);
+    result.min_slack_steps += fit.steps;
+    if (fit.selected.empty()) continue;
+    for (const VmId vm : fit.selected) {
+      placement.place(vm, server);
+      result.placed.push_back(vm);
+      remaining.erase(std::remove(remaining.begin(), remaining.end(), vm), remaining.end());
+    }
+    ++result.servers_used;
+  }
+  result.unplaced = std::move(remaining);
+  return result;
+}
+
+FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const ServerId> servers,
+                               std::span<const VmId> vms, const ConstraintSet& constraints) {
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  std::vector<VmId> order(vms.begin(), vms.end());
+  std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
+    const double da = snapshot.vm(a).cpu_demand_ghz;
+    const double db = snapshot.vm(b).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  FfdResult result;
+  for (const VmId vm : order) {
+    bool placed = false;
+    for (const ServerId server : servers) {
+      const VmId extra[] = {vm};
+      if (admits_with(placement, server, extra, constraints)) {
+        placement.place(vm, server);
+        result.placed.push_back(vm);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) result.unplaced.push_back(vm);
+  }
+  for (const VmId vm : result.placed) {
+    audit::server_feasible(placement, placement.host_of(vm), constraints);
+  }
+  return result;
+}
+
+IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
+                const MigrationCostPolicy& policy, const IpacOptions& options) {
+  WorkingPlacement wp(snapshot);
+  IpacReport report;
+  report.occupied_before = wp.occupied_server_count();
+  double bytes_approved = 0.0;
+  datacenter::MigrationModel migration_model;  // for byte estimates in proposals
+
+  // Target ordering for PAC: active servers by descending power efficiency
+  // first, then sleeping ones ("enough inactive servers which will be waken
+  // up and used if necessary") — waking a machine is a last resort, since
+  // an extra awake server costs idle power immediately.
+  const std::vector<ServerId> efficiency_order = servers_by_power_efficiency(snapshot);
+  std::vector<ServerId> active_first;
+  active_first.reserve(efficiency_order.size());
+  for (const ServerId s : efficiency_order) {
+    if (snapshot.server(s).active || !snapshot.server(s).hosted.empty()) {
+      active_first.push_back(s);
+    }
+  }
+  for (const ServerId s : efficiency_order) {
+    if (!snapshot.server(s).active && snapshot.server(s).hosted.empty()) {
+      active_first.push_back(s);
+    }
+  }
+
+  // ---- Step 0: pick up homeless VMs --------------------------------------
+  std::vector<VmId> migration_list;
+  for (const VmSnapshot& vm : snapshot.vms) {
+    if (wp.host_of(vm.id) == datacenter::kNoServer) migration_list.push_back(vm.id);
+  }
+  if (!migration_list.empty()) {
+    util::Log(util::LogLevel::kInfo, "ipac")
+        << migration_list.size() << " unplaced VM(s) queued for re-placement";
+  }
+
+  // ---- Step 1: overload relief -------------------------------------------
+  for (const ServerSnapshot& server : snapshot.servers) {
+    while (!wp.hosted(server.id).empty() && !feasible(wp, server.id, constraints)) {
+      const VmId victim = smallest_vm(wp, server.id);
+      wp.remove(victim);
+      migration_list.push_back(victim);
+    }
+  }
+  if (!migration_list.empty()) {
+    const PacResult pac = naive::power_aware_consolidation(wp, migration_list, constraints,
+                                                           options.min_slack, active_first);
+    report.min_slack_steps += pac.min_slack_steps;
+    report.overload_moves = pac.placed.size();
+    for (const VmId vm : pac.placed) {
+      bytes_approved += migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
+    }
+    for (const VmId vm : pac.unplaced) {
+      util::Log(util::LogLevel::kWarn, "ipac")
+          << "overloaded VM " << vm << " could not be re-placed";
+    }
+    migration_list = pac.unplaced;
+  }
+  std::vector<VmId> unplaced = std::move(migration_list);
+
+  // ---- Step 2: consolidation rounds --------------------------------------
+  std::vector<ServerId> donors;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    if (wp.occupied(server.id)) donors.push_back(server.id);
+  }
+  std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
+    const double ea = snapshot.server(a).power_efficiency;
+    const double eb = snapshot.server(b).power_efficiency;
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+
+  std::size_t active_baseline = 0;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    if (server.active || !server.hosted.empty()) ++active_baseline;
+  }
+
+  for (const ServerId donor : donors) {
+    if (report.rounds_attempted >= options.max_rounds) break;
+    if (!wp.occupied(donor)) continue;  // already emptied by an earlier round
+    ++report.rounds_attempted;
+
+    // Evacuate the donor.
+    std::vector<VmId> evacuated(wp.hosted(donor).begin(), wp.hosted(donor).end());
+    const double power_before_round = naive::estimated_power_w(wp);
+    for (const VmId vm : evacuated) wp.remove(vm);
+
+    std::vector<ServerId> targets;
+    targets.reserve(active_first.size() - 1);
+    for (const ServerId s : active_first) {
+      if (s != donor) targets.push_back(s);
+    }
+
+    const PacResult pac = naive::power_aware_consolidation(wp, evacuated, constraints,
+                                                           options.min_slack, targets);
+    report.min_slack_steps += pac.min_slack_steps;
+
+    bool accept = pac.unplaced.empty() &&
+                  (wp.occupied_server_count() < active_baseline ||
+                   naive::estimated_power_w(wp) < power_before_round - 1e-9);
+    if (accept) {
+      const double benefit_per_move =
+          std::max(0.0, power_before_round - naive::estimated_power_w(wp)) /
+          static_cast<double>(evacuated.size());
+      double round_bytes = 0.0;
+      for (const VmId vm : evacuated) {
+        MigrationProposal proposal;
+        proposal.vm = vm;
+        proposal.from = donor;
+        proposal.to = wp.host_of(vm);
+        proposal.estimated_benefit_w = benefit_per_move;
+        proposal.bytes = migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
+        proposal.bytes_already_approved = bytes_approved + round_bytes;
+        if (!policy.allow(snapshot, proposal)) {
+          accept = false;
+          ++report.rounds_rejected_by_policy;
+          break;
+        }
+        round_bytes += proposal.bytes;
+      }
+      if (accept) bytes_approved += round_bytes;
+    }
+
+    if (accept) {
+      ++report.rounds_accepted;
+      report.consolidation_moves += evacuated.size();
+      active_baseline = wp.occupied_server_count();
+      continue;  // try the next least-efficient donor
+    }
+
+    // Roll back the round and stop.
+    for (const VmId vm : evacuated) {
+      if (wp.host_of(vm) != datacenter::kNoServer) wp.remove(vm);
+      wp.place(vm, donor);
+    }
+    break;
+  }
+
+  report.occupied_after = wp.occupied_server_count();
+  report.plan = wp.plan(unplaced);
+  audit::plan(snapshot, report.plan, constraints);
+  return report;
+}
+
+PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints) {
+  PMapperReport report;
+
+  // ---- Phase 1: target allocation on a phantom (emptied) copy -------------
+  DataCenterSnapshot phantom = snapshot;
+  for (ServerSnapshot& server : phantom.servers) server.hosted.clear();
+  WorkingPlacement target(phantom);
+  {
+    const std::vector<ServerId> order = servers_by_power_efficiency(phantom);
+    std::vector<VmId> all;
+    all.reserve(phantom.vms.size());
+    for (const VmSnapshot& vm : phantom.vms) all.push_back(vm.id);
+    (void)naive::first_fit_decreasing(target, order, all, constraints);
+  }
+  report.target_demand_ghz.resize(snapshot.servers.size(), 0.0);
+  for (const ServerSnapshot& server : snapshot.servers) {
+    report.target_demand_ghz[server.id] = target.cpu_demand(server.id);
+  }
+
+  // ---- Phase 2: donors shed their smallest VMs; receivers absorb ----------
+  WorkingPlacement wp(snapshot);
+  report.occupied_before = wp.occupied_server_count();
+
+  std::vector<ServerId> receivers;
+  std::vector<VmId> migration_list;
+  constexpr double kEps = 1e-9;
+  for (const ServerSnapshot& server : snapshot.servers) {
+    const double current = wp.cpu_demand(server.id);
+    const double target_demand = report.target_demand_ghz[server.id];
+    if (target_demand > current + kEps) {
+      receivers.push_back(server.id);
+    } else if (target_demand < current - kEps) {
+      // Donor: shed the smallest VMs until at (or below) target.
+      std::vector<VmId> hosted(wp.hosted(server.id).begin(), wp.hosted(server.id).end());
+      std::sort(hosted.begin(), hosted.end(), [&](VmId a, VmId b) {
+        const double da = snapshot.vm(a).cpu_demand_ghz;
+        const double db = snapshot.vm(b).cpu_demand_ghz;
+        if (da != db) return da < db;
+        return a < b;
+      });
+      for (const VmId vm : hosted) {
+        if (wp.cpu_demand(server.id) <= target_demand + kEps) break;
+        wp.remove(vm);
+        migration_list.push_back(vm);
+      }
+    }
+  }
+
+  std::sort(receivers.begin(), receivers.end(), [&](ServerId a, ServerId b) {
+    const double ea = snapshot.server(a).power_efficiency;
+    const double eb = snapshot.server(b).power_efficiency;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+
+  std::vector<ServerId> origin(snapshot.vms.size(), datacenter::kNoServer);
+  for (const ServerSnapshot& server : snapshot.servers) {
+    for (const VmId vm : server.hosted) origin[vm] = server.id;
+  }
+
+  std::vector<VmId> order = migration_list;
+  std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
+    const double da = snapshot.vm(a).cpu_demand_ghz;
+    const double db = snapshot.vm(b).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<VmId> unplaced;
+  for (const VmId vm : order) {
+    bool placed = false;
+    for (const ServerId receiver : receivers) {
+      const VmId extra[] = {vm};
+      const bool fits_target =
+          wp.cpu_demand(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
+          report.target_demand_ghz[receiver] + kEps;
+      if (fits_target && admits_with(wp, receiver, extra, constraints)) {
+        wp.place(vm, receiver);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Second chance ignoring the target cap (constraints still hold).
+      for (const ServerId receiver : receivers) {
+        const VmId extra[] = {vm};
+        if (admits_with(wp, receiver, extra, constraints)) {
+          wp.place(vm, receiver);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      if (origin[vm] != datacenter::kNoServer) {
+        wp.place(vm, origin[vm]);
+      } else {
+        unplaced.push_back(vm);
+      }
+    }
+  }
+
+  report.occupied_after = wp.occupied_server_count();
+  report.plan = wp.plan(unplaced);
+  report.moves = report.plan.moves.size();
+  audit::plan(snapshot, report.plan, constraints);
+  return report;
+}
+
+}  // namespace vdc::consolidate::naive

@@ -1,10 +1,98 @@
 #include "consolidate/pac.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "consolidate/ffd.hpp"
 
 namespace vdc::consolidate {
+
+namespace {
+
+PacResult consolidate(WorkingPlacement& placement, std::span<const VmId> vms,
+                      const ConstraintSet& constraints, const MinSlackOptions& options,
+                      std::span<const ServerId> server_order, const SlackIndex* index) {
+  PacResult result;
+  std::vector<VmId> remaining(vms.begin(), vms.end());
+  if (remaining.empty()) return result;
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+
+  // Servers whose raw CPU slack is below the smallest remaining demand are
+  // skipped: Minimum Slack's capacity bound would prune every candidate at
+  // the top level there, so the reference engine returns an empty selection
+  // for them anyway. The index answers "next viable server" in O(log n);
+  // the linear walk pays an O(1) test per server. The same argument covers
+  // memory when the constraint set is builtin: a server whose free memory
+  // cannot hold even the smallest remaining candidate rejects every
+  // candidate at every depth (the memory check is monotone in the
+  // selection), so its visit provably selects nothing — and since the step
+  // budget is per Minimum-Slack call, skipping the visit outright leaves
+  // every other call, and therefore the plan, untouched. The reference
+  // engine still touches each candidate once at the top level of such a
+  // visit (one counted step apiece, selecting nothing), so the skip adds
+  // that count analytically; when the candidate list is long enough that
+  // the per-call budget could bind mid-scan, the real call is made so the
+  // step accounting stays exact.
+  const bool memory_gate = constraints.builtin_profile().all_builtin &&
+                           constraints.builtin_profile().has_memory;
+  double smallest = 0.0;
+  double smallest_memory = 0.0;
+  auto refresh_smallest = [&] {
+    smallest = std::numeric_limits<double>::infinity();
+    smallest_memory = std::numeric_limits<double>::infinity();
+    for (const VmId vm : remaining) {
+      const VmSnapshot& info = snapshot.vm(vm);
+      smallest = std::min(smallest, info.cpu_demand_ghz);
+      smallest_memory = std::min(smallest_memory, info.memory_mb);
+    }
+  };
+  refresh_smallest();
+
+  std::vector<VmId> sorted_selected;
+  const std::size_t limit = index != nullptr ? index->size() : server_order.size();
+  for (std::size_t pos = 0; pos < limit; ++pos) {
+    if (remaining.empty()) break;
+    ServerId server = 0;
+    if (index != nullptr) {
+      pos = index->find_first(pos, smallest - 1e-9);
+      if (pos == SlackIndex::npos) break;
+      server = index->server_at(pos);
+    } else {
+      server = server_order[pos];
+      if (placement.cpu_slack(server) + 1e-9 < smallest) continue;
+    }
+    if (memory_gate && placement.memory_used(server) + smallest_memory >
+                           snapshot.server(server).memory_mb + 1e-9 &&
+        !snapshot.server(server).failed) {
+      // Below epsilon the reference exits before its first step; otherwise
+      // it pays one step per candidate.
+      if (placement.cpu_slack(server) < options.epsilon_ghz) continue;
+      if (remaining.size() < options.step_budget) {
+        result.min_slack_steps += remaining.size();
+        continue;
+      }
+    }
+    MinSlackResult fit = minimum_slack(placement, server, remaining, constraints, options);
+    result.min_slack_steps += fit.steps;
+    if (fit.selected.empty()) continue;
+    for (const VmId vm : fit.selected) {
+      placement.place(vm, server);
+      result.placed.push_back(vm);
+    }
+    // One filtering pass instead of an erase-remove per placed VM.
+    sorted_selected.assign(fit.selected.begin(), fit.selected.end());
+    std::sort(sorted_selected.begin(), sorted_selected.end());
+    std::erase_if(remaining, [&](VmId vm) {
+      return std::binary_search(sorted_selected.begin(), sorted_selected.end(), vm);
+    });
+    refresh_smallest();
+    ++result.servers_used;
+  }
+  result.unplaced = std::move(remaining);
+  return result;
+}
+
+}  // namespace
 
 PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
                                     const ConstraintSet& constraints,
@@ -17,24 +105,13 @@ PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const
                                     const ConstraintSet& constraints,
                                     const MinSlackOptions& options,
                                     std::span<const ServerId> server_order) {
-  PacResult result;
-  std::vector<VmId> remaining(vms.begin(), vms.end());
-  if (remaining.empty()) return result;
+  return consolidate(placement, vms, constraints, options, server_order, nullptr);
+}
 
-  for (const ServerId server : server_order) {
-    if (remaining.empty()) break;
-    MinSlackResult fit = minimum_slack(placement, server, remaining, constraints, options);
-    result.min_slack_steps += fit.steps;
-    if (fit.selected.empty()) continue;
-    for (const VmId vm : fit.selected) {
-      placement.place(vm, server);
-      result.placed.push_back(vm);
-      remaining.erase(std::remove(remaining.begin(), remaining.end(), vm), remaining.end());
-    }
-    ++result.servers_used;
-  }
-  result.unplaced = std::move(remaining);
-  return result;
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options, const SlackIndex& index) {
+  return consolidate(placement, vms, constraints, options, {}, &index);
 }
 
 }  // namespace vdc::consolidate

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "consolidate/minimum_slack.hpp"
+#include "consolidate/slack_index.hpp"
 #include "consolidate/working_placement.hpp"
 
 namespace vdc::consolidate {
@@ -32,5 +33,16 @@ PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const
                                     const ConstraintSet& constraints,
                                     const MinSlackOptions& options,
                                     std::span<const ServerId> server_order);
+
+/// Variant driven by a SlackIndex built over the visiting order: servers
+/// whose raw CPU slack cannot take even the smallest remaining candidate
+/// are skipped in O(log n) instead of each paying an (empty) Minimum Slack
+/// call. The index must be registered as the placement's slack observer so
+/// placements keep it current; masked servers (IPAC's donor) are never
+/// visited. Plan-identical to the linear walk — see SlackIndex's header
+/// for the argument.
+PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const VmId> vms,
+                                    const ConstraintSet& constraints,
+                                    const MinSlackOptions& options, const SlackIndex& index);
 
 }  // namespace vdc::consolidate

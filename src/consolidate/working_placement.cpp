@@ -1,24 +1,69 @@
 #include "consolidate/working_placement.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "consolidate/slack_index.hpp"
+
 namespace vdc::consolidate {
+
+namespace {
+
+/// Neumaier-compensated accumulation: keeps the running fleet power exact
+/// to the last bit across millions of add/remove deltas, so the O(1)
+/// estimate tracks the naive full scan instead of drifting.
+void compensated_add(double& total, double& compensation, double delta) {
+  const double t = total + delta;
+  if (std::abs(total) >= std::abs(delta)) {
+    compensation += (total - t) + delta;
+  } else {
+    compensation += (delta - t) + total;
+  }
+  total = t;
+}
+
+}  // namespace
 
 WorkingPlacement::WorkingPlacement(const DataCenterSnapshot& snapshot)
     : snapshot_(&snapshot),
       host_(snapshot.vms.size(), datacenter::kNoServer),
+      original_(snapshot.vms.size(), datacenter::kNoServer),
+      slot_(snapshot.vms.size(), 0),
       hosted_(snapshot.servers.size()),
       demand_(snapshot.servers.size(), 0.0),
-      memory_(snapshot.servers.size(), 0.0) {
+      memory_(snapshot.servers.size(), 0.0),
+      power_(snapshot.servers.size(), 0.0) {
   for (const ServerSnapshot& server : snapshot.servers) {
     for (const VmId vm : server.hosted) {
+      const VmSnapshot& info = snapshot.vm(vm);
       host_.at(vm) = server.id;
+      original_.at(vm) = server.id;
+      slot_[vm] = static_cast<std::uint32_t>(hosted_[server.id].size());
       hosted_[server.id].push_back(vm);
-      demand_[server.id] += snapshot.vm(vm).cpu_demand_ghz;
-      memory_[server.id] += snapshot.vm(vm).memory_mb;
+      demand_[server.id] += info.cpu_demand_ghz;
+      memory_[server.id] += info.memory_mb;
     }
   }
+  for (const ServerSnapshot& server : snapshot.servers) {
+    if (!hosted_[server.id].empty()) ++occupied_count_;
+    power_[server.id] = power_contribution(server.id);
+    compensated_add(power_total_, power_compensation_, power_[server.id]);
+  }
+}
+
+double WorkingPlacement::power_contribution(ServerId server) const {
+  const ServerSnapshot& info = snapshot_->server(server);
+  if (hosted_[server].empty()) return info.sleep_power_w;
+  const double utilization =
+      std::min(1.0, demand_[server] / std::max(1e-9, info.max_capacity_ghz));
+  return info.idle_power_w + (info.max_power_w - info.idle_power_w) * utilization;
+}
+
+void WorkingPlacement::refresh_power(ServerId server) {
+  const double fresh = power_contribution(server);
+  compensated_add(power_total_, power_compensation_, fresh - power_[server]);
+  power_[server] = fresh;
 }
 
 void WorkingPlacement::remove(VmId vm) {
@@ -27,10 +72,24 @@ void WorkingPlacement::remove(VmId vm) {
     throw std::logic_error("WorkingPlacement::remove: VM is not placed");
   }
   auto& list = hosted_[server];
-  list.erase(std::remove(list.begin(), list.end(), vm), list.end());
-  demand_[server] -= snapshot_->vm(vm).cpu_demand_ghz;
-  memory_[server] -= snapshot_->vm(vm).memory_mb;
+  // Swap-and-pop: O(1) regardless of how many residents the server has.
+  const std::uint32_t slot = slot_[vm];
+  const VmId moved = list.back();
+  list[slot] = moved;
+  slot_[moved] = slot;
+  list.pop_back();
+  if (ptrs_valid_) {
+    auto& ptrs = hosted_ptrs_[server];
+    ptrs[slot] = ptrs.back();
+    ptrs.pop_back();
+  }
+  if (list.empty()) --occupied_count_;
+  const VmSnapshot& info = snapshot_->vm(vm);
+  demand_[server] -= info.cpu_demand_ghz;
+  memory_[server] -= info.memory_mb;
   host_[vm] = datacenter::kNoServer;
+  refresh_power(server);
+  if (slack_observer_ != nullptr) slack_observer_->update(server, cpu_slack(server));
 }
 
 void WorkingPlacement::place(VmId vm, ServerId server) {
@@ -38,25 +97,54 @@ void WorkingPlacement::place(VmId vm, ServerId server) {
     throw std::logic_error("WorkingPlacement::place: VM already placed");
   }
   if (server >= hosted_.size()) throw std::out_of_range("WorkingPlacement::place: server id");
+  auto& list = hosted_[server];
+  if (list.empty()) ++occupied_count_;
   host_[vm] = server;
-  hosted_[server].push_back(vm);
-  demand_[server] += snapshot_->vm(vm).cpu_demand_ghz;
-  memory_[server] += snapshot_->vm(vm).memory_mb;
+  slot_[vm] = static_cast<std::uint32_t>(list.size());
+  const VmSnapshot& info = snapshot_->vm(vm);
+  list.push_back(vm);
+  if (ptrs_valid_) hosted_ptrs_[server].push_back(&info);
+  demand_[server] += info.cpu_demand_ghz;
+  memory_[server] += info.memory_mb;
+  refresh_power(server);
+  if (slack_observer_ != nullptr) slack_observer_->update(server, cpu_slack(server));
 }
 
 bool WorkingPlacement::admits_with(ServerId server, std::span<const VmId> extra,
                                    const ConstraintSet& constraints) const {
-  std::vector<const VmSnapshot*> vms;
-  vms.reserve(hosted_.at(server).size() + extra.size());
-  for (const VmId vm : hosted_[server]) vms.push_back(&snapshot_->vm(vm));
-  for (const VmId vm : extra) vms.push_back(&snapshot_->vm(vm));
-  return constraints.admits(snapshot_->server(server), vms);
+  const ServerSnapshot& info = snapshot_->server(server);
+  const ConstraintSet::BuiltinProfile& profile = constraints.builtin_profile();
+  if (profile.all_builtin) {
+    // O(extra): the cached aggregates stand in for the resident sums.
+    if (info.failed) return false;
+    double demand = demand_.at(server);
+    double memory = memory_[server];
+    for (const VmId vm : extra) {
+      const VmSnapshot& vm_info = snapshot_->vm(vm);
+      demand += vm_info.cpu_demand_ghz;
+      memory += vm_info.memory_mb;
+    }
+    if (profile.has_cpu && demand > constraints.cpu_limit_ghz(info) + 1e-9) return false;
+    if (profile.has_memory && memory > info.memory_mb + 1e-9) return false;
+    return true;
+  }
+  // Generic path: reuse one scratch vector instead of allocating per call.
+  const std::span<const VmSnapshot* const> resident = hosted_snapshots(server);
+  scratch_.clear();
+  scratch_.reserve(resident.size() + extra.size());
+  scratch_.insert(scratch_.end(), resident.begin(), resident.end());
+  for (const VmId vm : extra) scratch_.push_back(&snapshot_->vm(vm));
+  return constraints.admits(info, scratch_);
 }
 
-std::size_t WorkingPlacement::occupied_server_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(hosted_.begin(), hosted_.end(),
-                    [](const std::vector<VmId>& v) { return !v.empty(); }));
+void WorkingPlacement::materialize_ptrs() const {
+  hosted_ptrs_.assign(hosted_.size(), {});
+  for (ServerId server = 0; server < hosted_.size(); ++server) {
+    auto& ptrs = hosted_ptrs_[server];
+    ptrs.reserve(hosted_[server].size());
+    for (const VmId vm : hosted_[server]) ptrs.push_back(&snapshot_->vm(vm));
+  }
+  ptrs_valid_ = true;
 }
 
 double WorkingPlacement::cpu_slack(ServerId server) const {
@@ -65,15 +153,10 @@ double WorkingPlacement::cpu_slack(ServerId server) const {
 
 PlacementPlan WorkingPlacement::plan(std::span<const VmId> unplaced) const {
   PlacementPlan plan;
-  // Original host per VM.
-  std::vector<ServerId> original(snapshot_->vms.size(), datacenter::kNoServer);
-  for (const ServerSnapshot& server : snapshot_->servers) {
-    for (const VmId vm : server.hosted) original.at(vm) = server.id;
-  }
   for (VmId vm = 0; vm < host_.size(); ++vm) {
     if (host_[vm] == datacenter::kNoServer) continue;
-    if (host_[vm] != original[vm]) {
-      plan.moves.push_back(Move{vm, original[vm], host_[vm]});
+    if (host_[vm] != original_[vm]) {
+      plan.moves.push_back(Move{vm, original_[vm], host_[vm]});
     }
   }
   plan.unplaced.assign(unplaced.begin(), unplaced.end());

@@ -81,6 +81,13 @@ void AppStack::loop_tick() {
 }
 
 std::vector<double> AppStack::control_tick() {
+  const std::optional<app::PeriodStats> stats = harvest_tick();
+  std::vector<double> demands = decide_tick(stats);
+  record_decision(demands);
+  return demands;
+}
+
+std::optional<app::PeriodStats> AppStack::harvest_tick() {
   if (fault_ != nullptr && fault_->enabled() &&
       fault_->sensor_stale(sim_.now(), fault_index_)) {
     monitor_.mark_stale();
@@ -94,10 +101,17 @@ std::vector<double> AppStack::control_tick() {
     recorder_->append(response_series_, fresh ? stats->controlled : last_measurement());
   }
   if (fresh) held_measurement_ = stats->controlled;
-  std::vector<double> demands =
-      controller_ ? controller_->control(stats) : policy_(stats);
-  if (recorder_ != nullptr) recorder_->append(allocation_series_, demands);
-  return demands;
+  return stats;
+}
+
+std::vector<double> AppStack::decide_tick(const std::optional<app::PeriodStats>& stats) {
+  return controller_ ? controller_->control(stats) : policy_(stats);
+}
+
+void AppStack::record_decision(std::span<const double> demands) {
+  if (recorder_ != nullptr) {
+    recorder_->append(allocation_series_, std::vector<double>(demands.begin(), demands.end()));
+  }
 }
 
 void AppStack::apply_allocation(std::size_t tier, double ghz) {

@@ -83,8 +83,31 @@ class AppStack {
   /// One control period: harvests the monitor, records telemetry, and
   /// returns the decided per-tier CPU demands (GHz). Does NOT apply them —
   /// the caller either applies them verbatim (standalone) or grants
-  /// arbitrated allocations via `apply_allocation`.
+  /// arbitrated allocations via `apply_allocation`. Equivalent to
+  /// harvest_tick() + decide_tick() + record_decision().
   [[nodiscard]] std::vector<double> control_tick();
+
+  // ---- split control tick (parallel control plane) -----------------------
+  // `control_tick` decomposed into its serial and parallelizable parts so
+  // an owner driving many stacks can batch the expensive MPC solves onto a
+  // thread pool. Call order per period: harvest_tick (serial — touches the
+  // fault injector and the shared telemetry recorder), then decide_tick
+  // (safe to run concurrently with other stacks' decide_tick: it only
+  // touches this stack's controller/policy state), then record_decision
+  // (serial — appends to the recorder). The composition is bit-identical to
+  // control_tick().
+
+  /// Harvests the monitor, applies sensor-fault staleness, records the
+  /// response sample, and updates the held measurement. Serial phase.
+  [[nodiscard]] std::optional<app::PeriodStats> harvest_tick();
+
+  /// Pure decision: maps the harvested stats to per-tier CPU demands via
+  /// the MPC controller (or policy). Mutates only this stack's controller
+  /// state — stacks may decide concurrently. Parallel phase.
+  [[nodiscard]] std::vector<double> decide_tick(const std::optional<app::PeriodStats>& stats);
+
+  /// Appends the decided demands to the allocation telemetry. Serial phase.
+  void record_decision(std::span<const double> demands);
 
   void apply_allocation(std::size_t tier, double ghz);
   void apply_allocations(std::span<const double> ghz);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "consolidate/naive.hpp"
+
 namespace vdc::core {
 
 std::string to_string(ConsolidationAlgorithm algorithm) {
@@ -9,6 +11,14 @@ std::string to_string(ConsolidationAlgorithm algorithm) {
     case ConsolidationAlgorithm::kIpac: return "IPAC";
     case ConsolidationAlgorithm::kPMapper: return "pMapper";
     case ConsolidationAlgorithm::kNone: return "none";
+  }
+  return "?";
+}
+
+std::string to_string(ConsolidationEngine engine) {
+  switch (engine) {
+    case ConsolidationEngine::kFast: return "fast";
+    case ConsolidationEngine::kNaive: return "naive";
   }
   return "?";
 }
@@ -33,12 +43,17 @@ consolidate::PlacementPlan PowerOptimizer::plan(const datacenter::Cluster& clust
   switch (config_.algorithm) {
     case ConsolidationAlgorithm::kIpac: {
       const consolidate::IpacReport report =
-          consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac);
+          config_.engine == ConsolidationEngine::kNaive
+              ? consolidate::naive::ipac(snapshot, constraints_, *policy_, config_.ipac)
+              : consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac);
       out = report.plan;
       break;
     }
     case ConsolidationAlgorithm::kPMapper: {
-      const consolidate::PMapperReport report = consolidate::pmapper(snapshot, constraints_);
+      const consolidate::PMapperReport report =
+          config_.engine == ConsolidationEngine::kNaive
+              ? consolidate::naive::pmapper(snapshot, constraints_)
+              : consolidate::pmapper(snapshot, constraints_);
       out = report.plan;
       break;
     }

@@ -18,10 +18,23 @@ namespace vdc::core {
 
 enum class ConsolidationAlgorithm { kIpac, kPMapper, kNone };
 
+/// Which implementation of the consolidation algorithms to run. kFast is
+/// the production engine (incremental aggregates, indexed target selection,
+/// plan-exact Minimum Slack pruning); kNaive is the retained reference
+/// implementation (consolidate::naive) used by differential tests and as a
+/// fallback oracle. The two compute move-for-move identical plans for every
+/// input — including under a binding step budget with epsilon escalation —
+/// and differ only in *reported* step counts, where the fast engine's
+/// pruning and analytic skips do less counted work (see DESIGN.md,
+/// "Consolidation performance").
+enum class ConsolidationEngine { kFast, kNaive };
+
 [[nodiscard]] std::string to_string(ConsolidationAlgorithm algorithm);
+[[nodiscard]] std::string to_string(ConsolidationEngine engine);
 
 struct OptimizerConfig {
   ConsolidationAlgorithm algorithm = ConsolidationAlgorithm::kIpac;
+  ConsolidationEngine engine = ConsolidationEngine::kFast;
   /// Target utilization the CPU constraint packs to (headroom for demand
   /// growth between invocations).
   double utilization_target = 0.9;

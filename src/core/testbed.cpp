@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vdc::core {
 
@@ -71,6 +72,13 @@ Testbed::Testbed(TestbedConfig config)
     vm_ids_.push_back(std::move(ids));
     stacks_.push_back(std::move(app_stack));
   }
+  for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
+    for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
+      const datacenter::VmId vm = vm_ids_[i][j];
+      if (vm >= vm_slots_.size()) vm_slots_.resize(vm + 1);
+      vm_slots_[vm] = VmSlot{i, j};
+    }
+  }
   last_work_done_.assign(config_.num_apps * 2, 0.0);
   recorder_.declare_scalar(kPowerSeries);
 
@@ -109,11 +117,8 @@ void Testbed::annotate(const std::string& label) {
 }
 
 void Testbed::apply_tier_allocation(datacenter::VmId vm, double ghz) {
-  for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
-    for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
-      if (vm_ids_[i][j] == vm) stacks_[i]->apply_allocation(j, ghz);
-    }
-  }
+  const VmSlot& slot = vm_slots_.at(vm);
+  stacks_[slot.app]->apply_allocation(slot.tier, ghz);
 }
 
 void Testbed::set_setpoint(std::size_t app, double setpoint_s) {
@@ -335,10 +340,29 @@ void Testbed::control_tick() {
   record_power(now);
 
   // ---- feedback control: demands per application --------------------------
+  // Three phases (see AppStack::harvest_tick): serial harvest (shared
+  // recorder + fault injector), parallel MPC decide (each solve touches only
+  // its own controller), then a barrier and serial record/push-down. With
+  // fewer apps than the threshold the decide loop runs inline — identical
+  // results either way, parallel_for only changes who executes which solve.
+  std::vector<std::optional<app::PeriodStats>> harvested(stacks_.size());
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
-    const std::vector<double> demands = stacks_[i]->control_tick();
-    for (std::size_t j = 0; j < demands.size(); ++j) {
-      cluster_.vm(vm_ids_[i][j]).cpu_demand_ghz = demands[j];
+    harvested[i] = stacks_[i]->harvest_tick();
+  }
+  std::vector<std::vector<double>> decided(stacks_.size());
+  if (stacks_.size() >= config_.parallel_control_min_apps) {
+    util::parallel_for(stacks_.size(), [&](std::size_t i) {
+      decided[i] = stacks_[i]->decide_tick(harvested[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < stacks_.size(); ++i) {
+      decided[i] = stacks_[i]->decide_tick(harvested[i]);
+    }
+  }
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    stacks_[i]->record_decision(decided[i]);
+    for (std::size_t j = 0; j < decided[i].size(); ++j) {
+      cluster_.vm(vm_ids_[i][j]).cpu_demand_ghz = decided[i][j];
     }
   }
 
@@ -372,15 +396,7 @@ void Testbed::control_tick() {
     }
     // Apply the granted allocations to the tier queues.
     for (std::size_t h = 0; h < hosted.size(); ++h) {
-      const datacenter::VmId vm = hosted[h];
-      // Find which app/tier this VM belongs to (few VMs; linear scan ok).
-      for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
-        for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
-          if (vm_ids_[i][j] == vm) {
-            stacks_[i]->apply_allocation(j, arb.allocations_ghz[h]);
-          }
-        }
-      }
+      apply_tier_allocation(hosted[h], arb.allocations_ghz[h]);
     }
   }
 

@@ -71,6 +71,16 @@ struct TestbedConfig {
   /// migration just failed (see OptimizerConfig::migration_backoff_s).
   double optimizer_migration_backoff_s = 600.0;
 
+  // ---- control-plane parallelism ----------------------------------------
+  /// With at least this many applications, the per-app MPC solves of a
+  /// control tick are batched onto ThreadPool::shared() (the decide phase
+  /// only — monitor harvest and telemetry stay serial, and a barrier
+  /// precedes per-server arbitration, so results are bit-identical to the
+  /// serial path). Below the threshold the solves run inline: at testbed
+  /// scale (8 apps) the pool's wake/handoff overhead exceeds the solve
+  /// cost. Set to 0 to force the parallel path, SIZE_MAX to disable it.
+  std::size_t parallel_control_min_apps = 16;
+
   // ---- chaos (fault injection) -------------------------------------------
   /// Deterministic fault schedule threaded through the co-simulation:
   /// migration aborts/slowdowns, wake failures, server crashes, sensor
@@ -167,6 +177,13 @@ class Testbed {
   std::vector<std::unique_ptr<AppStack>> stacks_;
   /// vm_ids_[app][tier] -> VmId in cluster_.
   std::vector<std::vector<datacenter::VmId>> vm_ids_;
+  /// Inverse map: VmId -> {app, tier}, so allocation push-down is O(1)
+  /// per VM instead of a scan over every application's VM list.
+  struct VmSlot {
+    std::size_t app = 0;
+    std::size_t tier = 0;
+  };
+  std::vector<VmSlot> vm_slots_;
   control::ArxModel model_;
   double model_r2_ = 0.0;
   telemetry::Recorder recorder_;

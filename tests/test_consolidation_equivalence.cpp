@@ -1,0 +1,174 @@
+// Differential tests: the fast consolidation engine (incremental
+// WorkingPlacement aggregates, SlackIndex target selection, plan-exact
+// Minimum Slack pruning) against the retained naive oracles in
+// consolidate/naive.hpp — the same strategy as test_eventloop_equivalence
+// for the event loop. The fast engine is required to be *plan-exact*: for
+// every seeded fleet, including ones where the Minimum Slack step budget
+// binds and epsilon escalates mid-search, the two engines must produce
+// move-for-move identical plans. Only reported step counts may differ
+// (armed branch-and-bound skips counted work), and only when the budget
+// provably cannot bind.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "consolidate/ipac.hpp"
+#include "consolidate/naive.hpp"
+#include "consolidate/pmapper.hpp"
+#include "util/rng.hpp"
+
+namespace vdc::consolidate {
+namespace {
+
+/// Heterogeneous 100-server fleet in the bench's mold: capacities 3-12 GHz,
+/// VMs 0.1-1.5 GHz round-robin over the awake servers. Every 10th server
+/// starts asleep (a wake target); small servers can start overloaded
+/// (exercises relief).
+DataCenterSnapshot random_fleet(std::size_t servers, std::size_t vms, std::uint64_t seed) {
+  util::Rng rng(seed);
+  DataCenterSnapshot snap;
+  std::vector<ServerId> awake;
+  for (std::size_t i = 0; i < servers; ++i) {
+    ServerSnapshot s;
+    s.id = static_cast<ServerId>(i);
+    s.max_capacity_ghz = rng.uniform(3.0, 12.0);
+    s.memory_mb = rng.uniform(8000.0, 32000.0);
+    s.max_power_w = 150.0 + s.max_capacity_ghz * 15.0;
+    s.idle_power_w = 0.55 * s.max_power_w;
+    s.sleep_power_w = 6.0;
+    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.active = i % 10 != 9;
+    if (s.active) awake.push_back(s.id);
+    snap.servers.push_back(s);
+  }
+  for (std::size_t i = 0; i < vms; ++i) {
+    VmSnapshot vm;
+    vm.id = static_cast<VmId>(i);
+    vm.cpu_demand_ghz = rng.uniform(0.1, 1.5);
+    vm.memory_mb = rng.uniform(400.0, 2000.0);
+    snap.vms.push_back(vm);
+    snap.servers[awake[i % awake.size()]].hosted.push_back(vm.id);
+  }
+  return snap;
+}
+
+void expect_same_plan(const PlacementPlan& fast, const PlacementPlan& ref,
+                      std::uint64_t seed) {
+  ASSERT_EQ(fast.moves.size(), ref.moves.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < fast.moves.size(); ++i) {
+    EXPECT_EQ(fast.moves[i].vm, ref.moves[i].vm) << "seed " << seed << " move " << i;
+    EXPECT_EQ(fast.moves[i].from, ref.moves[i].from) << "seed " << seed << " move " << i;
+    EXPECT_EQ(fast.moves[i].to, ref.moves[i].to) << "seed " << seed << " move " << i;
+  }
+  EXPECT_EQ(fast.unplaced, ref.unplaced) << "seed " << seed;
+}
+
+class ConsolidationEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsolidationEquivalence, IpacPlansIdenticalUnderHugeBudget) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DataCenterSnapshot snap = random_fleet(100, 500, seed);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  // A budget the search can never exhaust: escalation is off the table and
+  // both engines must agree on every report field except step counts
+  // (branch-and-bound arms on small calls and skips counted work).
+  IpacOptions options;
+  options.min_slack.step_budget = 1u << 30;
+  const IpacReport fast = ipac(snap, constraints, AllowAllPolicy(), options);
+  const IpacReport ref = naive::ipac(snap, constraints, AllowAllPolicy(), options);
+  expect_same_plan(fast.plan, ref.plan, seed);
+  EXPECT_EQ(fast.rounds_accepted, ref.rounds_accepted) << "seed " << seed;
+  EXPECT_EQ(fast.occupied_after, ref.occupied_after) << "seed " << seed;
+}
+
+TEST_P(ConsolidationEquivalence, IpacPlansIdenticalUnderDefaultBudget) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DataCenterSnapshot snap = random_fleet(100, 500, seed);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  // Default options: relief-sized candidate lists exhaust the per-call step
+  // budget and escalate epsilon mid-search. Plan exactness must hold anyway
+  // — the fast engine replicates the reference's escalation ladder step for
+  // step through its bulk-counted skips.
+  const IpacReport fast = ipac(snap, constraints);
+  const IpacReport ref = naive::ipac(snap, constraints);
+  expect_same_plan(fast.plan, ref.plan, seed);
+  EXPECT_EQ(fast.rounds_accepted, ref.rounds_accepted) << "seed " << seed;
+  EXPECT_EQ(fast.occupied_after, ref.occupied_after) << "seed " << seed;
+}
+
+TEST_P(ConsolidationEquivalence, PMapperPlansIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DataCenterSnapshot snap = random_fleet(100, 500, seed);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const PMapperReport fast = pmapper(snap, constraints);
+  const PMapperReport ref = naive::pmapper(snap, constraints);
+  expect_same_plan(fast.plan, ref.plan, seed);
+  EXPECT_EQ(fast.occupied_after, ref.occupied_after) << "seed " << seed;
+  EXPECT_EQ(fast.target_demand_ghz, ref.target_demand_ghz) << "seed " << seed;
+}
+
+TEST_P(ConsolidationEquivalence, PowerEstimateMatchesNaiveScanAfterAPass) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DataCenterSnapshot snap = random_fleet(100, 500, seed);
+  WorkingPlacement placement(snap);
+  // Churn the placement (evacuate a third of the servers onto the rest),
+  // then compare the incrementally maintained power estimate against the
+  // naive full scan: the compensated sum must match to near round-off.
+  for (ServerId server = 0; server < 100; server += 3) {
+    const std::vector<VmId> residents(placement.hosted(server).begin(),
+                                      placement.hosted(server).end());
+    for (const VmId vm : residents) {
+      placement.remove(vm);
+      placement.place(vm, (server + 1) % 100);
+    }
+  }
+  EXPECT_NEAR(placement.estimated_power_w(), naive::estimated_power_w(placement), 1e-6)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsolidationEquivalence, ::testing::Range(1, 11));
+
+// Minimum Slack head-to-head under a *binding* budget: with 24 candidates
+// the 2^24-sized tree dwarfs the 50-step budget, so branch-and-bound stays
+// disarmed and the fast engine must mirror the reference exactly — same
+// selection, same counted steps, same escalations.
+TEST(ConsolidationEquivalence, MinimumSlackExactUnderBindingBudget) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    DataCenterSnapshot snap;
+    ServerSnapshot server;
+    server.id = 0;
+    server.max_capacity_ghz = 8.0;
+    server.memory_mb = 4000.0;
+    server.max_power_w = 200.0;
+    server.power_efficiency = 8.0 / 200.0;
+    server.active = true;
+    snap.servers.push_back(server);
+    std::vector<VmId> candidates;
+    for (std::size_t i = 0; i < 24; ++i) {
+      VmSnapshot vm;
+      vm.id = static_cast<VmId>(i);
+      vm.cpu_demand_ghz = rng.uniform(0.2, 1.2);
+      vm.memory_mb = rng.uniform(100.0, 600.0);
+      snap.vms.push_back(vm);
+      candidates.push_back(vm.id);
+    }
+    const WorkingPlacement placement(snap);
+    const ConstraintSet constraints = ConstraintSet::standard(1.0);
+    MinSlackOptions options;
+    options.epsilon_ghz = 1e-6;  // practically unreachable: budget governs
+    options.step_budget = 50;
+    options.max_escalations = 4;
+    const MinSlackResult fast = minimum_slack(placement, 0, candidates, constraints, options);
+    const MinSlackResult ref =
+        naive::minimum_slack(placement, 0, candidates, constraints, options);
+    EXPECT_EQ(fast.selected, ref.selected) << "seed " << seed;
+    EXPECT_EQ(fast.steps, ref.steps) << "seed " << seed;
+    EXPECT_EQ(fast.escalations, ref.escalations) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(fast.slack_ghz, ref.slack_ghz) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vdc::consolidate

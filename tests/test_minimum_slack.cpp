@@ -4,6 +4,7 @@
 
 #include <numeric>
 
+#include "consolidate/naive.hpp"
 #include "datacenter/cluster.hpp"
 #include "util/rng.hpp"
 
@@ -160,6 +161,66 @@ TEST(MinimumSlack, StepBudgetEscalationTerminates) {
   const MinSlackResult r = minimum_slack(wp, 0, all_ids(snap), constraints, options);
   EXPECT_LE(demand_of(snap, r.selected), 4.0 + 1e-9);
   EXPECT_GT(r.escalations, 0u);
+}
+
+TEST(MinimumSlack, BudgetExhaustedExactlyAtEscalationBoundary) {
+  // Ten candidates, none of which fit the server: the search touches each
+  // once (one counted step apiece) and selects nothing, so the total step
+  // count is exactly n. With step_budget == n the final touch lands exactly
+  // on the escalation threshold — one escalation must fire, and the fast
+  // engine's bulk-counted skip must land on the same boundary the naive
+  // per-step walk does.
+  const DataCenterSnapshot snap = make_instance(4.0, std::vector<double>(10, 5.0));
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  MinSlackOptions options;
+  options.epsilon_ghz = 1e-6;
+  options.step_budget = 10;
+  options.max_escalations = 3;
+  const MinSlackResult fast = minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  const MinSlackResult ref = naive::minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  EXPECT_TRUE(fast.selected.empty());
+  EXPECT_EQ(fast.steps, 10u);
+  EXPECT_EQ(fast.escalations, 1u);
+  EXPECT_EQ(ref.steps, fast.steps);
+  EXPECT_EQ(ref.escalations, fast.escalations);
+
+  // One more unit of budget and the boundary is never reached: same empty
+  // selection, zero escalations, in both engines.
+  options.step_budget = 11;
+  const MinSlackResult under = minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  const MinSlackResult under_ref =
+      naive::minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  EXPECT_EQ(under.steps, 10u);
+  EXPECT_EQ(under.escalations, 0u);
+  EXPECT_EQ(under_ref.steps, under.steps);
+  EXPECT_EQ(under_ref.escalations, under.escalations);
+}
+
+TEST(MinimumSlack, MaxEscalationsExhaustionMatchesNaive) {
+  // A 2^24-node tree against a 40-step budget and two permitted
+  // escalations: the search terminates by exhausting max_escalations, and
+  // the fast engine must stop at the same logical step with the same
+  // incumbent as the reference (branch-and-bound stays disarmed when the
+  // budget can bind, so even the step accounting is required to be exact).
+  std::vector<double> demands;
+  for (int i = 0; i < 24; ++i) demands.push_back(0.37 + 0.001 * i);
+  const DataCenterSnapshot snap = make_instance(4.0, demands);
+  const WorkingPlacement wp(snap);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  MinSlackOptions options;
+  options.epsilon_ghz = 1e-9;  // unreachable: termination is by escalation
+  options.step_budget = 40;
+  options.max_escalations = 2;
+  const MinSlackResult fast = minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  const MinSlackResult ref = naive::minimum_slack(wp, 0, all_ids(snap), constraints, options);
+  EXPECT_EQ(fast.escalations, 2u);
+  EXPECT_EQ(fast.selected, ref.selected);
+  EXPECT_EQ(fast.steps, ref.steps);
+  EXPECT_EQ(fast.escalations, ref.escalations);
+  EXPECT_DOUBLE_EQ(fast.slack_ghz, ref.slack_ghz);
+  // The budget bound: steps never exceed (escalations + 1) * step_budget.
+  EXPECT_LE(fast.steps, (options.max_escalations + 1) * options.step_budget);
 }
 
 class MinSlackOptimalitySweep : public ::testing::TestWithParam<int> {};

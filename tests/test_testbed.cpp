@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace vdc::core {
 namespace {
 
@@ -134,6 +137,42 @@ TEST(Testbed, OptimizerDisabledKeepsMappingStatic) {
   EXPECT_EQ(tb.completed_migrations(), 0u);
   EXPECT_EQ(tb.optimizer_invocations(), 0u);
   EXPECT_EQ(tb.cluster().migration_log().count(), 0u);
+}
+
+TEST(Testbed, ParallelControlPlaneIsBitIdenticalToSerial) {
+  // The decide phase of a control tick may fan the per-app MPC solves onto
+  // ThreadPool::shared(); a barrier precedes per-server arbitration and
+  // each app writes only its own slot, so the results are required to be
+  // bit-identical to the serial path — scheduling order must not leak into
+  // the simulation.
+  struct Series {
+    std::vector<std::vector<double>> responses;
+    std::vector<std::vector<std::vector<double>>> allocations;
+    std::vector<double> power;
+  };
+  auto run = [](std::size_t min_apps) {
+    TestbedConfig config = fast_config();
+    config.num_apps = 4;
+    config.num_servers = 4;
+    config.parallel_control_min_apps = min_apps;  // 0 forces the pool
+    Testbed tb{config};
+    tb.run_until(300.0);
+    Series out;
+    for (std::size_t i = 0; i < tb.app_count(); ++i) {
+      out.responses.push_back(tb.response_series(i));
+      out.allocations.push_back(tb.allocation_series(i));
+    }
+    out.power = tb.power_series();
+    return out;
+  };
+  const Series serial = run(SIZE_MAX);
+  const Series parallel = run(0);
+  ASSERT_EQ(serial.responses.size(), parallel.responses.size());
+  for (std::size_t i = 0; i < serial.responses.size(); ++i) {
+    EXPECT_EQ(serial.responses[i], parallel.responses[i]) << "app " << i;
+    EXPECT_EQ(serial.allocations[i], parallel.allocations[i]) << "app " << i;
+  }
+  EXPECT_EQ(serial.power, parallel.power);
 }
 
 TEST(Testbed, ClusterTopologyMatchesConfig) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "consolidate/snapshot.hpp"
 #include "datacenter/cluster.hpp"
 
@@ -125,6 +127,46 @@ TEST(WorkingPlacement, NoChangesMeansEmptyPlan) {
   const DataCenterSnapshot snap = snapshot_of(c);
   const WorkingPlacement wp(snap);
   EXPECT_TRUE(wp.plan().moves.empty());
+}
+
+TEST(WorkingPlacement, EvacuatingAPackedServerIsNotQuadratic) {
+  // Regression guard for remove()'s swap-and-pop slot tracking: the old
+  // erase-remove scan made evacuating an n-VM server O(n^2). 50k removals
+  // quadratically cost ~1.25e9 element shifts (multiple seconds even in a
+  // release build, far more under sanitizers); linearly they are a few
+  // milliseconds, so the generous wall-clock bound below stays noise-proof
+  // on slow CI while still catching a quadratic reintroduction.
+  constexpr std::size_t kVms = 50000;
+  DataCenterSnapshot snap;
+  for (ServerId s = 0; s < 2; ++s) {
+    ServerSnapshot server;
+    server.id = s;
+    server.max_capacity_ghz = 1e6;
+    server.memory_mb = 1e9;
+    server.max_power_w = 200.0;
+    server.power_efficiency = 1.0;
+    server.active = true;
+    snap.servers.push_back(server);
+  }
+  for (std::size_t i = 0; i < kVms; ++i) {
+    VmSnapshot vm;
+    vm.id = static_cast<VmId>(i);
+    vm.cpu_demand_ghz = 0.01;
+    vm.memory_mb = 1.0;
+    snap.vms.push_back(vm);
+    snap.servers[0].hosted.push_back(vm.id);
+  }
+  WorkingPlacement wp(snap);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (VmId vm = 0; vm < kVms; ++vm) {
+    wp.remove(vm);
+    wp.place(vm, 1);
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(wp.hosted(0).size(), 0u);
+  EXPECT_EQ(wp.hosted(1).size(), kVms);
+  EXPECT_EQ(wp.occupied_server_count(), 1u);
+  EXPECT_LT(elapsed.count(), 2.5);
 }
 
 TEST(ApplyPlan, ExecutesMovesAndSleepsIdle) {
