@@ -99,7 +99,7 @@ void BM_IpacInvocation(benchmark::State& state) {
   const auto vms = static_cast<std::size_t>(state.range(0));
   const DataCenterSnapshot snap = random_snapshot(vms / 2 + 4, vms, true, 3);
   const ConstraintSet constraints = ConstraintSet::standard(1.0);
-  const AllowAllPolicy policy;
+  const FreeMigrationPolicy policy;
   for (auto _ : state) {
     benchmark::DoNotOptimize(ipac(snap, constraints, policy));
   }

@@ -37,6 +37,10 @@ inline void window(const FaultWindow& w) {
       VDC_ASSERT(w.target != kAnyTarget, "server crash requires an explicit server target");
       VDC_ASSERT(std::isfinite(w.start_s), "crash start must be a concrete time");
       break;
+    case FaultKind::kRackFailure:
+      VDC_ASSERT(w.target != kAnyTarget, "rack failure requires an explicit rack target");
+      VDC_ASSERT(std::isfinite(w.start_s), "rack failure start must be a concrete time");
+      break;
     default:
       break;
   }

@@ -1,5 +1,6 @@
 #include "consolidate/cost_policy.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace vdc::consolidate {
@@ -27,6 +28,26 @@ bool MinBenefitPolicy::allow(const DataCenterSnapshot& snapshot,
                              const MigrationProposal& proposal) const {
   const double gb = snapshot.vm(proposal.vm).memory_mb / 1024.0;
   return proposal.estimated_benefit_w >= min_benefit_w_ + w_per_gb_ * gb;
+}
+
+MigrationEnergyBudgetPolicy::MigrationEnergyBudgetPolicy(double budget_j) : budget_j_(budget_j) {
+  if (!(budget_j > 0.0)) {
+    throw std::invalid_argument("MigrationEnergyBudgetPolicy: budget must be positive");
+  }
+}
+
+bool MigrationEnergyBudgetPolicy::allow(const DataCenterSnapshot&,
+                                        const MigrationProposal& proposal) const {
+  if (proposal.from == proposal.to ||
+      proposal.distance == datacenter::NetworkDistance::kSameHost) {
+    return false;  // zero-distance no-op: nothing transfers, nothing saved
+  }
+  if (!std::isfinite(proposal.cost_j) || proposal.cost_j < 0.0) {
+    throw std::invalid_argument(
+        "MigrationEnergyBudgetPolicy: proposal carries no valid migration energy "
+        "(did the engine run without a cost model?)");
+  }
+  return proposal.cost_already_approved_j + proposal.cost_j <= budget_j_ + 1e-9;
 }
 
 }  // namespace vdc::consolidate

@@ -3,6 +3,14 @@
 // "provide[s] an interface for data center administrators to define their
 // own cost functions based on their various policies". This is that
 // interface, with the obvious built-in policies.
+//
+// UNITS. Every energy quantity crossing this boundary is joules (J), and
+// 1 J = 1 W·s exactly: `estimated_benefit_j` is the stationary power
+// saving in watts times the optimizer's benefit horizon in seconds, and
+// `cost_j` is migration power times transfer duration. `estimated_benefit_w`
+// stays in watts for policies (like MinBenefitPolicy) that reason about
+// steady-state power rather than energy. Mixing the two is the bug this
+// comment exists to prevent.
 #pragma once
 
 #include <memory>
@@ -25,6 +33,17 @@ struct MigrationProposal {
   double bytes = 0.0;
   /// Bytes of migrations already approved in this optimizer invocation.
   double bytes_already_approved = 0.0;
+  /// Network tier the move crosses (kSameRack when the fleet is flat).
+  NetworkDistance distance = NetworkDistance::kSameRack;
+  /// Migration energy this move burns (J = W·s). 0 when the engine runs
+  /// without a cost model.
+  double cost_j = 0.0;
+  /// Migration energy of moves already approved in this invocation (J).
+  double cost_already_approved_j = 0.0;
+  /// The benefit converted to energy over the optimizer's horizon
+  /// (J = estimated_benefit_w × benefit_horizon_s). 0 when the engine runs
+  /// without a cost model.
+  double estimated_benefit_j = 0.0;
 };
 
 class MigrationCostPolicy {
@@ -35,14 +54,19 @@ class MigrationCostPolicy {
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// Benefits always outweigh costs (the paper's simulation default).
-class AllowAllPolicy final : public MigrationCostPolicy {
+/// Migrations are free: benefits always outweigh costs (the paper's
+/// simulation default).
+class FreeMigrationPolicy final : public MigrationCostPolicy {
  public:
   [[nodiscard]] bool allow(const DataCenterSnapshot&, const MigrationProposal&) const override {
     return true;
   }
-  [[nodiscard]] std::string name() const override { return "allow-all"; }
+  [[nodiscard]] std::string name() const override { return "free-migration"; }
 };
+
+/// Old name for FreeMigrationPolicy — "allow all" described the behavior,
+/// not the economics it assumes.
+using AllowAllPolicy [[deprecated("use FreeMigrationPolicy")]] = FreeMigrationPolicy;
 
 /// Caps the total bytes migrated per optimizer invocation — the paper's
 /// "network bandwidth is a bottleneck" example.
@@ -69,6 +93,22 @@ class MinBenefitPolicy final : public MigrationCostPolicy {
  private:
   double min_benefit_w_;
   double w_per_gb_;
+};
+
+/// Caps the total migration ENERGY (J) spent per optimizer invocation, and
+/// rejects same-host proposals outright — a zero-distance move transfers
+/// nothing, saves nothing, and only pollutes the plan. Requires the engine
+/// to fill the energy fields (i.e. a rack-aware run); throws on proposals
+/// with invalid cost.
+class MigrationEnergyBudgetPolicy final : public MigrationCostPolicy {
+ public:
+  explicit MigrationEnergyBudgetPolicy(double budget_j);
+  [[nodiscard]] bool allow(const DataCenterSnapshot& snapshot,
+                           const MigrationProposal& proposal) const override;
+  [[nodiscard]] std::string name() const override { return "migration-energy-budget"; }
+
+ private:
+  double budget_j_;
 };
 
 }  // namespace vdc::consolidate

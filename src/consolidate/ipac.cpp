@@ -40,17 +40,40 @@ VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
 //  * overload-relief feasibility checks hit the O(1) builtin-constraint
 //    path inside WorkingPlacement::feasible.
 IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
-                const MigrationCostPolicy& policy, const IpacOptions& options) {
+                const MigrationCostPolicy& policy, const IpacOptions& options,
+                const RackAwareOptions& rack) {
   WorkingPlacement wp(snapshot);
   IpacReport report;
   report.occupied_before = wp.occupied_server_count();
   double bytes_approved = 0.0;
   datacenter::MigrationModel migration_model;  // for byte estimates in proposals
 
+  // Every rack-aware branch below hangs off this flag; with it false (the
+  // default, and always on flat snapshots) the pass is statement-for-
+  // statement the pre-topology engine, which is what keeps flat plans
+  // move-for-move identical.
+  const bool rack_on = rack.enabled && !snapshot.racks.empty();
+  // Racks with at least one up (awake or occupied) member: waking a server
+  // inside one costs only its own idle power, while waking one in a dark
+  // rack also switches the rack's shared draw back on.
+  std::vector<char> rack_lit(snapshot.racks.size(), 0);
+  if (rack_on) {
+    for (const ServerSnapshot& server : snapshot.servers) {
+      if (server.rack != datacenter::kNoRack && (server.active || !server.hosted.empty())) {
+        rack_lit[server.rack] = 1;
+      }
+    }
+  }
+
   // Target ordering for PAC: active servers by descending power efficiency
   // first, then sleeping ones ("enough inactive servers which will be waken
   // up and used if necessary") — waking a machine is a last resort, since
-  // an extra awake server costs idle power immediately.
+  // an extra awake server costs idle power immediately. Rack-aware runs
+  // refine only the sleeping tail: sleepers in lit racks come before
+  // sleepers in dark racks (stable within each group), avoiding lighting a
+  // rack for one VM when an already-lit rack has a cold machine. With one
+  // server per rack every sleeper's rack is dark and the refinement is a
+  // no-op, preserving flat-equivalent behavior for degenerate topologies.
   const std::vector<ServerId> efficiency_order = servers_by_power_efficiency(snapshot);
   std::vector<ServerId> active_first;
   active_first.reserve(efficiency_order.size());
@@ -59,11 +82,19 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       active_first.push_back(s);
     }
   }
+  std::vector<ServerId> sleepers;
   for (const ServerId s : efficiency_order) {
     if (!snapshot.server(s).active && snapshot.server(s).hosted.empty()) {
-      active_first.push_back(s);
+      sleepers.push_back(s);
     }
   }
+  if (rack_on) {
+    std::stable_partition(sleepers.begin(), sleepers.end(), [&](ServerId s) {
+      const RackId r = snapshot.server(s).rack;
+      return r != datacenter::kNoRack && rack_lit[r] != 0;
+    });
+  }
+  active_first.insert(active_first.end(), sleepers.begin(), sleepers.end());
 
   SlackIndex index;
   index.build(active_first, snapshot.servers.size());
@@ -98,6 +129,16 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     report.overload_moves = pac.placed.size();
     for (const VmId vm : pac.placed) {
       bytes_approved += migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
+      if (rack_on) {
+        // Relief moves bypass the gates (they protect SLAs) but their energy
+        // still counts against the plan budget: a plan that spends its whole
+        // allowance on relief has nothing left for consolidation rounds.
+        const ServerId origin = wp.original_host(vm);
+        if (origin != datacenter::kNoServer) {
+          report.migration_energy_j += rack.cost.energy_j(
+              snapshot.vm(vm).memory_mb, snapshot.distance(origin, wp.host_of(vm)));
+        }
+      }
     }
     // VMs nothing could take remain unplaced and are surfaced in the plan.
     for (const VmId vm : pac.unplaced) {
@@ -114,12 +155,33 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
   for (const ServerSnapshot& server : snapshot.servers) {
     if (wp.occupied(server.id)) donors.push_back(server.id);
   }
-  std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
-    const double ea = snapshot.server(a).power_efficiency;
-    const double eb = snapshot.server(b).power_efficiency;
-    if (ea != eb) return ea < eb;
-    return a < b;
-  });
+  if (rack_on) {
+    // Nearly-empty racks first: evacuating the last occupied member of a
+    // rack switches off its shared draw, so low-occupancy racks carry the
+    // largest per-move payoff. Ties fall through to the baseline key, and
+    // with one server per rack every occupancy is 1, so the order — and the
+    // plan — degenerates to the flat engine's.
+    const auto occupancy = [&](ServerId s) -> std::uint32_t {
+      const RackId r = snapshot.server(s).rack;
+      return r == datacenter::kNoRack ? 1 : wp.rack_occupied_count(r);
+    };
+    std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
+      const std::uint32_t oa = occupancy(a);
+      const std::uint32_t ob = occupancy(b);
+      if (oa != ob) return oa < ob;
+      const double ea = snapshot.server(a).power_efficiency;
+      const double eb = snapshot.server(b).power_efficiency;
+      if (ea != eb) return ea < eb;
+      return a < b;
+    });
+  } else {
+    std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
+      const double ea = snapshot.server(a).power_efficiency;
+      const double eb = snapshot.server(b).power_efficiency;
+      if (ea != eb) return ea < eb;
+      return a < b;
+    });
+  }
 
   // The paper's loop criterion is the number of ACTIVE servers, which
   // includes awake-but-empty machines (they get put to sleep once the plan
@@ -152,6 +214,34 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     bool accept = pac.unplaced.empty() &&
                   (wp.occupied_server_count() < active_baseline ||
                    wp.estimated_power_w() < power_before_round - 1e-9);
+
+    // Rack-aware gates sit BETWEEN the baseline acceptance test and the
+    // policy: a round the baseline engine would reject is rejected for the
+    // baseline reason (and ends the loop exactly as the flat engine does),
+    // while a gate rejection merely skips this donor — a cross-pod-expensive
+    // round says nothing about the next donor's same-rack-cheap one.
+    bool gate_reject = false;
+    double round_cost_j = 0.0;
+    double benefit_j = 0.0;
+    if (accept && rack_on) {
+      for (const VmId vm : evacuated) {
+        round_cost_j += rack.cost.energy_j(snapshot.vm(vm).memory_mb,
+                                           snapshot.distance(donor, wp.host_of(vm)));
+      }
+      benefit_j = std::max(0.0, power_before_round - wp.estimated_power_w()) *
+                  rack.benefit_horizon_s;
+      if (report.migration_energy_j + round_cost_j >
+          rack.migration_energy_budget_j + 1e-9) {
+        accept = false;
+        gate_reject = true;
+        ++report.rounds_rejected_by_budget;
+      } else if (benefit_j + 1e-9 < round_cost_j) {
+        accept = false;
+        gate_reject = true;
+        ++report.rounds_rejected_by_cost;
+      }
+    }
+
     if (accept) {
       // Cost/benefit check: the round's estimated power saving, split
       // across its moves.
@@ -159,6 +249,7 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
           std::max(0.0, power_before_round - wp.estimated_power_w()) /
           static_cast<double>(evacuated.size());
       double round_bytes = 0.0;
+      double round_cost_so_far_j = 0.0;
       for (const VmId vm : evacuated) {
         MigrationProposal proposal;
         proposal.vm = vm;
@@ -167,14 +258,26 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
         proposal.estimated_benefit_w = benefit_per_move;
         proposal.bytes = migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
         proposal.bytes_already_approved = bytes_approved + round_bytes;
+        if (rack_on) {
+          proposal.distance = snapshot.distance(donor, proposal.to);
+          proposal.cost_j =
+              rack.cost.energy_j(snapshot.vm(vm).memory_mb, proposal.distance);
+          proposal.cost_already_approved_j =
+              report.migration_energy_j + round_cost_so_far_j;
+          proposal.estimated_benefit_j = benefit_per_move * rack.benefit_horizon_s;
+        }
         if (!policy.allow(snapshot, proposal)) {
           accept = false;
           ++report.rounds_rejected_by_policy;
           break;
         }
         round_bytes += proposal.bytes;
+        round_cost_so_far_j += proposal.cost_j;
       }
-      if (accept) bytes_approved += round_bytes;
+      if (accept) {
+        bytes_approved += round_bytes;
+        report.migration_energy_j += round_cost_j;
+      }
     }
 
     if (accept) {
@@ -185,16 +288,31 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       continue;  // try the next least-efficient donor
     }
 
-    // Roll back the round and stop: the active-server count no longer
-    // decreases (or the policy vetoed the round).
+    // Roll back the round; a gate rejection tries the next donor, anything
+    // else stops: the active-server count no longer decreases (or the
+    // policy vetoed the round).
     for (const VmId vm : evacuated) {
       if (wp.host_of(vm) != datacenter::kNoServer) wp.remove(vm);
       wp.place(vm, donor);
     }
     index.set_masked(donor, false);
+    if (gate_reject) continue;
     break;
   }
   wp.set_slack_observer(nullptr);
+
+  if (rack_on) {
+    for (const RackSnapshot& r : snapshot.racks) {
+      bool was_occupied = false;
+      for (const ServerId member : r.members) {
+        if (!snapshot.server(member).hosted.empty()) {
+          was_occupied = true;
+          break;
+        }
+      }
+      if (was_occupied && wp.rack_occupied_count(r.id) == 0) ++report.racks_emptied;
+    }
+  }
 
   report.occupied_after = wp.occupied_server_count();
   report.plan = wp.plan(unplaced);

@@ -20,6 +20,7 @@
 #include "consolidate/cost_policy.hpp"
 #include "consolidate/minimum_slack.hpp"
 #include "consolidate/snapshot.hpp"
+#include "consolidate/topology_cost.hpp"
 
 namespace vdc::consolidate {
 
@@ -40,14 +41,36 @@ struct IpacReport {
   std::size_t rounds_accepted = 0;
   std::size_t rounds_rejected_by_policy = 0;
   std::size_t min_slack_steps = 0;
+  // Rack-aware accounting (all 0 when RackAwareOptions is disabled):
+  /// Rounds whose migration energy exceeded their net-energy benefit.
+  std::size_t rounds_rejected_by_cost = 0;
+  /// Rounds that would have spent past the plan's energy budget.
+  std::size_t rounds_rejected_by_budget = 0;
+  /// Total migration energy (J) the plan's moves cost (relief included).
+  double migration_energy_j = 0.0;
+  /// Racks occupied before the pass and fully evacuated by it (their
+  /// shared-infrastructure draw switches off when the plan is applied).
+  std::size_t racks_emptied = 0;
 };
 
 /// Pure function: computes the plan; apply it with apply_plan().
 /// Overload-relief migrations bypass the cost policy (they protect SLAs);
 /// consolidation migrations are submitted to it move by move.
+///
+/// With `rack.enabled` on a topology-carrying snapshot, the pass becomes
+/// budgeted and rack-aware: donors are evacuated nearly-empty racks first
+/// (completing a rack evacuation switches off its shared draw), every
+/// consolidation round is scored on NET energy — stationary savings over
+/// `rack.benefit_horizon_s` minus the round's distance-dependent migration
+/// energy — and rounds that lose energy or overrun the plan budget are
+/// rolled back (the search then continues with the next donor, since a
+/// cross-pod-expensive donor says nothing about a same-rack-cheap one).
+/// With the default (disabled) options, or on a flat snapshot, plans are
+/// move-for-move identical to the pre-topology engine.
 [[nodiscard]] IpacReport ipac(const DataCenterSnapshot& snapshot,
                               const ConstraintSet& constraints,
-                              const MigrationCostPolicy& policy = AllowAllPolicy(),
-                              const IpacOptions& options = {});
+                              const MigrationCostPolicy& policy = FreeMigrationPolicy(),
+                              const IpacOptions& options = {},
+                              const RackAwareOptions& rack = {});
 
 }  // namespace vdc::consolidate

@@ -1,6 +1,7 @@
 #include "consolidate/naive.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -105,6 +106,91 @@ struct SearchState {
   }
 };
 
+/// Budgeted Minimum Slack, naive flavor: the plain recursive search of
+/// SearchState plus the migration-cost prune, still materializing the
+/// resident pointer list per admits call. Mirrors the fast BudgetedSearch
+/// (minimum_slack.cpp) decision for decision: same symmetry prune (cost
+/// must match too), same CPU-slack bound, same budget prune, same step
+/// accounting — so selections AND step counts agree.
+struct BudgetedSearchState {
+  const DataCenterSnapshot* snapshot;
+  const ServerSnapshot* server;
+  const ConstraintSet* constraints;
+  std::vector<VmId> order;      // candidates, largest demand first
+  std::vector<double> cost_of;  // aligned to order (J)
+  std::vector<const VmSnapshot*> resident;
+  std::vector<VmId> selected;
+  double selected_demand = 0.0;
+  double selected_cost = 0.0;
+  double budget_j = 0.0;
+  double base_demand = 0.0;
+
+  MinSlackResult best;
+  double best_cost = 0.0;
+  double epsilon;
+  std::size_t budget;
+  const MinSlackOptions* options;
+  bool done = false;
+
+  [[nodiscard]] double slack() const noexcept {
+    return server->max_capacity_ghz - base_demand - selected_demand;
+  }
+
+  void consider_current() {
+    const double s = slack();
+    if (s < best.slack_ghz - 1e-12) {
+      best.slack_ghz = s;
+      best.selected = selected;
+      best_cost = selected_cost;
+    }
+    if (best.slack_ghz < epsilon) done = true;
+  }
+
+  void dfs(std::size_t start) {
+    if (done) return;
+    for (std::size_t i = start; i < order.size(); ++i) {
+      if (done) return;
+      ++best.steps;
+      if (best.steps >= budget) {
+        if (best.escalations >= options->max_escalations) {
+          done = true;
+          return;
+        }
+        ++best.escalations;
+        epsilon *= options->epsilon_escalation;
+        budget += options->step_budget;
+        if (best.slack_ghz < epsilon) {
+          done = true;
+          return;
+        }
+      }
+      const VmId vm = order[i];
+      const VmSnapshot& info = snapshot->vm(vm);
+      if (i > start) {
+        const VmSnapshot& prev = snapshot->vm(order[i - 1]);
+        if (prev.cpu_demand_ghz == info.cpu_demand_ghz && prev.memory_mb == info.memory_mb &&
+            cost_of[i - 1] == cost_of[i]) {
+          continue;  // symmetry pruning (cost must match too)
+        }
+      }
+      if (info.cpu_demand_ghz > slack() + 1e-9) continue;           // CPU-slack bound
+      if (selected_cost + cost_of[i] > budget_j + 1e-9) continue;   // budget prune
+      resident.push_back(&info);
+      if (constraints->admits(*server, resident)) {
+        selected.push_back(vm);
+        selected_demand += info.cpu_demand_ghz;
+        selected_cost += cost_of[i];
+        consider_current();
+        if (!done) dfs(i + 1);
+        selected_demand -= info.cpu_demand_ghz;
+        selected_cost -= cost_of[i];
+        selected.pop_back();
+      }
+      resident.pop_back();
+    }
+  }
+};
+
 /// Smallest-CPU-demand VM on the server (the cheapest to evict).
 VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
   const auto hosted = placement.hosted(server);
@@ -134,6 +220,30 @@ double estimated_power_w(const WorkingPlacement& placement) {
         std::min(1.0, placement.cpu_demand(server.id) /
                           std::max(1e-9, server.max_capacity_ghz));
     total += server.idle_power_w + (server.max_power_w - server.idle_power_w) * utilization;
+  }
+  // Shared infrastructure: full rescan of rack/pod occupancy (the fast path
+  // keeps these as incremental 0 <-> 1 transition counters).
+  for (const RackSnapshot& rack : snap.racks) {
+    for (const ServerId member : rack.members) {
+      if (member < snap.servers.size() && placement.occupied(member)) {
+        total += rack.shared_power_w;
+        break;
+      }
+    }
+  }
+  for (const PodSnapshot& pod : snap.pods) {
+    bool occupied = false;
+    for (const RackSnapshot& rack : snap.racks) {
+      if (rack.pod != pod.id) continue;
+      for (const ServerId member : rack.members) {
+        if (member < snap.servers.size() && placement.occupied(member)) {
+          occupied = true;
+          break;
+        }
+      }
+      if (occupied) break;
+    }
+    if (occupied) total += pod.shared_power_w;
   }
   return total;
 }
@@ -208,6 +318,111 @@ PacResult power_aware_consolidation(WorkingPlacement& placement, std::span<const
   return result;
 }
 
+BudgetedMinSlackResult minimum_slack_budgeted(const WorkingPlacement& placement, ServerId server,
+                                              std::span<const VmId> candidates,
+                                              std::span<const double> candidate_cost_j,
+                                              double budget_j, const ConstraintSet& constraints,
+                                              const MinSlackOptions& options) {
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+  if (server >= snapshot.servers.size()) {
+    throw std::out_of_range("minimum_slack_budgeted: server id");
+  }
+  if (candidate_cost_j.size() != candidates.size()) {
+    throw std::invalid_argument("minimum_slack_budgeted: one cost per candidate required");
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (placement.host_of(candidates[i]) != datacenter::kNoServer) {
+      throw std::invalid_argument("minimum_slack_budgeted: candidate VM is already placed");
+    }
+    if (!(candidate_cost_j[i] >= 0.0)) {
+      throw std::invalid_argument("minimum_slack_budgeted: negative candidate cost");
+    }
+  }
+  const ServerSnapshot& target = snapshot.server(server);
+
+  BudgetedSearchState state;
+  state.snapshot = &snapshot;
+  state.server = &target;
+  state.constraints = &constraints;
+  state.options = &options;
+  state.epsilon = options.epsilon_ghz;
+  state.budget = options.step_budget;
+  state.budget_j = budget_j;
+
+  std::vector<std::size_t> perm(candidates.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    const double da = snapshot.vm(candidates[a]).cpu_demand_ghz;
+    const double db = snapshot.vm(candidates[b]).cpu_demand_ghz;
+    if (da != db) return da > db;
+    return candidates[a] < candidates[b];
+  });
+  for (const std::size_t i : perm) {
+    state.order.push_back(candidates[i]);
+    state.cost_of.push_back(candidate_cost_j[i]);
+  }
+
+  for (const VmId vm : placement.hosted(server)) {
+    state.resident.push_back(&snapshot.vm(vm));
+    state.base_demand += snapshot.vm(vm).cpu_demand_ghz;
+  }
+  state.best.slack_ghz = state.slack();
+
+  if (state.best.slack_ghz >= options.epsilon_ghz && !target.failed) state.dfs(0);
+  audit::min_slack_selection(placement, server, candidates, constraints, state.best.selected);
+  return BudgetedMinSlackResult{std::move(state.best), state.best_cost};
+}
+
+PacResult power_aware_consolidation_budgeted(WorkingPlacement& placement,
+                                             std::span<const VmId> vms,
+                                             const ConstraintSet& constraints,
+                                             const MinSlackOptions& options,
+                                             std::span<const ServerId> server_order,
+                                             const MigrationCostContext& cost) {
+  if (cost.model == nullptr) {
+    throw std::invalid_argument("power_aware_consolidation_budgeted: cost model required");
+  }
+  PacResult result;
+  std::vector<VmId> remaining(vms.begin(), vms.end());
+  if (remaining.empty()) return result;
+  const DataCenterSnapshot& snapshot = placement.snapshot();
+
+  const auto cost_to = [&](VmId vm, ServerId server) {
+    const ServerId from = vm < cost.origin.size() ? cost.origin[vm] : datacenter::kNoServer;
+    if (from == datacenter::kNoServer) return 0.0;
+    return cost.model->energy_j(snapshot.vm(vm).memory_mb, snapshot.distance(from, server));
+  };
+
+  double spent_j = 0.0;
+  for (const ServerId server : server_order) {
+    if (remaining.empty()) break;
+    // Full rescan for the smallest remaining demand (the fast engine caches
+    // it); the skip decision itself is identical.
+    double smallest = std::numeric_limits<double>::infinity();
+    for (const VmId vm : remaining) {
+      smallest = std::min(smallest, snapshot.vm(vm).cpu_demand_ghz);
+    }
+    if (placement.cpu_slack(server) + 1e-9 < smallest) continue;
+    std::vector<double> costs;
+    costs.reserve(remaining.size());
+    for (const VmId vm : remaining) costs.push_back(cost_to(vm, server));
+    const BudgetedMinSlackResult fit = naive::minimum_slack_budgeted(
+        placement, server, remaining, costs, cost.budget_j - spent_j, constraints, options);
+    result.min_slack_steps += fit.result.steps;
+    if (fit.result.selected.empty()) continue;
+    spent_j += fit.cost_j;
+    for (const VmId vm : fit.result.selected) {
+      placement.place(vm, server);
+      result.placed.push_back(vm);
+      remaining.erase(std::remove(remaining.begin(), remaining.end(), vm), remaining.end());
+    }
+    ++result.servers_used;
+  }
+  result.migration_energy_j = spent_j;
+  result.unplaced = std::move(remaining);
+  return result;
+}
+
 FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const ServerId> servers,
                                std::span<const VmId> vms, const ConstraintSet& constraints) {
   const DataCenterSnapshot& snapshot = placement.snapshot();
@@ -240,17 +455,30 @@ FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const Serv
 }
 
 IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
-                const MigrationCostPolicy& policy, const IpacOptions& options) {
+                const MigrationCostPolicy& policy, const IpacOptions& options,
+                const RackAwareOptions& rack) {
   WorkingPlacement wp(snapshot);
   IpacReport report;
   report.occupied_before = wp.occupied_server_count();
   double bytes_approved = 0.0;
   datacenter::MigrationModel migration_model;  // for byte estimates in proposals
 
+  const bool rack_on = rack.enabled && !snapshot.racks.empty();
+  std::vector<char> rack_lit(snapshot.racks.size(), 0);
+  if (rack_on) {
+    for (const ServerSnapshot& server : snapshot.servers) {
+      if (server.rack != datacenter::kNoRack && (server.active || !server.hosted.empty())) {
+        rack_lit[server.rack] = 1;
+      }
+    }
+  }
+
   // Target ordering for PAC: active servers by descending power efficiency
   // first, then sleeping ones ("enough inactive servers which will be waken
   // up and used if necessary") — waking a machine is a last resort, since
-  // an extra awake server costs idle power immediately.
+  // an extra awake server costs idle power immediately. Rack-aware runs put
+  // sleepers in lit racks before sleepers in dark racks (see the fast
+  // engine for the rationale and the flat-degeneracy argument).
   const std::vector<ServerId> efficiency_order = servers_by_power_efficiency(snapshot);
   std::vector<ServerId> active_first;
   active_first.reserve(efficiency_order.size());
@@ -259,11 +487,19 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       active_first.push_back(s);
     }
   }
+  std::vector<ServerId> sleepers;
   for (const ServerId s : efficiency_order) {
     if (!snapshot.server(s).active && snapshot.server(s).hosted.empty()) {
-      active_first.push_back(s);
+      sleepers.push_back(s);
     }
   }
+  if (rack_on) {
+    std::stable_partition(sleepers.begin(), sleepers.end(), [&](ServerId s) {
+      const RackId r = snapshot.server(s).rack;
+      return r != datacenter::kNoRack && rack_lit[r] != 0;
+    });
+  }
+  active_first.insert(active_first.end(), sleepers.begin(), sleepers.end());
 
   // ---- Step 0: pick up homeless VMs --------------------------------------
   std::vector<VmId> migration_list;
@@ -290,6 +526,14 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     report.overload_moves = pac.placed.size();
     for (const VmId vm : pac.placed) {
       bytes_approved += migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
+      if (rack_on) {
+        // Relief bypasses the gates but still draws down the plan budget.
+        const ServerId relief_origin = wp.original_host(vm);
+        if (relief_origin != datacenter::kNoServer) {
+          report.migration_energy_j += rack.cost.energy_j(
+              snapshot.vm(vm).memory_mb, snapshot.distance(relief_origin, wp.host_of(vm)));
+        }
+      }
     }
     for (const VmId vm : pac.unplaced) {
       util::Log(util::LogLevel::kWarn, "ipac")
@@ -304,12 +548,35 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
   for (const ServerSnapshot& server : snapshot.servers) {
     if (wp.occupied(server.id)) donors.push_back(server.id);
   }
-  std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
-    const double ea = snapshot.server(a).power_efficiency;
-    const double eb = snapshot.server(b).power_efficiency;
-    if (ea != eb) return ea < eb;
-    return a < b;
-  });
+  if (rack_on) {
+    // Rack occupancy by full member rescan (the fast engine keeps per-rack
+    // counters); kNoRack servers count as a rack of one.
+    const auto occupancy = [&](ServerId s) -> std::uint32_t {
+      const RackId r = snapshot.server(s).rack;
+      if (r == datacenter::kNoRack) return 1;
+      std::uint32_t count = 0;
+      for (const ServerId member : snapshot.racks[r].members) {
+        if (member < snapshot.servers.size() && wp.occupied(member)) ++count;
+      }
+      return count;
+    };
+    std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
+      const std::uint32_t oa = occupancy(a);
+      const std::uint32_t ob = occupancy(b);
+      if (oa != ob) return oa < ob;
+      const double ea = snapshot.server(a).power_efficiency;
+      const double eb = snapshot.server(b).power_efficiency;
+      if (ea != eb) return ea < eb;
+      return a < b;
+    });
+  } else {
+    std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
+      const double ea = snapshot.server(a).power_efficiency;
+      const double eb = snapshot.server(b).power_efficiency;
+      if (ea != eb) return ea < eb;
+      return a < b;
+    });
+  }
 
   std::size_t active_baseline = 0;
   for (const ServerSnapshot& server : snapshot.servers) {
@@ -339,11 +606,38 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
     bool accept = pac.unplaced.empty() &&
                   (wp.occupied_server_count() < active_baseline ||
                    naive::estimated_power_w(wp) < power_before_round - 1e-9);
+
+    // Rack-aware gates between baseline acceptance and policy, exactly as
+    // in the fast engine: gate rejections skip to the next donor, baseline
+    // and policy rejections end the loop.
+    bool gate_reject = false;
+    double round_cost_j = 0.0;
+    if (accept && rack_on) {
+      for (const VmId vm : evacuated) {
+        round_cost_j += rack.cost.energy_j(snapshot.vm(vm).memory_mb,
+                                           snapshot.distance(donor, wp.host_of(vm)));
+      }
+      const double benefit_j =
+          std::max(0.0, power_before_round - naive::estimated_power_w(wp)) *
+          rack.benefit_horizon_s;
+      if (report.migration_energy_j + round_cost_j >
+          rack.migration_energy_budget_j + 1e-9) {
+        accept = false;
+        gate_reject = true;
+        ++report.rounds_rejected_by_budget;
+      } else if (benefit_j + 1e-9 < round_cost_j) {
+        accept = false;
+        gate_reject = true;
+        ++report.rounds_rejected_by_cost;
+      }
+    }
+
     if (accept) {
       const double benefit_per_move =
           std::max(0.0, power_before_round - naive::estimated_power_w(wp)) /
           static_cast<double>(evacuated.size());
       double round_bytes = 0.0;
+      double round_cost_so_far_j = 0.0;
       for (const VmId vm : evacuated) {
         MigrationProposal proposal;
         proposal.vm = vm;
@@ -352,14 +646,26 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
         proposal.estimated_benefit_w = benefit_per_move;
         proposal.bytes = migration_model.bytes_moved(snapshot.vm(vm).memory_mb);
         proposal.bytes_already_approved = bytes_approved + round_bytes;
+        if (rack_on) {
+          proposal.distance = snapshot.distance(donor, proposal.to);
+          proposal.cost_j =
+              rack.cost.energy_j(snapshot.vm(vm).memory_mb, proposal.distance);
+          proposal.cost_already_approved_j =
+              report.migration_energy_j + round_cost_so_far_j;
+          proposal.estimated_benefit_j = benefit_per_move * rack.benefit_horizon_s;
+        }
         if (!policy.allow(snapshot, proposal)) {
           accept = false;
           ++report.rounds_rejected_by_policy;
           break;
         }
         round_bytes += proposal.bytes;
+        round_cost_so_far_j += proposal.cost_j;
       }
-      if (accept) bytes_approved += round_bytes;
+      if (accept) {
+        bytes_approved += round_bytes;
+        report.migration_energy_j += round_cost_j;
+      }
     }
 
     if (accept) {
@@ -369,12 +675,27 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       continue;  // try the next least-efficient donor
     }
 
-    // Roll back the round and stop.
+    // Roll back the round; gate rejections try the next donor, anything
+    // else stops.
     for (const VmId vm : evacuated) {
       if (wp.host_of(vm) != datacenter::kNoServer) wp.remove(vm);
       wp.place(vm, donor);
     }
+    if (gate_reject) continue;
     break;
+  }
+
+  if (rack_on) {
+    for (const RackSnapshot& r : snapshot.racks) {
+      bool was_occupied = false;
+      bool now_occupied = false;
+      for (const ServerId member : r.members) {
+        if (member >= snapshot.servers.size()) continue;
+        if (!snapshot.server(member).hosted.empty()) was_occupied = true;
+        if (wp.occupied(member)) now_occupied = true;
+      }
+      if (was_occupied && !now_occupied) ++report.racks_emptied;
+    }
   }
 
   report.occupied_after = wp.occupied_server_count();
@@ -383,8 +704,10 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
   return report;
 }
 
-PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints) {
+PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
+                      const RackAwareOptions& rack) {
   PMapperReport report;
+  const bool rack_on = rack.enabled && !snapshot.racks.empty();
 
   // ---- Phase 1: target allocation on a phantom (emptied) copy -------------
   DataCenterSnapshot phantom = snapshot;
@@ -451,15 +774,40 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
     return a < b;
   });
 
+  // Same gate as the fast engine, evaluated only after admission; benefit
+  // uses the shared closed-form placement_delta_w so thresholds compare
+  // bit-identically across engines.
+  bool gate_blocked = false;
+  const auto gate_allows = [&](VmId vm, ServerId receiver) {
+    if (!rack_on || origin[vm] == datacenter::kNoServer) return true;
+    const VmSnapshot& info = snapshot.vm(vm);
+    const double cost_j =
+        rack.cost.energy_j(info.memory_mb, snapshot.distance(origin[vm], receiver));
+    if (report.migration_energy_j + cost_j > rack.migration_energy_budget_j + 1e-9) {
+      gate_blocked = true;
+      return false;
+    }
+    const double benefit_w = placement_delta_w(wp, origin[vm], info.cpu_demand_ghz) -
+                             placement_delta_w(wp, receiver, info.cpu_demand_ghz);
+    if (benefit_w * rack.benefit_horizon_s + 1e-9 < cost_j) {
+      gate_blocked = true;
+      return false;
+    }
+    report.migration_energy_j += cost_j;
+    return true;
+  };
+
   std::vector<VmId> unplaced;
   for (const VmId vm : order) {
     bool placed = false;
+    gate_blocked = false;
     for (const ServerId receiver : receivers) {
       const VmId extra[] = {vm};
       const bool fits_target =
           wp.cpu_demand(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
           report.target_demand_ghz[receiver] + kEps;
-      if (fits_target && admits_with(wp, receiver, extra, constraints)) {
+      if (fits_target && admits_with(wp, receiver, extra, constraints) &&
+          gate_allows(vm, receiver)) {
         wp.place(vm, receiver);
         placed = true;
         break;
@@ -469,7 +817,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
       // Second chance ignoring the target cap (constraints still hold).
       for (const ServerId receiver : receivers) {
         const VmId extra[] = {vm};
-        if (admits_with(wp, receiver, extra, constraints)) {
+        if (admits_with(wp, receiver, extra, constraints) && gate_allows(vm, receiver)) {
           wp.place(vm, receiver);
           placed = true;
           break;
@@ -477,6 +825,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
       }
     }
     if (!placed) {
+      if (gate_blocked) ++report.moves_rejected_by_budget;
       if (origin[vm] != datacenter::kNoServer) {
         wp.place(vm, origin[vm]);
       } else {

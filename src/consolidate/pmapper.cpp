@@ -8,8 +8,10 @@
 
 namespace vdc::consolidate {
 
-PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints) {
+PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& constraints,
+                      const RackAwareOptions& rack) {
   PMapperReport report;
+  const bool rack_on = rack.enabled && !snapshot.racks.empty();
 
   // ---- Phase 1: target allocation on a phantom (emptied) copy -------------
   DataCenterSnapshot phantom = snapshot;
@@ -79,15 +81,42 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
     return a < b;
   });
 
+  // Gate for rack-aware runs, evaluated only AFTER a receiver has admitted
+  // the VM (so the rejection counter means "admitted but vetoed"): the move
+  // must fit the remaining plan budget and win on net energy. Benefit is
+  // the closed-form placement_delta_w at the origin minus at the receiver —
+  // identical arithmetic in the reference engine, see topology_cost.hpp.
+  bool gate_blocked = false;
+  const auto gate_allows = [&](VmId vm, ServerId receiver) {
+    if (!rack_on || origin[vm] == datacenter::kNoServer) return true;
+    const VmSnapshot& info = snapshot.vm(vm);
+    const double cost_j =
+        rack.cost.energy_j(info.memory_mb, snapshot.distance(origin[vm], receiver));
+    if (report.migration_energy_j + cost_j > rack.migration_energy_budget_j + 1e-9) {
+      gate_blocked = true;
+      return false;
+    }
+    const double benefit_w = placement_delta_w(wp, origin[vm], info.cpu_demand_ghz) -
+                             placement_delta_w(wp, receiver, info.cpu_demand_ghz);
+    if (benefit_w * rack.benefit_horizon_s + 1e-9 < cost_j) {
+      gate_blocked = true;
+      return false;
+    }
+    report.migration_energy_j += cost_j;
+    return true;
+  };
+
   std::vector<VmId> unplaced;
   for (const VmId vm : order) {
     bool placed = false;
+    gate_blocked = false;
     for (const ServerId receiver : receivers) {
       const VmId extra[] = {vm};
       const bool fits_target =
           wp.cpu_demand(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
           report.target_demand_ghz[receiver] + kEps;
-      if (fits_target && wp.admits_with(receiver, extra, constraints)) {
+      if (fits_target && wp.admits_with(receiver, extra, constraints) &&
+          gate_allows(vm, receiver)) {
         wp.place(vm, receiver);
         placed = true;
         break;
@@ -98,7 +127,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
       // pMapper prefers a slightly off-target placement to losing the VM.
       for (const ServerId receiver : receivers) {
         const VmId extra[] = {vm};
-        if (wp.admits_with(receiver, extra, constraints)) {
+        if (wp.admits_with(receiver, extra, constraints) && gate_allows(vm, receiver)) {
           wp.place(vm, receiver);
           placed = true;
           break;
@@ -108,6 +137,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
     if (!placed) {
       // No receiver can take it: keep it where it was (no migration) rather
       // than leaving it homeless.
+      if (gate_blocked) ++report.moves_rejected_by_budget;
       if (origin[vm] != datacenter::kNoServer) {
         wp.place(vm, origin[vm]);
       } else {

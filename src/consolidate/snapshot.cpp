@@ -4,6 +4,18 @@
 
 namespace vdc::consolidate {
 
+NetworkDistance DataCenterSnapshot::distance(ServerId a, ServerId b) const {
+  if (a == b) return NetworkDistance::kSameHost;
+  const RackId rack_a = a < servers.size() ? servers[a].rack : datacenter::kNoRack;
+  const RackId rack_b = b < servers.size() ? servers[b].rack : datacenter::kNoRack;
+  if (rack_a == datacenter::kNoRack || rack_b == datacenter::kNoRack) {
+    return NetworkDistance::kCrossPod;
+  }
+  if (rack_a == rack_b) return NetworkDistance::kSameRack;
+  if (racks[rack_a].pod == racks[rack_b].pod) return NetworkDistance::kSamePod;
+  return NetworkDistance::kCrossPod;
+}
+
 ServerId DataCenterSnapshot::host_of(VmId id) const {
   for (const ServerSnapshot& s : servers) {
     if (std::find(s.hosted.begin(), s.hosted.end(), id) != s.hosted.end()) return s.id;
@@ -26,9 +38,28 @@ DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster) {
     s.power_efficiency = srv.power_efficiency();
     s.active = srv.active();
     s.failed = srv.failed();
+    s.rack = cluster.topology().rack_of(id);
+    s.pod = cluster.topology().pod_of(id);
     const auto hosted = cluster.vms_on(id);
     s.hosted.assign(hosted.begin(), hosted.end());
     snap.servers.push_back(std::move(s));
+  }
+  const datacenter::Topology& topo = cluster.topology();
+  if (!topo.empty()) {
+    snap.racks.reserve(topo.rack_count());
+    for (RackId rack = 0; rack < topo.rack_count(); ++rack) {
+      RackSnapshot r;
+      r.id = rack;
+      r.pod = topo.pod_of_rack(rack);
+      r.shared_power_w = topo.rack_shared_power_w(rack);
+      const auto members = topo.servers_in(rack);
+      r.members.assign(members.begin(), members.end());
+      snap.racks.push_back(std::move(r));
+    }
+    snap.pods.reserve(topo.pod_count());
+    for (PodId pod = 0; pod < topo.pod_count(); ++pod) {
+      snap.pods.push_back(PodSnapshot{pod, topo.pod_shared_power_w(pod)});
+    }
   }
   snap.vms.reserve(cluster.vm_count());
   for (VmId id = 0; id < cluster.vm_count(); ++id) {

@@ -9,6 +9,9 @@
 
 namespace vdc::consolidate {
 
+using datacenter::NetworkDistance;
+using datacenter::PodId;
+using datacenter::RackId;
 using datacenter::ServerId;
 using datacenter::VmId;
 
@@ -32,15 +35,37 @@ struct ServerSnapshot {
   /// ConstraintSet::admits rejects failed servers unconditionally, so every
   /// consolidation algorithm skips them without knowing why.
   bool failed = false;
+  /// Physical coordinates (kNoRack/kNoPod when the cluster is flat).
+  RackId rack = datacenter::kNoRack;
+  PodId pod = datacenter::kNoPod;
   std::vector<VmId> hosted;
+};
+
+/// A rack's shared infrastructure as the consolidators see it.
+struct RackSnapshot {
+  RackId id = 0;
+  PodId pod = datacenter::kNoPod;
+  double shared_power_w = 0.0;  ///< paid while >= 1 member server is occupied
+  std::vector<ServerId> members;
+};
+
+struct PodSnapshot {
+  PodId id = 0;
+  double shared_power_w = 0.0;
 };
 
 struct DataCenterSnapshot {
   std::vector<ServerSnapshot> servers;  ///< indexed by ServerId
   std::vector<VmSnapshot> vms;          ///< indexed by VmId
+  std::vector<RackSnapshot> racks;      ///< indexed by RackId; empty = flat
+  std::vector<PodSnapshot> pods;        ///< indexed by PodId
 
   [[nodiscard]] const VmSnapshot& vm(VmId id) const { return vms.at(id); }
   [[nodiscard]] const ServerSnapshot& server(ServerId id) const { return servers.at(id); }
+  /// No topology captured: the flat pre-topology world.
+  [[nodiscard]] bool flat() const noexcept { return racks.empty(); }
+  /// Network tier between two servers (kCrossPod when either is off-grid).
+  [[nodiscard]] NetworkDistance distance(ServerId a, ServerId b) const;
   /// Host of a VM (kNoServer when unplaced). O(total hosted) — use
   /// WorkingPlacement for repeated queries.
   [[nodiscard]] ServerId host_of(VmId id) const;

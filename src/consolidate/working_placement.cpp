@@ -33,7 +33,9 @@ WorkingPlacement::WorkingPlacement(const DataCenterSnapshot& snapshot)
       hosted_(snapshot.servers.size()),
       demand_(snapshot.servers.size(), 0.0),
       memory_(snapshot.servers.size(), 0.0),
-      power_(snapshot.servers.size(), 0.0) {
+      power_(snapshot.servers.size(), 0.0),
+      rack_occupied_(snapshot.racks.size(), 0),
+      pod_occupied_(snapshot.pods.size(), 0) {
   for (const ServerSnapshot& server : snapshot.servers) {
     for (const VmId vm : server.hosted) {
       const VmSnapshot& info = snapshot.vm(vm);
@@ -50,6 +52,22 @@ WorkingPlacement::WorkingPlacement(const DataCenterSnapshot& snapshot)
     power_[server.id] = power_contribution(server.id);
     compensated_add(power_total_, power_compensation_, power_[server.id]);
   }
+  if (!snapshot.racks.empty()) {
+    for (const ServerSnapshot& server : snapshot.servers) {
+      if (hosted_[server.id].empty()) continue;
+      if (server.rack != datacenter::kNoRack) ++rack_occupied_[server.rack];
+      if (server.pod != datacenter::kNoPod) ++pod_occupied_[server.pod];
+    }
+    for (const RackSnapshot& rack : snapshot.racks) {
+      if (rack_occupied_[rack.id] == 0) continue;
+      ++occupied_rack_count_;
+      compensated_add(power_total_, power_compensation_, rack.shared_power_w);
+    }
+    for (const PodSnapshot& pod : snapshot.pods) {
+      if (pod_occupied_[pod.id] == 0) continue;
+      compensated_add(power_total_, power_compensation_, pod.shared_power_w);
+    }
+  }
 }
 
 double WorkingPlacement::power_contribution(ServerId server) const {
@@ -64,6 +82,34 @@ void WorkingPlacement::refresh_power(ServerId server) {
   const double fresh = power_contribution(server);
   compensated_add(power_total_, power_compensation_, fresh - power_[server]);
   power_[server] = fresh;
+}
+
+// Shared-infrastructure accounting on empty <-> occupied transitions. Flat
+// snapshots (no racks) return immediately, so the flat power sum sees the
+// exact same sequence of compensated adds as before the topology existed.
+void WorkingPlacement::note_occupied(ServerId server) {
+  if (snapshot_->racks.empty()) return;
+  const ServerSnapshot& info = snapshot_->server(server);
+  if (info.rack != datacenter::kNoRack && rack_occupied_[info.rack]++ == 0) {
+    ++occupied_rack_count_;
+    compensated_add(power_total_, power_compensation_, snapshot_->racks[info.rack].shared_power_w);
+  }
+  if (info.pod != datacenter::kNoPod && pod_occupied_[info.pod]++ == 0) {
+    compensated_add(power_total_, power_compensation_, snapshot_->pods[info.pod].shared_power_w);
+  }
+}
+
+void WorkingPlacement::note_emptied(ServerId server) {
+  if (snapshot_->racks.empty()) return;
+  const ServerSnapshot& info = snapshot_->server(server);
+  if (info.rack != datacenter::kNoRack && --rack_occupied_[info.rack] == 0) {
+    --occupied_rack_count_;
+    compensated_add(power_total_, power_compensation_,
+                    -snapshot_->racks[info.rack].shared_power_w);
+  }
+  if (info.pod != datacenter::kNoPod && --pod_occupied_[info.pod] == 0) {
+    compensated_add(power_total_, power_compensation_, -snapshot_->pods[info.pod].shared_power_w);
+  }
 }
 
 void WorkingPlacement::remove(VmId vm) {
@@ -83,7 +129,10 @@ void WorkingPlacement::remove(VmId vm) {
     ptrs[slot] = ptrs.back();
     ptrs.pop_back();
   }
-  if (list.empty()) --occupied_count_;
+  if (list.empty()) {
+    --occupied_count_;
+    note_emptied(server);
+  }
   const VmSnapshot& info = snapshot_->vm(vm);
   demand_[server] -= info.cpu_demand_ghz;
   memory_[server] -= info.memory_mb;
@@ -98,7 +147,10 @@ void WorkingPlacement::place(VmId vm, ServerId server) {
   }
   if (server >= hosted_.size()) throw std::out_of_range("WorkingPlacement::place: server id");
   auto& list = hosted_[server];
-  if (list.empty()) ++occupied_count_;
+  if (list.empty()) {
+    ++occupied_count_;
+    note_occupied(server);
+  }
   host_[vm] = server;
   slot_[vm] = static_cast<std::uint32_t>(list.size());
   const VmSnapshot& info = snapshot_->vm(vm);

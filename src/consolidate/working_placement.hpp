@@ -62,15 +62,30 @@ class WorkingPlacement {
   [[nodiscard]] std::size_t occupied_server_count() const noexcept { return occupied_count_; }
   [[nodiscard]] bool occupied(ServerId server) const { return !hosted_.at(server).empty(); }
 
+  /// Occupied member servers of a rack / pod, and racks with >= 1 occupied
+  /// member. All O(1), maintained incrementally on place/remove so budgeted
+  /// rack-aware scoring (does this move empty a rack? light one up?) never
+  /// rescans the fleet. Meaningful only when the snapshot carries racks.
+  [[nodiscard]] std::size_t rack_occupied_count(RackId rack) const {
+    return rack_occupied_.at(rack);
+  }
+  [[nodiscard]] std::size_t pod_occupied_count(PodId pod) const { return pod_occupied_.at(pod); }
+  [[nodiscard]] std::size_t occupied_rack_count() const noexcept { return occupied_rack_count_; }
+
   /// CPU slack of a server: capacity * utilization_target - demand. Uses
   /// target 1.0; Minimum Slack passes its own target through constraints.
   [[nodiscard]] double cpu_slack(ServerId server) const;
 
   /// Estimated total power of the placement under IPAC's model: occupied
   /// servers run at max frequency with linear-in-utilization power, empty
-  /// servers sleep. Maintained incrementally (Neumaier-compensated running
-  /// sum of per-server contributions), so each query is O(1); the reference
-  /// full scan lives in naive::estimated_power_w.
+  /// servers sleep; when the snapshot carries a topology, each rack/pod
+  /// with >= 1 occupied member additionally charges its shared-
+  /// infrastructure draw (an evacuated rack switches it off). Maintained
+  /// incrementally (Neumaier-compensated running sum of per-server
+  /// contributions plus 0 <-> 1 rack/pod occupancy transitions), so each
+  /// query is O(1); the reference full scan lives in
+  /// naive::estimated_power_w. Flat snapshots never touch the rack terms,
+  /// so flat results are bit-identical to the pre-topology estimate.
   [[nodiscard]] double estimated_power_w() const noexcept {
     return power_total_ + power_compensation_;
   }
@@ -86,6 +101,8 @@ class WorkingPlacement {
  private:
   [[nodiscard]] double power_contribution(ServerId server) const;
   void refresh_power(ServerId server);
+  void note_occupied(ServerId server);
+  void note_emptied(ServerId server);
   void materialize_ptrs() const;
 
   const DataCenterSnapshot* snapshot_;
@@ -102,6 +119,9 @@ class WorkingPlacement {
   double power_total_ = 0.0;               // compensated running fleet power
   double power_compensation_ = 0.0;
   std::size_t occupied_count_ = 0;
+  std::vector<std::uint32_t> rack_occupied_;  // per rack: occupied member servers
+  std::vector<std::uint32_t> pod_occupied_;   // per pod: occupied member servers
+  std::size_t occupied_rack_count_ = 0;
   SlackIndex* slack_observer_ = nullptr;
   mutable std::vector<const VmSnapshot*> scratch_;  // generic admits_with
 };

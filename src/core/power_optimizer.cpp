@@ -28,7 +28,7 @@ PowerOptimizer::PowerOptimizer(OptimizerConfig config,
     : config_(config),
       constraints_(consolidate::ConstraintSet::standard(config.utilization_target)),
       policy_(std::move(policy)) {
-  if (!policy_) policy_ = std::make_shared<consolidate::AllowAllPolicy>();
+  if (!policy_) policy_ = std::make_shared<consolidate::FreeMigrationPolicy>();
 }
 
 void PowerOptimizer::add_constraint(
@@ -44,16 +44,17 @@ consolidate::PlacementPlan PowerOptimizer::plan(const datacenter::Cluster& clust
     case ConsolidationAlgorithm::kIpac: {
       const consolidate::IpacReport report =
           config_.engine == ConsolidationEngine::kNaive
-              ? consolidate::naive::ipac(snapshot, constraints_, *policy_, config_.ipac)
-              : consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac);
+              ? consolidate::naive::ipac(snapshot, constraints_, *policy_, config_.ipac,
+                                         config_.rack)
+              : consolidate::ipac(snapshot, constraints_, *policy_, config_.ipac, config_.rack);
       out = report.plan;
       break;
     }
     case ConsolidationAlgorithm::kPMapper: {
       const consolidate::PMapperReport report =
           config_.engine == ConsolidationEngine::kNaive
-              ? consolidate::naive::pmapper(snapshot, constraints_)
-              : consolidate::pmapper(snapshot, constraints_);
+              ? consolidate::naive::pmapper(snapshot, constraints_, config_.rack)
+              : consolidate::pmapper(snapshot, constraints_, config_.rack);
       out = report.plan;
       break;
     }

@@ -45,6 +45,11 @@ struct OptimizerConfig {
   /// bandwidth and usually fails again while the underlying fault window
   /// is open. Re-planning continues against the *realized* placement.
   double migration_backoff_s = 600.0;
+  /// Rack-aware, migration-energy-budgeted consolidation (off by default:
+  /// flat clusters and disabled runs plan move-for-move identically to the
+  /// pre-topology optimizer). Forwarded to both engines so differential
+  /// tests exercise the same gates.
+  consolidate::RackAwareOptions rack;
 };
 
 struct OptimizationOutcome {

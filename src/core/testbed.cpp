@@ -17,6 +17,7 @@ Testbed::Testbed(TestbedConfig config)
           .utilization_target = config_.optimizer_utilization_target,
           .ipac = {},
           .migration_backoff_s = config_.optimizer_migration_backoff_s,
+          .rack = config_.optimizer_rack,
       }) {
   if (config_.num_apps == 0 || config_.num_servers == 0) {
     throw std::invalid_argument("Testbed: need at least one app and one server");
@@ -42,6 +43,7 @@ Testbed::Testbed(TestbedConfig config)
                                            datacenter::power_model_dual_2ghz(),
                                            /*memory_mb=*/8192.0));
   }
+  if (!config_.topology.empty()) cluster_.set_topology(config_.topology);
 
   // One AppStack (application + monitor + controller) per application.
   AppStackConfig stack;
@@ -168,6 +170,14 @@ void Testbed::run_until(double until_s) {
           w.start_s, w.end_s, [this, server] { crash_server(server); },
           [this, server] { repair_crashed_server(server); });
     }
+    // Correlated rack failures: every member server goes down and comes
+    // back together (shared switch / PDU loss).
+    for (const fault::FaultWindow& w : injector_.rack_failure_windows()) {
+      const auto rack = static_cast<datacenter::RackId>(w.target);
+      sim_.schedule_window(
+          w.start_s, w.end_s, [this, rack] { crash_rack(rack); },
+          [this, rack] { repair_rack(rack); });
+    }
   }
   sim_.run_until(until_s);
 }
@@ -189,6 +199,24 @@ void Testbed::crash_server(datacenter::ServerId id) {
 void Testbed::repair_crashed_server(datacenter::ServerId id) {
   cluster_.repair_server(id);
   annotate("server-repair srv" + std::to_string(id));
+}
+
+void Testbed::crash_rack(datacenter::RackId id) {
+  injector_.note_rack_failure(sim_.now(), id);
+  annotate("rack-failure rack" + std::to_string(id));
+  const std::vector<datacenter::VmId> evicted = cluster_.fail_rack(id);
+  for (const datacenter::VmId vm : evicted) apply_tier_allocation(vm, 0.0);
+  // Same emergency policy as a single-server crash: the re-plan sees every
+  // member marked failed, so the constraints steer re-placement to other
+  // racks automatically.
+  if (config_.enable_optimizer && !evicted.empty() && migrations_in_flight_ == 0) {
+    run_optimizer_pass();
+  }
+}
+
+void Testbed::repair_rack(datacenter::RackId id) {
+  cluster_.repair_rack(id);
+  annotate("rack-repair rack" + std::to_string(id));
 }
 
 void Testbed::optimizer_tick() {
@@ -330,6 +358,33 @@ void Testbed::record_power(double now) {
     const double utilization =
         (capacity > 0.0 && interval > 0.0) ? server_work[s] / (capacity * interval) : 0.0;
     total_power += server.power_w(utilization);
+  }
+  // Shared infrastructure draw: a rack's switch/fans burn while any member
+  // is awake, a pod's fabric while any member rack is lit. Flat testbeds
+  // (empty topology) skip both loops and record the historical series.
+  const datacenter::Topology& topo = cluster_.topology();
+  if (!topo.empty()) {
+    for (datacenter::RackId r = 0; r < topo.rack_count(); ++r) {
+      for (const datacenter::ServerId member : topo.servers_in(r)) {
+        if (member < cluster_.server_count() && cluster_.server(member).active()) {
+          total_power += topo.rack_shared_power_w(r);
+          break;
+        }
+      }
+    }
+    for (datacenter::PodId p = 0; p < topo.pod_count(); ++p) {
+      bool lit = false;
+      for (const datacenter::RackId r : topo.racks_in(p)) {
+        for (const datacenter::ServerId member : topo.servers_in(r)) {
+          if (member < cluster_.server_count() && cluster_.server(member).active()) {
+            lit = true;
+            break;
+          }
+        }
+        if (lit) break;
+      }
+      if (lit) total_power += topo.pod_shared_power_w(p);
+    }
   }
   if (interval > 0.0) recorder_.append(kPowerSeries, total_power);
   last_power_time_ = now;

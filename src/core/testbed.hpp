@@ -70,6 +70,14 @@ struct TestbedConfig {
   /// How long the optimizer refuses to re-propose moving a VM whose
   /// migration just failed (see OptimizerConfig::migration_backoff_s).
   double optimizer_migration_backoff_s = 600.0;
+  /// Physical layout of the testbed servers. Empty (the default) keeps the
+  /// cluster flat: no shared-infrastructure power, no rack coordinates, and
+  /// byte-identical telemetry to the pre-topology testbed. Server ids in
+  /// the topology must match the `num_servers` ids created here.
+  datacenter::Topology topology;
+  /// Budgeted rack-aware consolidation knobs forwarded to the optimizer
+  /// (effective only when `topology` is non-empty and `.enabled` is set).
+  consolidate::RackAwareOptions optimizer_rack;
 
   // ---- control-plane parallelism ----------------------------------------
   /// With at least this many applications, the per-app MPC solves of a
@@ -166,6 +174,8 @@ class Testbed {
   void fail_migration(datacenter::VmId vm, const std::string& label);
   void crash_server(datacenter::ServerId id);
   void repair_crashed_server(datacenter::ServerId id);
+  void crash_rack(datacenter::RackId id);
+  void repair_rack(datacenter::RackId id);
   /// Recorded only while faults are enabled (healthy telemetry unchanged).
   void annotate(const std::string& label);
   void apply_tier_allocation(datacenter::VmId vm, double ghz);

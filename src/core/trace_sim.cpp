@@ -42,7 +42,10 @@ TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
   }
   std::shuffle(types.begin(), types.end(), rng.engine());
 
-  datacenter::Cluster cluster;
+  // Rack-aware runs execute migrations with the same distance-dependent
+  // transfer model the planner prices them with.
+  datacenter::Cluster cluster(config.rack.enabled ? config.rack.cost.transfer
+                                                  : datacenter::MigrationModel{});
   for (const int type : types) {
     switch (type) {
       case 0:
@@ -59,6 +62,7 @@ TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
         break;
     }
   }
+  if (!config.topology.empty()) cluster.set_topology(config.topology);
 
   std::vector<double> peak_ghz(config.num_vms);
   for (std::size_t v = 0; v < config.num_vms; ++v) {
@@ -93,6 +97,7 @@ TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
   opt_config.algorithm = config.algorithm;
   opt_config.utilization_target = config.utilization_target;
   opt_config.ipac = config.ipac;
+  opt_config.rack = config.rack;
   PowerOptimizer optimizer(opt_config);
 
   OverloadGuardConfig guard_config;
@@ -186,6 +191,13 @@ TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
 
   result.server_wakes = cluster.wake_count();
   result.energy_wh_total += static_cast<double>(result.server_wakes) * config.server_wake_energy_wh;
+  if (config.rack.enabled) {
+    for (const datacenter::MigrationRecord& record : cluster.migration_log().records()) {
+      result.migration_energy_wh +=
+          record.duration_s * config.rack.cost.migration_power_w / 3600.0;
+    }
+    result.energy_wh_total += result.migration_energy_wh;
+  }
   result.energy_wh_per_vm = result.energy_wh_total / static_cast<double>(config.num_vms);
   result.final_active_servers = cluster.active_server_count();
   result.overload_fraction =

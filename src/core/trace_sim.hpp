@@ -67,6 +67,16 @@ struct TraceSimConfig {
   enum class Forecast { kNone, kRecentPeak, kDiurnalPeak };
   Forecast forecast = Forecast::kNone;
   double forecast_safety = 1.05;
+  /// Physical layout of the server pool, built by the caller against the
+  /// `pool_size` server ids (e.g. datacenter::Topology::uniform). Empty —
+  /// the default — keeps the simulation flat and its outputs byte-identical
+  /// to the pre-topology simulator.
+  datacenter::Topology topology;
+  /// Budgeted rack-aware consolidation (effective only with a non-empty
+  /// topology). When enabled, the cluster also executes migrations with the
+  /// rack-aware transfer model (distance-dependent durations) and the run
+  /// charges migration energy into the energy totals.
+  consolidate::RackAwareOptions rack;
 };
 
 struct TraceSimResult {
@@ -84,6 +94,11 @@ struct TraceSimResult {
   /// Fraction of (server, sample) pairs with demand above capacity — the
   /// SLA-risk proxy in the large-scale simulation.
   double overload_fraction = 0.0;
+  /// Energy burned by live migrations (Wh): each migration-log record's
+  /// distance-dependent duration times the migration power draw. Counted
+  /// into `energy_wh_total` only when `rack.enabled` — flat runs keep the
+  /// historical totals bit for bit.
+  double migration_energy_wh = 0.0;
   /// Cluster power at every trace sample (W).
   std::vector<double> power_series_w;
 };

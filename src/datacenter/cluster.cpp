@@ -74,13 +74,16 @@ void Cluster::migrate(VmId vm, ServerId host, double now_s) {
   detach(vm);
   host_[vm] = host;
   hosted_[host].push_back(vm);
+  const NetworkDistance distance =
+      topology_.empty() ? NetworkDistance::kSameRack : topology_.distance(from, host);
   migrations_.add(MigrationRecord{
       .vm = vm,
       .from = from,
       .to = host,
       .time_s = now_s,
-      .duration_s = migration_model_.duration_s(vms_[vm].memory_mb),
+      .duration_s = migration_model_.duration_s(vms_[vm].memory_mb, distance),
       .bytes = migration_model_.bytes_moved(vms_[vm].memory_mb),
+      .distance = distance,
   });
 }
 
@@ -123,6 +126,12 @@ std::size_t Cluster::active_server_count() const {
 double Cluster::arbitrate_and_power_w(bool dvfs) {
   double total = 0.0;
   std::vector<double> demands;
+  // Per-server draws are only materialized when a topology is installed
+  // (for the rack conservation audit); the flat accumulation below is
+  // untouched either way so flat-mode totals stay bit-identical.
+  const bool racked = !topology_.empty();
+  std::vector<double> per_server;
+  if (racked) per_server.assign(servers_.size(), 0.0);
   for (ServerId id = 0; id < servers_.size(); ++id) {
     Server& srv = servers_[id];
     if (!srv.active()) {
@@ -130,6 +139,7 @@ double Cluster::arbitrate_and_power_w(bool dvfs) {
       const double sleep_power = srv.power_w(0.0);
       audit::server_power(srv, sleep_power);
       total += sleep_power;
+      if (racked) per_server[id] = sleep_power;
       continue;
     }
     demands.clear();
@@ -149,6 +159,38 @@ double Cluster::arbitrate_and_power_w(bool dvfs) {
     audit::server_state(srv);
     audit::server_power(srv, power);
     total += power;
+    if (racked) per_server[id] = power;
+  }
+  if (racked) {
+    // Shared infrastructure: a rack's PDU/cooling/ToR draw is paid while
+    // any member is awake; a pod's aggregation draw likewise. A rack the
+    // consolidator fully evacuates therefore switches its share off.
+    for (RackId rack = 0; rack < topology_.rack_count(); ++rack) {
+      double members = 0.0;
+      bool awake = false;
+      for (const ServerId s : topology_.servers_in(rack)) {
+        if (s >= servers_.size()) continue;
+        members += per_server[s];
+        awake = awake || servers_[s].active();
+      }
+      const double shared = awake ? topology_.rack_shared_power_w(rack) : 0.0;
+      audit::rack_power(rack, awake, topology_.rack_shared_power_w(rack), members,
+                        members + shared);
+      total += shared;
+    }
+    for (PodId pod = 0; pod < topology_.pod_count(); ++pod) {
+      bool awake = false;
+      for (const RackId rack : topology_.racks_in(pod)) {
+        for (const ServerId s : topology_.servers_in(rack)) {
+          if (s < servers_.size() && servers_[s].active()) {
+            awake = true;
+            break;
+          }
+        }
+        if (awake) break;
+      }
+      if (awake) total += topology_.pod_shared_power_w(pod);
+    }
   }
   return total;
 }
@@ -183,6 +225,22 @@ std::vector<VmId> Cluster::fail_server(ServerId id) {
 void Cluster::repair_server(ServerId id) {
   check_server(id);
   if (servers_[id].failed()) servers_[id].set_state(ServerState::kSleeping);
+}
+
+std::vector<VmId> Cluster::fail_rack(RackId rack) {
+  std::vector<VmId> evicted;
+  for (const ServerId id : topology_.servers_in(rack)) {
+    if (id >= servers_.size()) continue;
+    std::vector<VmId> from_server = fail_server(id);
+    evicted.insert(evicted.end(), from_server.begin(), from_server.end());
+  }
+  return evicted;
+}
+
+void Cluster::repair_rack(RackId rack) {
+  for (const ServerId id : topology_.servers_in(rack)) {
+    if (id < servers_.size()) repair_server(id);
+  }
 }
 
 std::vector<VmId> Cluster::unplaced_vms() const {

@@ -10,6 +10,7 @@
 #include "datacenter/arbitrator.hpp"
 #include "datacenter/migration.hpp"
 #include "datacenter/server.hpp"
+#include "datacenter/topology.hpp"
 
 namespace vdc::datacenter {
 
@@ -23,6 +24,14 @@ class Cluster {
   /// Adds a VM, optionally placing it immediately. Unplaced VMs must be
   /// placed before power accounting.
   VmId add_vm(Vm vm, std::optional<ServerId> host = std::nullopt);
+
+  /// Installs the physical rack/pod layout. Shared-infrastructure power is
+  /// then charged per rack/pod with >= 1 awake member by
+  /// arbitrate_and_power_w, and migrations pay the network tier the
+  /// topology says they cross. An empty topology (the default) is the flat
+  /// pre-topology world and changes nothing.
+  void set_topology(Topology topology) { topology_ = std::move(topology); }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
   [[nodiscard]] std::size_t server_count() const noexcept { return servers_.size(); }
   [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
@@ -76,6 +85,11 @@ class Cluster {
   /// Ends a crash: the server leaves kFailed into kSleeping (it reboots
   /// powered down; the optimizer wakes it when it wants the capacity).
   void repair_server(ServerId id);
+  /// Crashes every server in a rack (correlated failure: a PDU or ToR
+  /// switch loss takes the whole rack down). Returns all evicted VMs.
+  std::vector<VmId> fail_rack(RackId rack);
+  /// Repairs every failed server in a rack.
+  void repair_rack(RackId rack);
   /// VMs currently assigned to no server (crash-evicted or never placed).
   [[nodiscard]] std::vector<VmId> unplaced_vms() const;
 
@@ -89,6 +103,7 @@ class Cluster {
   std::vector<ServerId> host_;               // per VM; kNoServer when unplaced
   std::vector<std::vector<VmId>> hosted_;    // per server
   MigrationModel migration_model_;
+  Topology topology_;
   CpuResourceArbitrator arbitrator_;
   MigrationLog migrations_;
   std::size_t wake_count_ = 0;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "datacenter/server.hpp"
+#include "datacenter/topology.hpp"
 
 namespace vdc::datacenter {
 
@@ -14,11 +15,40 @@ struct MigrationModel {
   double network_bandwidth_mbps = 1000.0;  ///< dedicated migration bandwidth
   double overhead_factor = 1.3;            ///< dirty-page re-send multiplier
   double downtime_s = 0.5;                 ///< stop-and-copy downtime
+  // Bandwidth multipliers for the network tiers a transfer may cross.
+  // `network_bandwidth_mbps` above is the same-rack (top-of-rack) tier;
+  // cross-rack and cross-pod transfers see it scaled by these factors
+  // (<= 1 slows distant copies). Defaults of 1.0 make every tier equal —
+  // i.e. the flat, pre-topology behavior, byte for byte.
+  double cross_rack_bandwidth_factor = 1.0;  ///< pod-fabric tier, in (0, 1]
+  double cross_pod_bandwidth_factor = 1.0;   ///< core tier, in (0, 1]
 
-  /// Wall-clock duration of migrating a VM with the given memory footprint.
+  /// Effective bandwidth for a transfer crossing the given distance tier.
+  [[nodiscard]] double bandwidth_mbps(NetworkDistance distance) const noexcept {
+    switch (distance) {
+      case NetworkDistance::kSamePod:
+        return network_bandwidth_mbps * cross_rack_bandwidth_factor;
+      case NetworkDistance::kCrossPod:
+        return network_bandwidth_mbps * cross_pod_bandwidth_factor;
+      case NetworkDistance::kSameHost:
+      case NetworkDistance::kSameRack:
+        break;
+    }
+    return network_bandwidth_mbps;
+  }
+
+  /// Wall-clock duration of migrating a VM with the given memory footprint
+  /// at the base (same-rack) tier.
   [[nodiscard]] double duration_s(double vm_memory_mb) const noexcept {
     const double megabits = vm_memory_mb * 8.0 * overhead_factor;
     return megabits / network_bandwidth_mbps + downtime_s;
+  }
+  /// Wall-clock duration when the transfer crosses `distance`. A same-host
+  /// "move" copies nothing and costs nothing.
+  [[nodiscard]] double duration_s(double vm_memory_mb, NetworkDistance distance) const noexcept {
+    if (distance == NetworkDistance::kSameHost) return 0.0;
+    const double megabits = vm_memory_mb * 8.0 * overhead_factor;
+    return megabits / bandwidth_mbps(distance) + downtime_s;
   }
   /// Bytes moved across the network.
   [[nodiscard]] double bytes_moved(double vm_memory_mb) const noexcept {
@@ -33,6 +63,7 @@ struct MigrationRecord {
   double time_s;      ///< when the migration was issued
   double duration_s;
   double bytes;
+  NetworkDistance distance = NetworkDistance::kSameRack;
 };
 
 /// Append-only log of executed migrations with aggregate statistics.

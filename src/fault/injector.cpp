@@ -91,4 +91,17 @@ void FaultInjector::note_crash(double now_s, std::uint32_t server) {
   events_.push_back({now_s, FaultKind::kServerCrash, server});
 }
 
+std::vector<FaultWindow> FaultInjector::rack_failure_windows() const {
+  std::vector<FaultWindow> out;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kRackFailure) out.push_back(w);
+  }
+  return out;
+}
+
+void FaultInjector::note_rack_failure(double now_s, std::uint32_t rack) {
+  ++counters_.rack_failures;
+  events_.push_back({now_s, FaultKind::kRackFailure, rack});
+}
+
 }  // namespace vdc::fault

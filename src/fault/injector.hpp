@@ -72,6 +72,12 @@ class FaultInjector {
   [[nodiscard]] bool server_down(double now_s, std::uint32_t server) const noexcept;
   /// Owners call this when they execute a scheduled crash (counter + log).
   void note_crash(double now_s, std::uint32_t server);
+  /// Rack-failure windows (kRackFailure) in plan order; the target is a
+  /// rack id the owner resolves through its cluster topology, crashing and
+  /// repairing every member together.
+  [[nodiscard]] std::vector<FaultWindow> rack_failure_windows() const;
+  /// Owners call this when they execute a scheduled rack failure.
+  void note_rack_failure(double now_s, std::uint32_t rack);
 
   // ---- observability -------------------------------------------------------
   [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }

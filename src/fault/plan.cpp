@@ -12,6 +12,7 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kSensorSpike: return "sensor-spike";
     case FaultKind::kSensorStale: return "sensor-stale";
     case FaultKind::kDvfsPin: return "dvfs-pin";
+    case FaultKind::kRackFailure: return "rack-failure";
   }
   return "?";
 }
@@ -89,6 +90,13 @@ FaultPlan& FaultPlan::dvfs_pin(std::uint32_t server, double freq_ghz, double sta
               .end_s = end_s,
               .magnitude = freq_ghz,
               .target = server});
+}
+
+FaultPlan& FaultPlan::rack_failure(std::uint32_t rack, double start_s, double end_s) {
+  return add({.kind = FaultKind::kRackFailure,
+              .start_s = start_s,
+              .end_s = end_s,
+              .target = rack});
 }
 
 }  // namespace vdc::fault

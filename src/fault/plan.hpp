@@ -31,6 +31,8 @@ enum class FaultKind {
   kSensorSpike,       ///< sample corrupted; magnitude = multiplicative factor
   kSensorStale,       ///< monitor pipeline wedged: period reports stale data
   kDvfsPin,           ///< DVFS stuck; magnitude = pinned frequency (GHz)
+  kRackFailure,       ///< whole rack down (shared switch/PDU): correlated
+                      ///< member crashes at window start, recovery at end
 };
 
 [[nodiscard]] std::string to_string(FaultKind kind);
@@ -93,6 +95,10 @@ struct FaultPlan {
   FaultPlan& sensor_stale(double start_s, double end_s, std::uint32_t app = kAnyTarget);
   /// DVFS of `server` pinned at `freq_ghz` for [start, end).
   FaultPlan& dvfs_pin(std::uint32_t server, double freq_ghz, double start_s, double end_s);
+  /// Every server in `rack` crashes together at `start` (shared switch or
+  /// PDU loss) and recovers at `end`. The target is a RACK id, resolved
+  /// against the owning cluster's topology; requires an explicit rack.
+  FaultPlan& rack_failure(std::uint32_t rack, double start_s, double end_s);
 };
 
 /// Counters of faults actually injected, exposed for telemetry/tests.
@@ -105,10 +111,11 @@ struct FaultCounters {
   std::size_t sensor_spikes = 0;
   std::size_t stale_periods = 0;
   std::size_t dvfs_pins = 0;
+  std::size_t rack_failures = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
     return migration_aborts + migration_slowdowns + wake_failures + server_crashes +
-           sensor_drops + sensor_spikes + stale_periods + dvfs_pins;
+           sensor_drops + sensor_spikes + stale_periods + dvfs_pins + rack_failures;
   }
 };
 

@@ -171,6 +171,58 @@ TEST(ChaosScenarios, ServerCrashEvictsRestartsAndReattainsSlo) {
   EXPECT_TRUE(saw_repair);
 }
 
+TEST(ChaosScenarios, RackFailureEvictsWholeRackAndReplacesOffRack) {
+  // 1 pod of 3 racks x 2 servers; rack 0 (servers 0-1) loses its PDU at
+  // t=60 — before the first optimizer pass (t=120) could have emptied it —
+  // and comes back at t=300. Both members crash together, so every VM the
+  // rack hosted must be restarted on another rack's servers.
+  TestbedConfig config;
+  config.num_apps = 3;
+  config.num_servers = 6;
+  config.model = shared_model();
+  config.seed = 7;
+  config.enable_optimizer = true;
+  config.optimizer_period_s = 120.0;
+  config.topology = datacenter::Topology::uniform(1, 3, 2, 40.0);
+  config.faults.rack_failure(0, 60.0, 300.0);
+  Testbed bed(config);
+
+  // Mid-window: the whole rack is dark, hosts nothing, and the evicted VMs
+  // were re-placed onto the surviving racks (nobody is homeless).
+  bed.run_until(200.0);
+  const datacenter::Cluster& cluster = bed.cluster();
+  for (const datacenter::ServerId s : cluster.topology().servers_in(0)) {
+    EXPECT_TRUE(cluster.server(s).failed()) << "srv" << s;
+    EXPECT_TRUE(cluster.vms_on(s).empty()) << "srv" << s;
+  }
+  EXPECT_GT(bed.vm_restarts(), 0u);
+  EXPECT_TRUE(cluster.unplaced_vms().empty());
+
+  bed.run_until(900.0);
+  // One correlated failure injected, both member crashes visible through
+  // the same counterset the per-server path uses.
+  EXPECT_EQ(bed.fault_injector().counters().rack_failures, 1u);
+  for (const datacenter::ServerId s : cluster.topology().servers_in(0)) {
+    EXPECT_FALSE(cluster.server(s).failed()) << "srv" << s << " not repaired";
+  }
+  // SLOs re-attained once the dust settles.
+  for (std::size_t i = 0; i < bed.app_count(); ++i) {
+    EXPECT_NEAR(bed.response_stats_after(i, 650.0).mean(), 1.0, 0.35) << "app " << i;
+  }
+  // The failure and the repair are visible in the annotations.
+  bool saw_failure = false;
+  bool saw_repair = false;
+  bool saw_restart = false;
+  for (const telemetry::Annotation& a : bed.recorder().annotations()) {
+    saw_failure |= a.label.find("rack-failure rack0") != std::string::npos;
+    saw_repair |= a.label.find("rack-repair rack0") != std::string::npos;
+    saw_restart |= a.label.find("vm-restart") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_repair);
+  EXPECT_TRUE(saw_restart);
+}
+
 TEST(ChaosScenarios, DvfsPinIsAbsorbedByTheGrantRescale) {
   ScenarioSpec spec = testbed_spec("pin", 2, 2);
   // DVFS off => servers nominally run at their max frequency (2 GHz), so a

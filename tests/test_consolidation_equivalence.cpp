@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "consolidate/ipac.hpp"
@@ -53,6 +54,42 @@ DataCenterSnapshot random_fleet(std::size_t servers, std::size_t vms, std::uint6
   return snap;
 }
 
+/// The same fleet with physical coordinates: racks of 5 servers, pods of 4
+/// racks, non-trivial shared draws, and bandwidth tiers that slow distant
+/// copies. Exercises every rack-aware branch of both engines.
+DataCenterSnapshot racked_fleet(std::size_t servers, std::size_t vms, std::uint64_t seed) {
+  DataCenterSnapshot snap = random_fleet(servers, vms, seed);
+  constexpr std::size_t kPerRack = 5;
+  constexpr std::size_t kRacksPerPod = 4;
+  for (ServerSnapshot& s : snap.servers) {
+    const auto rack = static_cast<RackId>(s.id / kPerRack);
+    s.rack = rack;
+    s.pod = static_cast<PodId>(rack / kRacksPerPod);
+    if (rack >= snap.racks.size()) {
+      snap.racks.push_back(RackSnapshot{
+          .id = rack, .pod = s.pod, .shared_power_w = 40.0, .members = {}});
+    }
+    snap.racks[rack].members.push_back(s.id);
+    if (s.pod >= snap.pods.size()) {
+      snap.pods.push_back(PodSnapshot{.id = s.pod, .shared_power_w = 90.0});
+    }
+  }
+  return snap;
+}
+
+/// Rack-aware knobs tuned so BOTH gates actually fire on the 100-server
+/// fleets: a short horizon makes cross-pod moves lose net energy, and the
+/// budget is small enough to exhaust mid-plan on most seeds.
+RackAwareOptions binding_rack_options() {
+  RackAwareOptions rack;
+  rack.enabled = true;
+  rack.cost.transfer.cross_rack_bandwidth_factor = 0.5;
+  rack.cost.transfer.cross_pod_bandwidth_factor = 0.25;
+  rack.migration_energy_budget_j = 20000.0;
+  rack.benefit_horizon_s = 120.0;
+  return rack;
+}
+
 void expect_same_plan(const PlacementPlan& fast, const PlacementPlan& ref,
                       std::uint64_t seed) {
   ASSERT_EQ(fast.moves.size(), ref.moves.size()) << "seed " << seed;
@@ -75,8 +112,8 @@ TEST_P(ConsolidationEquivalence, IpacPlansIdenticalUnderHugeBudget) {
   // (branch-and-bound arms on small calls and skips counted work).
   IpacOptions options;
   options.min_slack.step_budget = 1u << 30;
-  const IpacReport fast = ipac(snap, constraints, AllowAllPolicy(), options);
-  const IpacReport ref = naive::ipac(snap, constraints, AllowAllPolicy(), options);
+  const IpacReport fast = ipac(snap, constraints, FreeMigrationPolicy(), options);
+  const IpacReport ref = naive::ipac(snap, constraints, FreeMigrationPolicy(), options);
   expect_same_plan(fast.plan, ref.plan, seed);
   EXPECT_EQ(fast.rounds_accepted, ref.rounds_accepted) << "seed " << seed;
   EXPECT_EQ(fast.occupied_after, ref.occupied_after) << "seed " << seed;
@@ -127,6 +164,70 @@ TEST_P(ConsolidationEquivalence, PowerEstimateMatchesNaiveScanAfterAPass) {
       << "seed " << seed;
 }
 
+TEST_P(ConsolidationEquivalence, RackAwareIpacPlansIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DataCenterSnapshot snap = racked_fleet(100, 500, seed);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const RackAwareOptions rack = binding_rack_options();
+  const IpacReport fast = ipac(snap, constraints, FreeMigrationPolicy(), {}, rack);
+  const IpacReport ref = naive::ipac(snap, constraints, FreeMigrationPolicy(), {}, rack);
+  expect_same_plan(fast.plan, ref.plan, seed);
+  EXPECT_EQ(fast.rounds_accepted, ref.rounds_accepted) << "seed " << seed;
+  EXPECT_EQ(fast.rounds_rejected_by_cost, ref.rounds_rejected_by_cost) << "seed " << seed;
+  EXPECT_EQ(fast.rounds_rejected_by_budget, ref.rounds_rejected_by_budget)
+      << "seed " << seed;
+  EXPECT_EQ(fast.racks_emptied, ref.racks_emptied) << "seed " << seed;
+  EXPECT_EQ(fast.occupied_after, ref.occupied_after) << "seed " << seed;
+  // Both engines charge the identical moves in the identical order: the
+  // energy ledgers must agree to the bit, not just to rounding.
+  EXPECT_EQ(fast.migration_energy_j, ref.migration_energy_j) << "seed " << seed;
+  // Relief moves are budget-exempt yet still charged to the ledger, so the
+  // total can exceed the budget on fleets that start overloaded; the strict
+  // within-budget property is asserted by the overload-free cost-edge tests.
+  EXPECT_GT(fast.migration_energy_j, 0.0) << "seed " << seed;
+}
+
+TEST_P(ConsolidationEquivalence, RackAwarePMapperPlansIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const DataCenterSnapshot snap = racked_fleet(100, 500, seed);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  const RackAwareOptions rack = binding_rack_options();
+  const PMapperReport fast = pmapper(snap, constraints, rack);
+  const PMapperReport ref = naive::pmapper(snap, constraints, rack);
+  expect_same_plan(fast.plan, ref.plan, seed);
+  EXPECT_EQ(fast.moves_rejected_by_budget, ref.moves_rejected_by_budget) << "seed " << seed;
+  EXPECT_EQ(fast.occupied_after, ref.occupied_after) << "seed " << seed;
+  EXPECT_EQ(fast.migration_energy_j, ref.migration_energy_j) << "seed " << seed;
+}
+
+TEST_P(ConsolidationEquivalence, DegenerateTopologyReproducesFlatPlans) {
+  // 1-rack-per-server with zero shared draw, a free cost model and a zero
+  // benefit horizon: every rack-aware tie-break and gate provably reduces
+  // to the flat baseline, so enabling the machinery must not move a single
+  // decision.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  DataCenterSnapshot snap = random_fleet(100, 500, seed);
+  for (ServerSnapshot& s : snap.servers) {
+    s.rack = static_cast<RackId>(s.id);
+    s.pod = 0;
+    snap.racks.push_back(RackSnapshot{
+        .id = s.rack, .pod = 0, .shared_power_w = 0.0, .members = {s.id}});
+  }
+  snap.pods.push_back(PodSnapshot{.id = 0, .shared_power_w = 0.0});
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+  RackAwareOptions degenerate;
+  degenerate.enabled = true;
+  degenerate.cost.migration_power_w = 0.0;  // every move is free
+  degenerate.benefit_horizon_s = 0.0;       // and claims zero benefit
+  DataCenterSnapshot flat = snap;
+  flat.racks.clear();
+  flat.pods.clear();
+  expect_same_plan(ipac(snap, constraints, FreeMigrationPolicy(), {}, degenerate).plan,
+                   ipac(flat, constraints).plan, seed);
+  expect_same_plan(pmapper(snap, constraints, degenerate).plan,
+                   pmapper(flat, constraints).plan, seed);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsolidationEquivalence, ::testing::Range(1, 11));
 
 // Minimum Slack head-to-head under a *binding* budget: with 24 candidates
@@ -167,6 +268,64 @@ TEST(ConsolidationEquivalence, MinimumSlackExactUnderBindingBudget) {
     EXPECT_EQ(fast.steps, ref.steps) << "seed " << seed;
     EXPECT_EQ(fast.escalations, ref.escalations) << "seed " << seed;
     EXPECT_DOUBLE_EQ(fast.slack_ghz, ref.slack_ghz) << "seed " << seed;
+  }
+}
+
+// Budgeted Minimum Slack head-to-head: binding *energy* budget, non-binding
+// step budget (the budgeted DFS has no branch-and-bound arming, so a binding
+// step budget would count steps differently from the plain engine). Fast and
+// reference must agree on everything; with an infinite energy budget the
+// selection must collapse to plain minimum_slack's.
+TEST(ConsolidationEquivalence, BudgetedMinimumSlackMatchesReferenceAndCollapses) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    DataCenterSnapshot snap;
+    ServerSnapshot server;
+    server.id = 0;
+    server.max_capacity_ghz = 8.0;
+    server.memory_mb = 4000.0;
+    server.max_power_w = 200.0;
+    server.power_efficiency = 8.0 / 200.0;
+    server.active = true;
+    snap.servers.push_back(server);
+    std::vector<VmId> candidates;
+    std::vector<double> cost_j;
+    double total_cost = 0.0;
+    for (std::size_t i = 0; i < 18; ++i) {
+      VmSnapshot vm;
+      vm.id = static_cast<VmId>(i);
+      vm.cpu_demand_ghz = rng.uniform(0.2, 1.2);
+      vm.memory_mb = rng.uniform(100.0, 600.0);
+      snap.vms.push_back(vm);
+      candidates.push_back(vm.id);
+      cost_j.push_back(rng.uniform(10.0, 120.0));
+      total_cost += cost_j.back();
+    }
+    const WorkingPlacement placement(snap);
+    const ConstraintSet constraints = ConstraintSet::standard(1.0);
+    MinSlackOptions options;
+    options.step_budget = 1u << 30;
+
+    const double budget = total_cost / 3.0;  // binding: most subsets priced out
+    const BudgetedMinSlackResult fast =
+        minimum_slack_budgeted(placement, 0, candidates, cost_j, budget, constraints, options);
+    const BudgetedMinSlackResult ref = naive::minimum_slack_budgeted(
+        placement, 0, candidates, cost_j, budget, constraints, options);
+    EXPECT_EQ(fast.result.selected, ref.result.selected) << "seed " << seed;
+    EXPECT_EQ(fast.result.steps, ref.result.steps) << "seed " << seed;
+    EXPECT_EQ(fast.result.escalations, ref.result.escalations) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(fast.result.slack_ghz, ref.result.slack_ghz) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(fast.cost_j, ref.cost_j) << "seed " << seed;
+    EXPECT_LE(fast.cost_j, budget + 1e-9) << "seed " << seed;
+
+    // Infinite budget: the cost dimension vanishes and the selection is the
+    // plain engine's, bit for bit.
+    const BudgetedMinSlackResult unbounded = minimum_slack_budgeted(
+        placement, 0, candidates, cost_j, std::numeric_limits<double>::infinity(),
+        constraints, options);
+    const MinSlackResult plain = minimum_slack(placement, 0, candidates, constraints, options);
+    EXPECT_EQ(unbounded.result.selected, plain.selected) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(unbounded.result.slack_ghz, plain.slack_ghz) << "seed " << seed;
   }
 }
 

@@ -20,10 +20,61 @@ MigrationProposal proposal(double benefit, double bytes, double approved) {
   return p;
 }
 
-TEST(AllowAll, AlwaysTrue) {
-  const AllowAllPolicy policy;
+TEST(FreeMigration, AlwaysTrue) {
+  const FreeMigrationPolicy policy;
   EXPECT_TRUE(policy.allow(one_vm_snapshot(1024.0), proposal(0.0, 1e12, 1e12)));
-  EXPECT_EQ(policy.name(), "allow-all");
+  EXPECT_EQ(policy.name(), "free-migration");
+}
+
+TEST(FreeMigration, DeprecatedAliasStillCompiles) {
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const AllowAllPolicy policy;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_EQ(policy.name(), "free-migration");
+}
+
+TEST(MigrationEnergyBudget, EnforcesCumulativeEnergyCap) {
+  const MigrationEnergyBudgetPolicy policy(500.0);
+  const DataCenterSnapshot snap = one_vm_snapshot(1024.0);
+  MigrationProposal p = proposal(1.0, 100.0, 0.0);
+  p.from = 0;
+  p.to = 1;
+  p.cost_j = 300.0;
+  EXPECT_TRUE(policy.allow(snap, p));
+  p.cost_already_approved_j = 300.0;
+  p.cost_j = 200.0;
+  EXPECT_TRUE(policy.allow(snap, p));  // lands exactly on the budget
+  p.cost_j = 201.0;
+  EXPECT_FALSE(policy.allow(snap, p));
+  EXPECT_THROW(MigrationEnergyBudgetPolicy(0.0), std::invalid_argument);
+}
+
+TEST(MigrationEnergyBudget, RejectsSameHostNoOp) {
+  const MigrationEnergyBudgetPolicy policy(1e9);
+  const DataCenterSnapshot snap = one_vm_snapshot(1024.0);
+  MigrationProposal p = proposal(100.0, 100.0, 0.0);
+  p.from = 3;
+  p.to = 3;
+  p.cost_j = 0.0;
+  EXPECT_FALSE(policy.allow(snap, p));
+  p.to = 4;
+  p.distance = NetworkDistance::kSameHost;
+  EXPECT_FALSE(policy.allow(snap, p));
+}
+
+TEST(MigrationEnergyBudget, ThrowsOnMissingCost) {
+  const MigrationEnergyBudgetPolicy policy(1e9);
+  const DataCenterSnapshot snap = one_vm_snapshot(1024.0);
+  MigrationProposal p = proposal(1.0, 100.0, 0.0);
+  p.from = 0;
+  p.to = 1;
+  p.cost_j = -1.0;
+  EXPECT_THROW(static_cast<void>(policy.allow(snap, p)), std::invalid_argument);
 }
 
 TEST(BandwidthBudget, EnforcesCumulativeCap) {

@@ -236,6 +236,123 @@ TEST(PackingExhaustive, RandomSmallInstancesSatisfyAllPackingProperties) {
   EXPECT_GE(ipac_no_worse_than_ffd, 35u);
 }
 
+// ---- net-energy optimality on racked fleets ---------------------------------
+
+/// Stationary power of an assignment INCLUDING shared infrastructure: the
+/// per-server linear model above, plus each rack's (and pod's) shared draw
+/// while >= 1 member is occupied — the same estimator the rack-aware
+/// engines optimize, reimplemented independently.
+double assignment_power_racked(const DataCenterSnapshot& snap,
+                               const std::vector<ServerId>& host) {
+  double total = assignment_power(snap, host);
+  std::vector<std::size_t> occupancy(snap.servers.size(), 0);
+  for (std::size_t v = 0; v < host.size(); ++v) ++occupancy[host[v]];
+  std::vector<char> pod_lit(snap.pods.size(), 0);
+  for (const RackSnapshot& rack : snap.racks) {
+    bool lit = false;
+    for (const ServerId s : rack.members) lit = lit || occupancy[s] > 0;
+    if (lit) {
+      total += rack.shared_power_w;
+      if (rack.pod < snap.pods.size()) pod_lit[rack.pod] = 1;
+    }
+  }
+  for (const PodSnapshot& pod : snap.pods) {
+    if (pod_lit[pod.id] != 0) total += pod.shared_power_w;
+  }
+  return total;
+}
+
+/// Migration energy (J) to reach `host` from the snapshot's placement.
+double assignment_migration_cost_j(const DataCenterSnapshot& snap,
+                                   const std::vector<ServerId>& host,
+                                   const RackAwareOptions& rack) {
+  double total = 0.0;
+  for (std::size_t v = 0; v < host.size(); ++v) {
+    const ServerId origin = snap.host_of(static_cast<VmId>(v));
+    if (origin == host[v]) continue;
+    total += rack.cost.energy_j(snap.vms[v].memory_mb, snap.distance(origin, host[v]));
+  }
+  return total;
+}
+
+TEST(PackingExhaustive, RackAwareIpacNeverLosesNetEnergyOnTinyRackedFleets) {
+  // Tiny 2-rack fleets where brute force over every assignment is cheap.
+  // Objective: total energy over the horizon = stationary power (shared
+  // draws included) * horizon + migration energy, minimized subject to the
+  // plan budget. The budgeted pass must (a) never end up above the do-
+  // nothing baseline, (b) never beat the brute-force optimum, and (c) stay
+  // within its migration budget (no overload => no exempt relief moves).
+  const ConstraintSet constraints = ConstraintSet::standard(kUtilizationTarget);
+  RackAwareOptions rack;
+  rack.enabled = true;
+  rack.cost.transfer.cross_rack_bandwidth_factor = 0.5;
+  rack.migration_energy_budget_j = 400.0;
+  rack.benefit_horizon_s = 30.0;
+
+  std::size_t instances = 0;
+  std::size_t instances_improved = 0;
+  std::size_t gates_fired = 0;
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    util::Rng rng(seed);
+    const auto n_servers = static_cast<std::size_t>(rng.uniform(4.0, 7.0));  // 4..6
+    const auto n_vms = static_cast<std::size_t>(rng.uniform(3.0, 7.0));      // 3..6
+    Cluster cluster = random_cluster(rng, n_servers, n_vms);
+    // Two racks in one pod, first half of the servers in rack 0.
+    datacenter::Topology topo;
+    const datacenter::PodId pod = topo.add_pod(0.0);
+    const datacenter::RackId r0 = topo.add_rack(pod, 20.0);
+    const datacenter::RackId r1 = topo.add_rack(pod, 20.0);
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      topo.assign(static_cast<ServerId>(s), s < (n_servers + 1) / 2 ? r0 : r1);
+    }
+    cluster.set_topology(std::move(topo));
+    (void)cluster.sleep_idle_servers();
+    const DataCenterSnapshot snap = snapshot_of(cluster);
+    if (snap.vms.size() < 2) continue;
+    ++instances;
+
+    const std::vector<ServerId> initial_host = initial_assignment(snap);
+    const double horizon = rack.benefit_horizon_s;
+    const double baseline_j = assignment_power_racked(snap, initial_host) * horizon;
+
+    // Brute force the budget-feasible net-energy optimum.
+    std::vector<ServerId> host(snap.vms.size(), 0);
+    double optimal_j = std::numeric_limits<double>::infinity();
+    while (true) {
+      if (assignment_feasible(snap, host)) {
+        const double cost = assignment_migration_cost_j(snap, host, rack);
+        if (cost <= rack.migration_energy_budget_j + kEps) {
+          optimal_j = std::min(optimal_j, assignment_power_racked(snap, host) * horizon + cost);
+        }
+      }
+      std::size_t digit = 0;
+      while (digit < snap.vms.size()) {
+        if (static_cast<std::size_t>(++host[digit]) < snap.servers.size()) break;
+        host[digit] = 0;
+        ++digit;
+      }
+      if (digit == snap.vms.size()) break;
+    }
+    ASSERT_LE(optimal_j, baseline_j + kEps) << "seed " << seed;  // no-move is feasible
+
+    const IpacReport report = ipac(snap, constraints, FreeMigrationPolicy(), {}, rack);
+    EXPECT_TRUE(report.plan.complete()) << "seed " << seed;
+    const std::vector<ServerId> after = assignment_after(snap, report.plan);
+    EXPECT_TRUE(assignment_feasible(snap, after)) << "seed " << seed;
+    const double spent_j = assignment_migration_cost_j(snap, after, rack);
+    EXPECT_LE(spent_j, rack.migration_energy_budget_j + kEps) << "seed " << seed;
+    const double achieved_j = assignment_power_racked(snap, after) * horizon + spent_j;
+    EXPECT_LE(achieved_j, baseline_j + 1e-6) << "seed " << seed;
+    EXPECT_GE(achieved_j, optimal_j - 1e-6) << "seed " << seed;
+    if (achieved_j < baseline_j - kEps) ++instances_improved;
+    gates_fired += report.rounds_rejected_by_cost + report.rounds_rejected_by_budget;
+  }
+  // The sweep must exercise both the improvement path and the gates.
+  EXPECT_EQ(instances, 30u);
+  EXPECT_GT(instances_improved, 5u);
+  EXPECT_GT(gates_fired, 0u);
+}
+
 TEST(PackingExhaustive, PlannersAgreeOnSingleServerInstances) {
   // Degenerate case: one server — nothing can move, plans must be empty.
   for (std::uint64_t seed = 100; seed < 105; ++seed) {

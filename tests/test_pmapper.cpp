@@ -124,5 +124,44 @@ TEST(PMapper, UnabsorbableVmReturnsToOrigin) {
   EXPECT_TRUE(live.overloaded_servers().empty());
 }
 
+TEST(PMapper, BudgetGateVetoesMovesAndKeepsVmsOnOrigin) {
+  // Same donors/receivers as MigratesDonorVmsToReceivers, but the cluster
+  // is racked (quad alone in rack 0; donors in rack 1) and the migration
+  // budget prices out the second cross-rack move: the gated VM stays on
+  // its origin instead of landing on a worse receiver.
+  Cluster c = heterogeneous_cluster();
+  datacenter::Topology topo;
+  const datacenter::PodId pod = topo.add_pod(0.0);
+  const datacenter::RackId r0 = topo.add_rack(pod, 25.0);
+  const datacenter::RackId r1 = topo.add_rack(pod, 25.0);
+  topo.assign(0, r0);
+  topo.assign(1, r1);
+  topo.assign(2, r1);
+  c.set_topology(std::move(topo));
+  // Anchor the quad so each donor move is individually net-positive (the
+  // first mover would otherwise pay the receiver's wake + shared draw and
+  // the net-energy gate would rightly veto it).
+  (void)c.add_vm(make_vm(1.0, 1024.0), 0);
+  (void)c.add_vm(make_vm(1.0, 1024.0), 1);
+  (void)c.add_vm(make_vm(1.0, 1024.0), 2);
+  const DataCenterSnapshot snap = snapshot_of(c);
+  const ConstraintSet constraints = ConstraintSet::standard(1.0);
+
+  RackAwareOptions rack;
+  rack.enabled = true;
+  rack.benefit_horizon_s = 3600.0;
+  const PMapperReport unbounded = pmapper(snap, constraints, rack);
+  ASSERT_EQ(unbounded.plan.moves.size(), 2u);
+  EXPECT_EQ(unbounded.moves_rejected_by_budget, 0u);
+  const double one_move_j = rack.cost.energy_j(1024.0, NetworkDistance::kSamePod);
+  EXPECT_DOUBLE_EQ(unbounded.migration_energy_j, 2.0 * one_move_j);
+
+  rack.migration_energy_budget_j = one_move_j;  // exactly one move affordable
+  const PMapperReport capped = pmapper(snap, constraints, rack);
+  EXPECT_EQ(capped.plan.moves.size(), 1u);
+  EXPECT_EQ(capped.moves_rejected_by_budget, 1u);
+  EXPECT_DOUBLE_EQ(capped.migration_energy_j, one_move_j);
+}
+
 }  // namespace
 }  // namespace vdc::consolidate
