@@ -30,7 +30,7 @@ DataCenterSnapshot random_instance(std::size_t servers, std::size_t vms, util::R
     s.max_power_w = 150.0 + s.max_capacity_ghz * rng.uniform(10.0, 25.0);
     s.idle_power_w = 0.55 * s.max_power_w;
     s.sleep_power_w = 6.0;
-    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.power_efficiency_ghz_per_w = s.max_capacity_ghz / s.max_power_w;
     s.active = true;
     snap.servers.push_back(s);
   }

@@ -35,7 +35,7 @@ DataCenterSnapshot random_snapshot(std::size_t servers, std::size_t vms, bool pl
     s.max_power_w = 150.0 + s.max_capacity_ghz * 15.0;
     s.idle_power_w = 0.55 * s.max_power_w;
     s.sleep_power_w = 6.0;
-    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.power_efficiency_ghz_per_w = s.max_capacity_ghz / s.max_power_w;
     s.active = true;
     snap.servers.push_back(s);
   }
@@ -150,7 +150,7 @@ void BM_PsQueueThroughput(benchmark::State& state) {
     sim::PsQueue queue(sim, 2.0, [](sim::JobId) {});
     for (int i = 0; i < 64; ++i) queue.add_job(0.01 * (1 + i % 7));
     sim.run();
-    benchmark::DoNotOptimize(queue.work_done());
+    benchmark::DoNotOptimize(queue.work_done_gcycles());
   }
 }
 BENCHMARK(BM_PsQueueThroughput);

@@ -56,7 +56,7 @@ DataCenterSnapshot random_fleet(std::size_t servers, std::size_t vms, std::uint6
     s.max_power_w = 150.0 + s.max_capacity_ghz * 15.0;
     s.idle_power_w = 0.55 * s.max_power_w;
     s.sleep_power_w = 6.0;
-    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.power_efficiency_ghz_per_w = s.max_capacity_ghz / s.max_power_w;
     s.active = i % 10 != 9;
     if (s.active) awake.push_back(s.id);
     snap.servers.push_back(s);

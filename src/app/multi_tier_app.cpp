@@ -79,7 +79,7 @@ void MultiTierApp::set_allocations(std::span<const double> ghz) {
 std::vector<double> MultiTierApp::allocations() const {
   std::vector<double> out;
   out.reserve(tiers_.size());
-  for (const auto& tier : tiers_) out.push_back(tier->capacity());
+  for (const auto& tier : tiers_) out.push_back(tier->capacity_ghz());
   return out;
 }
 
@@ -116,9 +116,9 @@ void MultiTierApp::schedule_next_arrival() {
   });
 }
 
-double MultiTierApp::tier_work_done(std::size_t tier) const {
+double MultiTierApp::tier_work_done_gcycles(std::size_t tier) const {
   if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
-  return tiers_[tier]->work_done();
+  return tiers_[tier]->work_done_gcycles();
 }
 
 void MultiTierApp::spawn_client() {
@@ -142,7 +142,7 @@ void MultiTierApp::issue_request() {
   }
   Request req;
   req.id = next_request_id_++;
-  req.start_time = sim_.now();
+  req.start_time_s = sim_.now();
   req.current_tier = 0;
   req.demands.reserve(config_.tiers.size());
   for (const TierConfig& tier : config_.tiers) {
@@ -186,7 +186,7 @@ void MultiTierApp::finish_request(Request req) {
   ++completed_;
   audit::request_conservation(issued_, completed_, requests_.size());
   const double now = sim_.now();
-  if (on_response_) on_response_(now, now - req.start_time);
+  if (on_response_) on_response_(now, now - req.start_time_s);
   if (!open_workload()) client_think();
 }
 

@@ -89,12 +89,12 @@ class MultiTierApp {
   /// Requests currently inside some tier (not thinking).
   [[nodiscard]] std::size_t requests_in_flight() const noexcept { return requests_.size(); }
   /// Work completed by tier `j` so far (Gcycles).
-  [[nodiscard]] double tier_work_done(std::size_t tier) const;
+  [[nodiscard]] double tier_work_done_gcycles(std::size_t tier) const;
 
  private:
   struct Request {
     std::uint64_t id;
-    double start_time;
+    double start_time_s;
     std::size_t current_tier;
     std::vector<double> demands;  // per-tier Gcycles, drawn at issue time
   };

@@ -69,11 +69,11 @@ double throughput_upper_bound(const ClosedNetwork& network, std::size_t clients)
   return std::min(static_cast<double>(clients) / sum, 1.0 / bottleneck);
 }
 
-double capacity_scale_for_response_time(const ClosedNetwork& network, std::size_t clients,
+double response_time_capacity_scale(const ClosedNetwork& network, std::size_t clients,
                                         double target_s) {
   validate(network);
   if (!(target_s > 0.0)) {
-    throw std::invalid_argument("capacity_scale_for_response_time: target must be positive");
+    throw std::invalid_argument("response_time_capacity_scale: target must be positive");
   }
   if (exact_mva(network, clients).response_time_s <= target_s) return 1.0;
 
@@ -88,7 +88,7 @@ double capacity_scale_for_response_time(const ClosedNetwork& network, std::size_
   while (response_at(hi) > target_s) {
     hi *= 2.0;
     if (hi > 1e9) {
-      throw std::invalid_argument("capacity_scale_for_response_time: target unreachable");
+      throw std::invalid_argument("response_time_capacity_scale: target unreachable");
     }
   }
   for (int iter = 0; iter < 200 && (hi - lo) > 1e-9 * hi; ++iter) {
@@ -98,13 +98,13 @@ double capacity_scale_for_response_time(const ClosedNetwork& network, std::size_
   return hi;
 }
 
-double mg1_ps_response_time(double arrival_rate_rps, double service_time_s) {
+double mg1_ps_response_time_s(double arrival_rate_rps, double service_time_s) {
   if (arrival_rate_rps < 0.0 || !(service_time_s > 0.0)) {
-    throw std::invalid_argument("mg1_ps_response_time: invalid inputs");
+    throw std::invalid_argument("mg1_ps_response_time_s: invalid inputs");
   }
   const double rho = arrival_rate_rps * service_time_s;
   if (rho >= 1.0) {
-    throw std::invalid_argument("mg1_ps_response_time: unstable queue (rho >= 1)");
+    throw std::invalid_argument("mg1_ps_response_time_s: unstable queue (rho >= 1)");
   }
   return service_time_s / (1.0 - rho);
 }

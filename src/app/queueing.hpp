@@ -49,13 +49,13 @@ struct MvaResult {
 /// time to reach `target_s` with `clients` customers. Returns 1.0 when the
 /// target is already met; throws std::invalid_argument when the target is
 /// not achievable (<= 0) or inputs are invalid.
-[[nodiscard]] double capacity_scale_for_response_time(const ClosedNetwork& network,
+[[nodiscard]] double response_time_capacity_scale(const ClosedNetwork& network,
                                                       std::size_t clients,
                                                       double target_s);
 
 /// Mean response time of an open M/G/1-PS queue with arrival rate lambda
 /// and mean service time s (insensitive to the service distribution):
 /// R = s / (1 - lambda*s). Throws when the queue is unstable (rho >= 1).
-[[nodiscard]] double mg1_ps_response_time(double arrival_rate_rps, double service_time_s);
+[[nodiscard]] double mg1_ps_response_time_s(double arrival_rate_rps, double service_time_s);
 
 }  // namespace vdc::app

@@ -46,6 +46,16 @@ class CheckFailure : public std::logic_error {
 [[noreturn]] void fail(const char* kind, const char* expression, const std::string& message,
                        const char* file, long line, const char* function);
 
+/// Exact-zero test for quantities whose zero is *assigned*, never computed:
+/// a sleeping server's capacity, a failed server's power draw. These values
+/// are set to literal 0.0 by the state machine, so bitwise equality is the
+/// contract — a tolerance would mask a state-machine bug that leaves a
+/// residual epsilon behind. Do not use on arithmetic results. Accepts -0.0.
+[[nodiscard]] constexpr bool is_exactly_zero(double value) noexcept {
+  // vdc-lint: float-eq-ok this helper IS the documented exactness contract
+  return value == 0.0;
+}
+
 namespace detail {
 
 /// Minimal ostream wrapper so the macros accept `"a=" << a << " b=" << b`

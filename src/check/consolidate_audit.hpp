@@ -21,7 +21,7 @@ inline void server_feasible(const WorkingPlacement& placement, ServerId server,
                             const ConstraintSet& constraints) {
   VDC_INVARIANT(placement.feasible(server, constraints),
                 "server " << server << " violates the constraint set (demand "
-                          << placement.cpu_demand(server) << " GHz, capacity "
+                          << placement.cpu_demand_ghz(server) << " GHz, capacity "
                           << placement.snapshot().server(server).max_capacity_ghz << " GHz)");
 }
 

@@ -57,7 +57,7 @@ inline void arbitration(const CpuSpec& cpu, std::span<const double> demands_ghz,
 /// active server's capacity matches its DVFS operating point.
 inline void server_state(const Server& server) {
   if (!server.active()) {
-    VDC_INVARIANT(server.capacity_ghz() == 0.0,
+    VDC_INVARIANT(check::is_exactly_zero(server.capacity_ghz()),
                   "sleeping server reports capacity " << server.capacity_ghz() << " GHz");
   } else {
     VDC_INVARIANT(server.frequency_ghz() > 0.0 &&
@@ -72,10 +72,12 @@ inline void server_state(const Server& server) {
 inline void server_power(const Server& server, double power_w) {
   const PowerModel& model = server.power_model();
   if (server.failed()) {
-    VDC_INVARIANT(power_w == 0.0, "failed server draws " << power_w << " W != 0");
+    VDC_INVARIANT(check::is_exactly_zero(power_w),
+                  "failed server draws " << power_w << " W != 0");
     return;
   }
   if (!server.active()) {
+    // vdc-lint: float-eq-ok sleep power is assigned verbatim from the model, never computed
     VDC_INVARIANT(power_w == model.sleep_w,
                   "sleeping server draws " << power_w << " W != sleep power " << model.sleep_w);
     return;

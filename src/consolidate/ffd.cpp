@@ -21,6 +21,7 @@ FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const Serv
   std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
     const double da = snapshot.vm(a).cpu_demand_ghz;
     const double db = snapshot.vm(b).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return a < b;
   });
@@ -78,8 +79,9 @@ std::vector<ServerId> servers_by_power_efficiency(const DataCenterSnapshot& snap
   order.reserve(snapshot.servers.size());
   for (const ServerSnapshot& server : snapshot.servers) order.push_back(server.id);
   std::sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
-    const double ea = snapshot.server(a).power_efficiency;
-    const double eb = snapshot.server(b).power_efficiency;
+    const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+    const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (ea != eb) return ea > eb;
     return a < b;
   });

@@ -19,6 +19,7 @@ VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
   double best_demand = placement.snapshot().vm(best).cpu_demand_ghz;
   for (const VmId vm : hosted) {
     const double d = placement.snapshot().vm(vm).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact equality gates the deterministic id tie-break; near-equal demands are legitimately ordered by value
     if (d < best_demand || (d == best_demand && vm < best)) {
       best = vm;
       best_demand = d;
@@ -169,15 +170,17 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       const std::uint32_t oa = occupancy(a);
       const std::uint32_t ob = occupancy(b);
       if (oa != ob) return oa < ob;
-      const double ea = snapshot.server(a).power_efficiency;
-      const double eb = snapshot.server(b).power_efficiency;
+      const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+      const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+      // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
       if (ea != eb) return ea < eb;
       return a < b;
     });
   } else {
     std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
-      const double ea = snapshot.server(a).power_efficiency;
-      const double eb = snapshot.server(b).power_efficiency;
+      const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+      const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+      // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
       if (ea != eb) return ea < eb;
       return a < b;
     });

@@ -85,9 +85,9 @@ Scratch& scratch() {
 /// Mirrors the generic recursion exactly — same visit order, same step
 /// accounting, same escalation points — with all hot state in locals.
 void search_builtin(Scratch& s, MinSlackResult& best, const MinSlackOptions& options,
-                    bool bnb, double cap_minus_base, double base_demand, double base_memory,
+                    bool bnb, double cap_minus_base, double base_demand_ghz, double base_memory_mb,
                     bool check_cpu, double cpu_limit, bool check_memory,
-                    double memory_limit) {
+                    double memory_limit_mb) {
   const std::size_t n = s.order.size();
   const double* const demand_of = s.demand_of.data();
   const double* const memory_of = s.memory_of.data();
@@ -172,6 +172,7 @@ void search_builtin(Scratch& s, MinSlackResult& best, const MinSlackOptions& opt
     const double memory = memory_of[i];
     // Symmetry pruning (standard MBS): identical siblings explore
     // identical subtrees — try only the first of an equal run per level.
+    // vdc-lint: float-eq-ok identical VMs are grouped by bitwise equality of their stored demand/memory; the values are copies, never recomputed
     if (i > start && demand_of[i - 1] == demand && memory_of[i - 1] == memory) {
       ++i;
       continue;
@@ -207,9 +208,9 @@ void search_builtin(Scratch& s, MinSlackResult& best, const MinSlackOptions& opt
     // level. Candidate i's step and symmetry check already ran above.
     if (suffix[i] <= cap_minus_base - sel_demand - kCpuMargin && !bnb && tail_gap &&
         i + 2 <= n && dupfree[i] &&
-        (!check_cpu || base_demand + sel_demand + suffix[i] <= cpu_limit - kCpuMargin) &&
+        (!check_cpu || base_demand_ghz + sel_demand + suffix[i] <= cpu_limit - kCpuMargin) &&
         (!check_memory ||
-         base_memory + sel_memory + msuffix[i] <= memory_limit - kMemMargin)) {
+         base_memory_mb + sel_memory + msuffix[i] <= memory_limit_mb - kMemMargin)) {
       const std::size_t m = n - i;
       const std::size_t root_depth = depth;
       std::size_t pending = 0;  // deferred incumbent copy: best == stk[0..pending)
@@ -250,11 +251,11 @@ void search_builtin(Scratch& s, MinSlackResult& best, const MinSlackOptions& opt
       i = n;  // level exhausted: the pop branch returns to the parent
       continue;
     }
-    if (check_cpu && base_demand + sel_demand + demand > cpu_limit + 1e-9) {
+    if (check_cpu && base_demand_ghz + sel_demand + demand > cpu_limit + 1e-9) {
       ++i;
       continue;
     }
-    if (check_memory && base_memory + sel_memory + memory > memory_limit + 1e-9) {
+    if (check_memory && base_memory_mb + sel_memory + memory > memory_limit_mb + 1e-9) {
       // Memory-reject run: successive candidates that fit the CPU slack but
       // not the server's memory are each one counted step with no other
       // effect in the reference engine — they cannot select or improve, and
@@ -276,10 +277,10 @@ void search_builtin(Scratch& s, MinSlackResult& best, const MinSlackOptions& opt
       // memory rejects, the whole tail does — the comparison uses the same
       // expression shape as the per-candidate check and min is exact, so
       // monotonicity makes the jump safe without any extra margin.
-      if (i < n && base_memory + sel_memory + msuffix_min[i] > memory_limit + 1e-9) {
+      if (i < n && base_memory_mb + sel_memory + msuffix_min[i] > memory_limit_mb + 1e-9) {
         i = n;
       } else {
-        while (i < n && base_memory + sel_memory + memory_of[i] > memory_limit + 1e-9) ++i;
+        while (i < n && base_memory_mb + sel_memory + memory_of[i] > memory_limit_mb + 1e-9) ++i;
       }
       if (consume(i - run_start - 1)) break;
       continue;
@@ -310,8 +311,8 @@ struct GenericSearch {
   const ServerSnapshot* server;
   const ConstraintSet* constraints;
   Scratch* s;
-  double base_demand = 0.0;
-  double selected_demand = 0.0;
+  double base_demand_ghz = 0.0;
+  double selected_demand_ghz = 0.0;
 
   MinSlackResult best;
   double epsilon;
@@ -321,7 +322,7 @@ struct GenericSearch {
   bool done = false;
 
   [[nodiscard]] double slack() const noexcept {
-    return server->max_capacity_ghz - base_demand - selected_demand;
+    return server->max_capacity_ghz - base_demand_ghz - selected_demand_ghz;
   }
 
   void consider_current() {
@@ -353,6 +354,7 @@ struct GenericSearch {
         }
       }
       const double demand = s->demand_of[i];
+      // vdc-lint: float-eq-ok identical VMs are grouped by bitwise equality of their stored demand/memory; the values are copies, never recomputed
       if (i > start && s->demand_of[i - 1] == demand && s->memory_of[i - 1] == s->memory_of[i]) {
         continue;  // symmetry pruning
       }
@@ -360,10 +362,10 @@ struct GenericSearch {
       s->resident.push_back(&snapshot->vm(s->order[i]));  // line 2: pack VM into S
       if (constraints->admits(*server, s->resident)) {    // line 3
         s->selected.push_back(s->order[i]);
-        selected_demand += demand;
+        selected_demand_ghz += demand;
         consider_current();
         if (!done) dfs(i + 1);
-        selected_demand -= demand;
+        selected_demand_ghz -= demand;
         s->selected.pop_back();
       }
       s->resident.pop_back();  // line 9: remove VM from S
@@ -387,7 +389,7 @@ struct BudgetedSearch {
   std::vector<double> demand_of;  // aligned to order
   std::vector<double> memory_of;  // aligned to order
   std::vector<VmId> selected;
-  double selected_demand = 0.0;
+  double selected_demand_ghz = 0.0;
   double selected_cost = 0.0;
   double budget_j = 0.0;
   double base_slack = 0.0;  // capacity - resident demand
@@ -399,7 +401,7 @@ struct BudgetedSearch {
   const MinSlackOptions* options = nullptr;
   bool done = false;
 
-  [[nodiscard]] double slack() const noexcept { return base_slack - selected_demand; }
+  [[nodiscard]] double slack() const noexcept { return base_slack - selected_demand_ghz; }
 
   void consider_current() {
     const double sl = slack();
@@ -429,6 +431,7 @@ struct BudgetedSearch {
           return;
         }
       }
+      // vdc-lint: float-eq-ok identical VMs are grouped by bitwise equality of their stored demand/memory; the values are copies, never recomputed
       if (i > start && demand_of[i - 1] == demand_of[i] && memory_of[i - 1] == memory_of[i] &&
           cost_of[i - 1] == cost_of[i]) {
         continue;  // symmetry pruning (cost must match too)
@@ -437,11 +440,11 @@ struct BudgetedSearch {
       if (selected_cost + cost_of[i] > budget_j + 1e-9) continue;  // budget prune
       selected.push_back(order[i]);
       if (placement->admits_with(server, selected, *constraints)) {
-        selected_demand += demand_of[i];
+        selected_demand_ghz += demand_of[i];
         selected_cost += cost_of[i];
         consider_current();
         if (!done) dfs(i + 1);
-        selected_demand -= demand_of[i];
+        selected_demand_ghz -= demand_of[i];
         selected_cost -= cost_of[i];
       }
       selected.pop_back();
@@ -481,7 +484,7 @@ BudgetedMinSlackResult minimum_slack_budgeted(const WorkingPlacement& placement,
   state.epsilon = options.epsilon_ghz;
   state.step_budget = options.step_budget;
   state.budget_j = budget_j;
-  state.base_slack = target.max_capacity_ghz - placement.cpu_demand(server);
+  state.base_slack = target.max_capacity_ghz - placement.cpu_demand_ghz(server);
   state.best.slack_ghz = state.base_slack;
 
   std::vector<std::size_t> perm(candidates.size());
@@ -489,6 +492,7 @@ BudgetedMinSlackResult minimum_slack_budgeted(const WorkingPlacement& placement,
   std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
     const double da = snapshot.vm(candidates[a]).cpu_demand_ghz;
     const double db = snapshot.vm(candidates[b]).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return candidates[a] < candidates[b];
   });
@@ -535,6 +539,7 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
   if (reuse) {
     for (std::size_t i = 0; i < s.order.size(); ++i) {
       const VmSnapshot& info = snapshot.vm(s.order[i]);
+      // vdc-lint: float-eq-ok cached demand/memory are verbatim copies of snapshot values, so bitwise inequality means the cache entry is stale
       if (s.demand_of[i] != info.cpu_demand_ghz || s.memory_of[i] != info.memory_mb) {
         reuse = false;
         break;
@@ -546,6 +551,7 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
     std::sort(s.order.begin(), s.order.end(), [&](VmId a, VmId b) {
       const double da = snapshot.vm(a).cpu_demand_ghz;
       const double db = snapshot.vm(b).cpu_demand_ghz;
+      // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
       if (da != db) return da > db;
       return a < b;
     });
@@ -568,7 +574,9 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
       s.msuffix[i] = s.msuffix[i + 1] + info.memory_mb;
       s.msuffix_min[i] = std::min(s.msuffix_min[i + 1], info.memory_mb);
       s.dupfree[i] = s.dupfree[i + 1] &&
+                     // vdc-lint: float-eq-ok exact neighbor comparison detects duplicate (demand, memory) sort keys; equal keys are bitwise-identical copies
                      (i + 1 >= count || s.demand_of[i] != s.demand_of[i + 1] ||
+                      // vdc-lint: float-eq-ok exact neighbor comparison detects duplicate (demand, memory) sort keys; equal keys are bitwise-identical copies
                       s.memory_of[i] != s.memory_of[i + 1]);
     }
     s.cached_snapshot = &snapshot;
@@ -576,10 +584,10 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
   }
 
   const ConstraintSet::BuiltinProfile& profile = constraints.builtin_profile();
-  const double base_demand = placement.cpu_demand(server);
+  const double base_demand_ghz = placement.cpu_demand_ghz(server);
 
   MinSlackResult best;
-  best.slack_ghz = target.max_capacity_ghz - base_demand;  // empty selection baseline
+  best.slack_ghz = target.max_capacity_ghz - base_demand_ghz;  // empty selection baseline
   // A failed server admits nothing (ConstraintSet rejects it outright, and
   // the builtin path must match): the search cannot select, so skip it.
   // Likewise skip the search when the empty baseline is already within
@@ -592,8 +600,8 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
     const bool bnb = n < 64 && (std::uint64_t{1} << n) - 1 <= options.step_budget;
     if (profile.all_builtin) {
       if (s.stack.size() < n) s.stack.resize(n);
-      search_builtin(s, best, options, bnb, target.max_capacity_ghz - base_demand, base_demand,
-                     placement.memory_used(server), profile.has_cpu,
+      search_builtin(s, best, options, bnb, target.max_capacity_ghz - base_demand_ghz, base_demand_ghz,
+                     placement.memory_used_mb(server), profile.has_cpu,
                      constraints.cpu_limit_ghz(target), profile.has_memory, target.memory_mb);
     } else {
       GenericSearch state;
@@ -605,7 +613,7 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
       state.bnb = bnb;
       state.epsilon = options.epsilon_ghz;
       state.budget = options.step_budget;
-      state.base_demand = base_demand;
+      state.base_demand_ghz = base_demand_ghz;
       state.best.slack_ghz = best.slack_ghz;
       const auto resident = placement.hosted_snapshots(server);
       s.resident.assign(resident.begin(), resident.end());

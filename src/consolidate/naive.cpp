@@ -36,8 +36,8 @@ struct SearchState {
   std::vector<VmId> order;                  // candidates, largest demand first
   std::vector<const VmSnapshot*> resident;  // existing + currently selected
   std::vector<VmId> selected;
-  double selected_demand = 0.0;
-  double base_demand = 0.0;  // demand of VMs already on the server
+  double selected_demand_ghz = 0.0;
+  double base_demand_ghz = 0.0;  // demand of VMs already on the server
 
   MinSlackResult best;
   double epsilon;
@@ -46,13 +46,13 @@ struct SearchState {
   bool done = false;
 
   [[nodiscard]] double slack() const noexcept {
-    return server->max_capacity_ghz - base_demand - selected_demand;
+    return server->max_capacity_ghz - base_demand_ghz - selected_demand_ghz;
   }
 
   void consider_current() {
-    const double s = slack();
-    if (s < best.slack_ghz - 1e-12) {
-      best.slack_ghz = s;
+    const double slack_ghz = slack();
+    if (slack_ghz < best.slack_ghz - 1e-12) {
+      best.slack_ghz = slack_ghz;
       best.selected = selected;
     }
     if (best.slack_ghz < epsilon) done = true;  // line 4-5 of Algorithm 1
@@ -83,6 +83,7 @@ struct SearchState {
       // identical subtrees — try only the first of an equal run per level.
       if (i > start) {
         const VmSnapshot& prev = snapshot->vm(order[i - 1]);
+        // vdc-lint: float-eq-ok identical VMs are grouped by bitwise equality of their stored demand/memory; the values are copies, never recomputed
         if (prev.cpu_demand_ghz == info.cpu_demand_ghz && prev.memory_mb == info.memory_mb) {
           continue;
         }
@@ -95,10 +96,10 @@ struct SearchState {
       resident.push_back(&info);  // line 2: pack VM into S
       if (constraints->admits(*server, resident)) {  // line 3
         selected.push_back(vm);
-        selected_demand += info.cpu_demand_ghz;
+        selected_demand_ghz += info.cpu_demand_ghz;
         consider_current();  // lines 11-14
         if (!done) dfs(i + 1);  // line 7: recurse on the remaining VMs
-        selected_demand -= info.cpu_demand_ghz;
+        selected_demand_ghz -= info.cpu_demand_ghz;
         selected.pop_back();
       }
       resident.pop_back();  // line 9: remove VM from S
@@ -120,10 +121,10 @@ struct BudgetedSearchState {
   std::vector<double> cost_of;  // aligned to order (J)
   std::vector<const VmSnapshot*> resident;
   std::vector<VmId> selected;
-  double selected_demand = 0.0;
+  double selected_demand_ghz = 0.0;
   double selected_cost = 0.0;
   double budget_j = 0.0;
-  double base_demand = 0.0;
+  double base_demand_ghz = 0.0;
 
   MinSlackResult best;
   double best_cost = 0.0;
@@ -133,13 +134,13 @@ struct BudgetedSearchState {
   bool done = false;
 
   [[nodiscard]] double slack() const noexcept {
-    return server->max_capacity_ghz - base_demand - selected_demand;
+    return server->max_capacity_ghz - base_demand_ghz - selected_demand_ghz;
   }
 
   void consider_current() {
-    const double s = slack();
-    if (s < best.slack_ghz - 1e-12) {
-      best.slack_ghz = s;
+    const double slack_ghz = slack();
+    if (slack_ghz < best.slack_ghz - 1e-12) {
+      best.slack_ghz = slack_ghz;
       best.selected = selected;
       best_cost = selected_cost;
     }
@@ -168,6 +169,7 @@ struct BudgetedSearchState {
       const VmSnapshot& info = snapshot->vm(vm);
       if (i > start) {
         const VmSnapshot& prev = snapshot->vm(order[i - 1]);
+        // vdc-lint: float-eq-ok identical VMs are grouped by bitwise equality of their stored demand/memory; the values are copies, never recomputed
         if (prev.cpu_demand_ghz == info.cpu_demand_ghz && prev.memory_mb == info.memory_mb &&
             cost_of[i - 1] == cost_of[i]) {
           continue;  // symmetry pruning (cost must match too)
@@ -178,11 +180,11 @@ struct BudgetedSearchState {
       resident.push_back(&info);
       if (constraints->admits(*server, resident)) {
         selected.push_back(vm);
-        selected_demand += info.cpu_demand_ghz;
+        selected_demand_ghz += info.cpu_demand_ghz;
         selected_cost += cost_of[i];
         consider_current();
         if (!done) dfs(i + 1);
-        selected_demand -= info.cpu_demand_ghz;
+        selected_demand_ghz -= info.cpu_demand_ghz;
         selected_cost -= cost_of[i];
         selected.pop_back();
       }
@@ -198,6 +200,7 @@ VmId smallest_vm(const WorkingPlacement& placement, ServerId server) {
   double best_demand = placement.snapshot().vm(best).cpu_demand_ghz;
   for (const VmId vm : hosted) {
     const double d = placement.snapshot().vm(vm).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact equality gates the deterministic id tie-break; near-equal demands are legitimately ordered by value
     if (d < best_demand || (d == best_demand && vm < best)) {
       best = vm;
       best_demand = d;
@@ -217,7 +220,7 @@ double estimated_power_w(const WorkingPlacement& placement) {
       continue;
     }
     const double utilization =
-        std::min(1.0, placement.cpu_demand(server.id) /
+        std::min(1.0, placement.cpu_demand_ghz(server.id) /
                           std::max(1e-9, server.max_capacity_ghz));
     total += server.idle_power_w + (server.max_power_w - server.idle_power_w) * utilization;
   }
@@ -271,13 +274,14 @@ MinSlackResult minimum_slack(const WorkingPlacement& placement, ServerId server,
   std::sort(state.order.begin(), state.order.end(), [&](VmId a, VmId b) {
     const double da = snapshot.vm(a).cpu_demand_ghz;
     const double db = snapshot.vm(b).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return a < b;
   });
 
   for (const VmId vm : placement.hosted(server)) {
     state.resident.push_back(&snapshot.vm(vm));
-    state.base_demand += snapshot.vm(vm).cpu_demand_ghz;
+    state.base_demand_ghz += snapshot.vm(vm).cpu_demand_ghz;
   }
 
   state.best.slack_ghz = state.slack();  // empty selection is the baseline
@@ -354,6 +358,7 @@ BudgetedMinSlackResult minimum_slack_budgeted(const WorkingPlacement& placement,
   std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
     const double da = snapshot.vm(candidates[a]).cpu_demand_ghz;
     const double db = snapshot.vm(candidates[b]).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return candidates[a] < candidates[b];
   });
@@ -364,7 +369,7 @@ BudgetedMinSlackResult minimum_slack_budgeted(const WorkingPlacement& placement,
 
   for (const VmId vm : placement.hosted(server)) {
     state.resident.push_back(&snapshot.vm(vm));
-    state.base_demand += snapshot.vm(vm).cpu_demand_ghz;
+    state.base_demand_ghz += snapshot.vm(vm).cpu_demand_ghz;
   }
   state.best.slack_ghz = state.slack();
 
@@ -430,6 +435,7 @@ FfdResult first_fit_decreasing(WorkingPlacement& placement, std::span<const Serv
   std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
     const double da = snapshot.vm(a).cpu_demand_ghz;
     const double db = snapshot.vm(b).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return a < b;
   });
@@ -564,15 +570,17 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
       const std::uint32_t oa = occupancy(a);
       const std::uint32_t ob = occupancy(b);
       if (oa != ob) return oa < ob;
-      const double ea = snapshot.server(a).power_efficiency;
-      const double eb = snapshot.server(b).power_efficiency;
+      const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+      const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+      // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
       if (ea != eb) return ea < eb;
       return a < b;
     });
   } else {
     std::sort(donors.begin(), donors.end(), [&](ServerId a, ServerId b) {
-      const double ea = snapshot.server(a).power_efficiency;
-      const double eb = snapshot.server(b).power_efficiency;
+      const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+      const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+      // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
       if (ea != eb) return ea < eb;
       return a < b;
     });
@@ -722,7 +730,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   }
   report.target_demand_ghz.resize(snapshot.servers.size(), 0.0);
   for (const ServerSnapshot& server : snapshot.servers) {
-    report.target_demand_ghz[server.id] = target.cpu_demand(server.id);
+    report.target_demand_ghz[server.id] = target.cpu_demand_ghz(server.id);
   }
 
   // ---- Phase 2: donors shed their smallest VMs; receivers absorb ----------
@@ -733,7 +741,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   std::vector<VmId> migration_list;
   constexpr double kEps = 1e-9;
   for (const ServerSnapshot& server : snapshot.servers) {
-    const double current = wp.cpu_demand(server.id);
+    const double current = wp.cpu_demand_ghz(server.id);
     const double target_demand = report.target_demand_ghz[server.id];
     if (target_demand > current + kEps) {
       receivers.push_back(server.id);
@@ -743,11 +751,12 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
       std::sort(hosted.begin(), hosted.end(), [&](VmId a, VmId b) {
         const double da = snapshot.vm(a).cpu_demand_ghz;
         const double db = snapshot.vm(b).cpu_demand_ghz;
+        // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
         if (da != db) return da < db;
         return a < b;
       });
       for (const VmId vm : hosted) {
-        if (wp.cpu_demand(server.id) <= target_demand + kEps) break;
+        if (wp.cpu_demand_ghz(server.id) <= target_demand + kEps) break;
         wp.remove(vm);
         migration_list.push_back(vm);
       }
@@ -755,8 +764,9 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   }
 
   std::sort(receivers.begin(), receivers.end(), [&](ServerId a, ServerId b) {
-    const double ea = snapshot.server(a).power_efficiency;
-    const double eb = snapshot.server(b).power_efficiency;
+    const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+    const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (ea != eb) return ea > eb;
     return a < b;
   });
@@ -770,6 +780,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
     const double da = snapshot.vm(a).cpu_demand_ghz;
     const double db = snapshot.vm(b).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return a < b;
   });
@@ -804,7 +815,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
     for (const ServerId receiver : receivers) {
       const VmId extra[] = {vm};
       const bool fits_target =
-          wp.cpu_demand(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
+          wp.cpu_demand_ghz(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
           report.target_demand_ghz[receiver] + kEps;
       if (fits_target && admits_with(wp, receiver, extra, constraints) &&
           gate_allows(vm, receiver)) {

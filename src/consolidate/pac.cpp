@@ -62,7 +62,7 @@ PacResult consolidate(WorkingPlacement& placement, std::span<const VmId> vms,
       server = server_order[pos];
       if (placement.cpu_slack(server) + 1e-9 < smallest) continue;
     }
-    if (memory_gate && placement.memory_used(server) + smallest_memory >
+    if (memory_gate && placement.memory_used_mb(server) + smallest_memory >
                            snapshot.server(server).memory_mb + 1e-9 &&
         !snapshot.server(server).failed) {
       // Below epsilon the reference exits before its first step; otherwise

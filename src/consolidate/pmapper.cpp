@@ -26,7 +26,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   }
   report.target_demand_ghz.resize(snapshot.servers.size(), 0.0);
   for (const ServerSnapshot& server : snapshot.servers) {
-    report.target_demand_ghz[server.id] = target.cpu_demand(server.id);
+    report.target_demand_ghz[server.id] = target.cpu_demand_ghz(server.id);
   }
 
   // ---- Phase 2: donors shed their smallest VMs; receivers absorb ----------
@@ -37,7 +37,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   std::vector<VmId> migration_list;
   constexpr double kEps = 1e-9;
   for (const ServerSnapshot& server : snapshot.servers) {
-    const double current = wp.cpu_demand(server.id);
+    const double current = wp.cpu_demand_ghz(server.id);
     const double target_demand = report.target_demand_ghz[server.id];
     if (target_demand > current + kEps) {
       receivers.push_back(server.id);
@@ -47,11 +47,12 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
       std::sort(hosted.begin(), hosted.end(), [&](VmId a, VmId b) {
         const double da = snapshot.vm(a).cpu_demand_ghz;
         const double db = snapshot.vm(b).cpu_demand_ghz;
+        // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
         if (da != db) return da < db;
         return a < b;
       });
       for (const VmId vm : hosted) {
-        if (wp.cpu_demand(server.id) <= target_demand + kEps) break;
+        if (wp.cpu_demand_ghz(server.id) <= target_demand + kEps) break;
         wp.remove(vm);
         migration_list.push_back(vm);
       }
@@ -61,8 +62,9 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   // Receivers absorb the list, most power-efficient first, capped at their
   // phase-1 target so the realized allocation converges to the plan.
   std::sort(receivers.begin(), receivers.end(), [&](ServerId a, ServerId b) {
-    const double ea = snapshot.server(a).power_efficiency;
-    const double eb = snapshot.server(b).power_efficiency;
+    const double ea = snapshot.server(a).power_efficiency_ghz_per_w;
+    const double eb = snapshot.server(b).power_efficiency_ghz_per_w;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (ea != eb) return ea > eb;
     return a < b;
   });
@@ -77,6 +79,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
   std::sort(order.begin(), order.end(), [&](VmId a, VmId b) {
     const double da = snapshot.vm(a).cpu_demand_ghz;
     const double db = snapshot.vm(b).cpu_demand_ghz;
+    // vdc-lint: float-eq-ok exact tie-break in a deterministic sort comparator; a tolerance would break strict weak ordering
     if (da != db) return da > db;
     return a < b;
   });
@@ -113,7 +116,7 @@ PMapperReport pmapper(const DataCenterSnapshot& snapshot, const ConstraintSet& c
     for (const ServerId receiver : receivers) {
       const VmId extra[] = {vm};
       const bool fits_target =
-          wp.cpu_demand(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
+          wp.cpu_demand_ghz(receiver) + snapshot.vm(vm).cpu_demand_ghz <=
           report.target_demand_ghz[receiver] + kEps;
       if (fits_target && wp.admits_with(receiver, extra, constraints) &&
           gate_allows(vm, receiver)) {

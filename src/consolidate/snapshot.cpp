@@ -35,7 +35,7 @@ DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster) {
     s.max_power_w = srv.power_model().max_power_w();
     s.idle_power_w = srv.power_model().active_power_w(1.0, 0.0);
     s.sleep_power_w = srv.power_model().sleep_w;
-    s.power_efficiency = srv.power_efficiency();
+    s.power_efficiency_ghz_per_w = srv.power_efficiency_ghz_per_w();
     s.active = srv.active();
     s.failed = srv.failed();
     s.rack = cluster.topology().rack_of(id);

@@ -29,7 +29,7 @@ struct ServerSnapshot {
   double idle_power_w = 0.0;   ///< active power at min utilization, max freq
   double sleep_power_w = 0.0;
   /// The paper's metric: max total frequency / max power (GHz/W).
-  double power_efficiency = 0.0;
+  double power_efficiency_ghz_per_w = 0.0;
   bool active = false;
   /// Crashed (fault injection): cannot host anything, cannot be woken.
   /// ConstraintSet::admits rejects failed servers unconditionally, so every

@@ -82,7 +82,7 @@ struct RackAwareOptions {
         std::min(1.0, demand_ghz / std::max(1e-9, info.max_capacity_ghz));
     return info.idle_power_w + (info.max_power_w - info.idle_power_w) * utilization;
   };
-  const double demand = placement.cpu_demand(server);
+  const double demand = placement.cpu_demand_ghz(server);
   const double before =
       placement.occupied(server) ? linear_w(demand) : info.sleep_power_w;
   double delta = linear_w(demand + vm_demand_ghz) - before;

@@ -49,8 +49,8 @@ WorkingPlacement::WorkingPlacement(const DataCenterSnapshot& snapshot)
   }
   for (const ServerSnapshot& server : snapshot.servers) {
     if (!hosted_[server.id].empty()) ++occupied_count_;
-    power_[server.id] = power_contribution(server.id);
-    compensated_add(power_total_, power_compensation_, power_[server.id]);
+    power_[server.id] = power_contribution_w(server.id);
+    compensated_add(power_total_w_, power_compensation_w_, power_[server.id]);
   }
   if (!snapshot.racks.empty()) {
     for (const ServerSnapshot& server : snapshot.servers) {
@@ -61,16 +61,16 @@ WorkingPlacement::WorkingPlacement(const DataCenterSnapshot& snapshot)
     for (const RackSnapshot& rack : snapshot.racks) {
       if (rack_occupied_[rack.id] == 0) continue;
       ++occupied_rack_count_;
-      compensated_add(power_total_, power_compensation_, rack.shared_power_w);
+      compensated_add(power_total_w_, power_compensation_w_, rack.shared_power_w);
     }
     for (const PodSnapshot& pod : snapshot.pods) {
       if (pod_occupied_[pod.id] == 0) continue;
-      compensated_add(power_total_, power_compensation_, pod.shared_power_w);
+      compensated_add(power_total_w_, power_compensation_w_, pod.shared_power_w);
     }
   }
 }
 
-double WorkingPlacement::power_contribution(ServerId server) const {
+double WorkingPlacement::power_contribution_w(ServerId server) const {
   const ServerSnapshot& info = snapshot_->server(server);
   if (hosted_[server].empty()) return info.sleep_power_w;
   const double utilization =
@@ -79,8 +79,8 @@ double WorkingPlacement::power_contribution(ServerId server) const {
 }
 
 void WorkingPlacement::refresh_power(ServerId server) {
-  const double fresh = power_contribution(server);
-  compensated_add(power_total_, power_compensation_, fresh - power_[server]);
+  const double fresh = power_contribution_w(server);
+  compensated_add(power_total_w_, power_compensation_w_, fresh - power_[server]);
   power_[server] = fresh;
 }
 
@@ -92,10 +92,10 @@ void WorkingPlacement::note_occupied(ServerId server) {
   const ServerSnapshot& info = snapshot_->server(server);
   if (info.rack != datacenter::kNoRack && rack_occupied_[info.rack]++ == 0) {
     ++occupied_rack_count_;
-    compensated_add(power_total_, power_compensation_, snapshot_->racks[info.rack].shared_power_w);
+    compensated_add(power_total_w_, power_compensation_w_, snapshot_->racks[info.rack].shared_power_w);
   }
   if (info.pod != datacenter::kNoPod && pod_occupied_[info.pod]++ == 0) {
-    compensated_add(power_total_, power_compensation_, snapshot_->pods[info.pod].shared_power_w);
+    compensated_add(power_total_w_, power_compensation_w_, snapshot_->pods[info.pod].shared_power_w);
   }
 }
 
@@ -104,11 +104,11 @@ void WorkingPlacement::note_emptied(ServerId server) {
   const ServerSnapshot& info = snapshot_->server(server);
   if (info.rack != datacenter::kNoRack && --rack_occupied_[info.rack] == 0) {
     --occupied_rack_count_;
-    compensated_add(power_total_, power_compensation_,
+    compensated_add(power_total_w_, power_compensation_w_,
                     -snapshot_->racks[info.rack].shared_power_w);
   }
   if (info.pod != datacenter::kNoPod && --pod_occupied_[info.pod] == 0) {
-    compensated_add(power_total_, power_compensation_, -snapshot_->pods[info.pod].shared_power_w);
+    compensated_add(power_total_w_, power_compensation_w_, -snapshot_->pods[info.pod].shared_power_w);
   }
 }
 

@@ -1,7 +1,7 @@
 // Mutable scratch mapping used inside the consolidation algorithms. Tracks
 // which VMs sit on which server with fully incremental aggregates: per-
 // server demand/memory sums, the occupied-server count, and a delta-updated
-// fleet power estimate, so `cpu_demand`, `cpu_slack`, `estimated_power_w`
+// fleet power estimate, so `cpu_demand_ghz`, `cpu_slack`, `estimated_power_w`
 // and `occupied_server_count` are all O(1) and `remove` is O(1) via
 // swap-and-pop slot tracking. The original-host map is captured once at
 // construction (it is immutable per snapshot), so emitting the diff as a
@@ -39,8 +39,8 @@ class WorkingPlacement {
     if (!ptrs_valid_) materialize_ptrs();
     return hosted_ptrs_.at(server);
   }
-  [[nodiscard]] double cpu_demand(ServerId server) const { return demand_.at(server); }
-  [[nodiscard]] double memory_used(ServerId server) const { return memory_.at(server); }
+  [[nodiscard]] double cpu_demand_ghz(ServerId server) const { return demand_.at(server); }
+  [[nodiscard]] double memory_used_mb(ServerId server) const { return memory_.at(server); }
 
   /// Detaches a VM from its host (it becomes unplaced). O(1).
   void remove(VmId vm);
@@ -87,7 +87,7 @@ class WorkingPlacement {
   /// naive::estimated_power_w. Flat snapshots never touch the rack terms,
   /// so flat results are bit-identical to the pre-topology estimate.
   [[nodiscard]] double estimated_power_w() const noexcept {
-    return power_total_ + power_compensation_;
+    return power_total_w_ + power_compensation_w_;
   }
 
   /// Registers a SlackIndex to be kept in sync: every place/remove updates
@@ -99,7 +99,7 @@ class WorkingPlacement {
   [[nodiscard]] PlacementPlan plan(std::span<const VmId> unplaced = {}) const;
 
  private:
-  [[nodiscard]] double power_contribution(ServerId server) const;
+  [[nodiscard]] double power_contribution_w(ServerId server) const;
   void refresh_power(ServerId server);
   void note_occupied(ServerId server);
   void note_emptied(ServerId server);
@@ -116,8 +116,8 @@ class WorkingPlacement {
   std::vector<double> demand_;             // per server, GHz
   std::vector<double> memory_;             // per server, MB
   std::vector<double> power_;              // per server, cached contribution (W)
-  double power_total_ = 0.0;               // compensated running fleet power
-  double power_compensation_ = 0.0;
+  double power_total_w_ = 0.0;               // compensated running fleet power
+  double power_compensation_w_ = 0.0;
   std::size_t occupied_count_ = 0;
   std::vector<std::uint32_t> rack_occupied_;  // per rack: occupied member servers
   std::vector<std::uint32_t> pod_occupied_;   // per pod: occupied member servers

@@ -286,9 +286,9 @@ std::vector<double> MpcController::step(double measured_output) {
   diagnostics_.qp_iterations = qp.iterations;
   diagnostics_.cost = qp.objective;
   {
-    double terminal = f[m_horizon - 1];
-    for (std::size_t c = 0; c < nx; ++c) terminal += g_(m_horizon - 1, c) * qp.x[c];
-    diagnostics_.predicted_terminal = terminal;
+    double terminal_s = f[m_horizon - 1];
+    for (std::size_t c = 0; c < nx; ++c) terminal_s += g_(m_horizon - 1, c) * qp.x[c];
+    diagnostics_.predicted_terminal = terminal_s;
   }
 
   // Receding horizon: apply only the first move, clamped to the actuator.

@@ -40,6 +40,7 @@ OverloadGuardReport OverloadGuard::check(datacenter::Cluster& cluster, double no
       double victim_demand = snapshot.vm(victim).cpu_demand_ghz;
       for (const consolidate::VmId vm : hosted) {
         const double d = snapshot.vm(vm).cpu_demand_ghz;
+        // vdc-lint: float-eq-ok exact equality gates the deterministic id tie-break; near-equal demands are legitimately ordered by value
         if (d < victim_demand || (d == victim_demand && vm < victim)) {
           victim = vm;
           victim_demand = d;

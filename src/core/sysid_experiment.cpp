@@ -11,7 +11,7 @@ SysIdExperimentResult identify_app_model(const app::AppConfig& app_config,
   app::MultiTierApp app(sim, app_config);
   app::ResponseTimeMonitor monitor(config.quantile);
   app.set_response_callback(
-      [&monitor](double, double response_time) { monitor.record(response_time); });
+      [&monitor](double, double response_time_s) { monitor.record(response_time_s); });
   app.start();
 
   // Warm up at mid-range allocations so the recorded data starts near a

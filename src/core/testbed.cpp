@@ -337,13 +337,13 @@ void Testbed::start_restart(datacenter::VmId vm, datacenter::ServerId to) {
 
 void Testbed::record_power(double now) {
   // Power over the elapsed interval: actual work done / capacity.
-  const double interval = now - last_power_time_;
+  const double interval = now - last_power_time_s_;
   double total_power = 0.0;
   std::size_t vm_index = 0;
   std::vector<double> server_work(cluster_.server_count(), 0.0);
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     for (std::size_t j = 0; j < stacks_[i]->tier_count(); ++j, ++vm_index) {
-      const double done = stacks_[i]->app().tier_work_done(j);
+      const double done = stacks_[i]->app().tier_work_done_gcycles(j);
       const double delta = done - last_work_done_[vm_index];
       last_work_done_[vm_index] = done;
       // A crash-evicted VM has no host; its (zero-allocation) tier does no
@@ -387,7 +387,7 @@ void Testbed::record_power(double now) {
     }
   }
   if (interval > 0.0) recorder_.append(kPowerSeries, total_power);
-  last_power_time_ = now;
+  last_power_time_s_ = now;
 }
 
 void Testbed::control_tick() {

@@ -200,7 +200,7 @@ class Testbed {
   telemetry::ProbeSet probes_;
   fault::FaultInjector injector_;
   PowerOptimizer optimizer_;
-  double last_power_time_ = 0.0;
+  double last_power_time_s_ = 0.0;
   std::vector<double> last_work_done_;  // per app*tier, Gcycles
   bool loop_started_ = false;
   std::size_t migrations_in_flight_ = 0;

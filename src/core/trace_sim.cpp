@@ -177,7 +177,7 @@ TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
       }
     }
     result.power_series_w.push_back(power);
-    result.energy_wh_total += power * dt / 3600.0;
+    result.total_energy_wh += power * dt / 3600.0;
 
     if (config.sample_probe) config.sample_probe(cluster, k);
 
@@ -190,15 +190,15 @@ TraceSimResult TraceDrivenSimulator::run(const TraceSimConfig& config) const {
   }
 
   result.server_wakes = cluster.wake_count();
-  result.energy_wh_total += static_cast<double>(result.server_wakes) * config.server_wake_energy_wh;
+  result.total_energy_wh += static_cast<double>(result.server_wakes) * config.server_wake_energy_wh;
   if (config.rack.enabled) {
     for (const datacenter::MigrationRecord& record : cluster.migration_log().records()) {
       result.migration_energy_wh +=
           record.duration_s * config.rack.cost.migration_power_w / 3600.0;
     }
-    result.energy_wh_total += result.migration_energy_wh;
+    result.total_energy_wh += result.migration_energy_wh;
   }
-  result.energy_wh_per_vm = result.energy_wh_total / static_cast<double>(config.num_vms);
+  result.energy_wh_per_vm = result.total_energy_wh / static_cast<double>(config.num_vms);
   result.final_active_servers = cluster.active_server_count();
   result.overload_fraction =
       active_samples > 0

@@ -80,7 +80,7 @@ struct TraceSimConfig {
 };
 
 struct TraceSimResult {
-  double energy_wh_total = 0.0;
+  double total_energy_wh = 0.0;
   double energy_wh_per_vm = 0.0;
   std::size_t migrations = 0;
   /// Relief migrations performed by the on-demand overload guard (subset
@@ -96,7 +96,7 @@ struct TraceSimResult {
   double overload_fraction = 0.0;
   /// Energy burned by live migrations (Wh): each migration-log record's
   /// distance-dependent duration times the migration power draw. Counted
-  /// into `energy_wh_total` only when `rack.enabled` — flat runs keep the
+  /// into `total_energy_wh` only when `rack.enabled` — flat runs keep the
   /// historical totals bit for bit.
   double migration_energy_wh = 0.0;
   /// Cluster power at every trace sample (W).

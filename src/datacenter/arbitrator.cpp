@@ -18,8 +18,8 @@ ArbitrationResult CpuResourceArbitrator::arbitrate(const CpuSpec& cpu,
     result.total_demand_ghz += d;
   }
 
-  result.frequency_ghz = cpu.frequency_for_demand(result.total_demand_ghz * headroom_);
-  result.capacity_ghz = cpu.capacity_at(result.frequency_ghz);
+  result.frequency_ghz = cpu.frequency_for_demand_ghz(result.total_demand_ghz * headroom_);
+  result.capacity_ghz = cpu.capacity_at_ghz(result.frequency_ghz);
 
   result.allocations_ghz.assign(demands_ghz.begin(), demands_ghz.end());
   if (result.total_demand_ghz > result.capacity_ghz + 1e-12) {

@@ -87,14 +87,14 @@ void Cluster::migrate(VmId vm, ServerId host, double now_s) {
   });
 }
 
-double Cluster::server_cpu_demand(ServerId id) const {
+double Cluster::server_cpu_demand_ghz(ServerId id) const {
   check_server(id);
   double total = 0.0;
   for (const VmId vm : hosted_[id]) total += vms_[vm].cpu_demand_ghz;
   return total;
 }
 
-double Cluster::server_memory_used(ServerId id) const {
+double Cluster::server_memory_used_mb(ServerId id) const {
   check_server(id);
   double total = 0.0;
   for (const VmId vm : hosted_[id]) total += vms_[vm].memory_mb;
@@ -103,10 +103,10 @@ double Cluster::server_memory_used(ServerId id) const {
 
 bool Cluster::overloaded(ServerId id) const {
   check_server(id);
-  const double demand = server_cpu_demand(id);
+  const double demand = server_cpu_demand_ghz(id);
   if (!servers_[id].active()) return demand > 0.0;
   return demand > servers_[id].max_capacity_ghz() + 1e-9 ||
-         server_memory_used(id) > servers_[id].memory_mb() + 1e-9;
+         server_memory_used_mb(id) > servers_[id].memory_mb() + 1e-9;
 }
 
 std::vector<ServerId> Cluster::overloaded_servers() const {
@@ -152,7 +152,7 @@ double Cluster::arbitrate_and_power_w(bool dvfs) {
       power = srv.power_w(arb.utilization());
     } else {
       srv.set_frequency(srv.cpu().max_freq_ghz);
-      const double demand = server_cpu_demand(id);
+      const double demand = server_cpu_demand_ghz(id);
       const double cap = srv.capacity_ghz();
       power = srv.power_w(cap > 0.0 ? std::min(1.0, demand / cap) : 0.0);
     }

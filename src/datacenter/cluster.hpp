@@ -52,8 +52,8 @@ class Cluster {
   [[nodiscard]] const MigrationModel& migration_model() const noexcept { return migration_model_; }
 
   // ---- aggregate queries --------------------------------------------------
-  [[nodiscard]] double server_cpu_demand(ServerId id) const;
-  [[nodiscard]] double server_memory_used(ServerId id) const;
+  [[nodiscard]] double server_cpu_demand_ghz(ServerId id) const;
+  [[nodiscard]] double server_memory_used_mb(ServerId id) const;
   /// Demand exceeds the server's capacity at max frequency (or the server
   /// sleeps while hosting VMs).
   [[nodiscard]] bool overloaded(ServerId id) const;

@@ -6,9 +6,9 @@
 
 namespace vdc::datacenter {
 
-double CpuSpec::frequency_for_demand(double demand_ghz) const {
+double CpuSpec::frequency_for_demand_ghz(double demand_ghz) const {
   for (const double f : dvfs_freqs_ghz) {
-    if (capacity_at(f) >= demand_ghz - 1e-12) return f;
+    if (capacity_at_ghz(f) >= demand_ghz - 1e-12) return f;
   }
   return max_freq_ghz;
 }

@@ -16,11 +16,11 @@ struct CpuSpec {
   std::vector<double> dvfs_freqs_ghz = {1.0, 1.25, 1.5, 1.75, 2.0};
 
   /// Aggregate capacity (GHz over all cores) when running at `freq_ghz`.
-  [[nodiscard]] double capacity_at(double freq_ghz) const noexcept {
+  [[nodiscard]] double capacity_at_ghz(double freq_ghz) const noexcept {
     return freq_ghz * static_cast<double>(cores);
   }
   [[nodiscard]] double max_capacity_ghz() const noexcept {
-    return capacity_at(max_freq_ghz);
+    return capacity_at_ghz(max_freq_ghz);
   }
   [[nodiscard]] double min_freq_ghz() const {
     return dvfs_freqs_ghz.empty() ? max_freq_ghz : dvfs_freqs_ghz.front();
@@ -28,7 +28,7 @@ struct CpuSpec {
 
   /// Lowest DVFS frequency whose capacity covers `demand_ghz`; returns the
   /// max frequency when even that is insufficient.
-  [[nodiscard]] double frequency_for_demand(double demand_ghz) const;
+  [[nodiscard]] double frequency_for_demand_ghz(double demand_ghz) const;
 
   /// Throws std::invalid_argument when the ladder is empty, unsorted, or
   /// does not end at max_freq_ghz.

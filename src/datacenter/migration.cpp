@@ -4,14 +4,14 @@ namespace vdc::datacenter {
 
 void MigrationLog::add(MigrationRecord record) {
   total_bytes_ += record.bytes;
-  total_duration_ += record.duration_s;
+  total_duration_s_ += record.duration_s;
   records_.push_back(record);
 }
 
 void MigrationLog::clear() noexcept {
   records_.clear();
   total_bytes_ = 0.0;
-  total_duration_ = 0.0;
+  total_duration_s_ = 0.0;
 }
 
 }  // namespace vdc::datacenter

@@ -73,14 +73,14 @@ class MigrationLog {
 
   [[nodiscard]] std::size_t count() const noexcept { return records_.size(); }
   [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
-  [[nodiscard]] double total_duration_s() const noexcept { return total_duration_; }
+  [[nodiscard]] double total_duration_s() const noexcept { return total_duration_s_; }
   [[nodiscard]] const std::vector<MigrationRecord>& records() const noexcept { return records_; }
   void clear() noexcept;
 
  private:
   std::vector<MigrationRecord> records_;
   double total_bytes_ = 0.0;
-  double total_duration_ = 0.0;
+  double total_duration_s_ = 0.0;
 };
 
 }  // namespace vdc::datacenter

@@ -32,7 +32,7 @@ void Server::set_frequency(double freq_ghz) {
 
 double Server::capacity_ghz() const noexcept {
   if (state_ != ServerState::kActive) return 0.0;
-  return cpu_.capacity_at(frequency_ghz_);
+  return cpu_.capacity_at_ghz(frequency_ghz_);
 }
 
 double Server::power_w(double utilization) const noexcept {

@@ -51,7 +51,7 @@ class Server {
 
   /// The paper's power-efficiency metric: max total frequency / max power
   /// (GHz per watt) — servers are consolidated onto high values first.
-  [[nodiscard]] double power_efficiency() const noexcept {
+  [[nodiscard]] double power_efficiency_ghz_per_w() const noexcept {
     return cpu_.max_capacity_ghz() / power_.max_power_w();
   }
 

@@ -151,12 +151,14 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a, std::size_t max_i
       out.emplace_back(h(0, 0), 0.0);
       break;
     }
+    // vdc-lint: float-eq-ok deflation guard: the QR step zeroes converged subdiagonal entries exactly, so == 0.0 marks a deflated boundary
     if (h(hi, hi - 1) == 0.0) {
       out.emplace_back(h(hi, hi), 0.0);
       --hi;
       stuck = 0;
       continue;
     }
+    // vdc-lint: float-eq-ok deflation guard: the QR step zeroes converged subdiagonal entries exactly, so == 0.0 marks a deflated boundary
     if (hi == 1 || h(hi - 1, hi - 2) == 0.0) {
       block_eigenvalues(h(hi - 1, hi - 1), h(hi - 1, hi), h(hi, hi - 1), h(hi, hi), out);
       if (hi == 1) break;
@@ -167,6 +169,7 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a, std::size_t max_i
 
     // Find the start of the active (unreduced) block ending at hi.
     std::size_t lo = hi - 1;
+    // vdc-lint: float-eq-ok deflation guard: an exactly-zero subdiagonal splits the active block; anything nonzero is still coupled
     while (lo > 0 && h(lo, lo - 1) != 0.0) --lo;
 
     if (++stuck > max_iterations) {

@@ -97,6 +97,7 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = data_[r * cols_ + k];
+      // vdc-lint: float-eq-ok sparsity skip: exact zero only short-circuits work, any nonzero entry takes the full multiply path
       if (a == 0.0) continue;
       for (std::size_t c = 0; c < rhs.cols_; ++c) {
         out.data_[r * rhs.cols_ + c] += a * rhs.data_[k * rhs.cols_ + c];
@@ -217,6 +218,7 @@ double spectral_radius(const Matrix& a, std::size_t iterations) {
   const std::size_t squarings = std::min<std::size_t>(40, iterations);
   for (std::size_t i = 0; i < squarings; ++i) {
     const double n = p.norm();
+    // vdc-lint: float-eq-ok a norm of exactly 0.0 means the iterate is identically zero; the guard avoids log(0)
     if (n == 0.0) return 0.0;
     p *= 1.0 / n;
     log_scale += std::log(n);
@@ -225,6 +227,7 @@ double spectral_radius(const Matrix& a, std::size_t iterations) {
     power *= 2.0;
   }
   const double n = p.norm();
+  // vdc-lint: float-eq-ok a norm of exactly 0.0 means the iterate is identically zero; the guard avoids log(0)
   if (n == 0.0) return 0.0;
   return std::exp((log_scale + std::log(n)) / power);
 }

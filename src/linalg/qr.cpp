@@ -46,6 +46,7 @@ Vector QrDecomposition::qt_apply(std::span<const double> b) const {
   if (b.size() != m) throw std::invalid_argument("QR::qt_apply: dimension mismatch");
   Vector y(b.begin(), b.end());
   for (std::size_t k = 0; k < n; ++k) {
+    // vdc-lint: float-eq-ok tau is set to exactly 0.0 for degenerate reflectors; the guard skips an identity transform
     if (tau_[k] == 0.0) continue;
     double s = y[k];
     for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
@@ -63,6 +64,7 @@ Vector QrDecomposition::q_apply(std::span<const double> b) const {
   Vector y(b.begin(), b.end());
   // Q = H_0 H_1 ... H_{n-1}; apply reflectors in reverse order.
   for (std::size_t kk = n; kk-- > 0;) {
+    // vdc-lint: float-eq-ok tau is set to exactly 0.0 for degenerate reflectors; the guard skips an identity transform
     if (tau_[kk] == 0.0) continue;
     double s = y[kk];
     for (std::size_t i = kk + 1; i < m; ++i) s += qr_(i, kk) * y[i];

@@ -30,9 +30,9 @@ class Simulation {
  public:
   [[nodiscard]] double now() const noexcept { return now_; }
 
-  EventId schedule(double time, std::function<void()> callback);
-  EventId schedule_after(double delay, std::function<void()> callback) {
-    return schedule(now_ + delay, std::move(callback));
+  EventId schedule(double time_s, std::function<void()> callback);
+  EventId schedule_after(double delay_s, std::function<void()> callback) {
+    return schedule(now_ + delay_s, std::move(callback));
   }
 
   bool cancel(EventId id);
@@ -47,10 +47,11 @@ class Simulation {
 
  private:
   struct Entry {
-    double time;
+    double time_s;
     EventId id;  // doubles as tie-break sequence number (monotonic)
     bool operator>(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
+      // vdc-lint: float-eq-ok exact heap ordering; equal keys defer to id for FIFO
+      if (time_s != other.time_s) return time_s > other.time_s;
       return id > other.id;
     }
   };
@@ -76,26 +77,26 @@ class PsQueue {
   double remove_job(JobId id);
   void set_capacity(double capacity_ghz);
 
-  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double capacity_ghz() const noexcept { return capacity_ghz_; }
   [[nodiscard]] std::size_t jobs_in_service() const noexcept { return jobs_.size(); }
-  [[nodiscard]] double work_done() const noexcept { return work_done_; }
-  [[nodiscard]] double busy_time() const;
-  [[nodiscard]] double stalled_time() const;
+  [[nodiscard]] double work_done_gcycles() const noexcept { return work_done_gcycles_; }
+  [[nodiscard]] double busy_time_s() const;
+  [[nodiscard]] double stalled_time_s() const;
 
  private:
   void sync();
   void schedule_next_completion();
 
   Simulation& sim_;
-  double capacity_;
+  double capacity_ghz_;
   CompletionHandler on_complete_;
   std::unordered_map<JobId, double> jobs_;  // id -> remaining Gcycles
   JobId next_job_id_ = 1;
   double last_sync_ = 0.0;
   EventId pending_completion_ = 0;  // 0 = none
-  double work_done_ = 0.0;
-  double busy_time_ = 0.0;
-  double stalled_time_ = 0.0;
+  double work_done_gcycles_ = 0.0;
+  double busy_time_s_ = 0.0;
+  double stalled_time_s_ = 0.0;
 };
 
 }  // namespace vdc::sim::naive

@@ -14,7 +14,7 @@ constexpr double kEps = 1e-12;
 }
 
 PsQueue::PsQueue(Simulation& sim, double capacity_ghz, CompletionHandler on_complete)
-    : sim_(sim), capacity_(capacity_ghz), on_complete_(std::move(on_complete)) {
+    : sim_(sim), capacity_ghz_(capacity_ghz), on_complete_(std::move(on_complete)) {
   if (capacity_ghz < 0.0) throw std::invalid_argument("PsQueue: negative capacity");
   last_sync_ = sim_.now();
 }
@@ -63,69 +63,70 @@ double PsQueue::remove_job(JobId id) {
 void PsQueue::set_capacity(double capacity_ghz) {
   if (capacity_ghz < 0.0) throw std::invalid_argument("PsQueue: negative capacity");
   sync();
-  capacity_ = capacity_ghz;
+  capacity_ghz_ = capacity_ghz;
   schedule_next_completion();
 }
 
-double PsQueue::busy_time() const {
-  // busy_time_ is advanced in sync(); add the open interval since then.
-  if (jobs_in_service() == 0 || capacity_ <= 0.0) return busy_time_;
-  return busy_time_ + (sim_.now() - last_sync_);
+double PsQueue::busy_time_s() const {
+  // busy_time_s_ is advanced in sync(); add the open interval since then.
+  if (jobs_in_service() == 0 || capacity_ghz_ <= 0.0) return busy_time_s_;
+  return busy_time_s_ + (sim_.now() - last_sync_);
 }
 
-double PsQueue::stalled_time() const {
-  if (jobs_in_service() == 0 || capacity_ > 0.0) return stalled_time_;
-  return stalled_time_ + (sim_.now() - last_sync_);
+double PsQueue::stalled_time_s() const {
+  if (jobs_in_service() == 0 || capacity_ghz_ > 0.0) return stalled_time_s_;
+  return stalled_time_s_ + (sim_.now() - last_sync_);
 }
 
 void PsQueue::sync() {
   const double now = sim_.now();
-  const double elapsed = now - last_sync_;
+  const double elapsed_s = now - last_sync_;
   last_sync_ = now;
-  if (elapsed <= 0.0 || jobs_in_service() == 0) return;
+  if (elapsed_s <= 0.0 || jobs_in_service() == 0) return;
 
-  if (capacity_ <= 0.0) {
+  if (capacity_ghz_ <= 0.0) {
     // VM is allocated nothing: work stalls. This is starvation, not load —
     // it must not inflate the monitor's utilization signal.
-    stalled_time_ += elapsed;
-    audit::ps_stall_accounting(busy_time_, stalled_time_);
+    stalled_time_s_ += elapsed_s;
+    audit::ps_stall_accounting(busy_time_s_, stalled_time_s_);
     return;
   }
-  busy_time_ += elapsed;
+  busy_time_s_ += elapsed_s;
 
   if (fast_) {
-    fast_sync(elapsed);
+    fast_sync(elapsed_s);
   } else {
-    naive_sync(elapsed);
+    naive_sync(elapsed_s);
   }
 }
 
 // The historical formulation, preserved operation-for-operation so that the
 // per-job summation order (and therefore every downstream trajectory) is
 // bit-identical to the pre-optimization engine at bench concurrency levels.
-void PsQueue::naive_sync(double elapsed) {
-  const double per_job = elapsed * capacity_ / static_cast<double>(residuals_.size());
+void PsQueue::naive_sync(double elapsed_s) {
+  const double per_job = elapsed_s * capacity_ghz_ / static_cast<double>(residuals_.size());
   // Jobs whose residual hits zero here complete "now"; deliver them in id
   // order for determinism.
   std::vector<JobId> finished;
+  // vdc-lint: unordered-iter-ok every job gets the same per_job decrement and completions are sorted by id before delivery; only the work_done accumulation order varies, which the accounting audit bounds with a tolerance
   for (auto& [id, remaining] : residuals_) {
     remaining -= per_job;
-    work_done_ += per_job;
+    work_done_gcycles_ += per_job;
     if (remaining <= kEps) {
       audit::ps_residual(remaining);
-      work_done_ += remaining;  // don't over-count the overshoot
+      work_done_gcycles_ += remaining;  // don't over-count the overshoot
       finished.push_back(id);
     }
   }
-  audit::ps_accounting(work_done_, busy_time_);
+  audit::ps_accounting(work_done_gcycles_, busy_time_s_);
   std::sort(finished.begin(), finished.end());
   for (const JobId id : finished) residuals_.erase(id);
   deliver(finished);
 }
 
-void PsQueue::fast_sync(double elapsed) {
-  const double per_job = elapsed * capacity_ / static_cast<double>(marks_.size());
-  work_done_ += per_job * static_cast<double>(marks_.size());
+void PsQueue::fast_sync(double elapsed_s) {
+  const double per_job = elapsed_s * capacity_ghz_ / static_cast<double>(marks_.size());
+  work_done_gcycles_ += per_job * static_cast<double>(marks_.size());
   vtime_ += per_job;
 
   // Jobs whose finish mark is reached complete "now"; deliver them in id
@@ -136,12 +137,12 @@ void PsQueue::fast_sync(double elapsed) {
     const double remaining = first->first - vtime_;
     if (remaining > kEps) break;
     audit::ps_residual(remaining);
-    work_done_ += remaining;  // don't over-count the overshoot
+    work_done_gcycles_ += remaining;  // don't over-count the overshoot
     finished.push_back(first->second);
     marks_.erase(first->second);
     by_mark_.erase(first);
   }
-  audit::ps_accounting(work_done_, busy_time_);
+  audit::ps_accounting(work_done_gcycles_, busy_time_s_);
   if (marks_.empty()) {
     vtime_ = 0.0;
     fast_ = false;
@@ -162,6 +163,7 @@ void PsQueue::deliver(std::vector<JobId>& finished) {
 /// (0 + r == r, no rounding), so the switch itself never perturbs state.
 void PsQueue::convert_to_fast() {
   vtime_ = 0.0;
+  // vdc-lint: unordered-iter-ok destination containers are keyed (by_mark_ orders by mark value, marks_ by id); the rebuilt state is identical for any visit order, and equal-mark completions are re-sorted by id on delivery
   for (const auto& [id, remaining] : residuals_) {
     marks_.emplace(id, by_mark_.emplace(remaining, id));
   }
@@ -185,19 +187,20 @@ void PsQueue::schedule_next_completion() {
     sim_.cancel(pending_completion_);
     pending_completion_ = 0;
   }
-  if (jobs_in_service() == 0 || capacity_ <= 0.0) return;
+  if (jobs_in_service() == 0 || capacity_ghz_ <= 0.0) return;
 
   double min_remaining;
   if (fast_) {
     min_remaining = by_mark_.begin()->first - vtime_;
   } else {
     min_remaining = std::numeric_limits<double>::infinity();
+    // vdc-lint: unordered-iter-ok min over all values is commutative; order cannot change the result
     for (const auto& [id, remaining] : residuals_) {
       min_remaining = std::min(min_remaining, remaining);
     }
   }
   const double dt =
-      std::max(0.0, min_remaining) * static_cast<double>(jobs_in_service()) / capacity_;
+      std::max(0.0, min_remaining) * static_cast<double>(jobs_in_service()) / capacity_ghz_;
   pending_completion_ = sim_.schedule_after(dt, [this] {
     pending_completion_ = 0;
     sync();

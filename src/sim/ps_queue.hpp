@@ -69,23 +69,23 @@ class PsQueue {
   /// immediately; in-flight work is preserved.
   void set_capacity(double capacity_ghz);
 
-  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double capacity_ghz() const noexcept { return capacity_ghz_; }
   [[nodiscard]] std::size_t jobs_in_service() const noexcept {
     return fast_ ? marks_.size() : residuals_.size();
   }
 
   /// Total work completed since construction (Gcycles) — used for
   /// utilization accounting.
-  [[nodiscard]] double work_done() const noexcept { return work_done_; }
+  [[nodiscard]] double work_done_gcycles() const noexcept { return work_done_gcycles_; }
 
   /// Busy time (seconds with >= 1 job AND capacity > 0) since construction.
   /// Time spent holding jobs while allocated zero CPU is NOT busy time — it
-  /// accrues to stalled_time() instead, so a starved VM no longer reads as
+  /// accrues to stalled_time_s() instead, so a starved VM no longer reads as
   /// 100% utilized.
-  [[nodiscard]] double busy_time() const;
+  [[nodiscard]] double busy_time_s() const;
 
   /// Seconds spent with >= 1 resident job but zero capacity (work stalled).
-  [[nodiscard]] double stalled_time() const;
+  [[nodiscard]] double stalled_time_s() const;
 
   /// True while the queue is in the O(log n) virtual-time mode (exposed for
   /// tests and the perf bench).
@@ -94,15 +94,15 @@ class PsQueue {
  private:
   /// Advances all job state to sim.now(), delivering any completions.
   void sync();
-  void naive_sync(double elapsed);
-  void fast_sync(double elapsed);
+  void naive_sync(double elapsed_s);
+  void fast_sync(double elapsed_s);
   void schedule_next_completion();
   void convert_to_fast();
   void convert_to_naive();
   void deliver(std::vector<JobId>& finished);
 
   Simulation& sim_;
-  double capacity_;
+  double capacity_ghz_;
   CompletionHandler on_complete_;
 
   bool fast_ = false;
@@ -120,9 +120,9 @@ class PsQueue {
   JobId next_job_id_ = 1;
   double last_sync_ = 0.0;
   EventId pending_completion_ = 0;  // 0 = none
-  double work_done_ = 0.0;
-  double busy_time_ = 0.0;
-  double stalled_time_ = 0.0;
+  double work_done_gcycles_ = 0.0;
+  double busy_time_s_ = 0.0;
+  double stalled_time_s_ = 0.0;
 };
 
 }  // namespace vdc::sim

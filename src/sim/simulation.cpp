@@ -7,10 +7,10 @@
 
 namespace vdc::sim {
 
-EventId Simulation::schedule(double time, EventCallback callback) {
-  if (time < now_) throw std::invalid_argument("Simulation::schedule: time is in the past");
+EventId Simulation::schedule(double time_s, EventCallback callback) {
+  if (time_s < now_) throw std::invalid_argument("Simulation::schedule: time is in the past");
   if (!callback) throw std::invalid_argument("Simulation::schedule: empty callback");
-  audit::event_time(now_, time);  // catches NaN, which the < above lets through
+  audit::event_time(now_, time_s);  // catches NaN, which the < above lets through
 
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -26,7 +26,7 @@ EventId Simulation::schedule(double time, EventCallback callback) {
   Record& rec = slab_[slot];
   rec.callback = std::move(callback);
   rec.armed = true;
-  heap_.push(Entry{time, next_seq_++, slot, rec.generation});
+  heap_.push(Entry{time_s, next_seq_++, slot, rec.generation});
   ++live_;
   audit::event_slab(live_, slab_.size(), free_slots_.size());
   return make_id(rec.generation, slot);
@@ -50,8 +50,8 @@ bool Simulation::step() {
     // callback can freely schedule new events (possibly into this slot).
     EventCallback callback = std::move(slab_[top.slot].callback);
     release_slot(top.slot);
-    audit::clock_monotonic(now_, top.time);
-    now_ = top.time;
+    audit::clock_monotonic(now_, top.time_s);
+    now_ = top.time_s;
     ++executed_;
     callback();
     return true;
@@ -65,7 +65,7 @@ std::size_t Simulation::drain_until(double t) {
   while (!heap_.empty()) {
     // Skim stale entries off the top so the peeked time is live.
     while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
-    if (heap_.empty() || heap_.top().time > t) break;
+    if (heap_.empty() || heap_.top().time_s > t) break;
     step();
     ++executed;
   }

@@ -29,13 +29,13 @@ class Simulation {
   /// Current simulation time in seconds.
   [[nodiscard]] double now() const noexcept { return now_; }
 
-  /// Schedules `callback` at absolute time `time` (>= now). Returns a handle
-  /// usable with `cancel`.
-  EventId schedule(double time, EventCallback callback);
+  /// Schedules `callback` at absolute time `time_s` (>= now). Returns a
+  /// handle usable with `cancel`.
+  EventId schedule(double time_s, EventCallback callback);
 
   /// Schedules `callback` after a relative delay (>= 0).
-  EventId schedule_after(double delay, EventCallback callback) {
-    return schedule(now_ + delay, std::move(callback));
+  EventId schedule_after(double delay_s, EventCallback callback) {
+    return schedule(now_ + delay_s, std::move(callback));
   }
 
   /// Schedules a bracketed interval: `on_start` fires at absolute time
@@ -77,13 +77,14 @@ class Simulation {
 
  private:
   struct Entry {
-    double time;
+    double time_s;
     std::uint64_t seq;  // monotonic scheduling order: FIFO tie-break
     std::uint32_t slot;
     std::uint32_t generation;
-    // min-heap on (time, seq)
+    // min-heap on (time_s, seq)
     bool operator>(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
+      // vdc-lint: float-eq-ok exact heap ordering; equal keys defer to seq for FIFO
+      if (time_s != other.time_s) return time_s > other.time_s;
       return seq > other.seq;
     }
   };

@@ -14,9 +14,9 @@ RecentPeakForecaster::RecentPeakForecaster(std::size_t vms, std::size_t window,
   }
 }
 
-void RecentPeakForecaster::observe(std::size_t vm, double demand) {
+void RecentPeakForecaster::observe(std::size_t vm, double demand_ghz) {
   auto& h = history_.at(vm);
-  h.push_back(demand);
+  h.push_back(demand_ghz);
   if (h.size() > window_) h.pop_front();
 }
 
@@ -35,9 +35,9 @@ DiurnalPeakForecaster::DiurnalPeakForecaster(std::size_t vms, std::size_t period
   }
 }
 
-void DiurnalPeakForecaster::observe(std::size_t vm, double demand) {
+void DiurnalPeakForecaster::observe(std::size_t vm, double demand_ghz) {
   auto& h = history_.at(vm);
-  h.push_back(demand);
+  h.push_back(demand_ghz);
   if (h.size() > 2 * period_) h.pop_front();
 }
 

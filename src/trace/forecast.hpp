@@ -24,7 +24,7 @@ class DemandForecaster {
  public:
   virtual ~DemandForecaster() = default;
   /// Feed one observation per VM per sample (call for every VM each step).
-  virtual void observe(std::size_t vm, double demand) = 0;
+  virtual void observe(std::size_t vm, double demand_ghz) = 0;
   /// Predicted peak demand for the VM over the next `horizon` samples.
   [[nodiscard]] virtual double predict_peak(std::size_t vm, std::size_t horizon) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
@@ -35,7 +35,7 @@ class RecentPeakForecaster final : public DemandForecaster {
  public:
   RecentPeakForecaster(std::size_t vms, std::size_t window, double safety_factor = 1.1);
 
-  void observe(std::size_t vm, double demand) override;
+  void observe(std::size_t vm, double demand_ghz) override;
   [[nodiscard]] double predict_peak(std::size_t vm, std::size_t horizon) const override;
   [[nodiscard]] std::string name() const override { return "recent-peak"; }
 
@@ -53,7 +53,7 @@ class DiurnalPeakForecaster final : public DemandForecaster {
   /// `period` is the seasonal length in samples (96 for daily at 15 min).
   DiurnalPeakForecaster(std::size_t vms, std::size_t period, double safety_factor = 1.05);
 
-  void observe(std::size_t vm, double demand) override;
+  void observe(std::size_t vm, double demand_ghz) override;
   [[nodiscard]] double predict_peak(std::size_t vm, std::size_t horizon) const override;
   [[nodiscard]] std::string name() const override { return "diurnal-peak"; }
 

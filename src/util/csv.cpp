@@ -30,9 +30,9 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
 void CsvWriter::row(const std::vector<double>& cells) {
   std::vector<std::string> text;
   text.reserve(cells.size());
-  for (double c : cells) {
+  for (double value : cells) {
     std::ostringstream ss;
-    ss << c;
+    ss << value;
     text.push_back(ss.str());
   }
   row(text);

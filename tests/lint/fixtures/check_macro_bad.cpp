@@ -1,0 +1,20 @@
+// check-side-effect fixture: mutation inside VDC_ASSERT/VDC_INVARIANT
+// vanishes under -DVDC_CHECKS=OFF and must be flagged; pure reads and
+// lambda captures must not.
+#include <vector>
+
+#define VDC_ASSERT(cond, ...) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define VDC_INVARIANT(cond, ...) static_cast<void>(sizeof((cond) ? 1 : 0))
+
+namespace fixture {
+
+int audit(std::vector<int>& log, int counter) {
+  VDC_ASSERT(++counter > 0);                       // BAD: increment
+  VDC_INVARIANT(counter = 7);                      // BAD: assignment
+  VDC_ASSERT(log.size() < 10u, "log overflowed");  // ok: pure read
+  VDC_INVARIANT([&] { return !log.empty(); }());   // ok: capture, no mutation
+  log.push_back(counter);                          // ok: outside any macro
+  return counter;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// include-cycle fixture, half A: includes cycle_b.hpp which includes us back.
+#pragma once
+
+#include "cycle_b.hpp"
+
+namespace fixture {
+struct A {
+  int value = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// include-cycle fixture, half B: completes the cycle with cycle_a.hpp.
+#pragma once
+
+#include "cycle_a.hpp"
+
+namespace fixture {
+struct B {
+  int value = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// determinism-rule fixture: hidden-state and wall-clock entropy sources are
+// banned; same-named member functions are not.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Sim {
+  int time() const { return 0; }  // ok: member named `time`
+};
+
+double draw() {
+  std::random_device rd;                               // BAD
+  const auto wall = std::chrono::system_clock::now();  // BAD
+  std::srand(42);                                      // BAD
+  const long stamp = std::time(nullptr);               // BAD
+  Sim sim;
+  return static_cast<double>(sim.time()) + static_cast<double>(std::rand()) +  // ok then BAD
+         static_cast<double>(stamp) + static_cast<double>(wall.time_since_epoch().count()) +
+         static_cast<double>(rd());
+}
+
+}  // namespace fixture

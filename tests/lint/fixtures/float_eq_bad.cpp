@@ -1,0 +1,20 @@
+// float-eq fixture: == / != with a floating operand is flagged whether the
+// operand is a declared double, a float literal, a unit-suffixed name, or a
+// double-returning call; integer and tolerance comparisons are not.
+#include <cmath>
+
+namespace fixture {
+
+double measure();
+
+bool compare(double lhs, double rhs, int count, double budget_w) {
+  bool r = lhs == rhs;            // BAD: both declared double
+  r = r || (lhs != 0.5);          // BAD: float literal
+  r = r || (budget_w == 0.0);     // BAD: unit-suffixed name
+  r = r || (measure() == lhs);    // BAD: double-returning call
+  r = r || (count == 3);          // ok: integral
+  r = r || (std::abs(lhs - rhs) < 1e-9);  // ok: tolerance
+  return r;
+}
+
+}  // namespace fixture

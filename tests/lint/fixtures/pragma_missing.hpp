@@ -1,0 +1,10 @@
+// pragma-once fixture: a header with include guards but no #pragma once is
+// flagged (the repo standardizes on the pragma).
+#ifndef FIXTURE_PRAGMA_MISSING_HPP
+#define FIXTURE_PRAGMA_MISSING_HPP
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif  // FIXTURE_PRAGMA_MISSING_HPP

@@ -1,0 +1,14 @@
+// Suppression-hygiene fixture: unknown rule names, reasonless suppressions,
+// and suppressions with no matching finding are themselves findings.
+namespace fixture {
+
+// vdc-lint: float-eq-ok
+bool reasonless(double a, double b) { return a == b; }
+
+// vdc-lint: flot-eq-ok typo in the rule name
+bool unknown_rule(double a, double b) { return a != b; }
+
+// vdc-lint: determinism-ok nothing nondeterministic actually happens here
+inline int unused_suppression() { return 7; }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Suppression round-trip fixture: every violation here carries a reasoned
+// annotation, so the file must produce only *suppressed* findings (exit 0).
+#include <unordered_map>
+
+namespace fixture {
+
+struct Probe {
+  // vdc-lint: units-ok legacy field kept for golden-file compatibility
+  double power_reading = 0.0;
+};
+
+double total(const std::unordered_map<int, double>& table, double expected) {
+  double sum = 0.0;
+  // vdc-lint: unordered-iter-ok sum is commutative up to FP rounding, which this fixture ignores
+  for (const auto& [key, value] : table) sum += value;
+  if (sum == expected) {  // vdc-lint: float-eq-ok exact echo check is the fixture contract
+    return 0.0;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// units-rule fixture: quantity-named floating declarations without unit
+// suffixes must be flagged; suffixed/dimensionless/composite names must not.
+#pragma once
+
+namespace fixture {
+
+struct PowerSample {
+  double power_draw = 0.0;        // BAD: quantity stem, no unit
+  double power_w = 0.0;           // ok: watt suffix
+  double idle_energy = 0.0;       // BAD
+  double idle_energy_j = 0.0;     // ok
+  double demand_frac = 0.0;       // ok: dimensionless marker
+  double energy_wh_per_vm = 0.0;  // ok: per-composite with a count
+  int capacity_slots = 0;         // ok: not floating-point
+};
+
+double peak_frequency = 0.0;  // BAD: namespace-scope variable
+
+double tier_capacity();      // BAD: double-returning function
+double tier_capacity_ghz();  // ok
+
+void observe(double latency, double latency_s, double util);  // BAD: first only
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// unordered-iter fixture: un-annotated range-for over an unordered container
+// (even one declared in another file — see unordered_iter_decl.hpp) is
+// flagged; classic for loops and ordered containers are not.
+#include <map>
+#include <unordered_map>
+
+#include "unordered_iter_decl.hpp"
+
+namespace fixture {
+
+double sum_table(const std::unordered_map<int, double>& table) {
+  double total = 0.0;
+  for (const auto& [key, value] : table) total += value;  // BAD: inline type
+  return total;
+}
+
+double sum_registry(const Registry& registry) {
+  double total = 0.0;
+  for (const auto& [key, value] : registry.weights) total += value;  // BAD: cross-file decl
+  for (auto it = registry.weights.begin(); it != registry.weights.end(); ++it) {
+    total += it->second;  // ok: classic for is assumed to be doing something deliberate
+  }
+  std::map<int, double> ordered(registry.weights.begin(), registry.weights.end());
+  for (const auto& [key, value] : ordered) total += value;  // ok: ordered
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Declaration side of the unordered-iter fixture: the container member lives
+// here, the flagged loop lives in unordered_iter_bad.cpp.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<int, double> weights;
+};
+
+}  // namespace fixture

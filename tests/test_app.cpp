@@ -128,13 +128,13 @@ TEST(MultiTierApp, TierWorkDoneAccumulates) {
   MultiTierApp app(sim, small_app(9, 10));
   app.start();
   sim.run_until(100.0);
-  const double web = app.tier_work_done(0);
-  const double db = app.tier_work_done(1);
+  const double web = app.tier_work_done_gcycles(0);
+  const double db = app.tier_work_done_gcycles(1);
   EXPECT_GT(web, 0.0);
   EXPECT_GT(db, 0.0);
   // Mean demands are 8 and 12 Mcycles: db tier does ~1.5x the web work.
   EXPECT_NEAR(db / web, 1.5, 0.25);
-  EXPECT_THROW(static_cast<void>(app.tier_work_done(2)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(app.tier_work_done_gcycles(2)), std::out_of_range);
 }
 
 TEST(MultiTierApp, DeterministicForSameSeed) {

@@ -59,8 +59,17 @@ TEST(Check, UnreachableThrowsWithMessage) {
   }
 }
 
+TEST(Check, IsExactlyZeroMatchesOnlyTrueZero) {
+  EXPECT_TRUE(vdc::check::is_exactly_zero(0.0));
+  EXPECT_TRUE(vdc::check::is_exactly_zero(-0.0));  // same assigned-zero contract
+  EXPECT_FALSE(vdc::check::is_exactly_zero(1e-300));
+  EXPECT_FALSE(vdc::check::is_exactly_zero(-1e-300));
+  static_assert(vdc::check::is_exactly_zero(0.0), "usable in constant expressions");
+}
+
 TEST(Check, ConditionEvaluatedExactlyOnce) {
   int evaluations = 0;
+  // vdc-lint: check-side-effect-ok this test exists to prove single evaluation; the mutation is the subject under test
   VDC_ASSERT(++evaluations > 0);
   EXPECT_EQ(evaluations, 1);
 }

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "check/dc_audit.hpp"
+#include "check/sim_audit.hpp"
+
 namespace {
 
 TEST(CheckDisabled, FailingConditionsAreSilent) {
@@ -17,9 +22,43 @@ TEST(CheckDisabled, FailingConditionsAreSilent) {
 
 TEST(CheckDisabled, ConditionIsNeverEvaluated) {
   int evaluations = 0;
+  // vdc-lint: check-side-effect-ok this test proves conditions compile out; the mutation is the subject under test
   VDC_ASSERT(++evaluations > 0);
+  // vdc-lint: check-side-effect-ok this test proves messages compile out too; the mutation is the subject under test
   VDC_INVARIANT(++evaluations > 0, "side effects " << ++evaluations);
   EXPECT_EQ(evaluations, 0);
+}
+
+// Behavioral parity for the hot-path auditors: every header-only audit
+// function must degrade to a silent no-op in a checks-off build, even when
+// fed inputs that would fire the invariant with checks on (the mirror-image
+// cases of tests/test_check.cpp). A throw here means an auditor does real
+// work outside the macros and release builds pay for (or crash on) it.
+TEST(CheckDisabled, SimAuditorsAreSilentOnViolatingInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NO_THROW(vdc::sim::audit::event_time(1.0, 0.5));   // scheduled in the past
+  EXPECT_NO_THROW(vdc::sim::audit::event_time(0.0, nan));   // non-finite timestamp
+  EXPECT_NO_THROW(vdc::sim::audit::clock_monotonic(2.0, 1.0));  // clock rewind
+  EXPECT_NO_THROW(vdc::sim::audit::ps_residual(-1.0));          // negative residual
+  EXPECT_NO_THROW(vdc::sim::audit::ps_accounting(-1.0, -1.0));
+  EXPECT_NO_THROW(vdc::sim::audit::ps_stall_accounting(nan, -2.0));
+  EXPECT_NO_THROW(vdc::sim::audit::ps_finish_mark(5.0, 1.0));  // mark in virtual past
+  EXPECT_NO_THROW(vdc::sim::audit::event_slab(3, 2, 0));       // slab leak
+}
+
+TEST(CheckDisabled, DataCenterAuditorsAreSilentOnViolatingInputs) {
+  // Rack draw that matches neither shared+members nor members alone.
+  EXPECT_NO_THROW(vdc::datacenter::audit::rack_power(0, true, 10.0, 20.0, 0.0));
+  EXPECT_NO_THROW(vdc::datacenter::audit::rack_power(1, false, -5.0, 20.0, 20.0));
+}
+
+TEST(CheckDisabled, IsExactlyZeroIsIndependentOfChecksMode) {
+  // The exactness helper is a plain function, not a check macro: it keeps
+  // returning real answers when checks are off.
+  EXPECT_TRUE(vdc::check::is_exactly_zero(0.0));
+  EXPECT_TRUE(vdc::check::is_exactly_zero(-0.0));
+  EXPECT_FALSE(vdc::check::is_exactly_zero(1e-300));
+  EXPECT_FALSE(vdc::check::is_exactly_zero(std::numeric_limits<double>::quiet_NaN()));
 }
 
 TEST(CheckDisabled, FailHelperStillWorks) {

@@ -29,8 +29,8 @@ TEST(Cluster, TopologyBookkeeping) {
   EXPECT_EQ(c.host_of(v0), 0u);
   EXPECT_EQ(c.host_of(v2), kNoServer);
   EXPECT_EQ(c.vms_on(0).size(), 2u);
-  EXPECT_DOUBLE_EQ(c.server_cpu_demand(0), 1.5);
-  EXPECT_DOUBLE_EQ(c.server_memory_used(0), 2048.0);
+  EXPECT_DOUBLE_EQ(c.server_cpu_demand_ghz(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.server_memory_used_mb(0), 2048.0);
   c.place(v2, 1);
   EXPECT_EQ(c.host_of(v2), 1u);
   EXPECT_THROW(c.place(v1, 1), std::logic_error);  // already placed

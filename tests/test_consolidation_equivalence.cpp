@@ -38,7 +38,7 @@ DataCenterSnapshot random_fleet(std::size_t servers, std::size_t vms, std::uint6
     s.max_power_w = 150.0 + s.max_capacity_ghz * 15.0;
     s.idle_power_w = 0.55 * s.max_power_w;
     s.sleep_power_w = 6.0;
-    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.power_efficiency_ghz_per_w = s.max_capacity_ghz / s.max_power_w;
     s.active = i % 10 != 9;
     if (s.active) awake.push_back(s.id);
     snap.servers.push_back(s);
@@ -243,7 +243,7 @@ TEST(ConsolidationEquivalence, MinimumSlackExactUnderBindingBudget) {
     server.max_capacity_ghz = 8.0;
     server.memory_mb = 4000.0;
     server.max_power_w = 200.0;
-    server.power_efficiency = 8.0 / 200.0;
+    server.power_efficiency_ghz_per_w = 8.0 / 200.0;
     server.active = true;
     snap.servers.push_back(server);
     std::vector<VmId> candidates;
@@ -285,7 +285,7 @@ TEST(ConsolidationEquivalence, BudgetedMinimumSlackMatchesReferenceAndCollapses)
     server.max_capacity_ghz = 8.0;
     server.memory_mb = 4000.0;
     server.max_power_w = 200.0;
-    server.power_efficiency = 8.0 / 200.0;
+    server.power_efficiency_ghz_per_w = 8.0 / 200.0;
     server.active = true;
     snap.servers.push_back(server);
     std::vector<VmId> candidates;

@@ -11,18 +11,18 @@ namespace {
 TEST(CpuSpec, CapacityScalesWithCores) {
   const CpuSpec quad = quad_core_3ghz();
   EXPECT_DOUBLE_EQ(quad.max_capacity_ghz(), 12.0);
-  EXPECT_DOUBLE_EQ(quad.capacity_at(1.5), 6.0);
+  EXPECT_DOUBLE_EQ(quad.capacity_at_ghz(1.5), 6.0);
   EXPECT_NO_THROW(quad.validate());
 }
 
 TEST(CpuSpec, FrequencyForDemandPicksLowestSufficient) {
   const CpuSpec dual = dual_core_2ghz();  // ladder 1.0 .. 2.0, capacity x2
-  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(0.0), 1.0);
-  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(2.0), 1.0);
-  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(2.5), 1.4);
-  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(3.9), 2.0);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand_ghz(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand_ghz(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand_ghz(2.5), 1.4);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand_ghz(3.9), 2.0);
   // Demand above max capacity still returns the max frequency.
-  EXPECT_DOUBLE_EQ(dual.frequency_for_demand(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(dual.frequency_for_demand_ghz(100.0), 2.0);
 }
 
 TEST(CpuSpec, ValidateCatchesBadLadders) {
@@ -98,8 +98,8 @@ TEST(Server, PowerEfficiencyMetric) {
   const Server quad(quad_core_3ghz(), power_model_quad_3ghz(), 32768.0);
   const Server dual(dual_core_2ghz(), power_model_dual_2ghz(), 16384.0);
   const Server old(dual_core_1_5ghz(), power_model_dual_1_5ghz(), 12288.0);
-  EXPECT_GT(quad.power_efficiency(), dual.power_efficiency());
-  EXPECT_GT(dual.power_efficiency(), old.power_efficiency());
+  EXPECT_GT(quad.power_efficiency_ghz_per_w(), dual.power_efficiency_ghz_per_w());
+  EXPECT_GT(dual.power_efficiency_ghz_per_w(), old.power_efficiency_ghz_per_w());
 }
 
 TEST(Server, RejectsNonPositiveMemory) {

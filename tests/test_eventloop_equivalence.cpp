@@ -26,9 +26,9 @@ namespace {
 struct ReplayTrace {
   std::vector<std::uint64_t> order;  // completion order (job ids)
   std::vector<double> times;         // completion timestamps
-  double busy_time = 0.0;
-  double stalled_time = 0.0;
-  double work_done = 0.0;
+  double busy_time_s = 0.0;
+  double stalled_time_s = 0.0;
+  double work_done_gcycles = 0.0;
 };
 
 /// Closed-loop workload with capacity modulation and occasional job
@@ -66,9 +66,9 @@ ReplayTrace replay(std::size_t clients, std::uint64_t target_completions,
   }
   while (completions < target_completions && sim.step()) {
   }
-  trace.busy_time = queue.busy_time();
-  trace.stalled_time = queue.stalled_time();
-  trace.work_done = queue.work_done();
+  trace.busy_time_s = queue.busy_time_s();
+  trace.stalled_time_s = queue.stalled_time_s();
+  trace.work_done_gcycles = queue.work_done_gcycles();
   return trace;
 }
 
@@ -83,9 +83,9 @@ TEST(EventLoopEquivalence, SmallWorkloadIsBitIdenticalToNaive) {
   for (std::size_t i = 0; i < fast.times.size(); ++i) {
     ASSERT_EQ(fast.times[i], ref.times[i]) << "timestamp diverged at completion " << i;
   }
-  EXPECT_EQ(fast.busy_time, ref.busy_time);
-  EXPECT_EQ(fast.stalled_time, ref.stalled_time);
-  EXPECT_EQ(fast.work_done, ref.work_done);
+  EXPECT_EQ(fast.busy_time_s, ref.busy_time_s);
+  EXPECT_EQ(fast.stalled_time_s, ref.stalled_time_s);
+  EXPECT_EQ(fast.work_done_gcycles, ref.work_done_gcycles);
 }
 
 TEST(EventLoopEquivalence, LargeWorkloadAgreesWithinTolerance) {
@@ -101,9 +101,9 @@ TEST(EventLoopEquivalence, LargeWorkloadAgreesWithinTolerance) {
     const double scale = std::max(1.0, std::abs(ref.times[i]));
     ASSERT_NEAR(fast.times[i], ref.times[i], 1e-9 * scale) << "completion " << i;
   }
-  EXPECT_NEAR(fast.busy_time, ref.busy_time, 1e-9 * std::max(1.0, ref.busy_time));
-  EXPECT_NEAR(fast.stalled_time, ref.stalled_time, 1e-9 * std::max(1.0, ref.stalled_time));
-  EXPECT_NEAR(fast.work_done, ref.work_done, 1e-6 * std::max(1.0, ref.work_done));
+  EXPECT_NEAR(fast.busy_time_s, ref.busy_time_s, 1e-9 * std::max(1.0, ref.busy_time_s));
+  EXPECT_NEAR(fast.stalled_time_s, ref.stalled_time_s, 1e-9 * std::max(1.0, ref.stalled_time_s));
+  EXPECT_NEAR(fast.work_done_gcycles, ref.work_done_gcycles, 1e-6 * std::max(1.0, ref.work_done_gcycles));
 }
 
 TEST(EventLoopEquivalence, DualModeCrossoverPreservesJobs) {

@@ -17,7 +17,7 @@ DataCenterSnapshot make_instance(std::vector<double> capacities,
     s.max_capacity_ghz = capacities[i];
     s.memory_mb = 1e6;
     s.max_power_w = 200.0;
-    s.power_efficiency =
+    s.power_efficiency_ghz_per_w =
         efficiencies.empty() ? capacities[i] / 200.0 : efficiencies[i];
     s.active = true;
     snap.servers.push_back(s);
@@ -38,7 +38,7 @@ TEST(Ffd, PlacesLargestFirst) {
   // Largest (VM 1, 3.0) then VM 2 (2.0) does not fit... capacity 4: 3+1=4.
   EXPECT_EQ(r.placed.size(), 2u);
   EXPECT_EQ(r.unplaced, (std::vector<VmId>{2}));
-  EXPECT_DOUBLE_EQ(wp.cpu_demand(0), 4.0);
+  EXPECT_DOUBLE_EQ(wp.cpu_demand_ghz(0), 4.0);
 }
 
 TEST(Ffd, WalksServersInGivenOrder) {

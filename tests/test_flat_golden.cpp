@@ -101,7 +101,7 @@ consolidate::DataCenterSnapshot random_fleet(std::size_t servers, std::size_t vm
     s.max_power_w = 150.0 + s.max_capacity_ghz * 15.0;
     s.idle_power_w = 0.55 * s.max_power_w;
     s.sleep_power_w = 6.0;
-    s.power_efficiency = s.max_capacity_ghz / s.max_power_w;
+    s.power_efficiency_ghz_per_w = s.max_capacity_ghz / s.max_power_w;
     s.active = i % 10 != 9;
     if (s.active) awake.push_back(s.id);
     snap.servers.push_back(s);
@@ -265,7 +265,7 @@ TEST(FlatGolden, TraceSimResultsAreByteIdentical) {
     config.dvfs = algo == core::ConsolidationAlgorithm::kIpac;
     const core::TraceSimResult result = sim.run(config);
     const std::string name = core::to_string(algo);
-    csv << name << ",energy_wh_total,," << fmt(result.energy_wh_total) << '\n';
+    csv << name << ",energy_wh_total,," << fmt(result.total_energy_wh) << '\n';
     csv << name << ",energy_wh_per_vm,," << fmt(result.energy_wh_per_vm) << '\n';
     csv << name << ",migrations,," << result.migrations << '\n';
     csv << name << ",optimizer_invocations,," << result.optimizer_invocations << '\n';

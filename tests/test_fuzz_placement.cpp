@@ -89,8 +89,8 @@ TEST_P(PlacementFuzz, MatchesReferenceUnderRandomOps) {
           ++count;
         }
       }
-      EXPECT_NEAR(wp.cpu_demand(s), demand, 1e-9);
-      EXPECT_NEAR(wp.memory_used(s), memory, 1e-9);
+      EXPECT_NEAR(wp.cpu_demand_ghz(s), demand, 1e-9);
+      EXPECT_NEAR(wp.memory_used_mb(s), memory, 1e-9);
       EXPECT_EQ(wp.hosted(s).size(), count);
     }
   }

@@ -22,7 +22,7 @@ DataCenterSnapshot make_instance(double capacity_ghz, std::vector<double> demand
   server.max_capacity_ghz = capacity_ghz;
   server.memory_mb = server_memory;
   server.max_power_w = 200.0;
-  server.power_efficiency = capacity_ghz / 200.0;
+  server.power_efficiency_ghz_per_w = capacity_ghz / 200.0;
   server.active = true;
   snap.servers.push_back(server);
   for (std::size_t i = 0; i < demands.size(); ++i) {

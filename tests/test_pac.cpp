@@ -26,7 +26,7 @@ DataCenterSnapshot make_instance(std::vector<ServerSpec> servers,
     s.max_power_w = 200.0;
     s.idle_power_w = 100.0;
     s.sleep_power_w = 5.0;
-    s.power_efficiency = servers[i].efficiency;
+    s.power_efficiency_ghz_per_w = servers[i].efficiency;
     s.active = true;
     snap.servers.push_back(s);
   }
@@ -75,12 +75,12 @@ TEST(Pac, PacksBetterThanFfdOnSubsetSumInstance) {
 
   WorkingPlacement pac_wp(snap);
   (void)power_aware_consolidation(pac_wp, all_vms(snap), constraints);
-  EXPECT_DOUBLE_EQ(pac_wp.cpu_demand(0), 10.0);
+  EXPECT_DOUBLE_EQ(pac_wp.cpu_demand_ghz(0), 10.0);
 
   WorkingPlacement ffd_wp(snap);
   const std::vector<ServerId> order = servers_by_power_efficiency(snap);
   (void)first_fit_decreasing(ffd_wp, order, all_vms(snap), constraints);
-  EXPECT_LT(ffd_wp.cpu_demand(0), 10.0);  // 5 + 4 = 9
+  EXPECT_LT(ffd_wp.cpu_demand_ghz(0), 10.0);  // 5 + 4 = 9
 }
 
 TEST(Pac, ReportsUnplacedWhenCapacityExhausted) {
@@ -141,7 +141,7 @@ TEST_P(PacRandomSweep, NeverViolatesConstraintsAndPlacesAllWhenLoose) {
   const PacResult r = power_aware_consolidation(wp, all_vms(snap), constraints);
   EXPECT_TRUE(r.unplaced.empty());  // 25 GHz total capacity >> 14 max demand
   for (ServerId s = 0; s < snap.servers.size(); ++s) {
-    EXPECT_LE(wp.cpu_demand(s), snap.server(s).max_capacity_ghz + 1e-9);
+    EXPECT_LE(wp.cpu_demand_ghz(s), snap.server(s).max_capacity_ghz + 1e-9);
   }
 }
 

@@ -98,9 +98,9 @@ TEST(PsQueue, ZeroCapacityStallsUntilRestored) {
   EXPECT_NEAR(done.times[0], 4.0, 1e-9);
 }
 
-// Regression: sync() used to add elapsed time to busy_time_ BEFORE the
+// Regression: sync() used to add elapsed time to busy_time_s_ BEFORE the
 // capacity <= 0 early-return, so a starved queue (jobs resident, zero CPU)
-// read as 100% busy. Stalled intervals must accrue to stalled_time() only.
+// read as 100% busy. Stalled intervals must accrue to stalled_time_s() only.
 TEST(PsQueue, StalledIntervalIsNotBusyTime) {
   Simulation sim;
   PsQueue q(sim, 0.0, [](JobId) {});
@@ -108,8 +108,8 @@ TEST(PsQueue, StalledIntervalIsNotBusyTime) {
   sim.schedule(3.0, [&] { q.set_capacity(1.0); });
   sim.run();
   // [0, 3] stalled at zero capacity, [3, 4] actually serving.
-  EXPECT_NEAR(q.stalled_time(), 3.0, 1e-12);
-  EXPECT_NEAR(q.busy_time(), 1.0, 1e-12);
+  EXPECT_NEAR(q.stalled_time_s(), 3.0, 1e-12);
+  EXPECT_NEAR(q.busy_time_s(), 1.0, 1e-12);
 }
 
 TEST(PsQueue, StallAfterPartialServiceSplitsAccounting) {
@@ -119,9 +119,9 @@ TEST(PsQueue, StallAfterPartialServiceSplitsAccounting) {
   sim.schedule(1.0, [&] { q.set_capacity(0.0); });   // starve halfway
   sim.schedule(5.0, [&] { q.set_capacity(2.0); });   // resume, +1 s to finish
   sim.run();
-  EXPECT_NEAR(q.busy_time(), 2.0, 1e-12);
-  EXPECT_NEAR(q.stalled_time(), 4.0, 1e-12);
-  EXPECT_NEAR(q.work_done(), 4.0, 1e-12);
+  EXPECT_NEAR(q.busy_time_s(), 2.0, 1e-12);
+  EXPECT_NEAR(q.stalled_time_s(), 4.0, 1e-12);
+  EXPECT_NEAR(q.work_done_gcycles(), 4.0, 1e-12);
 }
 
 TEST(PsQueue, RemoveJobReturnsResidualWork) {
@@ -144,7 +144,7 @@ TEST(PsQueue, WorkDoneIsConserved) {
   q.add_job(0.5);
   q.add_job(0.25);
   sim.run();
-  EXPECT_NEAR(q.work_done(), 1.75, 1e-9);
+  EXPECT_NEAR(q.work_done_gcycles(), 1.75, 1e-9);
 }
 
 TEST(PsQueue, BusyTimeTracksOccupancy) {
@@ -153,7 +153,7 @@ TEST(PsQueue, BusyTimeTracksOccupancy) {
   q.add_job(1.0);  // busy [0, 1]
   sim.schedule(5.0, [&] { q.add_job(2.0); });  // busy [5, 7]
   sim.run();
-  EXPECT_NEAR(q.busy_time(), 3.0, 1e-9);
+  EXPECT_NEAR(q.busy_time_s(), 3.0, 1e-9);
 }
 
 TEST(PsQueue, RejectsInvalidArguments) {

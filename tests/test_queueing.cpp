@@ -110,7 +110,7 @@ TEST(CapacityScale, MeetsTargetAfterScaling) {
   const std::size_t clients = 40;
   const double target = 0.4;
   ASSERT_GT(exact_mva(net, clients).response_time_s, target);
-  const double scale = capacity_scale_for_response_time(net, clients, target);
+  const double scale = response_time_capacity_scale(net, clients, target);
   EXPECT_GT(scale, 1.0);
   ClosedNetwork scaled = net;
   for (double& d : scaled.service_demands_s) d /= scale;
@@ -119,18 +119,18 @@ TEST(CapacityScale, MeetsTargetAfterScaling) {
 
 TEST(CapacityScale, ReturnsOneWhenAlreadyMet) {
   const ClosedNetwork net{1.0, {0.01, 0.01}};
-  EXPECT_DOUBLE_EQ(capacity_scale_for_response_time(net, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(response_time_capacity_scale(net, 5, 1.0), 1.0);
 }
 
 TEST(CapacityScale, RejectsBadTarget) {
   const ClosedNetwork net{1.0, {0.05}};
-  EXPECT_THROW(static_cast<void>(capacity_scale_for_response_time(net, 5, 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(response_time_capacity_scale(net, 5, 0.0)), std::invalid_argument);
 }
 
 TEST(Mg1Ps, FormulaAndStability) {
-  EXPECT_NEAR(mg1_ps_response_time(5.0, 0.1), 0.1 / 0.5, 1e-12);
-  EXPECT_THROW(static_cast<void>(mg1_ps_response_time(10.0, 0.1)), std::invalid_argument);  // rho = 1
-  EXPECT_THROW(static_cast<void>(mg1_ps_response_time(-1.0, 0.1)), std::invalid_argument);
+  EXPECT_NEAR(mg1_ps_response_time_s(5.0, 0.1), 0.1 / 0.5, 1e-12);
+  EXPECT_THROW(static_cast<void>(mg1_ps_response_time_s(10.0, 0.1)), std::invalid_argument);  // rho = 1
+  EXPECT_THROW(static_cast<void>(mg1_ps_response_time_s(-1.0, 0.1)), std::invalid_argument);
 }
 
 TEST(Mg1Ps, PredictsOpenWorkloadDes) {
@@ -147,8 +147,8 @@ TEST(Mg1Ps, PredictsOpenWorkloadDes) {
   app.start();
   sim.run_until(2000.0);
   const double expected =
-      mg1_ps_response_time(25.0, config.tiers[0].mean_demand_gcycles / web_alloc) +
-      mg1_ps_response_time(25.0, config.tiers[1].mean_demand_gcycles / db_alloc);
+      mg1_ps_response_time_s(25.0, config.tiers[0].mean_demand_gcycles / web_alloc) +
+      mg1_ps_response_time_s(25.0, config.tiers[1].mean_demand_gcycles / db_alloc);
   EXPECT_NEAR(monitor.lifetime().mean, expected, 0.12 * expected);
 }
 

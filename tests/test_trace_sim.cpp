@@ -42,8 +42,8 @@ TEST(TraceSim, ProducesSaneMetrics) {
   const trace::UtilizationTrace t = small_trace();
   const TraceDrivenSimulator sim(t);
   const TraceSimResult r = sim.run(small_config(ConsolidationAlgorithm::kIpac));
-  EXPECT_GT(r.energy_wh_total, 0.0);
-  EXPECT_NEAR(r.energy_wh_per_vm * 60.0, r.energy_wh_total, 1e-6);
+  EXPECT_GT(r.total_energy_wh, 0.0);
+  EXPECT_NEAR(r.energy_wh_per_vm * 60.0, r.total_energy_wh, 1e-6);
   EXPECT_EQ(r.power_series_w.size(), t.sample_count());
   EXPECT_GT(r.optimizer_invocations, 0u);
   EXPECT_GT(r.final_active_servers, 0u);
@@ -86,7 +86,7 @@ TEST(TraceSim, SleepPowerAccountingToggle) {
   on.count_sleep_power = true;
   // Counting ACPI sleep power of the mostly-unused 100-server pool must
   // strictly increase energy.
-  EXPECT_GT(sim.run(on).energy_wh_total, sim.run(off).energy_wh_total);
+  EXPECT_GT(sim.run(on).total_energy_wh, sim.run(off).total_energy_wh);
 }
 
 TEST(TraceSim, ProbeObservesEverySample) {

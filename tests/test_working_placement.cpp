@@ -34,7 +34,7 @@ TEST(Snapshot, CapturesClusterState) {
   ASSERT_EQ(snap.servers.size(), 2u);
   ASSERT_EQ(snap.vms.size(), 4u);
   EXPECT_DOUBLE_EQ(snap.server(1).max_capacity_ghz, 12.0);
-  EXPECT_GT(snap.server(1).power_efficiency, snap.server(0).power_efficiency);
+  EXPECT_GT(snap.server(1).power_efficiency_ghz_per_w, snap.server(0).power_efficiency_ghz_per_w);
   EXPECT_EQ(snap.server(0).hosted.size(), 2u);
   EXPECT_DOUBLE_EQ(snap.vm(2).cpu_demand_ghz, 2.0);
   EXPECT_EQ(snap.host_of(0), 0u);
@@ -46,9 +46,9 @@ TEST(WorkingPlacement, InitialSumsMatchSnapshot) {
   const datacenter::Cluster c = small_cluster();
   const DataCenterSnapshot snap = snapshot_of(c);
   const WorkingPlacement wp(snap);
-  EXPECT_DOUBLE_EQ(wp.cpu_demand(0), 1.5);
-  EXPECT_DOUBLE_EQ(wp.cpu_demand(1), 2.0);
-  EXPECT_DOUBLE_EQ(wp.memory_used(0), 2048.0);
+  EXPECT_DOUBLE_EQ(wp.cpu_demand_ghz(0), 1.5);
+  EXPECT_DOUBLE_EQ(wp.cpu_demand_ghz(1), 2.0);
+  EXPECT_DOUBLE_EQ(wp.memory_used_mb(0), 2048.0);
   EXPECT_EQ(wp.host_of(3), datacenter::kNoServer);
   EXPECT_EQ(wp.occupied_server_count(), 2u);
 }
@@ -59,10 +59,10 @@ TEST(WorkingPlacement, PlaceAndRemoveMaintainInvariants) {
   WorkingPlacement wp(snap);
   wp.place(3, 1);
   EXPECT_EQ(wp.host_of(3), 1u);
-  EXPECT_DOUBLE_EQ(wp.cpu_demand(1), 2.25);
+  EXPECT_DOUBLE_EQ(wp.cpu_demand_ghz(1), 2.25);
   wp.remove(3);
   EXPECT_EQ(wp.host_of(3), datacenter::kNoServer);
-  EXPECT_DOUBLE_EQ(wp.cpu_demand(1), 2.0);
+  EXPECT_DOUBLE_EQ(wp.cpu_demand_ghz(1), 2.0);
   EXPECT_THROW(wp.remove(3), std::logic_error);
   wp.place(3, 0);
   EXPECT_THROW(wp.place(3, 1), std::logic_error);
@@ -144,7 +144,7 @@ TEST(WorkingPlacement, EvacuatingAPackedServerIsNotQuadratic) {
     server.max_capacity_ghz = 1e6;
     server.memory_mb = 1e9;
     server.max_power_w = 200.0;
-    server.power_efficiency = 1.0;
+    server.power_efficiency_ghz_per_w = 1.0;
     server.active = true;
     snap.servers.push_back(server);
   }

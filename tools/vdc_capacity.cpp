@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
                   100.0 * r.stations[i].utilization);
     }
     if (target_s > 0.0) {
-      const double scale = capacity_scale_for_response_time(network, clients, target_s);
+      const double scale = response_time_capacity_scale(network, clients, target_s);
       std::printf("to reach %.0f ms : scale every allocation by %.3f ->", target_s * 1000.0,
                   scale);
       for (const double c : allocations_ghz) std::printf(" %.3f", c * scale);

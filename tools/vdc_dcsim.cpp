@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
     const core::TraceDrivenSimulator simulator(trace);
     const core::TraceSimResult result = simulator.run(config);
 
-    std::printf("energy total        : %.1f kWh\n", result.energy_wh_total / 1000.0);
+    std::printf("energy total        : %.1f kWh\n", result.total_energy_wh / 1000.0);
     std::printf("energy per VM       : %.1f Wh\n", result.energy_wh_per_vm);
     std::printf("optimizer runs      : %zu\n", result.optimizer_invocations);
     std::printf("migrations          : %zu\n", result.migrations);

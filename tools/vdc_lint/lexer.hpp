@@ -1,0 +1,48 @@
+// Minimal C++ lexer for vdc-lint (the project's domain static analyzer).
+//
+// This is deliberately NOT a full C++ front end: the lint rules only need a
+// faithful token stream (identifiers, literals, punctuation, comments) with
+// source positions. Preprocessor directives are tokenized like ordinary code;
+// rules that care about them key off a `#` token at the start of a line.
+// String/char literal bodies are opaque single tokens (so banned identifiers
+// inside strings never fire), raw strings and digit separators are handled,
+// and multi-character operators use maximal munch so `==` can never be
+// mistaken for two assignments.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace vdc::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kComment,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string_view text;  ///< view into the source buffer passed to tokenize()
+  int line = 0;           ///< 1-based
+  int col = 0;            ///< 1-based, in bytes
+  bool at_line_start = false;  ///< first non-whitespace token on its line
+};
+
+/// Tokenizes `source` (which must outlive the returned tokens). Comments are
+/// emitted as kComment tokens — the suppression scanner consumes them; rule
+/// passes usually iterate a comment-free view (see code_tokens()).
+std::vector<Token> tokenize(std::string_view source);
+
+/// The subsequence of `tokens` without comments (rules operate on this).
+std::vector<Token> code_tokens(const std::vector<Token>& tokens);
+
+/// True for a numeric literal token that is a floating-point literal
+/// (has a fraction dot, a decimal exponent, or a hex-float exponent).
+bool is_float_literal(const Token& token);
+
+}  // namespace vdc::lint

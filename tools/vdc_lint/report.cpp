@@ -1,0 +1,75 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+namespace vdc::lint {
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+           std::tie(b.file, b.line, b.col, b.rule, b.message);
+  });
+}
+
+std::size_t unsuppressed_count(const std::vector<Finding>& findings) {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+void write_text(std::ostream& os, const std::vector<Finding>& findings,
+                std::size_t files_scanned) {
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    os << f.file << ':' << f.line << ':' << f.col << ": [" << f.rule << "] " << f.message
+       << '\n';
+  }
+  const std::size_t open = unsuppressed_count(findings);
+  os << "vdc-lint: " << open << " finding" << (open == 1 ? "" : "s") << " ("
+     << (findings.size() - open) << " suppressed) across " << files_scanned << " files\n";
+}
+
+void write_json(std::ostream& os, const std::vector<Finding>& findings,
+                std::size_t files_scanned) {
+  os << "{\n  \"files_scanned\": " << files_scanned
+     << ",\n  \"unsuppressed\": " << unsuppressed_count(findings) << ",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    os << (first ? "\n" : ",\n") << "    {\"file\": \"";
+    json_escape(os, f.file);
+    os << "\", \"line\": " << f.line << ", \"col\": " << f.col << ", \"rule\": \"";
+    json_escape(os, f.rule);
+    os << "\", \"suppressed\": " << (f.suppressed ? "true" : "false") << ", \"message\": \"";
+    json_escape(os, f.message);
+    os << "\"}";
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace vdc::lint

@@ -1,0 +1,34 @@
+// Finding collection and rendering (text and JSON) for vdc-lint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vdc::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+/// Stable report order: by file, then position, then rule.
+void sort_findings(std::vector<Finding>& findings);
+
+/// `file:line:col: [rule] message` per finding (suppressed ones are omitted),
+/// then a one-line summary.
+void write_text(std::ostream& os, const std::vector<Finding>& findings,
+                std::size_t files_scanned);
+
+/// Machine-readable report; includes suppressed findings with a flag.
+void write_json(std::ostream& os, const std::vector<Finding>& findings,
+                std::size_t files_scanned);
+
+/// Number of findings that are not suppressed.
+std::size_t unsuppressed_count(const std::vector<Finding>& findings);
+
+}  // namespace vdc::lint

@@ -1,0 +1,75 @@
+#include "source_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace vdc::lint {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses `// vdc-lint: <rule>-ok <reason>` from a comment token's text.
+/// Returns true when the comment is a suppression at all (even a malformed
+/// one — the caller records it so hygiene checks can flag it).
+bool parse_suppression(std::string_view comment, Suppression& out) {
+  if (comment.substr(0, 2) != "//") return false;
+  std::string_view body = trim(comment.substr(2));
+  constexpr std::string_view kTag = "vdc-lint:";
+  if (body.substr(0, kTag.size()) != kTag) return false;
+  body = trim(body.substr(kTag.size()));
+  const std::size_t space = body.find_first_of(" \t");
+  std::string_view head = space == std::string_view::npos ? body : body.substr(0, space);
+  constexpr std::string_view kOk = "-ok";
+  if (head.size() > kOk.size() && head.compare(head.size() - kOk.size(), kOk.size(), kOk) == 0) {
+    out.rule = std::string(head.substr(0, head.size() - kOk.size()));
+  } else {
+    out.rule = std::string(head);  // malformed; hygiene pass reports it
+  }
+  out.reason =
+      std::string(space == std::string_view::npos ? std::string_view{} : trim(body.substr(space)));
+  return true;
+}
+
+}  // namespace
+
+bool SourceFile::consume_suppression(std::string_view rule, int line) {
+  for (Suppression& s : suppressions) {
+    if (s.target_line == line && s.rule == rule) {
+      s.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool load_source_file(const std::string& path, const std::string& rel, SourceFile& out) {
+  out.path = path;
+  out.rel = rel;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out.content = buf.str();
+  out.tokens = tokenize(out.content);
+  out.code = code_tokens(out.tokens);
+
+  // A comment that is the first token on its line targets the next line;
+  // a trailing comment targets its own line.
+  for (const Token& t : out.tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    Suppression s;
+    if (!parse_suppression(t.text, s)) continue;
+    s.comment_line = t.line;
+    s.target_line = t.at_line_start ? t.line + 1 : t.line;
+    out.suppressions.push_back(s);
+  }
+  return true;
+}
+
+}  // namespace vdc::lint

@@ -1,0 +1,51 @@
+// A lexed source file plus its inline lint suppressions.
+//
+// Suppression syntax (one per comment, `//` comments only):
+//
+//   // vdc-lint: <rule>-ok <reason>
+//
+// A trailing comment suppresses findings of <rule> on its own line; a
+// comment alone on a line suppresses findings on the next line. The reason
+// is mandatory — a bare `<rule>-ok` is itself reported (rule `suppression`),
+// as is a suppression naming an unknown rule or one that matched nothing
+// (so stale annotations cannot rot in place).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace vdc::lint {
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  int comment_line = 0;  ///< line the comment sits on
+  int target_line = 0;   ///< line whose findings it suppresses
+  bool used = false;
+};
+
+struct SourceFile {
+  std::string path;  ///< as opened (absolute or cwd-relative)
+  std::string rel;   ///< repo-relative with forward slashes; rules scope on this
+  std::string content;
+  std::vector<Token> tokens;       ///< full stream, comments included
+  std::vector<Token> code;         ///< comment-free view
+  std::vector<Suppression> suppressions;
+
+  [[nodiscard]] bool is_header() const {
+    return rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+  }
+
+  /// Marks a matching suppression used and returns true if `rule` is
+  /// suppressed at `line`.
+  bool consume_suppression(std::string_view rule, int line);
+};
+
+/// Loads and lexes `path`. Returns false (and leaves `out` untouched beyond
+/// `path`/`rel`) when the file cannot be read.
+bool load_source_file(const std::string& path, const std::string& rel, SourceFile& out);
+
+}  // namespace vdc::lint
