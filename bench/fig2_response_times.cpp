@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/scenario.hpp"
+#include "telemetry_footprint.hpp"
 
 int main() {
   using namespace vdc;
@@ -31,6 +32,7 @@ int main() {
     worst_relative_error =
         std::max(worst_relative_error, std::abs(s.mean() - 1.0));
   }
+  vdc::bench::print_telemetry_footprint(run.recorder);
   std::printf("\n# paper: all 8 applications controlled to ~1000 ms\n");
   std::printf("# measured: worst |mean - setpoint| = %.0f ms (%s)\n",
               worst_relative_error * 1000.0,

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/scenario.hpp"
+#include "telemetry_footprint.hpp"
 
 int main() {
   using namespace vdc;
@@ -88,6 +89,7 @@ int main() {
   std::printf("%-26s %14.0f %12s\n", "no-control baseline, surge",
               baseline.mean() * 1000.0, "-");
 
+  vdc::bench::print_telemetry_footprint(controlled.recorder);
   const bool rt_recovers = std::abs(mid_rt.mean() - 1.0) < 0.25;
   const bool power_rises = mid_p.mean() > pre_p.mean();
   const bool baseline_violates = baseline.mean() > 1.5;

@@ -12,6 +12,7 @@
 
 #include "core/scenario.hpp"
 #include "core/sysid_experiment.hpp"
+#include "telemetry_footprint.hpp"
 
 namespace {
 
@@ -65,6 +66,7 @@ int main() {
                 tail.stddev() * 1000.0);
     worst = std::max(worst, std::abs(tail.mean() - 1.0));
   }
+  vdc::bench::print_telemetry_footprint(results.front().recorder);
   std::printf("\n# paper: desired response time achieved at every level (set point 1000 ms)\n");
   std::printf("# measured: worst |mean - setpoint| = %.0f ms -> %s\n", worst * 1000.0,
               worst < 0.15 ? "REPRODUCED" : "MISMATCH");

@@ -10,6 +10,7 @@
 
 #include "core/scenario.hpp"
 #include "core/sysid_experiment.hpp"
+#include "telemetry_footprint.hpp"
 
 int main() {
   using namespace vdc;
@@ -51,6 +52,7 @@ int main() {
                 tail.mean() * 1000.0, tail.stddev() * 1000.0, 100.0 * rel);
     worst_rel = std::max(worst_rel, std::abs(rel));
   }
+  vdc::bench::print_telemetry_footprint(results.front().recorder);
   std::printf("\n# paper: measured average tracks the set point across 600-1300 ms\n");
   std::printf("# measured: worst relative error = %.1f%% -> %s\n", 100.0 * worst_rel,
               worst_rel < 0.12 ? "REPRODUCED" : "MISMATCH");

@@ -43,8 +43,7 @@ ResponseTimeMonitor::ResponseTimeMonitor(double q, SlaMetric metric) : q_(q), me
 }
 
 void ResponseTimeMonitor::record(double response_time_s) {
-  period_stats_.add(response_time_s);
-  period_order_.insert(response_time_s);
+  period_.add(response_time_s);  // throws on NaN before any state mutates
   lifetime_samples_.push_back(response_time_s);
 }
 
@@ -53,22 +52,21 @@ std::optional<PeriodStats> ResponseTimeMonitor::harvest() {
   const bool stale = period_stale_;
   period_dropped_ = 0;
   period_stale_ = false;
-  if (period_order_.empty() && dropped == 0 && !stale) return std::nullopt;
+  if (period_.empty() && dropped == 0 && !stale) return std::nullopt;
   PeriodStats out;
-  out.count = period_stats_.count();
+  out.count = period_.count();
   if (out.count > 0) {
-    out.mean = period_stats_.mean();
-    out.min = period_stats_.min();
-    out.max = period_stats_.max();
-    out.quantile = period_order_.quantile(q_);
+    out.mean = period_.mean();
+    out.min = period_.min();
+    out.max = period_.max();
+    out.quantile = period_.quantile(q_);
     switch (metric_) {
       case SlaMetric::kQuantile: out.controlled = out.quantile; break;
       case SlaMetric::kMean: out.controlled = out.mean; break;
       case SlaMetric::kMax: out.controlled = out.max; break;
     }
   }
-  period_stats_.reset();
-  period_order_.clear();
+  period_.reset();
   out.dropped = dropped;
   out.stale = stale;
   return out;

@@ -11,7 +11,6 @@
 #include <string>
 #include <vector>
 
-#include "util/order_stats.hpp"
 #include "util/statistics.hpp"
 
 namespace vdc::app {
@@ -49,7 +48,9 @@ class ResponseTimeMonitor {
   /// `metric` selects which statistic lands in PeriodStats::controlled.
   explicit ResponseTimeMonitor(double q = 0.9, SlaMetric metric = SlaMetric::kQuantile);
 
-  /// Records one completed request's response time (seconds).
+  /// Records one completed request's response time (seconds). NaN samples
+  /// are rejected with an exception — they would corrupt the incremental
+  /// order-statistic index the percentile path is built on.
   void record(double response_time_s);
 
   /// Records that a sample existed but was lost before reaching the monitor
@@ -71,20 +72,21 @@ class ResponseTimeMonitor {
   /// Statistics over everything recorded since construction (all periods).
   [[nodiscard]] PeriodStats lifetime() const;
 
-  [[nodiscard]] std::size_t pending_samples() const noexcept { return period_order_.size(); }
+  [[nodiscard]] std::size_t pending_samples() const noexcept { return period_.count(); }
   [[nodiscard]] SlaMetric metric() const noexcept { return metric_; }
   [[nodiscard]] double quantile_level() const noexcept { return q_; }
 
  private:
   double q_;
   SlaMetric metric_;
-  // Per-period statistics are maintained incrementally: Welford moments plus
-  // an order-statistic index, so harvest() reads the period's quantile in
-  // O(log n) instead of copying and sorting every sample. The values are
-  // identical to the historical copy+sort (same Welford add order, same
-  // type-7 interpolation over the same order statistics).
-  util::RunningStats period_stats_;
-  util::OrderStatisticTree period_order_;
+  // Per-period statistics are maintained incrementally by the shared
+  // util::WindowStats accumulator (Welford moments + an order-statistic
+  // index), so harvest() reads the period's quantile in O(log n) instead of
+  // copying and sorting every sample. The values are identical to the
+  // historical copy+sort (same Welford add order, same type-7 interpolation
+  // over the same order statistics) — and bit-identical to the telemetry
+  // tsdb's tier rollups, which run the same accumulator.
+  util::WindowStats period_;
   std::vector<double> lifetime_samples_;
   std::size_t period_dropped_ = 0;
   bool period_stale_ = false;

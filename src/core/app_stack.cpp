@@ -98,7 +98,8 @@ std::optional<app::PeriodStats> AppStack::harvest_tick() {
   // numbers are old news, so the held value is what gets logged too.
   const bool fresh = stats && stats->count > 0 && !stats->stale;
   if (recorder_ != nullptr) {
-    recorder_->append(response_series_, fresh ? stats->controlled : last_measurement());
+    recorder_->append_at(response_series_, sim_.now(),
+                         fresh ? stats->controlled : last_measurement());
   }
   if (fresh) held_measurement_ = stats->controlled;
   return stats;

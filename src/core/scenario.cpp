@@ -45,6 +45,10 @@ ScenarioResult run_app_stack(const ScenarioSpec& spec) {
   AppStackConfig stack = spec.stack;
   if (spec.seed != 0) stack.app.seed = spec.seed;
 
+  telemetry::RecorderConfig recorder_config = spec.telemetry;
+  recorder_config.sample_period_s = stack.mpc.period_s;
+  result.recorder = telemetry::Recorder(recorder_config);
+
   sim::Simulation sim;
   std::unique_ptr<AppStack> app_stack;
   if (spec.policy) {
@@ -95,6 +99,7 @@ ScenarioResult run_testbed(const ScenarioSpec& spec) {
   if (spec.seed != 0) config.seed = spec.seed;
   if (spec.model) config.model = spec.model;
   if (spec.faults.enabled()) config.faults = spec.faults;
+  config.telemetry = spec.telemetry;  // Testbed pins sample_period_s itself
   result.control_period_s = config.control_period_s;
   result.app_count = config.num_apps;
 

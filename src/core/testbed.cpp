@@ -23,6 +23,12 @@ Testbed::Testbed(TestbedConfig config)
     throw std::invalid_argument("Testbed: need at least one app and one server");
   }
 
+  // Telemetry sink: every series below lands in this recorder. The sample
+  // period follows the control period (every series here records once per
+  // control tick).
+  config_.telemetry.sample_period_s = config_.control_period_s;
+  recorder_ = telemetry::Recorder(config_.telemetry);
+
   if (config_.model) {
     model_ = *config_.model;
     model_r2_ = 1.0;  // externally identified; fit quality unknown here
@@ -386,7 +392,7 @@ void Testbed::record_power(double now) {
       if (lit) total_power += topo.pod_shared_power_w(p);
     }
   }
-  if (interval > 0.0) recorder_.append(kPowerSeries, total_power);
+  if (interval > 0.0) recorder_.append_at(kPowerSeries, now, total_power);
   last_power_time_s_ = now;
 }
 
@@ -455,7 +461,7 @@ void Testbed::control_tick() {
     }
   }
 
-  probes_.sample(recorder_);
+  probes_.sample(recorder_, now);
   sim_.schedule(now + config_.control_period_s, [this] { control_tick(); });
 }
 

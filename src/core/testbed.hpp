@@ -89,6 +89,18 @@ struct TestbedConfig {
   /// cost. Set to 0 to force the parallel path, SIZE_MAX to disable it.
   std::size_t parallel_control_min_apps = 16;
 
+  // ---- telemetry storage --------------------------------------------------
+  /// Recorder backend. Defaults to the tiered tsdb store so every figure
+  /// bench and golden test exercises the streaming path; with the default
+  /// retention covering a full testbed run its exports are byte-identical
+  /// to the raw-vector oracle (Backend::kRawVectors, the historical
+  /// behavior). `sample_period_s` is overwritten with `control_period_s`.
+  telemetry::RecorderConfig telemetry{
+      .backend = telemetry::RecorderConfig::Backend::kTsdb,
+      .sample_period_s = 4.0,
+      .tsdb = {},
+  };
+
   // ---- chaos (fault injection) -------------------------------------------
   /// Deterministic fault schedule threaded through the co-simulation:
   /// migration aborts/slowdowns, wake failures, server crashes, sensor

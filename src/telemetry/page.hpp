@@ -1,0 +1,37 @@
+// Tier-0 storage unit of the streaming telemetry engine: a fixed-capacity
+// page of timestamped raw samples. Pages are appended in O(1), chained into
+// a per-metric ring (oldest page evicted whole when the page budget is
+// exceeded), and their sample vectors are recycled through a free list so a
+// steady-state stream allocates nothing.
+//
+// Timestamps within a metric are non-decreasing (the engine rejects
+// out-of-order appends), so each page carries a contiguous time span and
+// range queries can binary-search the page chain before touching samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vdc::telemetry::tsdb {
+
+/// One raw observation: when it happened and what was measured.
+struct RawSample {
+  double time_s = 0.0;
+  double value = 0.0;
+
+  friend bool operator==(const RawSample&, const RawSample&) = default;
+};
+
+/// A bounded run of consecutive raw samples. `samples` is reserved to the
+/// page capacity on first use and never reallocates afterwards.
+struct Page {
+  std::vector<RawSample> samples;
+
+  [[nodiscard]] bool empty() const noexcept { return samples.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples.size(); }
+  /// Timestamp of the first/last sample; callers check empty() first.
+  [[nodiscard]] double first_time_s() const noexcept { return samples.front().time_s; }
+  [[nodiscard]] double last_time_s() const noexcept { return samples.back().time_s; }
+};
+
+}  // namespace vdc::telemetry::tsdb

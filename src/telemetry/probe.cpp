@@ -15,6 +15,10 @@ void ProbeSet::sample(Recorder& recorder) const {
   for (const Probe& probe : probes_) recorder.append(probe.series, probe.read());
 }
 
+void ProbeSet::sample(Recorder& recorder, double time_s) const {
+  for (const Probe& probe : probes_) recorder.append_at(probe.series, time_s, probe.read());
+}
+
 PeriodicSampler::PeriodicSampler(sim::Simulation& sim, ProbeSet probes, Recorder& recorder,
                                  double period_s)
     : sim_(sim), probes_(std::move(probes)), recorder_(recorder), period_s_(period_s) {
@@ -28,7 +32,7 @@ void PeriodicSampler::start() {
 }
 
 void PeriodicSampler::tick() {
-  probes_.sample(recorder_);
+  probes_.sample(recorder_, sim_.now());
   ++samples_;
   sim_.schedule_after(period_s_, [this] { tick(); });
 }

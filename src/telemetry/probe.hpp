@@ -29,6 +29,9 @@ class ProbeSet {
 
   /// Reads every probe once, appending into its series of `recorder`.
   void sample(Recorder& recorder) const;
+  /// Same, stamping each sample with an explicit time (simulation now()) —
+  /// the tsdb backend files it under real time instead of a sample index.
+  void sample(Recorder& recorder, double time_s) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return probes_.size(); }
   [[nodiscard]] bool empty() const noexcept { return probes_.empty(); }

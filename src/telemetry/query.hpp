@@ -1,0 +1,59 @@
+// Query-side types of the streaming telemetry engine: tier selectors,
+// rollup points, and the result of a range query.
+//
+// Semantics (shared by the engine and its differential test oracles):
+//   * Ranges are half-open [t0, t1) over sample timestamps.
+//   * A rollup query returns every rollup point whose aligned window
+//     [start_s, start_s + period) intersects the range — including the
+//     still-open window, computed on the fly from the live accumulator so
+//     readers never wait for a window to close.
+//   * Tier::kAuto serves the finest tier whose *retained* data still covers
+//     t0: raw while tier 0 has not evicted past it, then per-period
+//     rollups, then hourly. The selected tier is reported back in
+//     QueryResult::tier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/page.hpp"
+
+namespace vdc::telemetry::tsdb {
+
+/// Storage tiers, finest to coarsest. kAuto is a query-time selector only.
+enum class Tier {
+  kRaw = 0,     ///< tier 0: raw timestamped samples in ring pages
+  kPeriod = 1,  ///< tier 1: per-period count/min/avg/max/p90 rollups
+  kHourly = 2,  ///< tier 2: hourly count/min/avg/max/p90 rollups
+  kAuto,        ///< query-time: finest tier still covering the range start
+};
+
+/// One downsampled window. The statistics are exactly those of the raw
+/// samples that fell in [start_s, start_s + period): Welford mean in append
+/// order and type-7 p90 over the order statistics, bit-identical to a
+/// brute-force recompute with util::RunningStats + util::quantile.
+struct RollupPoint {
+  double start_s = 0.0;  ///< aligned window start (floor(t / period) * period)
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p90 = 0.0;  ///< the configured quantile (default the paper's 90th)
+
+  friend bool operator==(const RollupPoint&, const RollupPoint&) = default;
+};
+
+/// A range query's answer: exactly one of `raw` / `rollups` is populated,
+/// according to the tier that served it.
+struct QueryResult {
+  Tier tier = Tier::kRaw;              ///< tier that actually served the query
+  std::vector<RawSample> raw;          ///< tier == kRaw
+  std::vector<RollupPoint> rollups;    ///< tier == kPeriod or kHourly
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tier == Tier::kRaw ? raw.size() : rollups.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+};
+
+}  // namespace vdc::telemetry::tsdb

@@ -1,13 +1,20 @@
 #include "telemetry/recorder.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace vdc::telemetry {
+
+Recorder::Recorder(RecorderConfig config) : config_(config), tsdb_(config.tsdb) {}
 
 Recorder::Series& Recorder::open(const std::string& series, bool vector) {
   auto it = series_.find(series);
   if (it == series_.end()) {
-    it = series_.emplace(series, Series{.vector = vector, .scalars = {}, .rows = {}}).first;
+    Series s;
+    s.vector = vector;
+    if (use_tsdb() && !vector) s.metric = tsdb_.declare(series);
+    it = series_.emplace(series, std::move(s)).first;
     names_.push_back(series);
   } else if (it->second.vector != vector) {
     throw std::invalid_argument("Recorder: series '" + series +
@@ -26,7 +33,28 @@ void Recorder::declare_scalar(const std::string& series) { open(series, /*vector
 void Recorder::declare_vector(const std::string& series) { open(series, /*vector=*/true); }
 
 void Recorder::append(const std::string& series, double value) {
-  open(series, /*vector=*/false).scalars.push_back(value);
+  Series& s = open(series, /*vector=*/false);
+  if (use_tsdb()) {
+    const double time_s =
+        static_cast<double>(tsdb_.samples_appended(s.metric)) * config_.sample_period_s;
+    tsdb_.append(s.metric, time_s, value);
+    s.cache_dirty = true;
+    return;
+  }
+  s.scalars.push_back(value);
+}
+
+void Recorder::append_at(const std::string& series, double time_s, double value) {
+  Series& s = open(series, /*vector=*/false);
+  if (use_tsdb()) {
+    tsdb_.append(s.metric, time_s, value);
+    s.cache_dirty = true;
+    return;
+  }
+  // The raw backend is ordinal: sample order is the contract, timestamps
+  // are implicit — which is exactly what keeps it byte-identical to the
+  // tsdb path while nothing has been evicted.
+  s.scalars.push_back(value);
 }
 
 void Recorder::append(const std::string& series, std::vector<double> row) {
@@ -41,12 +69,25 @@ bool Recorder::is_vector(std::string_view series) const {
   return s->vector;
 }
 
+const std::vector<double>& Recorder::scalar_samples(const Series& s) const {
+  if (!use_tsdb()) return s.scalars;
+  if (s.cache_dirty) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const std::vector<tsdb::RawSample> raw = tsdb_.raw(s.metric, -kInf, kInf);
+    s.cache.clear();
+    s.cache.reserve(raw.size());
+    for (const tsdb::RawSample& sample : raw) s.cache.push_back(sample.value);
+    s.cache_dirty = false;
+  }
+  return s.cache;
+}
+
 const std::vector<double>& Recorder::values(std::string_view series) const {
   const Series* s = find(series);
   if (s == nullptr || s->vector) {
     throw std::out_of_range("Recorder: no scalar series named '" + std::string(series) + "'");
   }
-  return s->scalars;
+  return scalar_samples(*s);
 }
 
 const std::vector<std::vector<double>>& Recorder::rows(std::string_view series) const {
@@ -60,7 +101,11 @@ const std::vector<std::vector<double>>& Recorder::rows(std::string_view series) 
 std::size_t Recorder::size(std::string_view series) const noexcept {
   const Series* s = find(series);
   if (s == nullptr) return 0;
-  return s->vector ? s->rows.size() : s->scalars.size();
+  if (s->vector) return s->rows.size();
+  if (use_tsdb()) {
+    return tsdb_.samples_appended(s->metric) - tsdb_.samples_evicted(s->metric);
+  }
+  return s->scalars.size();
 }
 
 void Recorder::annotate(double time_s, std::string label) {
@@ -71,6 +116,7 @@ void Recorder::clear() {
   series_.clear();
   names_.clear();
   annotations_.clear();
+  tsdb_ = tsdb::Tsdb(config_.tsdb);
 }
 
 bool operator==(const Recorder& a, const Recorder& b) {
@@ -79,7 +125,11 @@ bool operator==(const Recorder& a, const Recorder& b) {
     const Recorder::Series* sa = a.find(name);
     const Recorder::Series* sb = b.find(name);
     if (sb == nullptr || sa->vector != sb->vector) return false;
-    if (sa->scalars != sb->scalars || sa->rows != sb->rows) return false;
+    if (sa->vector) {
+      if (sa->rows != sb->rows) return false;
+    } else if (a.scalar_samples(*sa) != b.scalar_samples(*sb)) {
+      return false;
+    }
   }
   return true;
 }

@@ -135,6 +135,12 @@ double P2Quantile::value() const noexcept {
   return heights_[2];
 }
 
+void WindowStats::add(double x) {
+  if (std::isnan(x)) throw std::invalid_argument("WindowStats: NaN sample");
+  moments_.add(x);
+  order_.insert(x);
+}
+
 SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument("SlidingWindow: capacity must be positive");
 }

@@ -67,6 +67,42 @@ class P2Quantile {
   std::array<double, 5> increments_{};
 };
 
+/// Streaming accumulator for one bounded window of samples: Welford moments
+/// plus an incremental order-statistic index, so count/min/mean/max and any
+/// exact type-7 quantile are available at every point of the stream without
+/// a copy+sort. This is the hoisted "order-statistic glue" shared by the
+/// response-time monitor's per-control-period statistics and the telemetry
+/// tsdb's tier rollup accumulators — both must produce bit-identical values
+/// for the same sample order, which sharing one implementation guarantees.
+///
+/// NaN samples are rejected with an exception (they would silently corrupt
+/// the ordered index); ±infinity is accepted. `reset()` recycles the
+/// accumulator for the next window without releasing the tree's node pool.
+class WindowStats {
+ public:
+  /// Appends one sample; throws std::invalid_argument on NaN.
+  void add(double x);
+  /// Clears for the next window (the order index keeps its node pool).
+  void reset() noexcept {
+    moments_.reset();
+    order_.clear();
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return moments_.count(); }
+  [[nodiscard]] bool empty() const noexcept { return moments_.empty(); }
+  [[nodiscard]] double mean() const noexcept { return moments_.mean(); }
+  [[nodiscard]] double min() const noexcept { return moments_.min(); }
+  [[nodiscard]] double max() const noexcept { return moments_.max(); }
+  [[nodiscard]] const RunningStats& moments() const noexcept { return moments_; }
+  /// Exact quantile (type-7 interpolation, identical to util::quantile on
+  /// the same samples), O(log n). Throws on empty or q outside [0,1].
+  [[nodiscard]] double quantile(double q) const { return order_.quantile(q); }
+
+ private:
+  RunningStats moments_;
+  OrderStatisticTree order_;
+};
+
 /// Keeps the most recent `capacity` samples; answers mean and quantiles over
 /// the window. Used by the response-time monitor.
 ///

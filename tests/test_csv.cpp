@@ -4,6 +4,9 @@
 
 #include <sstream>
 
+#include "telemetry/export.hpp"
+#include "telemetry/recorder.hpp"
+
 namespace vdc::util {
 namespace {
 
@@ -81,6 +84,27 @@ TEST(CsvRoundTrip, WriteThenParse) {
 
 TEST(ReadCsvFile, MissingFileThrows) {
   EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST(TelemetryCsv, TsdbBackedRecorderRoundTripsThroughParser) {
+  // The tiered recorder's export must be bytes this parser round-trips —
+  // and identical to what the raw-vector oracle backend emits for the same
+  // appends (ragged series lengths and vector columns included).
+  telemetry::RecorderConfig config;
+  config.backend = telemetry::RecorderConfig::Backend::kTsdb;
+  telemetry::Recorder tiered(config);
+  telemetry::Recorder raw;
+  for (telemetry::Recorder* rec : {&tiered, &raw}) {
+    rec->append("p90", 1.0 / 3.0);
+    rec->append("p90", 0.125);
+    rec->append("alloc", std::vector<double>{0.3, 0.7});
+    rec->append("power", 123.456789);
+  }
+  const std::string csv = telemetry::to_csv(tiered);
+  EXPECT_EQ(csv, telemetry::to_csv(raw));
+  const telemetry::Recorder back = telemetry::from_csv(csv);
+  EXPECT_TRUE(back == tiered);
+  EXPECT_TRUE(back == raw);
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 #include "core/scenario.hpp"
 #include "core/sysid_experiment.hpp"
 #include "core/trace_sim.hpp"
+#include "telemetry/export.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -228,6 +229,33 @@ TEST(FlatGolden, TestbedSeriesAreByteIdentical) {
   csv << "migrations,," << run.completed_migrations << '\n';
   csv << "optimizer_invocations,," << run.optimizer_invocations << '\n';
   check_golden("testbed.csv", csv.str());
+}
+
+// ---- telemetry backend byte-identity ----------------------------------------
+
+TEST(FlatGolden, TelemetryBackendsExportIdenticalCsv) {
+  // The same fig2-style testbed run under both recorder backends. While
+  // tier-0 retention covers the run (the default by a wide margin), the
+  // tiered store must hand every exporter the exact bytes the historical
+  // raw vectors would have — cmp-equal CSV, pinned by a committed golden.
+  core::ScenarioSpec spec;
+  spec.name = "telemetry-golden";
+  spec.engine = core::ScenarioSpec::Engine::kTestbed;
+  spec.testbed.num_apps = 2;
+  spec.testbed.num_servers = 2;
+  spec.model = shared_model();
+  spec.seed = 11;
+  spec.duration_s = 200.0;
+
+  spec.telemetry.backend = telemetry::RecorderConfig::Backend::kTsdb;
+  const core::ScenarioResult tiered = core::ScenarioRunner().run(spec);
+  spec.telemetry.backend = telemetry::RecorderConfig::Backend::kRawVectors;
+  const core::ScenarioResult raw = core::ScenarioRunner().run(spec);
+
+  const std::string tiered_csv = telemetry::to_csv(tiered.recorder);
+  EXPECT_EQ(tiered_csv, telemetry::to_csv(raw.recorder));
+  EXPECT_TRUE(tiered.recorder == raw.recorder);
+  check_golden("telemetry_testbed.csv", tiered_csv);
 }
 
 // ---- trace-driven simulation (the engine behind fig6) -----------------------

@@ -1,0 +1,210 @@
+// Fuzz test: interleaved append/query/evict traffic against a naive
+// vector-backed model of the tiered store. The model keeps every accepted
+// sample and recomputes retention, rollups, and tier selection from first
+// principles on each query; the engine must match it exactly — raw samples
+// byte-for-byte, rollup statistics bit-for-bit (same Welford order, same
+// type-7 quantile), including queries that straddle page and tier-window
+// boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace vdc::telemetry::tsdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Everything the naive model needs to predict the engine's behavior.
+struct NaiveModel {
+  TsdbConfig config;
+  std::vector<RawSample> accepted;  // every accepted sample, in order
+
+  /// Raw samples the engine still retains: page arithmetic from the front.
+  [[nodiscard]] std::vector<RawSample> retained_raw() const {
+    if (config.tier0_max_pages == 0) return accepted;
+    const std::size_t total_pages =
+        (accepted.size() + config.page_samples - 1) / config.page_samples;
+    const std::size_t live_pages = std::min(config.tier0_max_pages, total_pages);
+    const std::size_t first = (total_pages - live_pages) * config.page_samples;
+    return {accepted.begin() + static_cast<std::ptrdiff_t>(first), accepted.end()};
+  }
+
+  [[nodiscard]] std::vector<RawSample> raw(double t0, double t1) const {
+    std::vector<RawSample> out;
+    for (const RawSample& s : retained_raw()) {
+      if (s.time_s >= t0 && s.time_s < t1) out.push_back(s);
+    }
+    return out;
+  }
+
+  /// All windows of a tier in time order, the last being still open.
+  [[nodiscard]] std::vector<RollupPoint> all_windows(Tier tier) const {
+    const double period =
+        tier == Tier::kPeriod ? config.tier1_period_s : config.tier2_period_s;
+    std::map<std::int64_t, std::vector<double>> groups;
+    for (const RawSample& s : accepted) {
+      groups[static_cast<std::int64_t>(std::floor(s.time_s / period))].push_back(s.value);
+    }
+    std::vector<RollupPoint> out;
+    for (const auto& [w, values] : groups) {
+      util::RunningStats rs;
+      for (double v : values) rs.add(v);
+      RollupPoint p;
+      p.start_s = static_cast<double>(w) * period;
+      p.count = rs.count();
+      p.min = rs.min();
+      p.max = rs.max();
+      p.mean = rs.mean();
+      p.p90 = util::quantile(values, config.quantile);
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Windows the engine still retains: the open (last) window plus the
+  /// last `retention` finalized ones.
+  [[nodiscard]] std::vector<RollupPoint> retained_windows(Tier tier) const {
+    std::vector<RollupPoint> all = all_windows(tier);
+    if (all.empty()) return all;
+    const std::size_t retention = tier == Tier::kPeriod ? config.tier1_retention_points
+                                                        : config.tier2_retention_points;
+    const std::size_t finalized = all.size() - 1;
+    if (retention == 0 || finalized <= retention) return all;
+    return {all.begin() + static_cast<std::ptrdiff_t>(finalized - retention), all.end()};
+  }
+
+  [[nodiscard]] std::vector<RollupPoint> rollups(Tier tier, double t0, double t1) const {
+    const double period =
+        tier == Tier::kPeriod ? config.tier1_period_s : config.tier2_period_s;
+    std::vector<RollupPoint> out;
+    for (const RollupPoint& p : retained_windows(tier)) {
+      if (p.start_s < t1 && p.start_s + period > t0) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// kAuto's tier choice: finest tier whose retained data covers t0.
+  [[nodiscard]] Tier auto_tier(double t0) const {
+    const std::vector<RawSample> raw_kept = retained_raw();
+    if (raw_kept.size() == accepted.size()) return Tier::kRaw;
+    if (!raw_kept.empty() && raw_kept.front().time_s <= t0) return Tier::kRaw;
+    for (const Tier tier : {Tier::kPeriod, Tier::kHourly}) {
+      const std::vector<RollupPoint> all = all_windows(tier);
+      const std::vector<RollupPoint> kept = retained_windows(tier);
+      if (kept.size() == all.size()) return tier;
+      if (!kept.empty() && kept.front().start_s <= t0) return tier;
+    }
+    return Tier::kHourly;
+  }
+};
+
+void expect_same_points(const std::vector<RollupPoint>& got,
+                        const std::vector<RollupPoint>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].start_s, want[i].start_s) << "point " << i;
+    EXPECT_EQ(got[i].count, want[i].count) << "point " << i;
+    EXPECT_EQ(got[i].min, want[i].min) << "point " << i;
+    EXPECT_EQ(got[i].max, want[i].max) << "point " << i;
+    EXPECT_EQ(got[i].mean, want[i].mean) << "point " << i;
+    EXPECT_EQ(got[i].p90, want[i].p90) << "point " << i;
+  }
+}
+
+class TsdbFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsdbFuzz, MatchesNaiveVectorModel) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+
+  // Tiny tiers so eviction and window turnover happen constantly.
+  TsdbConfig config;
+  config.page_samples = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  config.tier0_max_pages = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  config.tier1_period_s = rng.uniform(1.0, 3.0);
+  config.tier1_retention_points = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  config.tier2_period_s = config.tier1_period_s * 4.0;
+  config.tier2_retention_points = static_cast<std::size_t>(rng.uniform_int(0, 3));
+
+  Tsdb db(config);
+  const MetricId id = db.declare("fuzz");
+  NaiveModel model{config, {}};
+
+  double t = 0.0;
+  std::size_t expected_ooo = 0;
+  std::size_t expected_nan = 0;
+  for (int op = 0; op < 600; ++op) {
+    const std::int64_t kind = rng.uniform_int(0, 9);
+    if (kind < 6) {  // append (occasionally out of order or NaN)
+      double sample_t = t + rng.uniform(0.0, 1.5);
+      if (rng.bernoulli(0.08)) sample_t = t - rng.uniform(0.1, 2.0);
+      // Out-of-order is relative to the last *accepted* sample; before the
+      // first acceptance any timestamp is in order.
+      const bool ok =
+          model.accepted.empty() || sample_t >= model.accepted.back().time_s;
+      double value = rng.uniform(-5.0, 5.0);
+      if (rng.bernoulli(0.05)) {
+        value = std::numeric_limits<double>::quiet_NaN();
+        ++expected_nan;
+        EXPECT_FALSE(db.append(id, sample_t, value));
+        continue;
+      }
+      EXPECT_EQ(db.append(id, sample_t, value), ok);
+      if (ok) {
+        t = sample_t;
+        model.accepted.push_back(RawSample{sample_t, value});
+      } else {
+        ++expected_ooo;
+      }
+    } else if (kind < 8) {  // raw range query (boundary-straddling ranges)
+      const double t0 = rng.bernoulli(0.2) ? -kInf : rng.uniform(-1.0, t + 2.0);
+      const double t1 = rng.bernoulli(0.2) ? kInf : t0 + rng.uniform(0.0, t + 2.0);
+      EXPECT_EQ(db.raw(id, t0, t1), model.raw(t0, t1));
+    } else if (kind == 8) {  // rollup query on a random tier
+      const Tier tier = rng.bernoulli(0.5) ? Tier::kPeriod : Tier::kHourly;
+      // Bias ranges toward tier-window boundaries to straddle them.
+      const double period =
+          tier == Tier::kPeriod ? config.tier1_period_s : config.tier2_period_s;
+      const double edge =
+          std::floor(rng.uniform(0.0, t + period) / period) * period;
+      const double t0 = edge + rng.uniform(-0.5, 0.5) * period;
+      const double t1 = t0 + rng.uniform(0.0, 3.0) * period;
+      expect_same_points(db.rollups(id, tier, t0, t1), model.rollups(tier, t0, t1));
+    } else {  // kAuto query: tier choice + payload must both match
+      const double t0 = rng.uniform(-1.0, t + 1.0);
+      const QueryResult got = db.query(id, t0, kInf);
+      const Tier want_tier = model.auto_tier(t0);
+      EXPECT_EQ(got.tier, want_tier);
+      if (want_tier == Tier::kRaw) {
+        EXPECT_EQ(got.raw, model.raw(t0, kInf));
+      } else {
+        expect_same_points(got.rollups, model.rollups(want_tier, t0, kInf));
+      }
+    }
+  }
+
+  EXPECT_EQ(db.samples_appended(id), model.accepted.size());
+  EXPECT_EQ(db.rejected_out_of_order(id), expected_ooo);
+  EXPECT_EQ(db.rejected_nan(id), expected_nan);
+  // Final full sweep over every access path.
+  EXPECT_EQ(db.raw(id, -kInf, kInf), model.raw(-kInf, kInf));
+  for (const Tier tier : {Tier::kPeriod, Tier::kHourly}) {
+    expect_same_points(db.rollups(id, tier, -kInf, kInf), model.rollups(tier, -kInf, kInf));
+  }
+  if (config.tier0_max_pages > 0) {
+    EXPECT_LE(db.pages_live(id), config.tier0_max_pages);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsdbFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace vdc::telemetry::tsdb

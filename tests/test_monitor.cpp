@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "telemetry/tsdb.hpp"
+#include "util/rng.hpp"
+
 namespace vdc::app {
 namespace {
 
@@ -160,6 +168,55 @@ TEST(Monitor, StaleWithNoSamplesStillYieldsAPeriod) {
   ASSERT_TRUE(stats.has_value());
   EXPECT_TRUE(stats->stale);
   EXPECT_EQ(stats->count, 0u);
+}
+
+TEST(Monitor, RejectsNaNSamples) {
+  ResponseTimeMonitor m;
+  m.record(1.0);
+  EXPECT_THROW(m.record(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_EQ(m.pending_samples(), 1u);  // rejected sample left no trace
+}
+
+TEST(Monitor, PercentilePathBitIdenticalToTsdbRollups) {
+  // The monitor's per-period percentile and the telemetry store's tier-1
+  // rollups run the same util::WindowStats accumulator — the regression
+  // this test pins is that both report EXACTLY the same doubles for the
+  // same samples, so dashboards reading rollups agree with the controller's
+  // feedback to the last bit.
+  ResponseTimeMonitor m(0.9);
+  telemetry::tsdb::TsdbConfig config;
+  config.tier1_period_s = 4.0;
+  telemetry::tsdb::Tsdb db(config);
+  const telemetry::tsdb::MetricId id = db.declare("rt");
+
+  util::Rng rng(99);
+  double t = 0.1;
+  std::vector<app::PeriodStats> harvested;
+  for (int period = 0; period < 50; ++period) {
+    const std::int64_t n = rng.uniform_int(1, 40);
+    for (std::int64_t k = 0; k < n; ++k) {
+      const double rt = rng.uniform(0.01, 2.5);
+      m.record(rt);
+      ASSERT_TRUE(db.append(id, t, rt));
+      t += 4.0 / static_cast<double>(n + 1);
+    }
+    const auto stats = m.harvest();
+    ASSERT_TRUE(stats.has_value());
+    harvested.push_back(*stats);
+    t = std::ceil(t / 4.0) * 4.0 + 0.1;  // next control period
+  }
+
+  const std::vector<telemetry::tsdb::RollupPoint> rollups = db.rollups(
+      id, telemetry::tsdb::Tier::kPeriod, -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity());
+  ASSERT_EQ(rollups.size(), harvested.size());
+  for (std::size_t k = 0; k < rollups.size(); ++k) {
+    EXPECT_EQ(rollups[k].count, harvested[k].count) << "period " << k;
+    EXPECT_EQ(rollups[k].p90, harvested[k].quantile) << "period " << k;
+    EXPECT_EQ(rollups[k].mean, harvested[k].mean) << "period " << k;
+    EXPECT_EQ(rollups[k].min, harvested[k].min) << "period " << k;
+    EXPECT_EQ(rollups[k].max, harvested[k].max) << "period " << k;
+  }
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <random>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace vdc::util {
 namespace {
 
@@ -247,6 +249,48 @@ TEST(P2Quantile, SingleSampleIsExact) {
   P2Quantile p2(0.9);
   p2.add(2.25);
   EXPECT_DOUBLE_EQ(p2.value(), 2.25);
+}
+
+TEST(WindowStats, MatchesRunningStatsAndExactQuantileBitForBit) {
+  // WindowStats is the shared order-statistic glue behind both the
+  // monitor's percentile path and the tsdb's tier rollups; its outputs
+  // must be the exact doubles of the brute-force recompute.
+  WindowStats w;
+  RunningStats rs;
+  std::vector<double> samples;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    w.add(x);
+    rs.add(x);
+    samples.push_back(x);
+    EXPECT_EQ(w.mean(), rs.mean());
+    EXPECT_EQ(w.min(), rs.min());
+    EXPECT_EQ(w.max(), rs.max());
+  }
+  EXPECT_EQ(w.count(), 500u);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(w.quantile(q), quantile(samples, q));
+  }
+}
+
+TEST(WindowStats, RejectsNaNWithoutMutating) {
+  WindowStats w;
+  w.add(1.0);
+  EXPECT_THROW(w.add(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_EQ(w.mean(), 1.0);
+}
+
+TEST(WindowStats, ResetEmptiesTheWindow) {
+  WindowStats w;
+  w.add(2.0);
+  w.add(4.0);
+  w.reset();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.count(), 0u);
+  w.add(7.0);
+  EXPECT_EQ(w.quantile(0.9), 7.0);
 }
 
 }  // namespace

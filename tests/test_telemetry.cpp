@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -92,6 +93,140 @@ TEST(Recorder, ClearRemovesEverything) {
   rec.clear();
   EXPECT_TRUE(rec.empty());
   EXPECT_FALSE(rec.has("p90"));
+}
+
+// ---- tsdb backend -----------------------------------------------------------
+
+RecorderConfig tsdb_config() {
+  RecorderConfig config;
+  config.backend = RecorderConfig::Backend::kTsdb;
+  return config;
+}
+
+TEST(RecorderTsdb, ValuesIdenticalToRawBackend) {
+  Recorder raw;
+  Recorder tiered(tsdb_config());
+  for (int i = 0; i < 300; ++i) {
+    const double v = 1.0 / (1.0 + static_cast<double>(i));  // awkward decimals
+    raw.append("p90", v);
+    tiered.append("p90", v);
+  }
+  EXPECT_EQ(tiered.values("p90"), raw.values("p90"));
+  EXPECT_EQ(tiered.size("p90"), raw.size("p90"));
+  EXPECT_TRUE(tiered == raw);  // equality is backend-agnostic
+  EXPECT_TRUE(raw == tiered);
+}
+
+TEST(RecorderTsdb, AppendAtTimestampsLandInTheStore) {
+  Recorder rec(tsdb_config());
+  rec.append_at("p90", 4.0, 1.0);
+  rec.append_at("p90", 8.0, 2.0);
+  EXPECT_EQ(rec.values("p90"), (std::vector<double>{1.0, 2.0}));
+  const auto id = rec.tsdb().find("p90");
+  ASSERT_TRUE(id.has_value());
+  const std::vector<tsdb::RawSample> samples =
+      rec.tsdb().raw(*id, 0.0, std::numeric_limits<double>::infinity());
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].time_s, 4.0);
+  EXPECT_EQ(samples[1].time_s, 8.0);
+  // Raw backend ignores the timestamp entirely — same visible samples.
+  Recorder raw;
+  raw.append_at("p90", 4.0, 1.0);
+  raw.append_at("p90", 8.0, 2.0);
+  EXPECT_TRUE(raw == rec);
+}
+
+TEST(RecorderTsdb, VectorSeriesStayRawRows) {
+  Recorder rec(tsdb_config());
+  rec.append("alloc", std::vector<double>{0.3, 0.4});
+  rec.append("alloc", std::vector<double>{0.5, 0.6});
+  EXPECT_TRUE(rec.is_vector("alloc"));
+  ASSERT_EQ(rec.rows("alloc").size(), 2u);
+  EXPECT_FALSE(rec.tsdb().find("alloc").has_value());
+}
+
+TEST(RecorderTsdb, ReferencesStayValidAndRefreshInPlace) {
+  Recorder rec(tsdb_config());
+  rec.append("first", 1.0);
+  const std::vector<double>& first = rec.values("first");
+  for (int i = 0; i < 64; ++i) rec.append("series" + std::to_string(i), double(i));
+  EXPECT_EQ(first, (std::vector<double>{1.0}));
+  rec.append("first", 2.0);
+  // The next values() call refreshes the materialization in place: the old
+  // reference still points at the (same) cache vector.
+  static_cast<void>(rec.values("first"));
+  EXPECT_EQ(first, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RecorderTsdb, NaNSamplesAreRejectedNotStored) {
+  Recorder rec(tsdb_config());
+  rec.append("p90", 1.0);
+  rec.append("p90", std::numeric_limits<double>::quiet_NaN());
+  rec.append("p90", 2.0);
+  EXPECT_EQ(rec.values("p90"), (std::vector<double>{1.0, 2.0}));
+  const auto id = rec.tsdb().find("p90");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(rec.tsdb().rejected_nan(*id), 1u);
+}
+
+TEST(RecorderTsdb, ClearResetsTheStore) {
+  Recorder rec(tsdb_config());
+  rec.append("p90", 1.0);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_FALSE(rec.has("p90"));
+  EXPECT_EQ(rec.tsdb().metric_count(), 0u);
+  rec.append("p90", 3.0);  // usable again after the reset
+  EXPECT_EQ(rec.values("p90"), (std::vector<double>{3.0}));
+}
+
+TEST(RecorderTsdb, EvictionShrinksVisibleValues) {
+  RecorderConfig config = tsdb_config();
+  config.tsdb.page_samples = 4;
+  config.tsdb.tier0_max_pages = 2;
+  Recorder rec(config);
+  for (int i = 0; i < 12; ++i) rec.append("p90", static_cast<double>(i));
+  // Oldest page dropped: the visible window is the retained tail.
+  EXPECT_EQ(rec.size("p90"), 8u);
+  EXPECT_EQ(rec.values("p90").front(), 4.0);
+  // The rollups still cover the whole stream.
+  const auto id = rec.tsdb().find("p90");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(rec.tsdb()
+                .rollups(*id, tsdb::Tier::kPeriod,
+                         -std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::infinity())
+                .front()
+                .count,
+            4u);  // window [0,4) at 1 s synthesized spacing, period 4 s
+}
+
+TEST(RecorderTsdb, PeriodicSamplerStampsSimulationTime) {
+  sim::Simulation sim;
+  Recorder rec(tsdb_config());
+  ProbeSet probes;
+  probes.add("clock", [&] { return sim.now(); });
+  PeriodicSampler sampler(sim, std::move(probes), rec, 4.0);
+  sampler.start();
+  sim.run_until(20.0);
+  EXPECT_EQ(rec.values("clock"), (std::vector<double>{4.0, 8.0, 12.0, 16.0, 20.0}));
+  const auto id = rec.tsdb().find("clock");
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(rec.tsdb().last_time_s(*id).has_value());
+  EXPECT_EQ(*rec.tsdb().last_time_s(*id), 20.0);  // real sim time, not index
+}
+
+TEST(RecorderTsdb, CsvExportByteIdenticalToRawBackend) {
+  Recorder raw;
+  Recorder tiered(tsdb_config());
+  for (Recorder* rec : {&raw, &tiered}) {
+    for (int i = 0; i < 100; ++i) {
+      rec->append("p90", 0.9 + 0.01 * static_cast<double>(i % 7));
+      rec->append("alloc", std::vector<double>{0.3, 0.4 + 0.001 * i});
+    }
+    rec->append("power", 123.456789);
+  }
+  EXPECT_EQ(to_csv(tiered), to_csv(raw));
 }
 
 TEST(Probe, SetSamplesEveryGaugeIntoItsSeries) {
