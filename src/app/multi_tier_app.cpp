@@ -1,7 +1,9 @@
 #include "app/multi_tier_app.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "check/app_audit.hpp"
 
@@ -32,7 +34,14 @@ AppConfig default_two_tier_app(std::string name, std::uint64_t seed, std::size_t
 
 namespace {
 
-/// Mean of a bounded Pareto on [lo, hi] with shape alpha (alpha != 1).
+/// Distinct stream for the dispatcher tie-break RNG, derived from the app
+/// seed. Any fixed odd constant works; this is splitmix64's increment.
+constexpr std::uint64_t kDispatchStream = 0x9e3779b97f4a7c15ull;
+
+/// Mean of a bounded Pareto on [lo, hi] with shape alpha. Requires
+/// alpha > 1: at alpha == 1 the closed form divides by zero, and at or
+/// below 1 the finite-mean rescale in issue_request is meaningless — the
+/// constructor rejects such configs up front.
 double bounded_pareto_mean(double alpha, double lo, double hi) {
   const double la = std::pow(lo, alpha);
   const double ha = std::pow(hi, alpha);
@@ -40,17 +49,70 @@ double bounded_pareto_mean(double alpha, double lo, double hi) {
          (1.0 / std::pow(lo, alpha - 1.0) - 1.0 / std::pow(hi, alpha - 1.0));
 }
 
+void validate_config(const AppConfig& config) {
+  if (config.tiers.empty()) throw std::invalid_argument("MultiTierApp: no tiers configured");
+  for (const TierConfig& tier : config.tiers) {
+    if (!(tier.mean_demand_gcycles > 0.0) || !std::isfinite(tier.mean_demand_gcycles)) {
+      throw std::invalid_argument("MultiTierApp: tier '" + tier.name +
+                                  "': mean_demand_gcycles must be positive and finite");
+    }
+    if (!(tier.pareto_alpha > 1.0) || !std::isfinite(tier.pareto_alpha)) {
+      throw std::invalid_argument("MultiTierApp: tier '" + tier.name +
+                                  "': pareto_alpha must be > 1 (finite-mean rescale)");
+    }
+    if (tier.initial_allocation_ghz < 0.0 || !std::isfinite(tier.initial_allocation_ghz)) {
+      throw std::invalid_argument("MultiTierApp: tier '" + tier.name +
+                                  "': initial_allocation_ghz must be >= 0 and finite");
+    }
+    if (tier.initial_replicas == 0) {
+      throw std::invalid_argument("MultiTierApp: tier '" + tier.name +
+                                  "': initial_replicas must be >= 1");
+    }
+    if (tier.max_replicas < tier.initial_replicas) {
+      throw std::invalid_argument("MultiTierApp: tier '" + tier.name +
+                                  "': max_replicas < initial_replicas");
+    }
+    if (tier.boot_delay_s < 0.0 || !std::isfinite(tier.boot_delay_s)) {
+      throw std::invalid_argument("MultiTierApp: tier '" + tier.name +
+                                  "': boot_delay_s must be >= 0 and finite");
+    }
+  }
+  const bool open = config.open_arrival_rate_rps > 0.0;
+  if (config.open_arrival_rate_rps < 0.0 || !std::isfinite(config.open_arrival_rate_rps)) {
+    throw std::invalid_argument("MultiTierApp: open_arrival_rate_rps must be >= 0 and finite");
+  }
+  if (!open) {
+    if (!(config.think_time_s > 0.0) || !std::isfinite(config.think_time_s)) {
+      throw std::invalid_argument("MultiTierApp: think_time_s must be positive and finite");
+    }
+    if (config.concurrency == 0) {
+      throw std::invalid_argument(
+          "MultiTierApp: empty workload (concurrency 0 and no open arrival rate)");
+    }
+  }
+}
+
 }  // namespace
 
 MultiTierApp::MultiTierApp(sim::Simulation& sim, AppConfig config)
-    : sim_(sim), config_(std::move(config)), rng_(config_.seed) {
-  if (config_.tiers.empty()) throw std::invalid_argument("MultiTierApp: no tiers configured");
-  tiers_.reserve(config_.tiers.size());
-  tier_jobs_.resize(config_.tiers.size());
+    : sim_(sim),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      dispatch_rng_(config_.seed ^ kDispatchStream) {
+  validate_config(config_);
+  tiers_.resize(config_.tiers.size());
+  tier_resident_.assign(config_.tiers.size(), 0);
   for (std::size_t j = 0; j < config_.tiers.size(); ++j) {
-    tiers_.push_back(std::make_unique<sim::PsQueue>(
-        sim_, config_.tiers[j].initial_allocation_ghz,
-        [this, j](sim::JobId job) { on_tier_complete(j, job); }));
+    const TierConfig& tc = config_.tiers[j];
+    tiers_[j].replicas.resize(tc.initial_replicas);
+    for (std::size_t r = 0; r < tc.initial_replicas; ++r) {
+      Replica& rep = tiers_[j].replicas[r];
+      rep.queue = std::make_unique<sim::PsQueue>(
+          sim_, tc.initial_allocation_ghz,
+          [this, j, r](sim::JobId job) { on_replica_complete(j, r, job); });
+      rep.state = Replica::State::kServing;  // initial replicas skip boot
+      rep.allocation_ghz = tc.initial_allocation_ghz;
+    }
   }
   target_clients_ = config_.concurrency;
   open_mode_ = config_.open_arrival_rate_rps > 0.0;
@@ -68,18 +130,33 @@ void MultiTierApp::start() {
 
 void MultiTierApp::set_allocation(std::size_t tier, double ghz) {
   if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
-  tiers_[tier]->set_capacity(ghz);
+  for (std::size_t r = 0; r < tiers_[tier].replicas.size(); ++r) {
+    if (tiers_[tier].replicas[r].state != Replica::State::kFree) {
+      set_replica_allocation(tier, r, ghz);
+    }
+  }
 }
 
 void MultiTierApp::set_allocations(std::span<const double> ghz) {
   if (ghz.size() != tiers_.size()) throw std::invalid_argument("MultiTierApp: allocation size");
-  for (std::size_t j = 0; j < ghz.size(); ++j) tiers_[j]->set_capacity(ghz[j]);
+  for (std::size_t j = 0; j < ghz.size(); ++j) set_allocation(j, ghz[j]);
 }
 
 std::vector<double> MultiTierApp::allocations() const {
+  // Per-replica view: the controller reasons about one replica's capacity;
+  // the supervisor multiplies by the replica count.
   std::vector<double> out;
   out.reserve(tiers_.size());
-  for (const auto& tier : tiers_) out.push_back(tier->capacity_ghz());
+  for (std::size_t j = 0; j < tiers_.size(); ++j) {
+    double alloc = 0.0;
+    for (const Replica& rep : tiers_[j].replicas) {
+      if (rep.state == Replica::State::kServing || rep.state == Replica::State::kBooting) {
+        alloc = rep.allocation_ghz;
+        break;
+      }
+    }
+    out.push_back(alloc);
+  }
   return out;
 }
 
@@ -95,22 +172,26 @@ void MultiTierApp::set_arrival_rate(double requests_per_second) {
   if (!open_workload()) {
     throw std::logic_error("MultiTierApp: set_arrival_rate requires open-workload mode");
   }
-  if (requests_per_second < 0.0) {
-    throw std::invalid_argument("MultiTierApp: negative arrival rate");
+  if (requests_per_second < 0.0 || !std::isfinite(requests_per_second)) {
+    throw std::invalid_argument("MultiTierApp: arrival rate must be >= 0 and finite");
   }
   config_.open_arrival_rate_rps = requests_per_second;
-  // The pending inter-arrival event keeps its old schedule; subsequent
-  // arrivals use the new rate. (Exact enough for rate steps.)
+  if (!started_) return;
+  // Cancel the pending arrival and resample the gap at the new rate. The
+  // exponential is memoryless, so resampling is exact — and a pause (rate
+  // 0) leaves no pending event, letting an idle simulation go quiescent.
+  if (arrival_event_ != sim::kNoEvent) {
+    sim_.cancel(arrival_event_);
+    arrival_event_ = sim::kNoEvent;
+  }
+  schedule_next_arrival();
 }
 
 void MultiTierApp::schedule_next_arrival() {
   const double rate = config_.open_arrival_rate_rps;
-  if (rate <= 0.0) {
-    // Poll again shortly in case the rate is raised later.
-    sim_.schedule_after(1.0, [this] { schedule_next_arrival(); });
-    return;
-  }
-  sim_.schedule_after(rng_.exponential(1.0 / rate), [this] {
+  if (rate <= 0.0) return;  // paused: set_arrival_rate(>0) reschedules
+  arrival_event_ = sim_.schedule_after(rng_.exponential(1.0 / rate), [this] {
+    arrival_event_ = sim::kNoEvent;
     issue_request();
     schedule_next_arrival();
   });
@@ -118,7 +199,238 @@ void MultiTierApp::schedule_next_arrival() {
 
 double MultiTierApp::tier_work_done_gcycles(std::size_t tier) const {
   if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
-  return tiers_[tier]->work_done_gcycles();
+  double total = 0.0;
+  for (const Replica& rep : tiers_[tier].replicas) {
+    if (rep.queue) total += rep.queue->work_done_gcycles();
+  }
+  return total;
+}
+
+// ---- horizontal scaling ----------------------------------------------------
+
+MultiTierApp::Replica& MultiTierApp::replica_at(std::size_t tier, std::size_t slot) {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  if (slot >= tiers_[tier].replicas.size()) throw std::out_of_range("MultiTierApp: replica slot");
+  return tiers_[tier].replicas[slot];
+}
+
+const MultiTierApp::Replica& MultiTierApp::replica_at(std::size_t tier, std::size_t slot) const {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  if (slot >= tiers_[tier].replicas.size()) throw std::out_of_range("MultiTierApp: replica slot");
+  return tiers_[tier].replicas[slot];
+}
+
+ReplicaSetStatus MultiTierApp::replica_status(std::size_t tier) const {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  ReplicaSetStatus status;
+  status.serving = 0;
+  status.booting = 0;
+  status.draining = 0;
+  for (const Replica& rep : tiers_[tier].replicas) {
+    switch (rep.state) {
+      case Replica::State::kServing: ++status.serving; break;
+      case Replica::State::kBooting: ++status.booting; break;
+      case Replica::State::kDraining: ++status.draining; break;
+      case Replica::State::kFree: break;
+    }
+  }
+  status.target = status.serving + status.booting;
+  status.max_replicas = config_.tiers[tier].max_replicas;
+  return status;
+}
+
+std::size_t MultiTierApp::replica_slots(std::size_t tier) const {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  return tiers_[tier].replicas.size();
+}
+
+bool MultiTierApp::replica_active(std::size_t tier, std::size_t slot) const {
+  return replica_at(tier, slot).state != Replica::State::kFree;
+}
+
+void MultiTierApp::set_replica_allocation(std::size_t tier, std::size_t slot, double ghz) {
+  Replica& rep = replica_at(tier, slot);
+  if (rep.state == Replica::State::kFree) {
+    throw std::logic_error("MultiTierApp: allocation on a free replica slot");
+  }
+  rep.allocation_ghz = ghz;
+  // A booting replica consumes the allocation (the VM is up and billed) but
+  // serves nothing: its queue stays at capacity 0 until boot completes.
+  if (rep.state != Replica::State::kBooting) rep.queue->set_capacity(ghz);
+}
+
+double MultiTierApp::replica_allocation(std::size_t tier, std::size_t slot) const {
+  return replica_at(tier, slot).allocation_ghz;
+}
+
+double MultiTierApp::replica_work_done_gcycles(std::size_t tier, std::size_t slot) const {
+  const Replica& rep = replica_at(tier, slot);
+  return rep.queue ? rep.queue->work_done_gcycles() : 0.0;
+}
+
+std::size_t MultiTierApp::replica_outstanding(std::size_t tier, std::size_t slot) const {
+  return replica_at(tier, slot).jobs.size();
+}
+
+std::size_t MultiTierApp::scale_out(std::size_t tier) {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  const ReplicaSetStatus status = replica_status(tier);
+  if (status.target >= config_.tiers[tier].max_replicas) {
+    throw std::logic_error("MultiTierApp: tier '" + config_.tiers[tier].name +
+                           "' is at max_replicas");
+  }
+  audit_tier(tier);
+  std::vector<Replica>& replicas = tiers_[tier].replicas;
+  // Reuse the lowest free slot; append only when none is free.
+  std::size_t slot = replicas.size();
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    if (replicas[r].state == Replica::State::kFree) {
+      slot = r;
+      break;
+    }
+  }
+  if (slot == replicas.size()) replicas.emplace_back();
+  Replica& rep = replicas[slot];
+  if (!rep.queue) {
+    rep.queue = std::make_unique<sim::PsQueue>(
+        sim_, 0.0, [this, tier, slot](sim::JobId job) { on_replica_complete(tier, slot, job); });
+  }
+  // Inherit the tier's current per-replica allocation (what the inner MPC
+  // decided for this tier); the queue stays at 0 capacity while booting.
+  double alloc_ghz = config_.tiers[tier].initial_allocation_ghz;
+  for (const Replica& peer : replicas) {
+    if (peer.state == Replica::State::kServing || peer.state == Replica::State::kBooting) {
+      alloc_ghz = peer.allocation_ghz;
+      break;
+    }
+  }
+  rep.allocation_ghz = alloc_ghz;
+  ++scale_outs_;
+  const double boot_delay_s = config_.tiers[tier].boot_delay_s;
+  if (boot_delay_s > 0.0) {
+    rep.state = Replica::State::kBooting;
+    rep.queue->set_capacity(0.0);
+    rep.boot_event =
+        sim_.schedule_after(boot_delay_s, [this, tier, slot] { finish_boot(tier, slot); });
+  } else {
+    rep.state = Replica::State::kServing;
+    rep.queue->set_capacity(alloc_ghz);
+  }
+  return slot;
+}
+
+std::size_t MultiTierApp::scale_in(std::size_t tier) {
+  if (tier >= tiers_.size()) throw std::out_of_range("MultiTierApp: tier index");
+  const ReplicaSetStatus status = replica_status(tier);
+  if (status.target <= 1) {
+    throw std::logic_error("MultiTierApp: tier '" + config_.tiers[tier].name +
+                           "' cannot scale below one replica");
+  }
+  audit_tier(tier);
+  std::vector<Replica>& replicas = tiers_[tier].replicas;
+  // Prefer cancelling a booting replica (highest slot: newest first) — it
+  // holds no work and retires immediately.
+  for (std::size_t r = replicas.size(); r-- > 0;) {
+    if (replicas[r].state == Replica::State::kBooting) {
+      sim_.cancel(replicas[r].boot_event);
+      replicas[r].boot_event = sim::kNoEvent;
+      ++scale_ins_;
+      retire_replica(tier, r);
+      return r;
+    }
+  }
+  // Otherwise drain the serving replica with the fewest outstanding jobs
+  // (fastest to empty); ties break to the highest slot so slot 0 — the
+  // original replica — is the last to go.
+  std::size_t victim = replicas.size();
+  std::size_t fewest = std::numeric_limits<std::size_t>::max();
+  for (std::size_t r = replicas.size(); r-- > 0;) {
+    if (replicas[r].state != Replica::State::kServing) continue;
+    if (replicas[r].jobs.size() < fewest) {
+      fewest = replicas[r].jobs.size();
+      victim = r;
+    }
+  }
+  if (victim == replicas.size()) {
+    throw std::logic_error("MultiTierApp: no serving replica to scale in");
+  }
+  ++scale_ins_;
+  Replica& rep = replicas[victim];
+  if (rep.jobs.empty()) {
+    retire_replica(tier, victim);
+  } else {
+    rep.state = Replica::State::kDraining;  // keeps capacity to finish residue
+  }
+  return victim;
+}
+
+void MultiTierApp::set_replicas(std::size_t tier, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("MultiTierApp: replica count must be >= 1");
+  while (replica_status(tier).target < n) scale_out(tier);
+  while (replica_status(tier).target > n) scale_in(tier);
+}
+
+void MultiTierApp::finish_boot(std::size_t tier, std::size_t slot) {
+  Replica& rep = tiers_[tier].replicas[slot];
+  if (rep.state != Replica::State::kBooting) return;  // cancelled meanwhile
+  rep.boot_event = sim::kNoEvent;
+  rep.state = Replica::State::kServing;
+  rep.queue->set_capacity(rep.allocation_ghz);
+}
+
+void MultiTierApp::retire_replica(std::size_t tier, std::size_t slot) {
+  Replica& rep = tiers_[tier].replicas[slot];
+  audit::replica_retire_clean(rep.jobs.size(), tier, slot);
+  rep.state = Replica::State::kFree;
+  rep.allocation_ghz = 0.0;
+  rep.queue->set_capacity(0.0);
+  audit_tier(tier);
+  if (on_replica_retired_) on_replica_retired_(tier, slot);
+}
+
+void MultiTierApp::audit_tier([[maybe_unused]] std::size_t tier) const {
+#if VDC_CHECKS_ENABLED
+  std::size_t mapped = 0;
+  for (const Replica& rep : tiers_[tier].replicas) mapped += rep.jobs.size();
+  audit::tier_job_conservation(mapped, tier_resident_[tier], tier);
+#endif
+}
+
+std::size_t MultiTierApp::pick_replica(std::size_t tier) {
+  // Least outstanding jobs over serving replicas; the seeded tie-break
+  // stream makes routing deterministic. With one serving replica the RNG is
+  // never consulted (single-replica bit-identity).
+  const std::vector<Replica>& replicas = tiers_[tier].replicas;
+  std::size_t fewest = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> tied;
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    if (replicas[r].state != Replica::State::kServing) continue;
+    const std::size_t outstanding = replicas[r].jobs.size();
+    if (outstanding < fewest) {
+      fewest = outstanding;
+      tied.assign(1, r);
+    } else if (outstanding == fewest) {
+      tied.push_back(r);
+    }
+  }
+  if (tied.empty()) {
+    // Unreachable by construction: scale_in never removes the last
+    // committed replica and draining keeps residue flowing.
+    throw std::logic_error("MultiTierApp: no serving replica in tier");
+  }
+  if (tied.size() == 1) return tied.front();
+  return tied[dispatch_rng_.index(tied.size())];
+}
+
+void MultiTierApp::route_to_tier(Request& req, std::size_t tier) {
+  const std::size_t slot = pick_replica(tier);
+  Replica& rep = tiers_[tier].replicas[slot];
+  audit::dispatch_target_serving(rep.state == Replica::State::kServing, tier, slot);
+  req.current_tier = tier;
+  req.current_replica = slot;
+  const sim::JobId job = rep.queue->add_job(req.demands[tier]);
+  rep.jobs.emplace(job, req.id);
+  ++tier_resident_[tier];
 }
 
 void MultiTierApp::spawn_client() {
@@ -144,6 +456,7 @@ void MultiTierApp::issue_request() {
   req.id = next_request_id_++;
   req.start_time_s = sim_.now();
   req.current_tier = 0;
+  req.current_replica = 0;
   req.demands.reserve(config_.tiers.size());
   for (const TierConfig& tier : config_.tiers) {
     // Bounded Pareto spanning [mean/4, mean*12]: heavy-tailed but with
@@ -154,27 +467,30 @@ void MultiTierApp::issue_request() {
     const double mean = bounded_pareto_mean(tier.pareto_alpha, lo, hi);
     req.demands.push_back(raw * tier.mean_demand_gcycles / mean);
   }
-  const double first_demand = req.demands[0];
   const std::uint64_t req_id = req.id;
   ++issued_;
-  requests_.emplace(req_id, std::move(req));
-  const sim::JobId job = tiers_[0]->add_job(first_demand);
-  tier_jobs_[0].emplace(job, req_id);
+  auto [it, inserted] = requests_.emplace(req_id, std::move(req));
+  static_cast<void>(inserted);
+  route_to_tier(it->second, 0);
 }
 
-void MultiTierApp::on_tier_complete(std::size_t tier, sim::JobId job) {
-  const auto it = tier_jobs_[tier].find(job);
-  if (it == tier_jobs_[tier].end()) return;  // job was abandoned
+void MultiTierApp::on_replica_complete(std::size_t tier, std::size_t slot, sim::JobId job) {
+  Replica& rep = tiers_[tier].replicas[slot];
+  const auto it = rep.jobs.find(job);
+  if (it == rep.jobs.end()) return;  // job was abandoned
   const std::uint64_t req_id = it->second;
-  tier_jobs_[tier].erase(it);
+  rep.jobs.erase(it);
+  --tier_resident_[tier];
+  if (rep.state == Replica::State::kDraining && rep.jobs.empty()) {
+    retire_replica(tier, slot);
+  }
 
   auto req_it = requests_.find(req_id);
   if (req_it == requests_.end()) return;
   Request& req = req_it->second;
-  ++req.current_tier;
-  if (req.current_tier < tiers_.size()) {
-    const sim::JobId next_job = tiers_[req.current_tier]->add_job(req.demands[req.current_tier]);
-    tier_jobs_[req.current_tier].emplace(next_job, req_id);
+  const std::size_t next_tier = req.current_tier + 1;
+  if (next_tier < tiers_.size()) {
+    route_to_tier(req, next_tier);
     return;
   }
   Request done = std::move(req);

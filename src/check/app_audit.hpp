@@ -21,6 +21,30 @@ inline void request_conservation(std::uint64_t issued, std::uint64_t completed,
                                                          << in_flight);
 }
 
+/// Dispatcher invariant: requests are only routed to serving replicas —
+/// never to a booting, draining, or free slot.
+inline void dispatch_target_serving(bool serving, std::size_t tier, std::size_t slot) {
+  VDC_INVARIANT(serving, "dispatch to non-serving replica: tier " << tier << " slot " << slot);
+}
+
+/// Drain invariant: a replica may only retire once every resident job has
+/// completed (drain-then-retire, never drop work).
+inline void replica_retire_clean(std::size_t resident_jobs, std::size_t tier, std::size_t slot) {
+  VDC_INVARIANT(resident_jobs == 0, "replica retired with " << resident_jobs
+                                                            << " resident jobs: tier " << tier
+                                                            << " slot " << slot);
+}
+
+/// Tier-level conservation across dispatch/drain: the requests resident in a
+/// tier equal the jobs mapped across all of its replica slots — scaling must
+/// not lose or duplicate routed work.
+inline void tier_job_conservation(std::size_t mapped_jobs, std::size_t resident_requests,
+                                  std::size_t tier) {
+  VDC_INVARIANT(mapped_jobs == resident_requests,
+                "tier " << tier << " job conservation violated: " << mapped_jobs
+                        << " mapped jobs != " << resident_requests << " resident requests");
+}
+
 /// MVA outputs are physical: see file comment.
 inline void mva_result(const MvaResult& result, std::size_t clients, double think_time_s) {
 #if VDC_CHECKS_ENABLED

@@ -108,6 +108,7 @@ IpacReport ipac(const DataCenterSnapshot& snapshot, const ConstraintSet& constra
   // joins the migration list ahead of overload victims.
   std::vector<VmId> migration_list;
   for (const VmSnapshot& vm : snapshot.vms) {
+    if (vm.retired) continue;  // scale-in tombstone: left the fleet on purpose
     if (wp.host_of(vm.id) == datacenter::kNoServer) migration_list.push_back(vm.id);
   }
   if (!migration_list.empty()) {

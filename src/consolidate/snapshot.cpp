@@ -64,7 +64,7 @@ DataCenterSnapshot snapshot_of(const datacenter::Cluster& cluster) {
   snap.vms.reserve(cluster.vm_count());
   for (VmId id = 0; id < cluster.vm_count(); ++id) {
     const datacenter::Vm& vm = cluster.vm(id);
-    snap.vms.push_back(VmSnapshot{id, vm.cpu_demand_ghz, vm.memory_mb});
+    snap.vms.push_back(VmSnapshot{id, vm.cpu_demand_ghz, vm.memory_mb, cluster.vm_retired(id)});
   }
   return snap;
 }

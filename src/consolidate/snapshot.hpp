@@ -19,6 +19,10 @@ struct VmSnapshot {
   VmId id = 0;
   double cpu_demand_ghz = 0.0;
   double memory_mb = 0.0;
+  /// Scale-in tombstone: the VM left the fleet on purpose. It keeps its
+  /// positional slot in `vms` (ids are indices), but planners must neither
+  /// re-place it when homeless nor migrate it.
+  bool retired = false;
 };
 
 struct ServerSnapshot {

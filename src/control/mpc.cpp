@@ -31,6 +31,12 @@ void MpcConfig::validate(std::size_t nu) const {
   if (!(period_s > 0.0) || !(tref_s > 0.0)) {
     throw std::invalid_argument("MpcConfig: period and Tref must be positive");
   }
+  if (delta_down_max > 0.0 && !(delta_max > 0.0)) {
+    throw std::invalid_argument("MpcConfig: delta_down_max needs delta_max > 0");
+  }
+  if (delta_down_max > 0.0 && delta_down_max > delta_max) {
+    throw std::invalid_argument("MpcConfig: delta_down_max must not exceed delta_max");
+  }
 }
 
 MpcConfig MpcConfig::broadcast(std::size_t nu) const {
@@ -230,6 +236,9 @@ std::vector<double> MpcController::step(double measured_output) {
     }
   }
   if (config_.delta_max > 0.0) {
+    // Asymmetric release limit when configured: dc >= -delta_down_max.
+    const double delta_down = config_.delta_down_max > 0.0 ? config_.delta_down_max
+                                                           : config_.delta_max;
     for (std::size_t idx = 0; idx < nx; ++idx) {
       std::vector<double> row(nx, 0.0);
       row[idx] = 1.0;
@@ -238,7 +247,7 @@ std::vector<double> MpcController::step(double measured_output) {
       row.assign(nx, 0.0);
       row[idx] = -1.0;
       rows.push_back(std::move(row));
-      gamma.push_back(config_.delta_max);
+      gamma.push_back(delta_down);
     }
   }
   linalg::Matrix m_ineq(rows.size(), nx);
@@ -296,7 +305,9 @@ std::vector<double> MpcController::step(double measured_output) {
   for (std::size_t m = 0; m < nu; ++m) {
     double dc = qp.x[m];
     if (config_.delta_max > 0.0) {
-      dc = std::clamp(dc, -config_.delta_max, config_.delta_max);
+      const double delta_down = config_.delta_down_max > 0.0 ? config_.delta_down_max
+                                                             : config_.delta_max;
+      dc = std::clamp(dc, -delta_down, config_.delta_max);
     }
     c_new[m] = std::clamp(c_prev[m] + dc, config_.c_min[m], config_.c_max[m]);
   }

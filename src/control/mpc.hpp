@@ -41,6 +41,13 @@ struct MpcConfig {
   std::vector<double> c_max = {4.0};   ///< per-input upper bound (GHz)
   /// Max |dc| per input per period; <= 0 disables the rate limit.
   double delta_max = 0.5;
+  /// Asymmetric downward rate limit: max allocation *release* per period.
+  /// <= 0 keeps the limit symmetric (|dc| <= delta_max). A tighter release
+  /// rate is the robust-control guard of Makridis et al.: capacity taken
+  /// away on the strength of an optimistic (possibly spiked or mismatched)
+  /// measurement can only leak out slowly, while capacity is still granted
+  /// at the full delta_max when the SLA is threatened.
+  double delta_down_max = 0.0;
   /// Terminal constraint handling (equation 4). kHard is the paper's exact
   /// formulation — an equality t(k+M|k) = Ts — but becomes *infeasible*
   /// against the actuator range/rate limits after a large disturbance

@@ -1,0 +1,54 @@
+#include "control/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::control {
+
+void RobustConfig::validate() const {
+  if (gain_margin < 0.0 || gain_margin >= 1.0 || !std::isfinite(gain_margin)) {
+    throw std::invalid_argument("RobustConfig: gain_margin must be in [0, 1)");
+  }
+  if (!(setpoint_margin > 0.0) || setpoint_margin > 1.0 || !std::isfinite(setpoint_margin)) {
+    throw std::invalid_argument("RobustConfig: setpoint_margin must be in (0, 1]");
+  }
+  if (!std::isfinite(release_slew_ghz)) {
+    throw std::invalid_argument("RobustConfig: release_slew_ghz must be finite");
+  }
+  if (spike_window == 0) {
+    throw std::invalid_argument("RobustConfig: spike_window must be >= 1");
+  }
+}
+
+ArxModel derate_gain(ArxModel model, double gain_margin) {
+  if (gain_margin < 0.0 || gain_margin >= 1.0) {
+    throw std::invalid_argument("derate_gain: gain_margin must be in [0, 1)");
+  }
+  const double scale = 1.0 - gain_margin;
+  for (std::size_t j = 0; j < model.nb; ++j) {
+    for (std::size_t m = 0; m < model.nu; ++m) model.b(j, m) *= scale;
+  }
+  return model;
+}
+
+MedianFilter::MedianFilter(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("MedianFilter: window must be >= 1");
+  history_.reserve(window_);
+}
+
+double MedianFilter::apply(double sample) {
+  if (history_.size() < window_) {
+    history_.push_back(sample);
+  } else {
+    history_[next_] = sample;
+    next_ = (next_ + 1) % window_;
+  }
+  std::vector<double> sorted = history_;
+  const std::size_t mid = (sorted.size() - 1) / 2;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(mid), sorted.end());
+  return sorted[mid];
+}
+
+}  // namespace vdc::control

@@ -1,0 +1,67 @@
+// Robust-control hardening of the paper's nominal MPC, after Makridis et
+// al. ("Robust Dynamic CPU Resource Provisioning in Virtualized Servers"):
+// the identified ARX model is only trusted up to a multiplicative gain
+// uncertainty, the measurement channel is only trusted up to isolated
+// spikes, and capacity release is rate-limited so an optimistic transient
+// cannot strip a tier of CPU it still needs.
+//
+// Concretely the robust variant of ResponseTimeController:
+//  * derates the model's input gain by `gain_margin` — the controller plans
+//    as if CPU were (1 - margin)x as effective as identified, so under
+//    worst-case model mismatch it over-provisions rather than under;
+//  * tracks a tightened internal setpoint (`setpoint_margin` x SLA) to keep
+//    slack against the real SLO;
+//  * feeds the MPC a windowed-median of the measurement, which rejects
+//    isolated sensor spikes without adding lag on sustained shifts;
+//  * caps per-period allocation release at `release_slew_ghz` (the MPC's
+//    asymmetric `delta_down_max`) while grants keep the full rate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/arx.hpp"
+
+namespace vdc::control {
+
+struct RobustConfig {
+  /// Multiplicative uncertainty on the identified input gain: the model's
+  /// `b` coefficients are scaled by (1 - gain_margin). In [0, 1).
+  double gain_margin = 0.3;
+  /// The controller tracks setpoint * setpoint_margin, keeping slack
+  /// against the actual SLO. In (0, 1].
+  double setpoint_margin = 0.9;
+  /// Max allocation release per input per period (GHz); <= 0 keeps the
+  /// symmetric rate limit.
+  double release_slew_ghz = 0.1;
+  /// Window of the measurement median filter (odd; 1 disables filtering).
+  std::size_t spike_window = 3;
+
+  void validate() const;
+};
+
+/// Returns `model` with every input-gain coefficient (the `b` matrix)
+/// scaled by (1 - gain_margin). The autoregressive part and bias are
+/// untouched: the uncertainty budget is on how much a GHz buys, not on the
+/// plant's memory.
+[[nodiscard]] ArxModel derate_gain(ArxModel model, double gain_margin);
+
+/// Deterministic running median over the last `window` samples. Odd
+/// windows take the exact middle; even ones the lower middle. With fewer
+/// samples than the window, the median of what has been seen so far.
+class MedianFilter {
+ public:
+  explicit MedianFilter(std::size_t window);
+
+  /// Pushes a sample, returns the median of the current window.
+  [[nodiscard]] double apply(double sample);
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  std::vector<double> history_;  // ring buffer, oldest overwritten
+  std::size_t next_ = 0;
+};
+
+}  // namespace vdc::control

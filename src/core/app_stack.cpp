@@ -13,12 +13,21 @@ std::string allocation_series_name(std::size_t app_index) {
   return "app" + std::to_string(app_index) + "/alloc";
 }
 
+std::string replica_series_name(std::size_t app_index) {
+  return "app" + std::to_string(app_index) + "/replicas";
+}
+
 AppStack::AppStack(sim::Simulation& sim, AppStackConfig config)
     : sim_(sim),
       config_(std::move(config)),
       app_(std::make_unique<app::MultiTierApp>(sim_, config_.app)),
       monitor_(config_.monitor_quantile, config_.metric),
-      held_measurement_(config_.mpc.setpoint) {
+      held_measurement_(config_.mpc.setpoint),
+      sla_setpoint_(config_.mpc.setpoint) {
+  replication_active_ = config_.supervisor.enabled;
+  for (const app::TierConfig& tier : config_.app.tiers) {
+    if (tier.initial_replicas > 1) replication_active_ = true;
+  }
   app_->set_response_callback([this](double, double rt) {
     // Sensor fault hooks: a disabled injector (the default) early-outs on
     // both queries without touching its RNG, so the nominal path is
@@ -41,12 +50,21 @@ AppStack::AppStack(sim::Simulation& sim, const control::ArxModel& model,
     : AppStack(sim, std::move(config)) {
   controller_ = std::make_unique<ResponseTimeController>(
       model, config_.mpc,
-      std::vector<double>(app_->tier_count(), config_.initial_allocation_ghz));
+      std::vector<double>(app_->tier_count(), config_.initial_allocation_ghz),
+      config_.robust);
+  if (config_.supervisor.enabled) {
+    supervisor_.emplace(config_.supervisor, app_->tier_count());
+  }
 }
 
 AppStack::AppStack(sim::Simulation& sim, AppStackConfig config, Policy policy)
     : AppStack(sim, std::move(config)) {
   if (!policy) throw std::invalid_argument("AppStack: empty policy");
+  if (config_.supervisor.enabled) {
+    // The supervisor reasons about the MPC's saturation against c_max; a
+    // policy stack has neither.
+    throw std::invalid_argument("AppStack: supervisor requires MPC mode");
+  }
   policy_ = std::move(policy);
 }
 
@@ -58,6 +76,13 @@ void AppStack::bind_recorder(telemetry::Recorder* recorder, std::string response
   if (recorder_ != nullptr) {
     recorder_->declare_scalar(response_series_);
     recorder_->declare_vector(allocation_series_);
+    if (replication_active_) {
+      // Gated so healthy single-replica telemetry stays byte-identical.
+      replica_series_ = response_series_;
+      const std::size_t slash = replica_series_.rfind('/');
+      replica_series_ = replica_series_.substr(0, slash) + "/replicas";
+      recorder_->declare_vector(replica_series_);
+    }
   }
 }
 
@@ -77,6 +102,7 @@ void AppStack::start_control_loop() {
 
 void AppStack::loop_tick() {
   apply_allocations(control_tick());
+  apply_scaling();
   sim_.schedule_after(config_.mpc.period_s, [this] { loop_tick(); });
 }
 
@@ -106,13 +132,49 @@ std::optional<app::PeriodStats> AppStack::harvest_tick() {
 }
 
 std::vector<double> AppStack::decide_tick(const std::optional<app::PeriodStats>& stats) {
-  return controller_ ? controller_->control(stats) : policy_(stats);
+  std::vector<double> demands = controller_ ? controller_->control(stats) : policy_(stats);
+  if (supervisor_) {
+    // Outer discrete decision: replica counts, from this stack's state only
+    // (parallel-safe). Applied later in the serial phase — apply_scaling()
+    // standalone, or the owner via take_scale_decisions().
+    std::vector<app::ReplicaSetStatus> status;
+    status.reserve(app_->tier_count());
+    for (std::size_t j = 0; j < app_->tier_count(); ++j) {
+      status.push_back(app_->replica_status(j));
+    }
+    pending_scale_ = supervisor_->decide(controller_->last_measurement(), sla_setpoint_,
+                                         demands, controller_->mpc().config().c_max, status);
+  }
+  return demands;
 }
 
 void AppStack::record_decision(std::span<const double> demands) {
   if (recorder_ != nullptr) {
     recorder_->append(allocation_series_, std::vector<double>(demands.begin(), demands.end()));
+    if (replication_active_ && !replica_series_.empty()) {
+      std::vector<double> replicas;
+      replicas.reserve(app_->tier_count());
+      for (std::size_t j = 0; j < app_->tier_count(); ++j) {
+        replicas.push_back(static_cast<double>(app_->replica_status(j).target));
+      }
+      recorder_->append(replica_series_, std::move(replicas));
+    }
   }
+}
+
+std::vector<ScaleDecision> AppStack::take_scale_decisions() {
+  return std::exchange(pending_scale_, {});
+}
+
+void AppStack::apply_scaling() {
+  for (const ScaleDecision& decision : pending_scale_) {
+    if (decision.delta > 0) {
+      app_->scale_out(decision.tier);
+    } else if (decision.delta < 0) {
+      app_->scale_in(decision.tier);
+    }
+  }
+  pending_scale_.clear();
 }
 
 void AppStack::apply_allocation(std::size_t tier, double ghz) {
@@ -123,12 +185,17 @@ void AppStack::apply_allocations(std::span<const double> ghz) {
   app_->set_allocations(ghz);
 }
 
+void AppStack::apply_replica_allocation(std::size_t tier, std::size_t slot, double ghz) {
+  app_->set_replica_allocation(tier, slot, ghz);
+}
+
 double AppStack::last_measurement() const noexcept {
   return controller_ ? controller_->last_measurement() : held_measurement_;
 }
 
 void AppStack::set_setpoint(double setpoint_s) {
   if (!controller_) throw std::logic_error("AppStack: policy-driven stack has no setpoint");
+  sla_setpoint_ = setpoint_s;
   controller_->set_setpoint(setpoint_s);
 }
 

@@ -24,7 +24,9 @@
 #include "app/monitor.hpp"
 #include "app/multi_tier_app.hpp"
 #include "control/mpc.hpp"
+#include "control/robust.hpp"
 #include "core/response_time_controller.hpp"
+#include "core/supervisor.hpp"
 #include "fault/injector.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/recorder.hpp"
@@ -38,12 +40,24 @@ struct AppStackConfig {
   /// MPC tuning; `period_s` is the control period and `setpoint` the SLA.
   control::MpcConfig mpc;
   double initial_allocation_ghz = 0.6;   ///< per-tier starting allocation
+  /// Horizontal-scaling supervisor (outer discrete loop). Disabled by
+  /// default: replica counts stay at their configured initial values and
+  /// the stack behaves exactly as the pre-replication build. MPC mode only.
+  SupervisorConfig supervisor;
+  /// Robust controller variant (Makridis-style gain derating, setpoint
+  /// margin, spike filter, release rate limit). nullopt = nominal MPC.
+  std::optional<control::RobustConfig> robust;
 };
 
 /// Canonical telemetry series names shared by AppStack, Testbed, and the
 /// ScenarioRunner: "app<i>/p90" (scalar) and "app<i>/alloc" (vector).
 [[nodiscard]] std::string response_series_name(std::size_t app_index);
 [[nodiscard]] std::string allocation_series_name(std::size_t app_index);
+/// Per-tier committed replica counts, "app<i>/replicas" (vector) — only
+/// recorded when replication is active (supervisor enabled or any tier
+/// starting with more than one replica), so healthy single-replica
+/// telemetry stays byte-identical to the pre-replication build.
+[[nodiscard]] std::string replica_series_name(std::size_t app_index);
 
 class AppStack {
  public:
@@ -111,6 +125,26 @@ class AppStack {
 
   void apply_allocation(std::size_t tier, double ghz);
   void apply_allocations(std::span<const double> ghz);
+  /// Grants an arbitrated allocation to ONE replica slot (an embedding
+  /// owner maps each replica to its own VM, so grants arrive per VM).
+  void apply_replica_allocation(std::size_t tier, std::size_t slot, double ghz);
+
+  // ---- horizontal scaling ------------------------------------------------
+
+  /// Scale decisions produced by the supervisor during the last
+  /// decide_tick(), not yet applied. Standalone mode applies them itself
+  /// via apply_scaling(); an embedding owner (Testbed) takes them here and
+  /// performs the cluster-side bookkeeping (VM creation/retirement) around
+  /// the app-side scale_out/scale_in calls.
+  [[nodiscard]] std::vector<ScaleDecision> take_scale_decisions();
+  /// Applies (and clears) the pending scale decisions directly to the app.
+  void apply_scaling();
+  /// True when the supervisor is enabled or any tier starts with more than
+  /// one replica — gates the replica telemetry series.
+  [[nodiscard]] bool replication_active() const noexcept { return replication_active_; }
+  [[nodiscard]] const ScalingSupervisor* supervisor() const noexcept {
+    return supervisor_ ? &*supervisor_ : nullptr;
+  }
 
   [[nodiscard]] app::MultiTierApp& app() noexcept { return *app_; }
   [[nodiscard]] const app::MultiTierApp& app() const noexcept { return *app_; }
@@ -141,12 +175,17 @@ class AppStack {
   app::ResponseTimeMonitor monitor_;
   std::unique_ptr<ResponseTimeController> controller_;
   Policy policy_;
+  std::optional<ScalingSupervisor> supervisor_;
+  std::vector<ScaleDecision> pending_scale_;
   telemetry::Recorder* recorder_ = nullptr;
   std::string response_series_;
   std::string allocation_series_;
+  std::string replica_series_;
   fault::FaultInjector* fault_ = nullptr;
   std::uint32_t fault_index_ = 0;
   double held_measurement_;  // policy mode's substitute for the controller's
+  double sla_setpoint_;      // unscaled SLA (the robust MPC tracks a margin of it)
+  bool replication_active_ = false;
   bool loop_started_ = false;
 };
 

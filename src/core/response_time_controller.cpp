@@ -2,14 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace vdc::core {
 
+namespace {
+
+control::ArxModel harden_model(control::ArxModel model,
+                               const std::optional<control::RobustConfig>& robust) {
+  if (!robust) return model;
+  robust->validate();
+  return control::derate_gain(std::move(model), robust->gain_margin);
+}
+
+control::MpcConfig harden_config(control::MpcConfig config,
+                                 const std::optional<control::RobustConfig>& robust) {
+  if (!robust) return config;
+  config.setpoint *= robust->setpoint_margin;
+  if (robust->release_slew_ghz > 0.0 && config.delta_max > 0.0) {
+    config.delta_down_max = std::min(robust->release_slew_ghz, config.delta_max);
+  }
+  return config;
+}
+
+}  // namespace
+
 ResponseTimeController::ResponseTimeController(control::ArxModel model,
                                                control::MpcConfig config,
-                                               std::vector<double> initial_allocations)
-    : mpc_(std::move(model), config), last_measurement_(config.setpoint) {
-  mpc_.reset(config.setpoint, initial_allocations);
+                                               std::vector<double> initial_allocations,
+                                               std::optional<control::RobustConfig> robust)
+    : robust_(std::move(robust)),
+      mpc_(harden_model(std::move(model), robust_), harden_config(config, robust_)),
+      last_measurement_(config.setpoint),
+      fed_measurement_(mpc_.setpoint()) {
+  if (robust_ && robust_->spike_window > 1) filter_.emplace(robust_->spike_window);
+  mpc_.reset(mpc_.setpoint(), initial_allocations);
 }
 
 std::vector<double> ResponseTimeController::control(
@@ -21,13 +48,18 @@ std::vector<double> ResponseTimeController::control(
     ++stale_holds_;
     return mpc_.hold();
   }
-  if (stats && stats->count > 0) last_measurement_ = stats->controlled;
-  std::vector<double> demands = mpc_.step(last_measurement_);
+  if (stats && stats->count > 0) {
+    last_measurement_ = stats->controlled;
+    // The robust variant feeds the MPC a windowed median, rejecting
+    // isolated sensor spikes; the nominal path feeds the raw sample.
+    fed_measurement_ = filter_ ? filter_->apply(stats->controlled) : stats->controlled;
+  }
+  std::vector<double> demands = mpc_.step(fed_measurement_);
 
   // Infeasibility watch: the SLA stays violated while CPU re-allocation has
   // stopped helping — either every actuator is railed at its upper bound,
   // or the optimizer is stationary (|dc| negligible) despite the violation.
-  const bool violated = last_measurement_ > mpc_.setpoint() * 1.1;
+  const bool violated = fed_measurement_ > mpc_.setpoint() * 1.1;
   const control::MpcConfig& config = mpc_.config();
   bool railed = true;
   bool stalled = true;

@@ -16,6 +16,7 @@
 
 #include "app/monitor.hpp"
 #include "control/mpc.hpp"
+#include "control/robust.hpp"
 
 namespace vdc::core {
 
@@ -23,8 +24,15 @@ class ResponseTimeController {
  public:
   /// `model` and `config` come from system identification / tuning;
   /// `initial_allocations` seeds the controller state (GHz per tier VM).
+  /// A `robust` config switches on the Makridis-style hardened variant:
+  /// the model's input gain is derated by the uncertainty margin, the MPC
+  /// tracks a tightened internal setpoint, the measurement is median-
+  /// filtered against sensor spikes, and allocation release is rate-
+  /// limited (delta_down_max). Without it, behavior is the paper's nominal
+  /// MPC, bit for bit.
   ResponseTimeController(control::ArxModel model, control::MpcConfig config,
-                         std::vector<double> initial_allocations);
+                         std::vector<double> initial_allocations,
+                         std::optional<control::RobustConfig> robust = std::nullopt);
 
   /// One control period. `stats` is the monitor's harvest for the period;
   /// when no request completed (empty), the previous measurement is held —
@@ -36,8 +44,16 @@ class ResponseTimeController {
   /// the plant with fiction.
   [[nodiscard]] std::vector<double> control(const std::optional<app::PeriodStats>& stats);
 
-  void set_setpoint(double setpoint_s) noexcept { mpc_.set_setpoint(setpoint_s); }
+  /// `setpoint_s` is the SLA value; the robust variant internally tracks
+  /// setpoint_s * setpoint_margin.
+  void set_setpoint(double setpoint_s) noexcept {
+    mpc_.set_setpoint(robust_ ? setpoint_s * robust_->setpoint_margin : setpoint_s);
+  }
+  /// The setpoint the MPC tracks (already tightened in the robust variant).
   [[nodiscard]] double setpoint() const noexcept { return mpc_.setpoint(); }
+  [[nodiscard]] const std::optional<control::RobustConfig>& robust() const noexcept {
+    return robust_;
+  }
   [[nodiscard]] double last_measurement() const noexcept { return last_measurement_; }
   [[nodiscard]] const control::MpcController& mpc() const noexcept { return mpc_; }
   [[nodiscard]] std::vector<double> current_demands() const {
@@ -57,8 +73,13 @@ class ResponseTimeController {
   [[nodiscard]] std::size_t stale_holds() const noexcept { return stale_holds_; }
 
  private:
+  std::optional<control::RobustConfig> robust_;
   control::MpcController mpc_;
+  std::optional<control::MedianFilter> filter_;  // robust variant only
   double last_measurement_;
+  /// Measurement as fed to the MPC (median-filtered in the robust variant;
+  /// identical to last_measurement_ otherwise).
+  double fed_measurement_;
   std::size_t window_ = 8;
   std::vector<bool> history_;  // per-period "violated and not improving"
   std::vector<double> previous_demands_;

@@ -88,6 +88,8 @@ ScenarioResult run_app_stack(const ScenarioSpec& spec) {
   if (const ResponseTimeController* controller = app_stack->controller()) {
     result.stale_holds = controller->stale_holds();
   }
+  result.scale_outs = app_stack->app().scale_out_count();
+  result.scale_ins = app_stack->app().scale_in_count();
   return result;
 }
 
@@ -121,6 +123,8 @@ ScenarioResult run_testbed(const ScenarioSpec& spec) {
   result.faults = testbed.fault_injector().counters();
   result.failed_migrations = testbed.failed_migrations();
   result.vm_restarts = testbed.vm_restarts();
+  result.scale_outs = testbed.scale_out_count();
+  result.scale_ins = testbed.scale_in_count();
   for (std::size_t i = 0; i < config.num_apps; ++i) {
     if (const ResponseTimeController* controller = testbed.app_stack(i).controller()) {
       result.stale_holds += controller->stale_holds();

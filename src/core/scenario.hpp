@@ -107,6 +107,11 @@ struct ScenarioResult {
   /// sensor pipeline was stale (summed over apps).
   std::size_t stale_holds = 0;
 
+  // ---- horizontal scaling (zero unless replication is active) ------------
+  /// Replica scale-out / scale-in events, summed over apps and tiers.
+  std::uint64_t scale_outs = 0;
+  std::uint64_t scale_ins = 0;
+
   [[nodiscard]] const std::vector<double>& response_series(std::size_t app = 0) const;
   [[nodiscard]] const std::vector<std::vector<double>>& allocation_series(
       std::size_t app = 0) const;

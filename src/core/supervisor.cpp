@@ -1,0 +1,85 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdc::core {
+
+void SupervisorConfig::validate() const {
+  if (min_replicas == 0) throw std::invalid_argument("SupervisorConfig: min_replicas >= 1");
+  if (max_replicas < min_replicas) {
+    throw std::invalid_argument("SupervisorConfig: max_replicas < min_replicas");
+  }
+  if (!(saturation_fraction > 0.0) || saturation_fraction > 1.0) {
+    throw std::invalid_argument("SupervisorConfig: saturation_fraction in (0, 1]");
+  }
+  if (!(violation_fraction >= 1.0) || !std::isfinite(violation_fraction)) {
+    throw std::invalid_argument("SupervisorConfig: violation_fraction >= 1");
+  }
+  if (!(comfort_fraction > 0.0) || comfort_fraction >= 1.0) {
+    throw std::invalid_argument("SupervisorConfig: comfort_fraction in (0, 1)");
+  }
+  if (!(scale_in_headroom > 0.0) || scale_in_headroom > 1.0) {
+    throw std::invalid_argument("SupervisorConfig: scale_in_headroom in (0, 1]");
+  }
+  if (scale_out_patience == 0 || scale_in_patience == 0) {
+    throw std::invalid_argument("SupervisorConfig: patience must be >= 1");
+  }
+}
+
+ScalingSupervisor::ScalingSupervisor(SupervisorConfig config, std::size_t tier_count)
+    : config_(config), violate_streak_(tier_count, 0), comfort_streak_(tier_count, 0) {
+  config_.validate();
+}
+
+std::vector<ScaleDecision> ScalingSupervisor::decide(
+    double measurement_s, double setpoint_s, std::span<const double> per_replica_demand_ghz,
+    std::span<const double> c_max_ghz, std::span<const app::ReplicaSetStatus> tiers) {
+  if (per_replica_demand_ghz.size() != violate_streak_.size() ||
+      c_max_ghz.size() != violate_streak_.size() || tiers.size() != violate_streak_.size()) {
+    throw std::invalid_argument("ScalingSupervisor: tier count mismatch");
+  }
+  std::vector<ScaleDecision> decisions;
+  if (!config_.enabled) return decisions;
+
+  const bool violated = measurement_s > config_.violation_fraction * setpoint_s;
+  const bool comfortable = measurement_s < config_.comfort_fraction * setpoint_s;
+
+  for (std::size_t j = 0; j < tiers.size(); ++j) {
+    const app::ReplicaSetStatus& status = tiers[j];
+    const double demand_ghz = per_replica_demand_ghz[j];
+    const bool saturated = demand_ghz >= config_.saturation_fraction * c_max_ghz[j];
+
+    violate_streak_[j] = (violated && saturated) ? violate_streak_[j] + 1 : 0;
+
+    // Scale-in needs headroom: total demand spread over one fewer replica
+    // must still fit under scale_in_headroom * c_max each.
+    const double total_demand_ghz = demand_ghz * static_cast<double>(status.target);
+    const bool headroom =
+        status.target > 1 &&
+        total_demand_ghz <= config_.scale_in_headroom * c_max_ghz[j] *
+                                static_cast<double>(status.target - 1);
+    comfort_streak_[j] = (comfortable && headroom) ? comfort_streak_[j] + 1 : 0;
+
+    // Hold while a previous decision settles: a booting or draining replica
+    // means the plant has not yet reached the state the last decision asked
+    // for, and stacking moves on top of it oscillates.
+    if (status.booting > 0 || status.draining > 0) continue;
+
+    const std::size_t ceiling = std::min(config_.max_replicas, status.max_replicas);
+    if (violate_streak_[j] >= config_.scale_out_patience && status.target < ceiling) {
+      decisions.push_back({j, +1});
+      violate_streak_[j] = 0;
+      comfort_streak_[j] = 0;
+    } else if (comfort_streak_[j] >= config_.scale_in_patience &&
+               status.target > std::max<std::size_t>(1, config_.min_replicas)) {
+      decisions.push_back({j, -1});
+      violate_streak_[j] = 0;
+      comfort_streak_[j] = 0;
+    }
+  }
+  return decisions;
+}
+
+}  // namespace vdc::core

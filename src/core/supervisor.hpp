@@ -1,0 +1,93 @@
+// Supervisory horizontal-scaling layer above the per-application MPC.
+//
+// The paper's controller has one actuator per tier: the CPU allocation cap
+// of its VM. Krzywda et al. show horizontal scaling sits on a different
+// power/latency frontier, so this layer adds the replica count as a
+// *discrete outer decision* taken once per control period, while the MPC
+// inner loop keeps choosing the continuous per-replica allocation exactly
+// as before. Split of responsibilities:
+//
+//   supervisor (this file)   discrete: how many replicas per tier
+//   MPC inner loop           continuous: GHz per replica
+//
+// Scale-out triggers when the SLA is violated while a tier's inner
+// actuator is saturated (per-replica demand near c_max) for
+// `scale_out_patience` consecutive periods — the continuous actuator has
+// nothing left to give, so capacity must come from another replica.
+// Scale-in triggers when the application is comfortably under its setpoint
+// and the surviving replicas could absorb the tier's total demand with
+// headroom, sustained for `scale_in_patience` periods (deliberately longer:
+// adding capacity is urgent, removing it is not). One decision per tier
+// per period, and while a previous decision is still settling (a replica
+// booting or draining) the tier holds — the boot delay makes scale-out a
+// committed investment, and acting on a half-applied decision oscillates.
+//
+// The supervisor is deliberately model-free (thresholds + hysteresis, not
+// the ARX model): the discrete decision must stay sane precisely when the
+// model is wrong, which is when it matters most.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "app/multi_tier_app.hpp"
+
+namespace vdc::core {
+
+struct SupervisorConfig {
+  /// Master switch. Disabled (the default) leaves replica counts at their
+  /// configured initial values: the pre-replication behavior, bit for bit.
+  bool enabled = false;
+  std::size_t min_replicas = 1;
+  /// Upper bound per tier (also capped by the tier's own max_replicas).
+  std::size_t max_replicas = 4;
+  /// A tier counts as saturated when the MPC's per-replica demand exceeds
+  /// this fraction of c_max.
+  double saturation_fraction = 0.9;
+  /// The SLA counts as violated when the measurement exceeds this multiple
+  /// of the setpoint.
+  double violation_fraction = 1.05;
+  /// Consecutive violated+saturated periods before a scale-out.
+  std::size_t scale_out_patience = 3;
+  /// The measurement must sit below this fraction of the setpoint for a
+  /// tier to be scale-in comfortable.
+  double comfort_fraction = 0.7;
+  /// After removing a replica, the survivors must be able to absorb the
+  /// tier's total demand at no more than this fraction of c_max.
+  double scale_in_headroom = 0.6;
+  /// Consecutive comfortable periods before a scale-in (longer than
+  /// scale_out_patience: releasing capacity is never urgent).
+  std::size_t scale_in_patience = 10;
+
+  void validate() const;
+};
+
+/// One discrete decision: add (+1) or remove (-1) a replica of `tier`.
+struct ScaleDecision {
+  std::size_t tier = 0;
+  int delta = 0;
+};
+
+class ScalingSupervisor {
+ public:
+  ScalingSupervisor(SupervisorConfig config, std::size_t tier_count);
+
+  /// One control period. `measurement_s` is the (filtered) response time,
+  /// `setpoint_s` the SLA target, `per_replica_demand_ghz` the MPC's
+  /// decision for this period, `c_max_ghz` the per-tier actuator ceiling,
+  /// `tiers` the current replica-set status. Pure per-application state —
+  /// safe to run in the parallel decide phase.
+  [[nodiscard]] std::vector<ScaleDecision> decide(
+      double measurement_s, double setpoint_s, std::span<const double> per_replica_demand_ghz,
+      std::span<const double> c_max_ghz, std::span<const app::ReplicaSetStatus> tiers);
+
+  [[nodiscard]] const SupervisorConfig& config() const noexcept { return config_; }
+
+ private:
+  SupervisorConfig config_;
+  std::vector<std::size_t> violate_streak_;
+  std::vector<std::size_t> comfort_streak_;
+};
+
+}  // namespace vdc::core

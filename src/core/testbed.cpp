@@ -56,38 +56,58 @@ Testbed::Testbed(TestbedConfig config)
   stack.mpc = config_.mpc;
   stack.mpc.period_s = config_.control_period_s;
   stack.mpc.setpoint = config_.setpoint_s;
+  stack.supervisor = config_.supervisor;
+  stack.robust = config_.robust;
+  replication_active_ = config_.supervisor.enabled || config_.initial_replicas > 1;
 
+  // Initial placement: one VM per replica, spread round-robin over the
+  // servers. With one replica per tier the cursor visits exactly the
+  // (i * tiers + j) % num_servers sequence of the pre-replication build.
+  std::size_t placement_cursor = 0;
   for (std::size_t i = 0; i < config_.num_apps; ++i) {
     stack.app = app::default_two_tier_app("app" + std::to_string(i + 1),
                                           config_.seed + i, config_.concurrency);
+    for (app::TierConfig& tier : stack.app.tiers) {
+      tier.initial_replicas = config_.initial_replicas;
+      tier.max_replicas = std::max(config_.max_replicas, config_.initial_replicas);
+      tier.boot_delay_s = config_.replica_boot_delay_s;
+    }
     auto app_stack = std::make_unique<AppStack>(sim_, model_, stack);
     app_stack->bind_recorder(&recorder_, response_series_name(i),
                              allocation_series_name(i));
 
-    // One VM per tier, spread round-robin over the servers.
     const std::size_t tiers = app_stack->tier_count();
-    std::vector<datacenter::VmId> ids;
+    std::vector<std::vector<datacenter::VmId>> ids(tiers);
     for (std::size_t j = 0; j < tiers; ++j) {
-      datacenter::Vm vm;
-      vm.name = app_stack->app().name() + (j == 0 ? "-web" : "-db");
-      vm.role = j == 0 ? "web" : "db";
-      vm.cpu_demand_ghz = stack.initial_allocation_ghz;
-      vm.memory_mb = 1024.0;
-      const auto server = static_cast<datacenter::ServerId>(
-          (i * tiers + j) % config_.num_servers);
-      ids.push_back(cluster_.add_vm(vm, server));
+      for (std::size_t r = 0; r < stack.app.tiers[j].initial_replicas; ++r) {
+        datacenter::Vm vm;
+        vm.name = app_stack->app().name() + (j == 0 ? "-web" : "-db");
+        if (r > 0) vm.name += "-r" + std::to_string(r);
+        vm.role = j == 0 ? "web" : "db";
+        vm.cpu_demand_ghz = stack.initial_allocation_ghz;
+        vm.memory_mb = 1024.0;
+        const auto server =
+            static_cast<datacenter::ServerId>(placement_cursor++ % config_.num_servers);
+        ids[j].push_back(cluster_.add_vm(vm, server));
+      }
     }
     vm_ids_.push_back(std::move(ids));
     stacks_.push_back(std::move(app_stack));
   }
   for (std::size_t i = 0; i < vm_ids_.size(); ++i) {
     for (std::size_t j = 0; j < vm_ids_[i].size(); ++j) {
-      const datacenter::VmId vm = vm_ids_[i][j];
-      if (vm >= vm_slots_.size()) vm_slots_.resize(vm + 1);
-      vm_slots_[vm] = VmSlot{i, j};
+      for (std::size_t r = 0; r < vm_ids_[i][j].size(); ++r) {
+        const datacenter::VmId vm = vm_ids_[i][j][r];
+        if (vm >= vm_slots_.size()) vm_slots_.resize(vm + 1);
+        vm_slots_[vm] = VmSlot{i, j, r};
+      }
     }
+    // Cluster-side bookkeeping around app-side retirement: the backing VM
+    // is tombstoned the moment a drained replica goes away.
+    stacks_[i]->app().set_replica_retired_callback(
+        [this, i](std::size_t tier, std::size_t slot) { on_replica_retired(i, tier, slot); });
   }
-  last_work_done_.assign(config_.num_apps * 2, 0.0);
+  last_work_done_.assign(cluster_.vm_count(), 0.0);
   recorder_.declare_scalar(kPowerSeries);
 
   // Cluster-level gauges sampled at the end of every control tick.
@@ -104,6 +124,10 @@ Testbed::Testbed(TestbedConfig config)
               [this] { return static_cast<double>(migrations_in_flight_); });
   probes_.add(kMigrationsCompletedSeries,
               [this] { return static_cast<double>(completed_migrations_); });
+  if (replication_active_) {
+    probes_.add(kLiveVmsSeries,
+                [this] { return static_cast<double>(cluster_.live_vm_count()); });
+  }
 
   // Chaos wiring: sensor faults route through the app stacks, and the
   // fault gauges exist only when a plan is loaded — a healthy run's
@@ -125,8 +149,89 @@ void Testbed::annotate(const std::string& label) {
 }
 
 void Testbed::apply_tier_allocation(datacenter::VmId vm, double ghz) {
+  // A VM retired between decision and grant (scale-in finishing mid-period,
+  // or a crash/migration lambda firing late) backs no live replica anymore.
+  if (cluster_.vm_retired(vm)) return;
   const VmSlot& slot = vm_slots_.at(vm);
-  stacks_[slot.app]->apply_allocation(slot.tier, ghz);
+  stacks_[slot.app]->apply_replica_allocation(slot.tier, slot.replica, ghz);
+}
+
+datacenter::ServerId Testbed::pick_replica_host() {
+  // Least-loaded active server; a fully asleep cluster wakes one box.
+  datacenter::ServerId best = datacenter::kNoServer;
+  double best_demand_ghz = 0.0;
+  for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
+    if (!cluster_.server(s).active()) continue;
+    const double demand = cluster_.server_cpu_demand_ghz(s);
+    if (best == datacenter::kNoServer || demand < best_demand_ghz) {
+      best = s;
+      best_demand_ghz = demand;
+    }
+  }
+  if (best == datacenter::kNoServer) {
+    for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
+      if (!cluster_.server(s).failed() && cluster_.wake(s)) return s;
+    }
+    throw std::logic_error("Testbed: no server available for a new replica");
+  }
+  return best;
+}
+
+datacenter::VmId Testbed::create_replica_vm(std::size_t app, std::size_t tier,
+                                            std::size_t slot) {
+  datacenter::Vm vm;
+  vm.name = stacks_[app]->app().name() + (tier == 0 ? "-web" : "-db") + "-r" +
+            std::to_string(slot);
+  vm.role = tier == 0 ? "web" : "db";
+  // A booting replica consumes its (inherited) allocation from the start.
+  vm.cpu_demand_ghz = stacks_[app]->app().replica_allocation(tier, slot);
+  vm.memory_mb = 1024.0;
+  const datacenter::VmId id = cluster_.add_vm(vm, pick_replica_host());
+  if (vm_ids_[app][tier].size() <= slot) {
+    vm_ids_[app][tier].resize(slot + 1, datacenter::kNoVm);
+  }
+  vm_ids_[app][tier][slot] = id;
+  if (id >= vm_slots_.size()) vm_slots_.resize(id + 1);
+  vm_slots_[id] = VmSlot{app, tier, slot};
+  if (id >= last_work_done_.size()) last_work_done_.resize(id + 1, 0.0);
+  // Queues are reused across slot generations, so the work counter is
+  // cumulative: seed the baseline so only post-creation work is billed.
+  last_work_done_[id] = stacks_[app]->app().replica_work_done_gcycles(tier, slot);
+  return id;
+}
+
+void Testbed::on_replica_retired(std::size_t app, std::size_t tier, std::size_t slot) {
+  if (slot >= vm_ids_[app][tier].size()) return;
+  const datacenter::VmId vm = vm_ids_[app][tier][slot];
+  if (vm == datacenter::kNoVm) return;
+  cluster_.retire_vm(vm);
+  vm_ids_[app][tier][slot] = datacenter::kNoVm;
+}
+
+void Testbed::apply_scale_decisions() {
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    for (const ScaleDecision& decision : stacks_[i]->take_scale_decisions()) {
+      if (decision.delta > 0) {
+        const std::size_t slot = stacks_[i]->app().scale_out(decision.tier);
+        create_replica_vm(i, decision.tier, slot);
+      } else if (decision.delta < 0) {
+        // Drain-then-retire; the VM tombstone lands via the retire callback.
+        stacks_[i]->app().scale_in(decision.tier);
+      }
+    }
+  }
+}
+
+std::uint64_t Testbed::scale_out_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stack : stacks_) total += stack->app().scale_out_count();
+  return total;
+}
+
+std::uint64_t Testbed::scale_in_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stack : stacks_) total += stack->app().scale_in_count();
+  return total;
 }
 
 void Testbed::set_setpoint(std::size_t app, double setpoint_s) {
@@ -345,17 +450,22 @@ void Testbed::record_power(double now) {
   // Power over the elapsed interval: actual work done / capacity.
   const double interval = now - last_power_time_s_;
   double total_power = 0.0;
-  std::size_t vm_index = 0;
   std::vector<double> server_work(cluster_.server_count(), 0.0);
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
-    for (std::size_t j = 0; j < stacks_[i]->tier_count(); ++j, ++vm_index) {
-      const double done = stacks_[i]->app().tier_work_done_gcycles(j);
-      const double delta = done - last_work_done_[vm_index];
-      last_work_done_[vm_index] = done;
-      // A crash-evicted VM has no host; its (zero-allocation) tier does no
-      // work, and whatever it finished before the crash burned on no server.
-      const datacenter::ServerId host = cluster_.host_of(vm_ids_[i][j]);
-      if (host != datacenter::kNoServer) server_work[host] += delta;
+    for (std::size_t j = 0; j < stacks_[i]->tier_count(); ++j) {
+      const std::vector<datacenter::VmId>& slots = vm_ids_[i][j];
+      for (std::size_t r = 0; r < slots.size(); ++r) {
+        const datacenter::VmId vm = slots[r];
+        if (vm == datacenter::kNoVm) continue;
+        const double done = stacks_[i]->app().replica_work_done_gcycles(j, r);
+        const double delta = done - last_work_done_[vm];
+        last_work_done_[vm] = done;
+        // A crash-evicted VM has no host; its (zero-allocation) replica does
+        // no work, and whatever it finished before the crash burned on no
+        // server.
+        const datacenter::ServerId host = cluster_.host_of(vm);
+        if (host != datacenter::kNoServer) server_work[host] += delta;
+      }
     }
   }
   for (datacenter::ServerId s = 0; s < cluster_.server_count(); ++s) {
@@ -422,10 +532,19 @@ void Testbed::control_tick() {
   }
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     stacks_[i]->record_decision(decided[i]);
+    // Per-replica decision: the MPC allocates per replica, so every live VM
+    // backing tier j demands the same decided[i][j].
     for (std::size_t j = 0; j < decided[i].size(); ++j) {
-      cluster_.vm(vm_ids_[i][j]).cpu_demand_ghz = decided[i][j];
+      for (const datacenter::VmId vm : vm_ids_[i][j]) {
+        if (vm != datacenter::kNoVm) cluster_.vm(vm).cpu_demand_ghz = decided[i][j];
+      }
     }
   }
+
+  // ---- supervisory replica decisions (serial phase) ------------------------
+  // Applied before arbitration so a freshly booted-out replica consumes its
+  // allocation from this very period (the VM is up and billed immediately).
+  apply_scale_decisions();
 
   // ---- server-level arbitration: DVFS + grants -----------------------------
   std::vector<double> demands;

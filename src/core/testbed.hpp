@@ -79,6 +79,23 @@ struct TestbedConfig {
   /// (effective only when `topology` is non-empty and `.enabled` is set).
   consolidate::RackAwareOptions optimizer_rack;
 
+  // ---- horizontal scaling (replica sets) ---------------------------------
+  /// Replicas every tier of every application starts with. > 1 creates one
+  /// VM per replica and activates the replica telemetry even without the
+  /// supervisor. 1 (the default) is the pre-replication testbed, bit for
+  /// bit.
+  std::size_t initial_replicas = 1;
+  /// Hard per-tier replica cap forwarded to the applications.
+  std::size_t max_replicas = 8;
+  /// Boot delay of a scaled-out replica (kBooting -> kServing).
+  double replica_boot_delay_s = 30.0;
+  /// Supervisory replica controller (outer discrete loop) shared by all
+  /// applications. Disabled by default.
+  SupervisorConfig supervisor;
+  /// Robust controller variant (gain derating, setpoint margin, spike
+  /// filter, release rate limit). nullopt = nominal MPC.
+  std::optional<control::RobustConfig> robust;
+
   // ---- control-plane parallelism ----------------------------------------
   /// With at least this many applications, the per-app MPC solves of a
   /// control tick are batched onto ThreadPool::shared() (the decide phase
@@ -116,6 +133,9 @@ inline constexpr const char* kFrequencySeries = "cluster/freq_ghz_mean";
 inline constexpr const char* kActiveServersSeries = "cluster/active_servers";
 inline constexpr const char* kMigrationsInFlightSeries = "cluster/migrations_in_flight";
 inline constexpr const char* kMigrationsCompletedSeries = "cluster/migrations_completed";
+/// Registered ONLY when replication is active (supervisor enabled or
+/// initial_replicas > 1) so single-replica telemetry stays byte-identical.
+inline constexpr const char* kLiveVmsSeries = "cluster/live_vms";
 /// Fault telemetry, registered ONLY when the fault plan is non-empty so
 /// healthy runs export byte-identical tables.
 inline constexpr const char* kFaultsInjectedSeries = "fault/injected_total";
@@ -177,6 +197,10 @@ class Testbed {
   /// Crash-evicted VMs restarted on a new server by the optimizer.
   [[nodiscard]] std::size_t vm_restarts() const noexcept { return restarts_; }
 
+  /// Supervisor-driven replica churn, summed over all applications.
+  [[nodiscard]] std::uint64_t scale_out_count() const noexcept;
+  [[nodiscard]] std::uint64_t scale_in_count() const noexcept;
+
  private:
   void control_tick();
   void optimizer_tick();
@@ -192,18 +216,27 @@ class Testbed {
   void annotate(const std::string& label);
   void apply_tier_allocation(datacenter::VmId vm, double ghz);
   void record_power(double now);
+  /// Creates the cluster VM backing one app-side replica slot.
+  datacenter::VmId create_replica_vm(std::size_t app, std::size_t tier, std::size_t slot);
+  /// App-side retire callback: tombstones the backing VM.
+  void on_replica_retired(std::size_t app, std::size_t tier, std::size_t slot);
+  /// Applies the supervisors' pending replica decisions (serial phase).
+  void apply_scale_decisions();
+  [[nodiscard]] datacenter::ServerId pick_replica_host();
 
   TestbedConfig config_;
   sim::Simulation sim_;
   datacenter::Cluster cluster_;
   std::vector<std::unique_ptr<AppStack>> stacks_;
-  /// vm_ids_[app][tier] -> VmId in cluster_.
-  std::vector<std::vector<datacenter::VmId>> vm_ids_;
-  /// Inverse map: VmId -> {app, tier}, so allocation push-down is O(1)
-  /// per VM instead of a scan over every application's VM list.
+  /// vm_ids_[app][tier][replica slot] -> VmId in cluster_ (kNoVm for a
+  /// retired/free slot; a reused slot gets a fresh VM).
+  std::vector<std::vector<std::vector<datacenter::VmId>>> vm_ids_;
+  /// Inverse map: VmId -> {app, tier, replica}, so allocation push-down is
+  /// O(1) per VM instead of a scan over every application's VM list.
   struct VmSlot {
     std::size_t app = 0;
     std::size_t tier = 0;
+    std::size_t replica = 0;
   };
   std::vector<VmSlot> vm_slots_;
   control::ArxModel model_;
@@ -213,7 +246,8 @@ class Testbed {
   fault::FaultInjector injector_;
   PowerOptimizer optimizer_;
   double last_power_time_s_ = 0.0;
-  std::vector<double> last_work_done_;  // per app*tier, Gcycles
+  std::vector<double> last_work_done_;  // per VmId, Gcycles
+  bool replication_active_ = false;
   bool loop_started_ = false;
   std::size_t migrations_in_flight_ = 0;
   std::size_t completed_migrations_ = 0;

@@ -20,6 +20,7 @@ ServerId Cluster::add_server(Server server) {
 VmId Cluster::add_vm(Vm vm, std::optional<ServerId> host) {
   const auto id = static_cast<VmId>(vms_.size());
   vms_.push_back(std::move(vm));
+  retired_.push_back(false);
   host_.push_back(kNoServer);
   if (host) place(id, *host);
   return id;
@@ -58,6 +59,7 @@ std::span<const VmId> Cluster::vms_on(ServerId id) const {
 void Cluster::place(VmId vm, ServerId host) {
   check_vm(vm);
   check_server(host);
+  if (retired_[vm]) throw std::logic_error("Cluster::place: VM is retired");
   if (host_[vm] != kNoServer) {
     throw std::logic_error("Cluster::place: VM already placed (use migrate)");
   }
@@ -68,6 +70,7 @@ void Cluster::place(VmId vm, ServerId host) {
 void Cluster::migrate(VmId vm, ServerId host, double now_s) {
   check_vm(vm);
   check_server(host);
+  if (retired_[vm]) throw std::logic_error("Cluster::migrate: VM is retired");
   const ServerId from = host_[vm];
   if (from == kNoServer) throw std::logic_error("Cluster::migrate: VM is not placed");
   if (from == host) return;
@@ -246,9 +249,30 @@ void Cluster::repair_rack(RackId rack) {
 std::vector<VmId> Cluster::unplaced_vms() const {
   std::vector<VmId> out;
   for (VmId id = 0; id < vms_.size(); ++id) {
-    if (host_[id] == kNoServer) out.push_back(id);
+    if (host_[id] == kNoServer && !retired_[id]) out.push_back(id);
   }
   return out;
+}
+
+void Cluster::retire_vm(VmId id) {
+  check_vm(id);
+  if (retired_[id]) return;
+  if (host_[id] != kNoServer) detach(id);
+  retired_[id] = true;
+  vms_[id].cpu_demand_ghz = 0.0;
+}
+
+bool Cluster::vm_retired(VmId id) const {
+  check_vm(id);
+  return retired_[id];
+}
+
+std::size_t Cluster::live_vm_count() const {
+  std::size_t live = 0;
+  for (VmId id = 0; id < vms_.size(); ++id) {
+    if (!retired_[id]) ++live;
+  }
+  return live;
 }
 
 void Cluster::check_server(ServerId id) const {

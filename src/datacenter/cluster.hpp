@@ -91,7 +91,20 @@ class Cluster {
   /// Repairs every failed server in a rack.
   void repair_rack(RackId rack);
   /// VMs currently assigned to no server (crash-evicted or never placed).
+  /// Retired VMs are excluded: they left the fleet on purpose and must not
+  /// be picked up by the consolidators' homeless-VM re-placement.
   [[nodiscard]] std::vector<VmId> unplaced_vms() const;
+
+  // ---- retirement (horizontal scale-in) -----------------------------------
+  /// Permanently removes a VM from service: detaches it from its host and
+  /// marks it retired. The slot itself stays — VmIds are positional indices
+  /// shared with consolidation snapshots, so deleting the entry would shift
+  /// every later id. A retired VM hosts no demand, is skipped by placement
+  /// queries, and cannot be placed or migrated again.
+  void retire_vm(VmId id);
+  [[nodiscard]] bool vm_retired(VmId id) const;
+  /// VMs currently in service (not retired).
+  [[nodiscard]] std::size_t live_vm_count() const;
 
  private:
   void check_server(ServerId id) const;
@@ -100,6 +113,7 @@ class Cluster {
 
   std::vector<Server> servers_;
   std::vector<Vm> vms_;
+  std::vector<bool> retired_;                // per VM; scale-in tombstones
   std::vector<ServerId> host_;               // per VM; kNoServer when unplaced
   std::vector<std::vector<VmId>> hosted_;    // per server
   MigrationModel migration_model_;

@@ -14,6 +14,7 @@ namespace vdc::datacenter {
 using ServerId = std::uint32_t;
 using VmId = std::uint32_t;
 inline constexpr ServerId kNoServer = static_cast<ServerId>(-1);
+inline constexpr VmId kNoVm = static_cast<VmId>(-1);
 
 enum class ServerState {
   kSleeping,

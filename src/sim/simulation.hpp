@@ -24,6 +24,10 @@ namespace vdc::sim {
 /// so 0 can be used as a "no event" sentinel by callers.
 using EventId = std::uint64_t;
 
+/// The "no event pending" sentinel (generations start at 1, so no live
+/// event ever has this id; `cancel(kNoEvent)` is a harmless no-op).
+inline constexpr EventId kNoEvent = 0;
+
 class Simulation {
  public:
   /// Current simulation time in seconds.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "app/monitor.hpp"
 #include "util/statistics.hpp"
 
@@ -146,6 +148,63 @@ TEST(MultiTierApp, DeterministicForSameSeed) {
     return app.completed_requests();
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(MultiTierApp, RejectsBadTierConfigPerField) {
+  sim::Simulation sim;
+  const auto expect_rejected = [&](auto&& mutate) {
+    AppConfig config = small_app(1, 10);
+    mutate(config);
+    EXPECT_THROW(MultiTierApp(sim, config), std::invalid_argument);
+  };
+  expect_rejected([](AppConfig& c) { c.tiers[0].mean_demand_gcycles = 0.0; });
+  expect_rejected([](AppConfig& c) { c.tiers[0].mean_demand_gcycles = -0.01; });
+  expect_rejected([](AppConfig& c) {
+    c.tiers[1].mean_demand_gcycles = std::numeric_limits<double>::infinity();
+  });
+  // alpha == 1 makes the bounded-Pareto mean divide by zero; at or below 1
+  // the finite-mean rescale is meaningless. The constructor must refuse.
+  expect_rejected([](AppConfig& c) { c.tiers[0].pareto_alpha = 1.0; });
+  expect_rejected([](AppConfig& c) { c.tiers[0].pareto_alpha = 0.5; });
+  expect_rejected([](AppConfig& c) {
+    c.tiers[1].pareto_alpha = std::numeric_limits<double>::quiet_NaN();
+  });
+  expect_rejected([](AppConfig& c) { c.tiers[0].initial_allocation_ghz = -1.0; });
+  expect_rejected([](AppConfig& c) { c.think_time_s = 0.0; });
+  expect_rejected([](AppConfig& c) { c.think_time_s = -2.0; });
+  // Closed mode with zero clients and no arrival rate is an empty workload.
+  expect_rejected([](AppConfig& c) { c.concurrency = 0; });
+}
+
+TEST(MultiTierApp, ConcurrencyZeroThenRegrow) {
+  sim::Simulation sim;
+  MultiTierApp app(sim, small_app(21, 10));
+  app.start();
+  sim.run_until(30.0);
+  app.set_concurrency(0);
+  sim.drain_until(500.0);  // every client retires at its next decision point
+  EXPECT_EQ(app.active_clients(), 0u);
+  EXPECT_EQ(app.requests_in_flight(), 0u);
+  const auto before = app.completed_requests();
+  app.set_concurrency(8);  // regrow from zero spawns fresh clients at once
+  EXPECT_EQ(app.active_clients(), 8u);
+  sim.run_until(sim.now() + 60.0);
+  EXPECT_GT(app.completed_requests(), before + 50u);
+}
+
+TEST(MultiTierApp, LazyShrinkKeepsConcurrencyAndActiveClientsDistinct) {
+  sim::Simulation sim;
+  MultiTierApp app(sim, small_app(22, 20));
+  app.start();
+  sim.run_until(30.0);
+  app.set_concurrency(5);
+  // The target drops immediately; the population drains lazily, so right
+  // after the shrink more clients may still be live than the target.
+  EXPECT_EQ(app.concurrency(), 5u);
+  EXPECT_GE(app.active_clients(), 5u);
+  sim.run_until(90.0);  // decision points pass: excess clients retired
+  EXPECT_EQ(app.active_clients(), 5u);
+  EXPECT_LE(app.requests_in_flight(), 5u);
 }
 
 TEST(DefaultTwoTierApp, HasWebAndDbTiers) {

@@ -100,5 +100,43 @@ TEST(OpenWorkload, ResponseTimesRiseWithUtilization) {
   EXPECT_GT(p90_at(40.0), 2.0 * p90_at(10.0));
 }
 
+TEST(OpenWorkload, PausedAppLeavesSimulationQuiescent) {
+  // Regression: a paused open app used to keep a polling event alive, so a
+  // drain over an idle system never terminated. Pausing must cancel the
+  // pending arrival and schedule nothing until the rate rises again.
+  sim::Simulation sim;
+  MultiTierApp app(sim, open_app(20.0));
+  app.start();
+  sim.run_until(10.0);
+  app.set_arrival_rate(0.0);
+  // Residual in-flight requests complete, then the event heap is empty —
+  // drain_until over an enormous horizon returns instead of spinning.
+  (void)sim.drain_until(1e12);
+  EXPECT_EQ(app.requests_in_flight(), 0u);
+  EXPECT_EQ(sim.drain_until(1e12), 0u);  // truly quiescent: nothing pending
+  // Un-pausing restarts the arrival stream.
+  const auto before = app.completed_requests();
+  app.set_arrival_rate(20.0);
+  sim.run_until(sim.now() + 30.0);
+  EXPECT_GT(app.completed_requests(), before + 100u);
+}
+
+TEST(OpenWorkload, RateStepResamplesThePendingGap) {
+  // Regression: raising the rate used to leave the previously sampled
+  // inter-arrival gap pending, so a 0.001 rps app stepped to 100 rps kept
+  // waiting out a ~1000 s gap. The exponential is memoryless, so cancelling
+  // and resampling at the new rate is distribution-exact.
+  sim::Simulation sim;
+  MultiTierApp app(sim, open_app(0.001, 17));
+  app.set_allocations(std::vector<double>(2, 2.0));
+  app.start();
+  sim.run_until(1.0);
+  EXPECT_EQ(app.issued_requests(), 0u);  // the first slow-rate gap is pending
+  app.set_arrival_rate(100.0);
+  sim.run_until(6.0);
+  // ~500 arrivals in 5 s at the new rate; the stale gap would have given 0.
+  EXPECT_GT(app.completed_requests(), 200u);
+}
+
 }  // namespace
 }  // namespace vdc::app

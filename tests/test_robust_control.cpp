@@ -1,0 +1,232 @@
+// The robust control plane: gain derating, the measurement median filter,
+// the asymmetric release rate limit, and the hardened ResponseTimeController
+// variant end to end (spike rejection, setpoint margin, nominal-path
+// equivalence).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "app/monitor.hpp"
+#include "control/mpc.hpp"
+#include "control/robust.hpp"
+#include "core/response_time_controller.hpp"
+
+namespace vdc::control {
+namespace {
+
+ArxModel siso_model() {
+  // t(k) = 0.5 t(k-1) - 1.0 c(k-1) + 2.0  (steady state: t = (2 - c)/0.5).
+  ArxModel m;
+  m.na = 1;
+  m.nb = 1;
+  m.nu = 1;
+  m.a = {0.5};
+  m.b = linalg::Matrix(1, 1);
+  m.b(0, 0) = -1.0;
+  m.bias = 2.0;
+  return m;
+}
+
+MpcConfig base_config() {
+  MpcConfig config;
+  config.prediction_horizon = 10;
+  config.control_horizon = 3;
+  config.r_weight = {0.1};
+  config.period_s = 4.0;
+  config.tref_s = 8.0;
+  config.setpoint = 1.0;
+  config.c_min = {0.1};
+  config.c_max = {2.0};
+  config.delta_max = 0.5;
+  return config;
+}
+
+TEST(RobustConfig, Validation) {
+  RobustConfig config;
+  config.validate();  // defaults are sane
+  config.gain_margin = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = RobustConfig{};
+  config.gain_margin = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = RobustConfig{};
+  config.setpoint_margin = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = RobustConfig{};
+  config.setpoint_margin = 1.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = RobustConfig{};
+  config.spike_window = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(RobustControl, DerateGainScalesOnlyB) {
+  const ArxModel derated = derate_gain(siso_model(), 0.3);
+  EXPECT_DOUBLE_EQ(derated.b(0, 0), -0.7);
+  EXPECT_DOUBLE_EQ(derated.a[0], 0.5);    // AR part untouched
+  EXPECT_DOUBLE_EQ(derated.bias, 2.0);    // bias untouched
+  const ArxModel unchanged = derate_gain(siso_model(), 0.0);
+  EXPECT_DOUBLE_EQ(unchanged.b(0, 0), -1.0);
+}
+
+TEST(MedianFilter, RejectsIsolatedSpikes) {
+  MedianFilter filter(3);
+  EXPECT_DOUBLE_EQ(filter.apply(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(filter.apply(50.0), 1.0);   // lower middle of {1, 50}
+  EXPECT_DOUBLE_EQ(filter.apply(1.2), 1.2);    // median of {1, 50, 1.2}
+  EXPECT_DOUBLE_EQ(filter.apply(1.1), 1.2);    // spike slides out: {50, 1.2, 1.1}
+  EXPECT_DOUBLE_EQ(filter.apply(1.0), 1.1);    // fully spike-free again
+}
+
+TEST(MedianFilter, TracksSustainedShifts) {
+  MedianFilter filter(3);
+  (void)filter.apply(1.0);
+  (void)filter.apply(1.0);
+  (void)filter.apply(1.0);
+  // A sustained level change passes after window/2 + 1 samples — lag, not
+  // rejection.
+  (void)filter.apply(3.0);
+  EXPECT_DOUBLE_EQ(filter.apply(3.0), 3.0);
+}
+
+TEST(MedianFilter, WindowOneIsIdentity) {
+  MedianFilter filter(1);
+  EXPECT_DOUBLE_EQ(filter.apply(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(filter.apply(-2.0), -2.0);
+}
+
+TEST(AsymmetricRateLimit, ConfigValidation) {
+  MpcConfig config = base_config();
+  config.delta_down_max = 0.8;  // > delta_max
+  EXPECT_THROW(MpcController(siso_model(), config), std::invalid_argument);
+  config = base_config();
+  config.delta_max = 0.0;
+  config.delta_down_max = 0.1;  // asymmetric limit needs a rate limit at all
+  EXPECT_THROW(MpcController(siso_model(), config), std::invalid_argument);
+}
+
+TEST(AsymmetricRateLimit, ReleaseIsSlowerThanGrant) {
+  MpcConfig config = base_config();
+  config.delta_down_max = 0.05;
+  MpcController ctl(siso_model(), config);
+  ctl.reset(1.0, std::vector<double>{1.0});
+  // Output far above setpoint: the controller grants aggressively, up to
+  // the full delta_max per period.
+  const std::vector<double> up = ctl.step(3.0);
+  EXPECT_GT(up[0], 1.0);
+  EXPECT_LE(up[0], 1.0 + config.delta_max + 1e-9);
+  // Output far below setpoint: release is capped at delta_down_max.
+  double c = up[0];
+  for (int k = 0; k < 5; ++k) {
+    const std::vector<double> down = ctl.step(0.01);
+    EXPECT_GE(down[0], c - config.delta_down_max - 1e-9)
+        << "release exceeded the slew cap at step " << k;
+    c = down[0];
+  }
+}
+
+}  // namespace
+}  // namespace vdc::control
+
+namespace vdc::core {
+namespace {
+
+using control::ArxModel;
+using control::MpcConfig;
+using control::RobustConfig;
+
+ArxModel plant_model() {
+  ArxModel m;
+  m.na = 1;
+  m.nb = 1;
+  m.nu = 1;
+  m.a = {0.5};
+  m.b = linalg::Matrix(1, 1);
+  m.b(0, 0) = -1.0;
+  m.bias = 2.0;
+  return m;
+}
+
+MpcConfig controller_config() {
+  MpcConfig config;
+  config.prediction_horizon = 10;
+  config.control_horizon = 3;
+  config.r_weight = {0.1};
+  config.period_s = 4.0;
+  config.tref_s = 8.0;
+  config.setpoint = 1.0;
+  config.c_min = {0.1};
+  config.c_max = {2.0};
+  config.delta_max = 0.5;
+  return config;
+}
+
+app::PeriodStats stats_with(double value) {
+  app::PeriodStats stats;
+  stats.count = 10;
+  stats.quantile = value;
+  stats.mean = value;
+  stats.controlled = value;
+  return stats;
+}
+
+TEST(RobustController, TracksTightenedSetpoint) {
+  RobustConfig robust;
+  robust.setpoint_margin = 0.8;
+  ResponseTimeController ctl(plant_model(), controller_config(),
+                             std::vector<double>{1.0}, robust);
+  EXPECT_DOUBLE_EQ(ctl.mpc().setpoint(), 0.8);  // internal target is scaled
+  ctl.set_setpoint(2.0);
+  EXPECT_DOUBLE_EQ(ctl.mpc().setpoint(), 1.6);
+}
+
+TEST(RobustController, SpikeDoesNotStripAllocation) {
+  // One wild sensor spike: the nominal controller reacts (the measurement
+  // enters the MPC raw), the robust one filters it to the running median and
+  // decides exactly what it would have decided on a clean sample.
+  const auto run = [](std::optional<RobustConfig> robust, double seventh) {
+    ResponseTimeController ctl(plant_model(), controller_config(),
+                               std::vector<double>{1.0}, robust);
+    std::vector<double> c;
+    for (int k = 0; k < 6; ++k) c = ctl.control(stats_with(1.0));
+    return ctl.control(stats_with(seventh));
+  };
+  const std::vector<double> nominal_clean = run(std::nullopt, 1.0);
+  const std::vector<double> nominal_spike = run(std::nullopt, 40.0);
+  EXPECT_GT(nominal_spike[0] - nominal_clean[0], 0.2);  // nominal chases it
+  const std::vector<double> robust_clean = run(RobustConfig{}, 1.0);
+  const std::vector<double> robust_spike = run(RobustConfig{}, 40.0);
+  EXPECT_EQ(robust_spike, robust_clean);  // median{1,1,40} == median{1,1,1}
+}
+
+TEST(RobustController, NominalPathUnchangedWithoutRobustConfig) {
+  // nullopt robust config must be the exact pre-robust controller: same
+  // decisions, same held state, for the same measurement sequence.
+  ResponseTimeController plain(plant_model(), controller_config(),
+                               std::vector<double>{1.0});
+  ResponseTimeController with_nullopt(plant_model(), controller_config(),
+                                      std::vector<double>{1.0}, std::nullopt);
+  for (int k = 0; k < 10; ++k) {
+    const double measurement = 1.0 + 0.3 * ((k % 3) - 1);
+    EXPECT_EQ(plain.control(stats_with(measurement)),
+              with_nullopt.control(stats_with(measurement)));
+  }
+  EXPECT_EQ(plain.last_measurement(), with_nullopt.last_measurement());
+}
+
+TEST(RobustController, HoldsOnStaleExactlyLikeNominal) {
+  RobustConfig robust;
+  ResponseTimeController ctl(plant_model(), controller_config(),
+                             std::vector<double>{1.0}, robust);
+  (void)ctl.control(stats_with(1.2));
+  const std::vector<double> before = ctl.mpc().current_allocations();
+  app::PeriodStats stale = stats_with(9.9);
+  stale.stale = true;
+  const std::vector<double> held = ctl.control(stale);
+  EXPECT_EQ(held, before);
+  EXPECT_EQ(ctl.stale_holds(), 1u);
+}
+
+}  // namespace
+}  // namespace vdc::core

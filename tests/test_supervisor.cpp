@@ -1,0 +1,173 @@
+// The supervisory horizontal-scaling layer: threshold/hysteresis decision
+// logic, settling holds, and bounds. Pure unit tests — decide() is a pure
+// function of the per-period inputs plus the streak counters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/supervisor.hpp"
+
+namespace vdc::core {
+namespace {
+
+SupervisorConfig enabled_config() {
+  SupervisorConfig config;
+  config.enabled = true;
+  config.scale_out_patience = 3;
+  config.scale_in_patience = 4;
+  return config;
+}
+
+app::ReplicaSetStatus serving(std::size_t n, std::size_t max = 8) {
+  app::ReplicaSetStatus status;
+  status.target = n;
+  status.serving = n;
+  status.max_replicas = max;
+  return status;
+}
+
+// One-tier convenience wrapper.
+std::vector<ScaleDecision> tick(ScalingSupervisor& sup, double measurement,
+                                double demand, app::ReplicaSetStatus status) {
+  const std::vector<double> demands = {demand};
+  const std::vector<double> c_max = {1.5};
+  const std::vector<app::ReplicaSetStatus> tiers = {status};
+  return sup.decide(measurement, 1.0, demands, c_max, tiers);
+}
+
+TEST(Supervisor, ConfigValidation) {
+  SupervisorConfig config = enabled_config();
+  config.min_replicas = 0;
+  EXPECT_THROW(ScalingSupervisor(config, 1), std::invalid_argument);
+  config = enabled_config();
+  config.max_replicas = 0;
+  EXPECT_THROW(ScalingSupervisor(config, 1), std::invalid_argument);
+  config = enabled_config();
+  config.comfort_fraction = 1.0;
+  EXPECT_THROW(ScalingSupervisor(config, 1), std::invalid_argument);
+  config = enabled_config();
+  config.scale_out_patience = 0;
+  EXPECT_THROW(ScalingSupervisor(config, 1), std::invalid_argument);
+}
+
+TEST(Supervisor, DisabledDecidesNothing) {
+  SupervisorConfig config;  // enabled = false
+  ScalingSupervisor sup(config, 1);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(tick(sup, 5.0, 1.5, serving(1)).empty());
+  }
+}
+
+TEST(Supervisor, ScaleOutAfterPatience) {
+  ScalingSupervisor sup(enabled_config(), 1);
+  // Violated (1.2 > 1.05) and saturated (1.45 >= 0.9 * 1.5).
+  EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(1)).empty());
+  EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(1)).empty());
+  const auto decisions = tick(sup, 1.2, 1.45, serving(1));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].tier, 0u);
+  EXPECT_EQ(decisions[0].delta, 1);
+}
+
+TEST(Supervisor, ViolationWithoutSaturationNeverScalesOut) {
+  // SLA violated but the inner actuator still has headroom: the MPC can fix
+  // this itself, adding a replica would be waste.
+  ScalingSupervisor sup(enabled_config(), 1);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_TRUE(tick(sup, 2.0, 0.8, serving(1)).empty());
+  }
+}
+
+TEST(Supervisor, StreakResetsOnRecovery) {
+  ScalingSupervisor sup(enabled_config(), 1);
+  EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(1)).empty());
+  EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(1)).empty());
+  EXPECT_TRUE(tick(sup, 0.9, 1.45, serving(1)).empty());  // recovered: reset
+  EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(1)).empty());
+  EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(1)).empty());
+  EXPECT_EQ(tick(sup, 1.2, 1.45, serving(1)).size(), 1u);
+}
+
+TEST(Supervisor, HoldsWhileSettling) {
+  ScalingSupervisor sup(enabled_config(), 1);
+  app::ReplicaSetStatus booting = serving(2);
+  booting.booting = 1;
+  booting.serving = 1;
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(tick(sup, 1.2, 1.45, booting).empty()) << "must hold while booting";
+  }
+  app::ReplicaSetStatus draining = serving(1);
+  draining.draining = 1;
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(tick(sup, 1.2, 1.45, draining).empty()) << "must hold while draining";
+  }
+}
+
+TEST(Supervisor, RespectsReplicaCeiling) {
+  SupervisorConfig config = enabled_config();
+  config.max_replicas = 2;
+  ScalingSupervisor sup(config, 1);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(tick(sup, 1.2, 1.45, serving(2)).empty());  // at config cap
+  }
+  // The tier's own max_replicas caps too, even under the config cap.
+  ScalingSupervisor sup2(enabled_config(), 1);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_TRUE(tick(sup2, 1.2, 1.45, serving(3, /*max=*/3)).empty());
+  }
+}
+
+TEST(Supervisor, ScaleInNeedsComfortAndHeadroom) {
+  ScalingSupervisor sup(enabled_config(), 1);
+  // Comfortable (0.5 < 0.7) with headroom: 2 replicas at 0.3 GHz each;
+  // one survivor would hold 0.6 <= 0.6 * 1.5.
+  EXPECT_TRUE(tick(sup, 0.5, 0.3, serving(2)).empty());
+  EXPECT_TRUE(tick(sup, 0.5, 0.3, serving(2)).empty());
+  EXPECT_TRUE(tick(sup, 0.5, 0.3, serving(2)).empty());
+  const auto decisions = tick(sup, 0.5, 0.3, serving(2));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].delta, -1);
+}
+
+TEST(Supervisor, NoScaleInWithoutHeadroom) {
+  // Comfortable measurement but the survivor could not absorb the demand:
+  // 2 replicas at 0.8 GHz -> survivor would hold 1.6 > 0.6 * 1.5.
+  ScalingSupervisor sup(enabled_config(), 1);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_TRUE(tick(sup, 0.5, 0.8, serving(2)).empty());
+  }
+}
+
+TEST(Supervisor, NeverScalesBelowMinReplicas) {
+  SupervisorConfig config = enabled_config();
+  config.min_replicas = 2;
+  ScalingSupervisor sup(config, 1);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_TRUE(tick(sup, 0.5, 0.1, serving(2)).empty());
+  }
+}
+
+TEST(Supervisor, TiersDecideIndependently) {
+  ScalingSupervisor sup(enabled_config(), 2);
+  const std::vector<double> c_max = {1.5, 1.5};
+  // Tier 0 saturated, tier 1 relaxed, under a violated SLA.
+  const std::vector<double> demands = {1.45, 0.4};
+  const std::vector<app::ReplicaSetStatus> tiers = {serving(1), serving(1)};
+  (void)sup.decide(1.2, 1.0, demands, c_max, tiers);
+  (void)sup.decide(1.2, 1.0, demands, c_max, tiers);
+  const auto decisions = sup.decide(1.2, 1.0, demands, c_max, tiers);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].tier, 0u);  // only the saturated tier scales
+  EXPECT_EQ(decisions[0].delta, 1);
+}
+
+TEST(Supervisor, TierCountMismatchThrows) {
+  ScalingSupervisor sup(enabled_config(), 2);
+  const std::vector<double> one = {1.0};
+  const std::vector<double> c_max = {1.5};
+  const std::vector<app::ReplicaSetStatus> tiers = {serving(1)};
+  EXPECT_THROW((void)sup.decide(1.0, 1.0, one, c_max, tiers), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdc::core

@@ -183,5 +183,59 @@ TEST(Testbed, ClusterTopologyMatchesConfig) {
   EXPECT_EQ(tb.app_count(), config.num_apps);
 }
 
+TEST(Testbed, InitialReplicasCreateOneVmPerReplica) {
+  TestbedConfig config = fast_config();
+  config.initial_replicas = 2;
+  Testbed tb{config};
+  // 2 apps x 2 tiers x 2 replicas.
+  EXPECT_EQ(tb.cluster().vm_count(), 8u);
+  EXPECT_EQ(tb.cluster().live_vm_count(), 8u);
+  tb.run_until(300.0);
+  for (std::size_t i = 0; i < tb.app_count(); ++i) {
+    EXPECT_GT(tb.application(i).completed_requests(), 500u) << "app " << i;
+    for (std::size_t j = 0; j < 2; ++j) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_GT(tb.application(i).replica_work_done_gcycles(j, r), 0.0)
+            << "app " << i << " tier " << j << " replica " << r;
+      }
+    }
+  }
+}
+
+TEST(Testbed, SupervisorScalesOutUnderSurgeAndCreatesVms) {
+  TestbedConfig config = fast_config();
+  config.supervisor.enabled = true;
+  config.supervisor.max_replicas = 3;
+  config.replica_boot_delay_s = 8.0;
+  Testbed tb{config};
+  const std::size_t vms_before = tb.cluster().vm_count();
+  tb.run_until(200.0);
+  tb.set_concurrency(0, 220);  // far beyond one replica per tier at c_max
+  tb.run_until(900.0);
+  EXPECT_GT(tb.scale_out_count(), 0u);
+  // Every scale-out materialized a fresh VM in the cluster.
+  EXPECT_EQ(tb.cluster().vm_count(), vms_before + tb.scale_out_count());
+  EXPECT_EQ(tb.cluster().live_vm_count(),
+            vms_before + tb.scale_out_count() - tb.scale_in_count());
+  // Replica counts and live-VM totals are on the recorder when scaling is on.
+  EXPECT_TRUE(tb.recorder().has(replica_series_name(0)));
+  EXPECT_TRUE(tb.recorder().has(kLiveVmsSeries));
+  // The surge is re-attained: settled response time back near the setpoint.
+  const util::RunningStats late = tb.response_stats_after(0, 700.0);
+  EXPECT_LT(late.mean(), 1.3);
+}
+
+TEST(Testbed, SingleReplicaConfigRecordsNoReplicaSeries) {
+  // The replication machinery must be invisible when unused: no replica or
+  // live-VM series, so healthy single-replica telemetry stays byte-identical
+  // to the pre-replication format.
+  Testbed tb{fast_config()};
+  tb.run_until(100.0);
+  EXPECT_FALSE(tb.recorder().has(replica_series_name(0)));
+  EXPECT_FALSE(tb.recorder().has(kLiveVmsSeries));
+  EXPECT_EQ(tb.scale_out_count(), 0u);
+  EXPECT_EQ(tb.scale_in_count(), 0u);
+}
+
 }  // namespace
 }  // namespace vdc::core
