@@ -89,6 +89,11 @@ void AppStack::bind_recorder(telemetry::Recorder* recorder, std::string response
 void AppStack::set_fault_injector(fault::FaultInjector* injector, std::uint32_t app_index) {
   fault_ = injector;
   fault_index_ = app_index;
+  // The sensor queries below draw from the injector's per-app stream; make
+  // sure it exists now, while we are still serial.
+  if (injector != nullptr && injector->enabled()) {
+    injector->prepare_sensor_streams(app_index + 1);
+  }
 }
 
 void AppStack::start() { app_->start(); }

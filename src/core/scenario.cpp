@@ -130,7 +130,7 @@ ScenarioResult run_testbed(const ScenarioSpec& spec) {
       result.stale_holds += controller->stale_holds();
     }
   }
-  result.recorder = std::move(testbed.recorder());
+  result.recorder = testbed.take_recorder();
   return result;
 }
 

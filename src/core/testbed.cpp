@@ -11,6 +11,8 @@ namespace vdc::core {
 
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)),
+      engine_(config_.shards, config_.shard_threads),
+      sim_(engine_.spine()),
       injector_(config_.faults),
       optimizer_(OptimizerConfig{
           .algorithm = config_.optimizer_algorithm,
@@ -28,6 +30,14 @@ Testbed::Testbed(TestbedConfig config)
   // control tick).
   config_.telemetry.sample_period_s = config_.control_period_s;
   recorder_ = telemetry::Recorder(config_.telemetry);
+  // Sharded mode: the per-app series stream into per-shard recorders so a
+  // shard's harvest/record phase never synchronizes with another's; the
+  // cluster-level series and annotations stay on the control-plane
+  // recorder. take_recorder() reassembles the canonical layout.
+  shard_recorders_.reserve(engine_.shard_count());
+  for (std::size_t s = 0; s < engine_.shard_count(); ++s) {
+    shard_recorders_.push_back(std::make_unique<telemetry::Recorder>(config_.telemetry));
+  }
 
   if (config_.model) {
     model_ = *config_.model;
@@ -72,8 +82,12 @@ Testbed::Testbed(TestbedConfig config)
       tier.max_replicas = std::max(config_.max_replicas, config_.initial_replicas);
       tier.boot_delay_s = config_.replica_boot_delay_s;
     }
-    auto app_stack = std::make_unique<AppStack>(sim_, model_, stack);
-    app_stack->bind_recorder(&recorder_, response_series_name(i),
+    // The app's entire workload (client population, PS queues, replica
+    // boots) lives on its shard's event loop; only control-plane events
+    // touch the spine.
+    auto app_stack =
+        std::make_unique<AppStack>(engine_.shard(shard_of_app(i)), model_, stack);
+    app_stack->bind_recorder(&recorder_for_app(i), response_series_name(i),
                              allocation_series_name(i));
 
     const std::size_t tiers = app_stack->tier_count();
@@ -134,6 +148,10 @@ Testbed::Testbed(TestbedConfig config)
   // telemetry (series names included) is byte-identical to a build that
   // has never heard of fault injection.
   if (injector_.enabled()) {
+    // Per-app sensor streams, derived via splitmix64, so drop/spike draws
+    // from concurrently advancing shards are race-free and the fault
+    // sequence is shard-count-invariant.
+    injector_.prepare_sensor_streams(static_cast<std::uint32_t>(config_.num_apps));
     for (std::size_t i = 0; i < stacks_.size(); ++i) {
       stacks_[i]->set_fault_injector(&injector_, static_cast<std::uint32_t>(i));
     }
@@ -201,6 +219,11 @@ datacenter::VmId Testbed::create_replica_vm(std::size_t app, std::size_t tier,
 }
 
 void Testbed::on_replica_retired(std::size_t app, std::size_t tier, std::size_t slot) {
+  // A drained replica retires from inside its shard's advance, so two
+  // shards can land here at once. The lock serializes the cluster tombstone
+  // (`retired_` is a bitfield) and the slot bookkeeping; retirements of
+  // distinct VMs commute, so arrival order cannot change the outcome.
+  const std::lock_guard<std::mutex> lock(retire_mutex_);
   if (slot >= vm_ids_[app][tier].size()) return;
   const datacenter::VmId vm = vm_ids_[app][tier][slot];
   if (vm == datacenter::kNoVm) return;
@@ -234,6 +257,39 @@ std::uint64_t Testbed::scale_in_count() const noexcept {
   return total;
 }
 
+void Testbed::for_each_shard_apps(const std::function<void(std::size_t)>& body) {
+  const std::size_t apps = stacks_.size();
+  const std::size_t shards = engine_.shard_count();
+  if (shards == 0) {
+    for (std::size_t i = 0; i < apps; ++i) body(i);
+    return;
+  }
+  util::parallel_for(
+      shards,
+      [&](std::size_t s) {
+        // Inverse of the block partition shard_of_app(i) = i*shards/apps:
+        // shard s owns apps [ceil(s*apps/shards), ceil((s+1)*apps/shards)).
+        const std::size_t lo = (s * apps + shards - 1) / shards;
+        const std::size_t hi = ((s + 1) * apps + shards - 1) / shards;
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      config_.shard_threads);
+}
+
+telemetry::Recorder Testbed::take_recorder() {
+  if (shard_recorders_.empty()) return std::move(recorder_);
+  // Canonical merge order: shard recorders by shard index (their apps are a
+  // contiguous ascending range each), then the control-plane recorder —
+  // reproducing exactly the series creation order of a legacy-mode run
+  // (app0/p90, app0/alloc, ..., cluster/*, fault/*).
+  telemetry::Recorder merged(recorder_.config());
+  for (std::unique_ptr<telemetry::Recorder>& rec : shard_recorders_) {
+    merged.absorb(std::move(*rec));
+  }
+  merged.absorb(std::move(recorder_));
+  return merged;
+}
+
 void Testbed::set_setpoint(std::size_t app, double setpoint_s) {
   stacks_.at(app)->set_setpoint(setpoint_s);
 }
@@ -243,7 +299,7 @@ void Testbed::set_concurrency(std::size_t app, std::size_t concurrency) {
 }
 
 const std::vector<double>& Testbed::response_series(std::size_t app) const {
-  return recorder_.values(response_series_name(app));
+  return recorder_for_app(app).values(response_series_name(app));
 }
 
 const std::vector<double>& Testbed::power_series() const {
@@ -251,7 +307,7 @@ const std::vector<double>& Testbed::power_series() const {
 }
 
 const std::vector<std::vector<double>>& Testbed::allocation_series(std::size_t app) const {
-  return recorder_.rows(allocation_series_name(app));
+  return recorder_for_app(app).rows(allocation_series_name(app));
 }
 
 app::PeriodStats Testbed::lifetime_stats(std::size_t app) const {
@@ -290,7 +346,7 @@ void Testbed::run_until(double until_s) {
           [this, rack] { repair_rack(rack); });
     }
   }
-  sim_.run_until(until_s);
+  engine_.run_until(until_s);
 }
 
 void Testbed::crash_server(datacenter::ServerId id) {
@@ -511,15 +567,16 @@ void Testbed::control_tick() {
   record_power(now);
 
   // ---- feedback control: demands per application --------------------------
-  // Three phases (see AppStack::harvest_tick): serial harvest (shared
-  // recorder + fault injector), parallel MPC decide (each solve touches only
-  // its own controller), then a barrier and serial record/push-down. With
-  // fewer apps than the threshold the decide loop runs inline — identical
-  // results either way, parallel_for only changes who executes which solve.
+  // Phases (see AppStack::harvest_tick): harvest (monitor + per-app fault
+  // stream + the app's recorder), parallel MPC decide (each solve touches
+  // only its own controller), then record/push-down. In legacy mode harvest
+  // and record are serial (one shared recorder); in sharded mode both run
+  // per shard in parallel — each shard appends only to its own recorder and
+  // writes only its own apps' VM demands, and the per-recorder append order
+  // (app index within the shard) matches the serial order, so results are
+  // bit-identical either way.
   std::vector<std::optional<app::PeriodStats>> harvested(stacks_.size());
-  for (std::size_t i = 0; i < stacks_.size(); ++i) {
-    harvested[i] = stacks_[i]->harvest_tick();
-  }
+  for_each_shard_apps([&](std::size_t i) { harvested[i] = stacks_[i]->harvest_tick(); });
   std::vector<std::vector<double>> decided(stacks_.size());
   if (stacks_.size() >= config_.parallel_control_min_apps) {
     util::parallel_for(stacks_.size(), [&](std::size_t i) {
@@ -530,16 +587,17 @@ void Testbed::control_tick() {
       decided[i] = stacks_[i]->decide_tick(harvested[i]);
     }
   }
-  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+  for_each_shard_apps([&](std::size_t i) {
     stacks_[i]->record_decision(decided[i]);
     // Per-replica decision: the MPC allocates per replica, so every live VM
-    // backing tier j demands the same decided[i][j].
+    // backing tier j demands the same decided[i][j]. Writes from different
+    // shards land on disjoint VM records.
     for (std::size_t j = 0; j < decided[i].size(); ++j) {
       for (const datacenter::VmId vm : vm_ids_[i][j]) {
         if (vm != datacenter::kNoVm) cluster_.vm(vm).cpu_demand_ghz = decided[i][j];
       }
     }
-  }
+  });
 
   // ---- supervisory replica decisions (serial phase) ------------------------
   // Applied before arbitration so a freshly booted-out replica consumes its

@@ -9,7 +9,9 @@
 // two-level mode. The legacy series accessors delegate into the recorder.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "core/sysid_experiment.hpp"
 #include "datacenter/cluster.hpp"
 #include "fault/injector.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/probe.hpp"
 #include "telemetry/recorder.hpp"
@@ -106,6 +109,20 @@ struct TestbedConfig {
   /// cost. Set to 0 to force the parallel path, SIZE_MAX to disable it.
   std::size_t parallel_control_min_apps = 16;
 
+  // ---- sharded engine (parallel workload advance) -------------------------
+  /// Number of workload shards the applications are partitioned into (block
+  /// partition: app i lands on shard i*shards/num_apps, so each shard owns
+  /// a contiguous app range). 0 (the default) is the single-event-loop
+  /// legacy engine — the differential oracle every sharded run is tested
+  /// against. >= 1 gives each shard its own event loop, fault streams, and
+  /// telemetry recorder, advanced concurrently between control-period
+  /// barriers; telemetry, plans, and counters are bit-identical to the
+  /// legacy engine at any shard count (see DESIGN.md "Sharded engine").
+  std::size_t shards = 0;
+  /// Worker cap for the parallel shard advance and the sharded
+  /// harvest/record phases (0 = hardware concurrency).
+  std::size_t shard_threads = 0;
+
   // ---- telemetry storage --------------------------------------------------
   /// Recorder backend. Defaults to the tiered tsdb store so every figure
   /// bench and golden test exercises the streaming path; with the default
@@ -164,9 +181,19 @@ class Testbed {
   [[nodiscard]] double model_r_squared() const noexcept { return model_r2_; }
 
   // ---- recorded series (one sample per control period) -------------------
-  /// All series live in the recorder; these accessors delegate.
+  /// The control-plane recorder: cluster-level series (power, frequency,
+  /// probes) and annotations. In legacy mode (shards == 0) it holds every
+  /// series; in sharded mode the per-app series live in per-shard recorders
+  /// — use the series accessors below or `take_recorder()` for the merged
+  /// view.
   [[nodiscard]] telemetry::Recorder& recorder() noexcept { return recorder_; }
   [[nodiscard]] const telemetry::Recorder& recorder() const noexcept { return recorder_; }
+  /// Moves every recorded series out into one recorder, with the per-shard
+  /// recorders merged ahead of the control-plane one in canonical (app,
+  /// then cluster) order — byte-identical series layout to a legacy-mode
+  /// run. The testbed's own series accessors are dead afterwards; call once
+  /// when the run is over.
+  [[nodiscard]] telemetry::Recorder take_recorder();
   [[nodiscard]] const std::vector<double>& response_series(std::size_t app) const;
   [[nodiscard]] const std::vector<double>& power_series() const;
   [[nodiscard]] const std::vector<std::vector<double>>& allocation_series(
@@ -177,7 +204,11 @@ class Testbed {
   [[nodiscard]] util::RunningStats response_stats_after(std::size_t app, double from_s) const;
 
   [[nodiscard]] const datacenter::Cluster& cluster() const noexcept { return cluster_; }
+  /// The control-plane spine loop. External schedule events (setpoint and
+  /// concurrency changes) belong here: they execute in the serial phase of
+  /// every barrier, at any shard count.
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] const sim::ShardedEngine& engine() const noexcept { return engine_; }
   /// Live migrations completed so far (two-level mode).
   [[nodiscard]] std::size_t completed_migrations() const noexcept {
     return completed_migrations_;
@@ -223,9 +254,26 @@ class Testbed {
   /// Applies the supervisors' pending replica decisions (serial phase).
   void apply_scale_decisions();
   [[nodiscard]] datacenter::ServerId pick_replica_host();
+  /// Runs `body(i)` for every application — serially in legacy mode, one
+  /// parallel task per shard (apps in index order within each shard) in
+  /// sharded mode. The body must only touch app-local / shard-local state.
+  void for_each_shard_apps(const std::function<void(std::size_t)>& body);
+  /// Block partition: the shard owning app `i` (0 when unsharded).
+  [[nodiscard]] std::size_t shard_of_app(std::size_t i) const noexcept {
+    return engine_.shard_count() == 0 ? 0 : i * engine_.shard_count() / config_.num_apps;
+  }
+  /// The recorder app `i`'s series stream into (its shard's recorder, or
+  /// the control-plane recorder in legacy mode).
+  [[nodiscard]] telemetry::Recorder& recorder_for_app(std::size_t i) noexcept {
+    return shard_recorders_.empty() ? recorder_ : *shard_recorders_[shard_of_app(i)];
+  }
+  [[nodiscard]] const telemetry::Recorder& recorder_for_app(std::size_t i) const noexcept {
+    return shard_recorders_.empty() ? recorder_ : *shard_recorders_[shard_of_app(i)];
+  }
 
   TestbedConfig config_;
-  sim::Simulation sim_;
+  sim::ShardedEngine engine_;
+  sim::Simulation& sim_;  ///< the control-plane spine (engine_.spine())
   datacenter::Cluster cluster_;
   std::vector<std::unique_ptr<AppStack>> stacks_;
   /// vm_ids_[app][tier][replica slot] -> VmId in cluster_ (kNoVm for a
@@ -242,6 +290,16 @@ class Testbed {
   control::ArxModel model_;
   double model_r2_ = 0.0;
   telemetry::Recorder recorder_;
+  /// Sharded mode: one recorder per shard for the per-app series, appended
+  /// from that shard's harvest/record phase without any cross-shard
+  /// synchronization; merged into canonical order by take_recorder().
+  /// unique_ptr for stable addresses across construction.
+  std::vector<std::unique_ptr<telemetry::Recorder>> shard_recorders_;
+  /// Serializes replica retirement (cluster tombstone + slot bookkeeping):
+  /// drained replicas retire from inside their shard's advance, possibly
+  /// concurrently across shards. The retire operations commute, so the
+  /// outcome is deterministic regardless of arrival order.
+  std::mutex retire_mutex_;
   telemetry::ProbeSet probes_;
   fault::FaultInjector injector_;
   PowerOptimizer optimizer_;

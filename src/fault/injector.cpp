@@ -9,19 +9,38 @@ FaultInjector::FaultInjector(FaultPlan plan)
   audit::plan(plan_);
 }
 
-const FaultWindow* FaultInjector::roll(FaultKind kind, double now_s, std::uint32_t target) {
+const FaultWindow* FaultInjector::roll(FaultKind kind, double now_s, std::uint32_t target,
+                                       util::Rng& rng, std::uint64_t& draws) {
   if (!enabled_) return nullptr;
   for (const FaultWindow& w : plan_.windows) {
     if (w.kind != kind || !w.covers(now_s, target)) continue;
     if (w.probability >= 1.0) return &w;
-    ++draws_;
-    if (rng_.bernoulli(w.probability)) return &w;
+    ++draws;
+    if (rng.bernoulli(w.probability)) return &w;
   }
   return nullptr;
 }
 
+void FaultInjector::prepare_sensor_streams(std::uint32_t count) {
+  while (sensors_.size() < count) {
+    // Stream seed is a pure function of (plan seed, app index): independent
+    // of every other stream and of preparation order.
+    const auto app = static_cast<std::uint64_t>(sensors_.size());
+    SensorStream stream;
+    stream.rng = util::Rng(util::splitmix64(plan_.seed + (app + 1) * util::kSplitMix64Gamma));
+    sensors_.push_back(std::move(stream));
+  }
+}
+
+FaultInjector::SensorStream& FaultInjector::sensor_stream(std::uint32_t app) {
+  // Growing here is only safe from serial contexts; concurrent users must
+  // have called prepare_sensor_streams up front.
+  if (app >= sensors_.size()) prepare_sensor_streams(app + 1);
+  return sensors_[app];
+}
+
 bool FaultInjector::migration_aborts(double now_s, std::uint32_t source_server) {
-  const FaultWindow* w = roll(FaultKind::kMigrationAbort, now_s, source_server);
+  const FaultWindow* w = roll(FaultKind::kMigrationAbort, now_s, source_server, rng_, draws_);
   if (w == nullptr) return false;
   ++counters_.migration_aborts;
   events_.push_back({now_s, FaultKind::kMigrationAbort, source_server});
@@ -29,7 +48,7 @@ bool FaultInjector::migration_aborts(double now_s, std::uint32_t source_server) 
 }
 
 double FaultInjector::migration_slowdown(double now_s, std::uint32_t source_server) {
-  const FaultWindow* w = roll(FaultKind::kMigrationSlowdown, now_s, source_server);
+  const FaultWindow* w = roll(FaultKind::kMigrationSlowdown, now_s, source_server, rng_, draws_);
   if (w == nullptr) return 1.0;
   ++counters_.migration_slowdowns;
   events_.push_back({now_s, FaultKind::kMigrationSlowdown, source_server});
@@ -37,7 +56,7 @@ double FaultInjector::migration_slowdown(double now_s, std::uint32_t source_serv
 }
 
 bool FaultInjector::wake_fails(double now_s, std::uint32_t server) {
-  const FaultWindow* w = roll(FaultKind::kWakeFailure, now_s, server);
+  const FaultWindow* w = roll(FaultKind::kWakeFailure, now_s, server, rng_, draws_);
   if (w == nullptr) return false;
   ++counters_.wake_failures;
   events_.push_back({now_s, FaultKind::kWakeFailure, server});
@@ -45,29 +64,51 @@ bool FaultInjector::wake_fails(double now_s, std::uint32_t server) {
 }
 
 std::optional<double> FaultInjector::dvfs_pin_ghz(double now_s, std::uint32_t server) {
-  const FaultWindow* w = roll(FaultKind::kDvfsPin, now_s, server);
+  const FaultWindow* w = roll(FaultKind::kDvfsPin, now_s, server, rng_, draws_);
   if (w == nullptr) return std::nullopt;
   ++counters_.dvfs_pins;
   return w->magnitude;
 }
 
 bool FaultInjector::sensor_drops(double now_s, std::uint32_t app) {
-  if (roll(FaultKind::kSensorDrop, now_s, app) == nullptr) return false;
-  ++counters_.sensor_drops;
+  if (!enabled_) return false;
+  SensorStream& s = sensor_stream(app);
+  if (roll(FaultKind::kSensorDrop, now_s, app, s.rng, s.draws) == nullptr) return false;
+  ++s.drops;
   return true;
 }
 
 double FaultInjector::sensor_spike(double now_s, std::uint32_t app) {
-  const FaultWindow* w = roll(FaultKind::kSensorSpike, now_s, app);
+  if (!enabled_) return 1.0;
+  SensorStream& s = sensor_stream(app);
+  const FaultWindow* w = roll(FaultKind::kSensorSpike, now_s, app, s.rng, s.draws);
   if (w == nullptr) return 1.0;
-  ++counters_.sensor_spikes;
+  ++s.spikes;
   return w->magnitude;
 }
 
 bool FaultInjector::sensor_stale(double now_s, std::uint32_t app) {
-  if (roll(FaultKind::kSensorStale, now_s, app) == nullptr) return false;
-  ++counters_.stale_periods;
+  if (!enabled_) return false;
+  SensorStream& s = sensor_stream(app);
+  if (roll(FaultKind::kSensorStale, now_s, app, s.rng, s.draws) == nullptr) return false;
+  ++s.stales;
   return true;
+}
+
+const FaultCounters& FaultInjector::counters() const noexcept {
+  aggregated_ = counters_;
+  for (const SensorStream& s : sensors_) {
+    aggregated_.sensor_drops += s.drops;
+    aggregated_.sensor_spikes += s.spikes;
+    aggregated_.stale_periods += s.stales;
+  }
+  return aggregated_;
+}
+
+std::uint64_t FaultInjector::rng_draws() const noexcept {
+  std::uint64_t total = draws_;
+  for (const SensorStream& s : sensors_) total += s.draws;
+  return total;
 }
 
 std::vector<FaultWindow> FaultInjector::crash_windows() const {

@@ -1,10 +1,23 @@
 // The runtime half of fault injection. A `FaultInjector` owns the plan and
-// a private RNG stream; the simulator's hook points *query* it at each
-// decision site ("does this migration abort?", "does this sample get
-// dropped?") and obey the answer. Decisions are a pure function of
-// (plan, seed, query sequence) — and the query sequence is deterministic
-// because every scenario runs on its own single-threaded `sim::Simulation`
-// — so chaos runs are bit-reproducible across reruns and thread counts.
+// its RNG streams; the simulator's hook points *query* it at each decision
+// site ("does this migration abort?", "does this sample get dropped?") and
+// obey the answer. Decisions are a pure function of (plan, seed, per-stream
+// query sequence), so chaos runs are bit-reproducible across reruns and
+// thread counts.
+//
+// Two stream families keep that true under the sharded engine:
+//   * datacenter kinds (migration abort/slowdown, wake failure, DVFS pin)
+//     draw from one stream seeded with the plan seed. Every such query
+//     fires from the serial control-plane spine, so the sequence is the
+//     same at any shard count.
+//   * sensor kinds (drop/spike/stale) draw from a PER-APPLICATION stream
+//     whose seed derives from the plan seed and the app index via
+//     util::splitmix64. Drop/spike queries fire per request completion
+//     inside the app's own (possibly concurrently advancing) event loop;
+//     giving each app its own stream makes those queries race-free and the
+//     resulting fault sequence invariant to how apps are partitioned into
+//     shards. Call `prepare_sensor_streams` (serial) before any concurrent
+//     sensor queries.
 //
 // Zero cost when idle: a default-constructed injector (or one holding an
 // empty plan) answers every query through an early-out that never touches
@@ -56,6 +69,13 @@ class FaultInjector {
   [[nodiscard]] std::optional<double> dvfs_pin_ghz(double now_s, std::uint32_t server);
 
   // ---- application-level (sensor) queries ---------------------------------
+  // Each app draws from its own splitmix64-derived stream; queries against
+  // different apps never interact, so they are safe from concurrently
+  // advancing shard loops once `prepare_sensor_streams` has run.
+  /// Ensures streams exist for apps [0, count). Idempotent, grows only.
+  /// Serial: call before the simulation starts (owners do this when the
+  /// injector is attached).
+  void prepare_sensor_streams(std::uint32_t count);
   /// Is this response-time sample of `app` dropped?
   [[nodiscard]] bool sensor_drops(double now_s, std::uint32_t app);
   /// Multiplicative corruption applied to the sample; 1.0 = clean.
@@ -80,23 +100,41 @@ class FaultInjector {
   void note_rack_failure(double now_s, std::uint32_t rack);
 
   // ---- observability -------------------------------------------------------
-  [[nodiscard]] const FaultCounters& counters() const noexcept { return counters_; }
-  /// Discrete fault events since construction, in injection order.
+  // Aggregated across the datacenter stream and every sensor stream.
+  // Serial: call from the control plane or after the run, never while shard
+  // loops are advancing.
+  [[nodiscard]] const FaultCounters& counters() const noexcept;
+  /// Discrete fault events since construction, in injection order (control
+  /// plane kinds only — per-sample sensor noise would swamp the log).
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
-  /// Bernoulli draws consumed so far; stays 0 while no window matches — the
-  /// proof that idle fault hooks cannot perturb a seeded simulation.
-  [[nodiscard]] std::uint64_t rng_draws() const noexcept { return draws_; }
+  /// Bernoulli draws consumed so far across every stream; stays 0 while no
+  /// window matches — the proof that idle fault hooks cannot perturb a
+  /// seeded simulation.
+  [[nodiscard]] std::uint64_t rng_draws() const noexcept;
 
  private:
-  /// Draws once iff a matching window is active and wins its coin flip;
-  /// returns the winning window.
-  [[nodiscard]] const FaultWindow* roll(FaultKind kind, double now_s, std::uint32_t target);
+  /// One application's private sensor-fault stream (see header comment).
+  struct SensorStream {
+    util::Rng rng{0};
+    std::uint64_t draws = 0;
+    std::size_t drops = 0;
+    std::size_t spikes = 0;
+    std::size_t stales = 0;
+  };
+
+  /// Draws from `rng` once iff a matching window is active and wins its
+  /// coin flip; returns the winning window.
+  [[nodiscard]] const FaultWindow* roll(FaultKind kind, double now_s, std::uint32_t target,
+                                        util::Rng& rng, std::uint64_t& draws);
+  [[nodiscard]] SensorStream& sensor_stream(std::uint32_t app);
 
   FaultPlan plan_;
-  util::Rng rng_{0};
+  util::Rng rng_{0};  // datacenter kinds; spine-serial by construction
   bool enabled_ = false;
   std::uint64_t draws_ = 0;
-  FaultCounters counters_;
+  FaultCounters counters_;  // datacenter kinds; sensor kinds live per stream
+  mutable FaultCounters aggregated_;  // counters() return storage
+  std::vector<SensorStream> sensors_;
   std::vector<FaultEvent> events_;
 };
 

@@ -1,0 +1,54 @@
+#include "sim/sharded_engine.hpp"
+
+#include <optional>
+
+#include "util/thread_pool.hpp"
+
+namespace vdc::sim {
+
+void ShardedEngine::advance_shards(double t) {
+  // Shard loops share no state below a barrier, so the advance is a plain
+  // parallel_for; the caller participates, so this works on one core too.
+  if (shards_.size() == 1) {
+    shards_[0].run_until(t);
+    return;
+  }
+  util::parallel_for(
+      shards_.size(), [this, t](std::size_t i) { shards_[i].run_until(t); }, threads_);
+}
+
+void ShardedEngine::run_until(double t) {
+  if (shards_.empty()) {  // single-loop mode: the spine is the whole engine
+    spine_.run_until(t);
+    return;
+  }
+  for (;;) {
+    const std::optional<double> next = spine_.next_event_time();
+    if (!next || *next > t) break;
+    const double barrier = *next;
+    // Shard events at exactly `barrier` run before the spine phase — the
+    // spine observes every shard at time `barrier`, post workload.
+    advance_shards(barrier);
+    ++barriers_;
+    // Serial control-plane phase. Spine callbacks may schedule into shard
+    // loops (allocations, replica boots); those land at >= barrier and run
+    // in a later advance.
+    spine_.run_until(barrier);
+  }
+  advance_shards(t);
+  spine_.run_until(t);  // no spine events remain <= t; advances the clock
+}
+
+std::uint64_t ShardedEngine::events_executed() const noexcept {
+  std::uint64_t total = spine_.events_executed();
+  for (const Simulation& shard : shards_) total += shard.events_executed();
+  return total;
+}
+
+std::size_t ShardedEngine::pending_events() const noexcept {
+  std::size_t total = spine_.pending_events();
+  for (const Simulation& shard : shards_) total += shard.pending_events();
+  return total;
+}
+
+}  // namespace vdc::sim

@@ -82,4 +82,10 @@ void Simulation::run() {
   }
 }
 
+std::optional<double> Simulation::next_event_time() {
+  while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time_s;
+}
+
 }  // namespace vdc::sim

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -71,6 +72,11 @@ class Simulation {
 
   /// Runs until no events remain.
   void run();
+
+  /// Timestamp of the next live event, or nullopt when the queue is empty.
+  /// Prunes cancelled entries off the heap top so the answer is exact; the
+  /// sharded engine peeks this to pick the next barrier time.
+  [[nodiscard]] std::optional<double> next_event_time();
 
   [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }

@@ -108,6 +108,29 @@ std::size_t Recorder::size(std::string_view series) const noexcept {
   return s->scalars.size();
 }
 
+void Recorder::absorb(Recorder&& other) {
+  if (config_.backend != other.config_.backend ||
+      !(config_.tsdb == other.config_.tsdb)) {
+    throw std::invalid_argument("Recorder::absorb: config mismatch");
+  }
+  for (const std::string& name : other.names_) {
+    if (series_.find(name) != series_.end()) {
+      throw std::invalid_argument("Recorder::absorb: series '" + name + "' exists here too");
+    }
+    auto node = other.series_.extract(name);
+    if (use_tsdb() && !node.mapped().vector) {
+      node.mapped().metric = tsdb_.adopt(other.tsdb_, node.mapped().metric);
+    }
+    series_.insert(std::move(node));
+    names_.push_back(name);
+  }
+  other.names_.clear();
+  annotations_.insert(annotations_.end(),
+                      std::make_move_iterator(other.annotations_.begin()),
+                      std::make_move_iterator(other.annotations_.end()));
+  other.annotations_.clear();
+}
+
 void Recorder::annotate(double time_s, std::string label) {
   annotations_.push_back(Annotation{time_s, std::move(label)});
 }

@@ -94,6 +94,14 @@ class Recorder {
   /// names. Equal to the number appended while nothing has been evicted.
   [[nodiscard]] std::size_t size(std::string_view series) const noexcept;
 
+  /// Moves every series of `other` into this recorder, preserving `other`'s
+  /// creation order after this recorder's existing series, and appends its
+  /// annotations. The sharded engine merges its per-shard recorders through
+  /// this: series nodes and tsdb pages move, samples are never copied.
+  /// Requires the same backend/config and disjoint series names (throws
+  /// std::invalid_argument otherwise). `other` is left empty.
+  void absorb(Recorder&& other);
+
   /// Appends a timestamped text marker (kept in insertion order, which for
   /// simulation-driven recorders is time order).
   void annotate(double time_s, std::string label);

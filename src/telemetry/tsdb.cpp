@@ -44,6 +44,22 @@ MetricId Tsdb::declare(const std::string& name) {
   return id;
 }
 
+MetricId Tsdb::adopt(Tsdb& from, MetricId id) {
+  if (!(config_ == from.config_)) {
+    throw std::invalid_argument("Tsdb::adopt: config mismatch");
+  }
+  Metric& source = from.metric(id);
+  if (by_name_.find(source.name) != by_name_.end()) {
+    throw std::invalid_argument("Tsdb::adopt: metric '" + source.name + "' already declared");
+  }
+  const auto here = static_cast<MetricId>(metrics_.size());
+  from.by_name_.erase(source.name);
+  by_name_.emplace(source.name, here);
+  metrics_.push_back(std::move(source));
+  source = Metric{};  // leave a well-defined empty slot behind
+  return here;
+}
+
 std::optional<MetricId> Tsdb::find(std::string_view name) const noexcept {
   if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
   return std::nullopt;

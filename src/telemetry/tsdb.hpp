@@ -58,6 +58,8 @@ struct TsdbConfig {
   std::size_t tier2_retention_points = 1024;
   /// The rolled-up quantile (0.9 = the paper's 90-percentile SLA).
   double quantile = 0.9;
+
+  friend bool operator==(const TsdbConfig&, const TsdbConfig&) = default;
 };
 
 class Tsdb {
@@ -77,6 +79,14 @@ class Tsdb {
   /// value or timestamp is NaN, or when the timestamp precedes the metric's
   /// last accepted sample; equal timestamps are accepted.
   bool append(MetricId id, double time_s, double value);
+
+  /// Moves one metric — name, pages, rollups, accounting — out of `from`
+  /// into this store and returns its id here. The sharded engine's
+  /// merge-on-query path uses this to combine per-shard stores into one
+  /// without copying a single sample. Requires identical configs and a name
+  /// not yet declared here (throws std::invalid_argument otherwise); the
+  /// slot left behind in `from` is emptied and its name unregistered.
+  MetricId adopt(Tsdb& from, MetricId id);
 
   // ---- queries (ranges are half-open [t0, t1)) ----------------------------
   /// Serves the range from `tier`; kAuto picks the finest tier whose

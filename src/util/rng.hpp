@@ -10,6 +10,25 @@
 
 namespace vdc::util {
 
+/// SplitMix64 finalizer: maps a seed to a well-mixed 64-bit value in one
+/// shot. Used to derive independent per-target RNG stream seeds from one
+/// plan seed (seed + k*gamma for target k) — nearby inputs land on
+/// uncorrelated outputs, so per-app/per-shard streams derived this way are
+/// statistically independent AND stable: a target's stream depends only on
+/// (base seed, target id), never on how many other streams exist or in
+/// which order they drew. That is the property that makes fault sequences
+/// shard-count-invariant.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The SplitMix64 golden-ratio increment: the canonical stride for deriving
+/// the k-th stream seed as splitmix64(base + k * kSplitMix64Gamma).
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ull;
+
 /// Thin wrapper around std::mt19937_64 with the distributions the simulator
 /// needs. Copyable; copies evolve independently.
 class Rng {

@@ -41,8 +41,14 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
-  return pool;
+  // Construction is thread-safe (magic static); the pool is intentionally
+  // leaked rather than destroyed at static teardown. Joining the workers
+  // from a static destructor raced late helpers submitted by other statics'
+  // destructors (a `submit` after `stopping_` throws into code that never
+  // expected it) — and a leaked pool stays reachable through this pointer,
+  // so leak checkers are clean.
+  static ThreadPool* pool = new ThreadPool;
+  return *pool;
 }
 
 namespace {

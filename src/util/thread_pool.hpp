@@ -25,11 +25,12 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Process-wide pool (hardware-concurrency workers), created on first use.
-  /// `parallel_for` draws its helpers from here instead of spawning and
-  /// joining fresh threads on every call, which dominated the cost of short
-  /// sweeps. The pool is constructed lazily and torn down at static
-  /// destruction, after every `parallel_for` has drained.
+  /// Process-wide pool (hardware-concurrency workers), created on first use
+  /// (thread-safe) and intentionally leaked: it must outlive every static
+  /// whose destructor might still run a `parallel_for`, and a leaked pool
+  /// stays reachable so leak checkers don't report it. `parallel_for` draws
+  /// its helpers from here instead of spawning and joining fresh threads on
+  /// every call, which dominated the cost of short sweeps.
   [[nodiscard]] static ThreadPool& shared();
 
   /// Enqueues a task; the returned future delivers its result or exception.

@@ -1,0 +1,34 @@
+// shard-safety fixture: mutable static / namespace-scope state that would
+// race across shard threads, plus the safe forms the rule must not flag.
+#include <cstddef>
+
+namespace fixture {
+
+int global_counter = 0;               // BAD: mutable namespace-scope variable
+double last_power_w = 0.0;            // BAD: mutable namespace-scope variable
+const int kLimit = 8;                 // ok: const
+constexpr double kPeriodS = 4.0;      // ok: constexpr
+inline constexpr int kShards = 4;     // ok: inline constexpr
+
+// vdc-lint: shard-safety-ok process-wide cache fed before the parallel phase
+int annotated_cache = 0;
+
+int next_id() {
+  static int counter = 0;             // BAD: mutable function-local static
+  static const int base = 100;        // ok: const static
+  return base + ++counter;
+}
+
+class Widget {
+ public:
+  static std::size_t live_count;      // BAD: mutable class-static member
+  static constexpr int kMax = 16;     // ok: constexpr member
+  static int reset_all();             // ok: static member FUNCTION
+  double weight = 1.0;                // ok: instance member
+};
+
+std::size_t Widget::live_count = 0;   // BAD: the member's definition
+
+void bump() { ++global_counter; }     // use, not a declaration: no finding
+
+}  // namespace fixture

@@ -231,6 +231,43 @@ TEST(FlatGolden, TestbedSeriesAreByteIdentical) {
   check_golden("testbed.csv", csv.str());
 }
 
+TEST(FlatGolden, ShardedTestbedMatchesTheSameGolden) {
+  // The sharded engine against the SAME committed golden as the legacy
+  // engine above: partitioning the apps over 4 parallel shards must not
+  // move a single byte. (The full shard x thread matrix lives in
+  // test_sharding.cpp; this pins the sharded path to the committed file so
+  // a regen of the golden cannot silently paper over a divergence.)
+  core::ScenarioSpec spec;
+  spec.name = "flat-golden-sharded";
+  spec.engine = core::ScenarioSpec::Engine::kTestbed;
+  spec.testbed.num_apps = 4;
+  spec.testbed.num_servers = 3;
+  spec.testbed.enable_optimizer = true;
+  spec.testbed.optimizer_period_s = 120.0;
+  spec.testbed.shards = 4;
+  spec.testbed.shard_threads = 2;
+  spec.model = shared_model();
+  spec.seed = 7;
+  spec.duration_s = 400.0;
+  const core::ScenarioResult run = core::ScenarioRunner().run(spec);
+
+  std::ostringstream csv;
+  csv << "series,index,value\n";
+  const std::vector<double>& power = run.power_series();
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    csv << "power_w," << k << ',' << fmt(power[k]) << '\n';
+  }
+  for (std::size_t app = 0; app < run.app_count; ++app) {
+    const std::vector<double>& resp = run.response_series(app);
+    for (std::size_t k = 0; k < resp.size(); ++k) {
+      csv << "response_s_app" << app << ',' << k << ',' << fmt(resp[k]) << '\n';
+    }
+  }
+  csv << "migrations,," << run.completed_migrations << '\n';
+  csv << "optimizer_invocations,," << run.optimizer_invocations << '\n';
+  check_golden("testbed.csv", csv.str());
+}
+
 // ---- telemetry backend byte-identity ----------------------------------------
 
 TEST(FlatGolden, TelemetryBackendsExportIdenticalCsv) {

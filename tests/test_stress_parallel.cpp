@@ -18,6 +18,7 @@
 
 #include "app/multi_tier_app.hpp"
 #include "core/scenario.hpp"
+#include "core/sysid_experiment.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vdc {
@@ -89,6 +90,65 @@ TEST(ParallelForStress, FirstExceptionIsRethrown) {
       util::parallel_for(
           64, [](std::size_t i) { if (i % 7 == 3) throw std::runtime_error("boom"); }, 4),
       std::runtime_error);
+}
+
+TEST(ParallelForStress, ShardStyleBarrierLoopOnTheSharedPool) {
+  // The sharded engine's usage pattern: repeated parallel_for rounds over
+  // the same shard state, each round a barrier, every task borrowing
+  // helpers from ThreadPool::shared() — with a nested parallel_for inside
+  // each shard task (the harvest phase fanning out over a shard's apps).
+  // TSan must see the round N writes strictly ordered before the round N+1
+  // reads, and the shared pool must survive concurrent borrow/return from
+  // nested loops.
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kAppsPerShard = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::vector<std::size_t>> state(kShards,
+                                              std::vector<std::size_t>(kAppsPerShard, 0));
+  for (int round = 0; round < kRounds; ++round) {
+    util::parallel_for(
+        kShards,
+        [&state](std::size_t shard) {
+          util::parallel_for(
+              kAppsPerShard,
+              [&state, shard](std::size_t app) { state[shard][app] += shard + app; }, 2);
+        },
+        kShards);
+    // Barrier: every write of this round must be visible here.
+    for (std::size_t shard = 0; shard < kShards; ++shard) {
+      for (std::size_t app = 0; app < kAppsPerShard; ++app) {
+        ASSERT_EQ(state[shard][app], static_cast<std::size_t>(round + 1) * (shard + app));
+      }
+    }
+  }
+}
+
+TEST(ParallelForStress, ConcurrentShardedTestbedsShareThePool) {
+  // Two sharded testbed runs in flight at once (the ScenarioRunner table
+  // pattern) contend for ThreadPool::shared() from their shard advances;
+  // results must stay bit-identical to the lone run.
+  core::ScenarioSpec spec;
+  spec.name = "sharded-dual";
+  spec.engine = core::ScenarioSpec::Engine::kTestbed;
+  spec.testbed.num_apps = 4;
+  spec.testbed.num_servers = 2;
+  spec.testbed.shards = 2;
+  spec.testbed.shard_threads = 2;
+  spec.seed = 13;
+  spec.duration_s = 120.0;
+  core::SysIdExperimentConfig sysid;
+  sysid.periods = 40;
+  spec.model = core::identify_app_model(app::default_two_tier_app("dual", 501, 40), sysid).model;
+
+  const core::ScenarioResult reference = core::ScenarioRunner(1).run(spec);
+  core::ScenarioResult from_a;
+  core::ScenarioResult from_b;
+  std::thread a([&] { from_a = core::ScenarioRunner(1).run(spec); });
+  std::thread b([&] { from_b = core::ScenarioRunner(1).run(spec); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(from_a.recorder == reference.recorder);
+  EXPECT_TRUE(from_b.recorder == reference.recorder);
 }
 
 /// A cheap standalone scenario: fixed-allocation policy (no system

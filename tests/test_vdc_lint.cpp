@@ -74,7 +74,8 @@ TEST(VdcLint, EveryRuleFiresOnItsFixture) {
   std::vector<SourceFile> files = load_fixtures();
   const std::vector<Finding> findings = lint_all(files);
   for (const char* rule : {"units", "determinism", "unordered-iter", "float-eq",
-                           "check-side-effect", "pragma-once", "include-cycle", "suppression"}) {
+                           "check-side-effect", "pragma-once", "include-cycle",
+                           "shard-safety", "suppression"}) {
     const bool seen = std::any_of(findings.begin(), findings.end(),
                                   [&](const Finding& f) { return f.rule == rule; });
     EXPECT_TRUE(seen) << "no fixture exercises rule '" << rule << "'";

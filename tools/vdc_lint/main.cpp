@@ -26,7 +26,7 @@ namespace {
 
 const char* const kRuleIds[] = {
     "units", "determinism", "unordered-iter", "float-eq",
-    "check-side-effect", "pragma-once", "include-cycle",
+    "check-side-effect", "pragma-once", "include-cycle", "shard-safety",
 };
 
 bool has_source_extension(const fs::path& p) {

@@ -577,6 +577,180 @@ void rule_check_side_effect(SourceFile& file, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// rule: shard-safety
+
+/// Flags hidden shared mutable state in the subsystems that run inside the
+/// sharded engine's parallel shard advance: a mutable `static` variable
+/// (namespace scope, function-local, or class-static member) or a mutable
+/// namespace-scope variable is written by whichever shard thread gets there
+/// first — a data race under TSan and, even when atomically benign, a
+/// determinism leak across shard counts. Safe forms are exempt:
+/// const/constexpr/constinit declarations, function declarations (a
+/// `static` return type is not state), and `thread_local` (no cross-thread
+/// sharing; its determinism hazards are the determinism rule's business).
+void rule_shard_safety(SourceFile& file, std::vector<Finding>& out) {
+  const std::vector<Token>& code = file.code;
+  std::vector<ScopeKind> scopes;
+  bool pending_class = false;
+  bool pending_enum = false;
+  bool pending_namespace = false;
+  int paren_depth = 0;
+
+  auto current_scope = [&]() -> ScopeKind {
+    return scopes.empty() ? ScopeKind::kNamespace : scopes.back();
+  };
+
+  /// Classifies the declaration whose specifiers start at `begin`: walks to
+  /// the head terminator (`;`, `=`, `{`, or a top-level `(`), skipping
+  /// template argument lists. Reports whether the head carries a constness
+  /// qualifier, whether it is a function declarator, and the last
+  /// identifier seen (the declared name for a variable).
+  struct DeclHead {
+    bool immutable = false;     // const / constexpr / constinit / thread_local
+    bool function = false;      // terminator was a top-level `(`
+    bool variable = false;      // terminator was `;`, `=`, or brace-init `{`
+    const Token* name = nullptr;
+  };
+  auto scan_decl_head = [&](std::size_t begin) {
+    DeclHead head;
+    for (std::size_t j = begin; j < code.size();) {
+      const Token& t = code[j];
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "const" || t.text == "constexpr" || t.text == "constinit" ||
+            t.text == "thread_local") {
+          head.immutable = true;
+        } else if (t.text == "operator") {
+          head.function = true;  // conversion/operator declarator
+          return head;
+        } else {
+          head.name = &t;
+        }
+        j = skip_angle_brackets(code, j + 1);
+        continue;
+      }
+      if (is_punct(t, "(")) {
+        head.function = true;
+        return head;
+      }
+      if (is_punct(t, ";") || is_punct(t, "=")) {
+        head.variable = true;
+        return head;
+      }
+      if (is_punct(t, "{")) {
+        // Brace-init of a variable (`static int x{0};`) when a name was
+        // seen; otherwise something structural — not a variable.
+        head.variable = head.name != nullptr;
+        return head;
+      }
+      if (is_punct(t, "}") || is_punct(t, ")")) return head;  // ran off the decl
+      ++j;  // *, &, ::, attributes, ...
+    }
+    return head;
+  };
+
+  // Namespace-scope statement accumulation for the mutable-global check:
+  // `begin` is the first token of the current statement, npos while inside
+  // a non-namespace scope or after a disqualifying token.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t stmt_begin = 0;  // file scope is namespace scope
+  auto statement_boundary = [&](std::size_t next) {
+    stmt_begin = current_scope() == ScopeKind::kNamespace ? next : kNone;
+  };
+
+  auto check_namespace_decl = [&](std::size_t begin, std::size_t end) {
+    // A namespace-scope statement `<specifiers> name [= init] ;` with no
+    // top-level parens is a variable definition. Everything else —
+    // functions, type definitions, aliases, templates, extern/static
+    // (handled by the static check) — is excluded by keyword or shape.
+    if (begin == kNone || begin >= end) return;
+    // Preprocessor directives carry no ';', so they prefix the following
+    // statement's token range: trim them off the front.
+    while (begin < end && is_punct(code[begin], "#")) {
+      const int directive_line = code[begin].line;
+      while (begin < end && code[begin].line == directive_line) ++begin;
+    }
+    if (begin >= end) return;
+    static const std::set<std::string_view> kExcluded = {
+        "using",  "typedef", "class",    "struct",        "union",  "enum",
+        "friend", "extern",  "template", "static_assert", "static", "concept",
+        "requires", "namespace",
+    };
+    for (std::size_t j = begin; j < end; ++j) {
+      if (code[j].kind == TokenKind::kIdentifier && kExcluded.count(code[j].text) > 0) return;
+      if (is_punct(code[j], "#")) return;  // mid-statement preprocessor: bail
+    }
+    const DeclHead head = scan_decl_head(begin);
+    if (!head.variable || head.function || head.immutable || head.name == nullptr) return;
+    emit(file, out, "shard-safety", head.name->line, head.name->col,
+         "namespace-scope variable '" + std::string(head.name->text) +
+             "' is mutable shared state on the sharded-engine path: shard threads may "
+             "race on it and its value can depend on the shard layout; make it "
+             "const/constexpr, move it into the owning object, or annotate why it is safe");
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "(") {
+        ++paren_depth;
+      } else if (t.text == ")") {
+        paren_depth = std::max(0, paren_depth - 1);
+        pending_class = pending_enum = pending_namespace = false;
+      } else if (t.text == "{") {
+        if (pending_namespace) {
+          scopes.push_back(ScopeKind::kNamespace);
+        } else if (pending_enum) {
+          scopes.push_back(ScopeKind::kEnum);
+        } else if (pending_class) {
+          scopes.push_back(ScopeKind::kClass);
+        } else {
+          scopes.push_back(ScopeKind::kBlock);
+        }
+        pending_class = pending_enum = pending_namespace = false;
+        statement_boundary(i + 1);
+      } else if (t.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        statement_boundary(i + 1);
+      } else if (t.text == ";") {
+        if (paren_depth == 0) {
+          check_namespace_decl(stmt_begin, i);
+          statement_boundary(i + 1);
+        }
+        pending_class = pending_enum = pending_namespace = false;
+      } else if (t.text == ",") {
+        pending_class = pending_enum = pending_namespace = false;
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "namespace") {
+      pending_namespace = true;
+      continue;
+    }
+    if (t.text == "enum") {
+      pending_enum = true;
+      continue;
+    }
+    if ((t.text == "class" || t.text == "struct" || t.text == "union") && !pending_enum) {
+      pending_class = true;
+      continue;
+    }
+    if (t.text != "static") continue;
+    if (current_scope() == ScopeKind::kEnum || paren_depth > 0) continue;
+    const DeclHead head = scan_decl_head(i + 1);
+    if (!head.variable || head.function || head.immutable) continue;
+    const Token& at = head.name != nullptr ? *head.name : t;
+    const std::string what = head.name != nullptr
+                                 ? "static variable '" + std::string(head.name->text) + "'"
+                                 : "static variable";
+    emit(file, out, "shard-safety", at.line, at.col,
+         what + " is mutable shared state on the sharded-engine path: initialization "
+                "and every write race across shard threads; make it const/constexpr, "
+                "move it into the owning object, or annotate why it is safe");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // rule: include-cycle (whole tree)
 
 struct IncludeEdge {
@@ -675,6 +849,8 @@ RuleConfig config_for(std::string_view rel) {
   cfg.float_eq = (in_src || in_tools) && !starts_with(rel, "src/linalg/");
   cfg.unordered_iter = starts_with(rel, "src/sim/") || starts_with(rel, "src/consolidate/") ||
                        starts_with(rel, "src/datacenter/") || starts_with(rel, "src/core/");
+  cfg.shard_safety = starts_with(rel, "src/sim/") || starts_with(rel, "src/app/") ||
+                     starts_with(rel, "src/datacenter/") || starts_with(rel, "src/core/");
   return cfg;
 }
 
@@ -683,7 +859,7 @@ RuleConfig all_rules_config() { return RuleConfig{}; }
 bool known_rule(std::string_view name) {
   static const std::set<std::string_view> kRules = {
       "units",       "determinism",       "unordered-iter", "float-eq",
-      "check-side-effect", "pragma-once", "include-cycle",
+      "check-side-effect", "pragma-once", "include-cycle",  "shard-safety",
   };
   return kRules.count(name) > 0;
 }
@@ -709,6 +885,7 @@ void run_file_rules(SourceFile& file, const RuleConfig& cfg,
   if (cfg.determinism) rule_determinism(file, out);
   if (cfg.unordered_iter) rule_unordered_iter(file, unordered_names, out);
   if (cfg.check_side_effect) rule_check_side_effect(file, out);
+  if (cfg.shard_safety) rule_shard_safety(file, out);
   if (cfg.units || cfg.float_eq) {
     std::vector<Decl> decls;
     std::set<std::string_view> float_names;
@@ -744,7 +921,8 @@ void run_suppression_hygiene(const SourceFile& file, const RuleConfig& cfg,
                           (s.rule == "unordered-iter" && cfg.unordered_iter) ||
                           (s.rule == "float-eq" && cfg.float_eq) ||
                           (s.rule == "check-side-effect" && cfg.check_side_effect) ||
-                          (s.rule == "pragma-once" && cfg.pragma_once);
+                          (s.rule == "pragma-once" && cfg.pragma_once) ||
+                          (s.rule == "shard-safety" && cfg.shard_safety);
     if (rule_ran && !s.used) {
       hygiene("unused suppression: no '" + s.rule + "' finding on line " +
               std::to_string(s.target_line));

@@ -20,6 +20,14 @@
 //   check-side-effect VDC_ASSERT/VDC_INVARIANT/VDC_UNREACHABLE arguments
 //                     compile out under -DVDC_CHECKS=OFF, so mutation inside
 //                     them (++/--/assignment/container mutators) is a bug.
+//   shard-safety      mutable `static` variables (any scope) and mutable
+//                     namespace-scope variables in the shard-path subsystems
+//                     (src/sim, src/app, src/datacenter, src/core) — code
+//                     that runs inside the sharded engine's parallel shard
+//                     advance, where hidden shared state is a data race AND
+//                     a determinism leak. const/constexpr/constinit and
+//                     function declarations are exempt; anything else needs
+//                     an annotation stating why it is safe.
 //   pragma-once       every .hpp carries #pragma once.
 //   include-cycle     the quoted-include graph is acyclic.
 //
@@ -44,13 +52,15 @@ struct RuleConfig {
   bool float_eq = true;
   bool check_side_effect = true;
   bool pragma_once = true;
+  bool shard_safety = true;
 };
 
 /// Per-file rule enablement from the repo-relative path (see DESIGN.md):
 /// units applies to src/ and tools/ minus src/linalg (mathematical "power")
 /// and src/util (dimensionless data structures); float-eq to src/ and tools/
 /// minus src/linalg (numerics owns its exact comparisons); unordered-iter to
-/// the four plan-ordering subsystems; the rest everywhere.
+/// the four plan-ordering subsystems; shard-safety to the subsystems on the
+/// sharded engine's parallel path; the rest everywhere.
 RuleConfig config_for(std::string_view rel);
 
 /// All rules enabled regardless of path — used by the fixture tests.
